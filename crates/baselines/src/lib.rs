@@ -1,0 +1,43 @@
+//! # ehna-baselines — the paper's comparison methods, reimplemented
+//!
+//! Pure-Rust implementations of the four baselines of the EHNA evaluation
+//! (§V-B), all exposing the common [`EmbeddingMethod`] interface:
+//!
+//! * [`Node2Vec`] — static second-order biased walks + skip-gram with
+//!   negative sampling (Grover & Leskovec, KDD 2016).
+//! * [`Ctdne`] — forward time-respecting walks + skip-gram (Nguyen et
+//!   al., WWW 2018 companion).
+//! * [`Line`] — first- plus second-order proximity by edge sampling, with
+//!   the two representations concatenated as the authors recommend (Tang
+//!   et al., WWW 2015).
+//! * [`Htne`] — Hawkes-process neighborhood formation sequences (Zuo et
+//!   al., KDD 2018).
+//!
+//! The shared SGNS machinery lives in [`skipgram`]. Walk corpora come from
+//! [`ehna_walks`]; multi-threaded corpus generation (the `Node2Vec 10` /
+//! `CTDNE 10` rows of Table VIII) is provided by the `threads` fields.
+
+pub mod ctdne;
+pub mod htne;
+pub mod line;
+pub mod node2vec;
+pub mod skipgram;
+
+pub use ctdne::Ctdne;
+pub use htne::Htne;
+pub use line::Line;
+pub use node2vec::Node2Vec;
+pub use skipgram::{SkipGram, SkipGramConfig};
+
+use ehna_tgraph::{NodeEmbeddings, TemporalGraph};
+
+/// A network-embedding method: trains on a temporal graph and yields one
+/// vector per node. Implemented by every baseline here (the EHNA adapter
+/// lives in the benchmark crate).
+pub trait EmbeddingMethod {
+    /// Display name used in result tables.
+    fn name(&self) -> &str;
+
+    /// Train embeddings for `graph`, deterministic in `seed`.
+    fn embed(&self, graph: &TemporalGraph, seed: u64) -> NodeEmbeddings;
+}

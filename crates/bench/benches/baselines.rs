@@ -1,0 +1,43 @@
+//! Baseline training throughput: SGNS updates, LINE edge samples, HTNE
+//! events — the per-epoch cost components behind Table VIII.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ehna_baselines::{Ctdne, EmbeddingMethod, Htne, Line, Node2Vec, SkipGramConfig};
+use ehna_datasets::{generate, Dataset, Scale};
+use ehna_walks::{CtdneConfig, Node2VecConfig};
+
+fn bench_baselines(c: &mut Criterion) {
+    let g = generate(Dataset::YelpLike, Scale::Tiny, 1);
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+
+    group.bench_function("node2vec_embed", |b| {
+        let m = Node2Vec {
+            walks: Node2VecConfig { length: 20, walks_per_node: 2, ..Default::default() },
+            sgns: SkipGramConfig { dim: 32, epochs: 1, ..Default::default() },
+            threads: 1,
+        };
+        b.iter(|| black_box(m.embed(&g, 1).num_nodes()))
+    });
+    group.bench_function("ctdne_embed", |b| {
+        let m = Ctdne {
+            walks: CtdneConfig { length: 20, ..Default::default() },
+            walks_per_node: 2,
+            sgns: SkipGramConfig { dim: 32, epochs: 1, ..Default::default() },
+            threads: 1,
+        };
+        b.iter(|| black_box(m.embed(&g, 1).num_nodes()))
+    });
+    group.bench_function("line_embed", |b| {
+        let m = Line { dim: 32, samples_per_edge: 5, ..Default::default() };
+        b.iter(|| black_box(m.embed(&g, 1).num_nodes()))
+    });
+    group.bench_function("htne_embed", |b| {
+        let m = Htne { dim: 32, epochs: 1, ..Default::default() };
+        b.iter(|| black_box(m.embed(&g, 1).num_nodes()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Micro-benchmarks of the temporal-graph substrate: the historical
+//! queries (`neighbors_before`, `has_edge`) that dominate walk sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ehna_datasets::{generate, Dataset, Scale};
+use ehna_tgraph::{NodeId, Timestamp};
+
+fn bench_graph(c: &mut Criterion) {
+    let g = generate(Dataset::DiggLike, Scale::Small, 1);
+    let mid = Timestamp((g.min_time().raw() + g.max_time().raw()) / 2);
+    let nodes: Vec<NodeId> = g.nodes().filter(|&v| g.degree(v) > 0).collect();
+
+    let mut group = c.benchmark_group("tgraph");
+    group.bench_function("neighbors_before", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let v = nodes[i % nodes.len()];
+            i += 1;
+            black_box(g.neighbors_before(v, mid).len())
+        })
+    });
+    group.bench_function("has_edge", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = nodes[i % nodes.len()];
+            let bb = nodes[(i * 7 + 1) % nodes.len()];
+            i += 1;
+            black_box(g.has_edge(a, bb))
+        })
+    });
+    group.bench_function("subgraph_before", |b| {
+        b.iter(|| black_box(g.subgraph_before(mid).map(|h| h.num_edges())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

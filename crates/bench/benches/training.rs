@@ -1,0 +1,39 @@
+//! Per-variant training-step cost (the Table VII ablations' compute
+//! profile): one optimization step on a 32-edge batch for each variant.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use ehna_bench::methods::ehna_config;
+use ehna_bench::TrainBudget;
+use ehna_core::variants::ALL_VARIANTS;
+use ehna_core::Trainer;
+use ehna_datasets::{generate, Dataset, Scale};
+use ehna_tgraph::{NodeId, Timestamp};
+use std::time::Duration;
+
+fn bench_training(c: &mut Criterion) {
+    let g = generate(Dataset::DblpLike, Scale::Tiny, 1);
+    let edges: Vec<(NodeId, NodeId, Timestamp)> = g
+        .edges()
+        .iter()
+        .rev()
+        .take(32)
+        .map(|e| (e.src, e.dst, e.t))
+        .collect();
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for variant in ALL_VARIANTS {
+        let cfg = variant.configure(ehna_config(32, 7, TrainBudget::Quick));
+        group.bench_function(format!("step_{}", variant.name()), |b| {
+            b.iter_batched(
+                || Trainer::new(&g, cfg.clone()).expect("valid config"),
+                |mut trainer| black_box(trainer.train_batch(&edges, 0)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

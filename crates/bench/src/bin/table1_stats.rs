@@ -1,0 +1,56 @@
+//! Table I — dataset statistics.
+//!
+//! Prints the `# nodes / # temporal edges` rows of the paper's Table I for
+//! the synthetic dataset presets, alongside the real datasets' sizes for
+//! reference, plus shape diagnostics (static edges, degree skew) that the
+//! generators are designed to match.
+//!
+//! ```text
+//! cargo run --release -p ehna-bench --bin table1_stats -- --scale small
+//! ```
+
+use ehna_bench::table::Table;
+use ehna_bench::Args;
+use ehna_datasets::{generate, ALL_DATASETS};
+use ehna_tgraph::GraphStats;
+
+fn main() {
+    let args = Args::from_env();
+    let mut table = Table::new([
+        "Dataset",
+        "# nodes",
+        "# temporal edges",
+        "# static edges",
+        "time span",
+        "max degree",
+        "degree gini",
+        "(paper nodes)",
+        "(paper edges)",
+    ]);
+    for d in ALL_DATASETS {
+        if let Some(only) = &args.only_dataset {
+            if only != d.name() {
+                continue;
+            }
+        }
+        let g = generate(d, args.scale, args.seed);
+        let s = GraphStats::compute(&g);
+        let (pn, pe) = d.paper_scale();
+        table.row([
+            d.name().to_string(),
+            s.num_nodes.to_string(),
+            s.num_temporal_edges.to_string(),
+            s.num_static_edges.to_string(),
+            format!("[{}, {}]", s.min_time, s.max_time),
+            s.max_degree.to_string(),
+            format!("{:.3}", s.degree_gini),
+            pn.to_string(),
+            pe.to_string(),
+        ]);
+    }
+    println!("Table I (synthetic presets at scale '{}'):\n", args.scale);
+    print!("{}", table.render());
+    let path = args.out_file(&format!("table1_stats_{}.tsv", args.scale));
+    table.write_tsv(&path).expect("write tsv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,123 @@
+//! Aligned console tables + TSV export for the harness binaries.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple table: header row plus data rows of strings.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column names.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics if the width differs from the header.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns for the console.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |row: &[String], out: &mut String| {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", cell, width = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let rule: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+
+    /// Write as TSV (tab-separated, header first).
+    pub fn write_tsv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = File::create(path)?;
+        writeln!(f, "{}", self.header.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with 4 decimals (the paper's table precision).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Format a percentage with one decimal and sign (error-reduction cells).
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_tsv() {
+        let mut t = Table::new(["metric", "LINE", "EHNA"]);
+        t.row(["AUC", "0.70", "0.93"]);
+        t.row(["F1", "0.65", "0.88"]);
+        let s = t.render();
+        assert!(s.contains("metric"));
+        assert!(s.contains("0.93"));
+        assert_eq!(t.len(), 2);
+
+        let dir = std::env::temp_dir().join("ehna_table_test.tsv");
+        t.write_tsv(&dir).unwrap();
+        let content = std::fs::read_to_string(&dir).unwrap();
+        assert_eq!(content.lines().count(), 3);
+        assert!(content.starts_with("metric\tLINE\tEHNA"));
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f4(0.12345), "0.1235");
+        assert_eq!(pct(0.126), "+12.6%");
+        assert_eq!(pct(-0.031), "-3.1%");
+    }
+}

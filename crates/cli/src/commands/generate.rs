@@ -1,0 +1,68 @@
+//! `ehna generate` — synthesize a dataset preset into an edge-list file.
+
+use crate::commands::io_err;
+use crate::flags::Flags;
+use crate::CliError;
+use ehna_datasets::{generate, Dataset, Scale};
+use ehna_tgraph::write_edge_list_path;
+use std::io::Write;
+
+const HELP: &str = "ehna generate — synthesize a temporal network
+
+usage: ehna generate --dataset digg|yelp|tmall|dblp [--scale tiny|small|medium]
+                     [--seed N] --out FILE";
+
+/// Run the subcommand.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, HELP)?;
+    flags.expect_known(&["dataset", "scale", "seed", "out"])?;
+    let dataset: Dataset = flags
+        .get("dataset")
+        .ok_or_else(|| CliError::usage("--dataset is required"))?
+        .parse()
+        .map_err(CliError::usage)?;
+    let scale: Scale = flags.get_or("scale", Scale::Tiny).map_err(|e| e)?;
+    let seed: u64 = flags.get_or("seed", 42)?;
+    let path = flags.get("out").ok_or_else(|| CliError::usage("--out is required"))?;
+
+    let graph = generate(dataset, scale, seed);
+    write_edge_list_path(&graph, path)?;
+    writeln!(
+        out,
+        "wrote {}-like network ({} nodes, {} temporal edges) to {path}",
+        dataset,
+        graph.num_nodes(),
+        graph.num_edges()
+    )
+    .map_err(io_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&v, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8"))
+    }
+
+    #[test]
+    fn generates_a_file() {
+        let path = std::env::temp_dir().join("ehna_cli_gen_test.txt");
+        let path_s = path.to_str().unwrap();
+        let out = run_cmd(&["--dataset", "dblp", "--seed", "1", "--out", path_s]).unwrap();
+        assert!(out.contains("dblp-like"));
+        let g = ehna_tgraph::read_edge_list_path(&path).unwrap();
+        assert!(g.num_edges() > 500);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn requires_dataset_and_out() {
+        assert!(run_cmd(&["--out", "/tmp/x"]).is_err());
+        assert!(run_cmd(&["--dataset", "digg"]).is_err());
+        assert!(run_cmd(&["--dataset", "marvel", "--out", "/tmp/x"]).is_err());
+    }
+}

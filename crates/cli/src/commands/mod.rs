@@ -1,0 +1,16 @@
+//! Subcommand implementations.
+
+pub mod export;
+pub mod generate;
+pub mod linkpred;
+pub mod nodeclass;
+pub mod reconstruct;
+pub mod stats;
+pub mod train;
+
+use crate::CliError;
+
+/// Map an IO error into a runtime CLI error.
+pub(crate) fn io_err(e: std::io::Error) -> CliError {
+    CliError::runtime(format!("io error: {e}"))
+}

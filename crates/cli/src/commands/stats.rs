@@ -1,0 +1,51 @@
+//! `ehna stats` — print statistics of a temporal edge list.
+
+use crate::commands::io_err;
+use crate::flags::Flags;
+use crate::CliError;
+use ehna_tgraph::{read_edge_list_path, GraphStats};
+use std::io::Write;
+
+const HELP: &str = "ehna stats — temporal network statistics
+
+usage: ehna stats FILE";
+
+/// Run the subcommand.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, HELP)?;
+    flags.expect_known(&[])?;
+    let path = flags.one_positional("edge-list file")?;
+    let graph = read_edge_list_path(path)?;
+    let stats = GraphStats::compute(&graph);
+    writeln!(out, "{stats}").map_err(io_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehna_tgraph::{write_edge_list_path, GraphBuilder};
+
+    #[test]
+    fn prints_stats() {
+        let path = std::env::temp_dir().join("ehna_cli_stats_test.txt");
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 10, 1.0).unwrap();
+        b.add_edge(1, 2, 20, 1.0).unwrap();
+        write_edge_list_path(&b.build().unwrap(), &path).unwrap();
+
+        let args = vec![path.to_str().unwrap().to_string()];
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("temporal edges:  2"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_runtime_error() {
+        let args = vec!["/definitely/not/here.txt".to_string()];
+        let mut buf = Vec::new();
+        let err = run(&args, &mut buf).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+}

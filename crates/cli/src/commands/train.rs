@@ -1,0 +1,142 @@
+//! `ehna train` — train embeddings on an edge list and save a snapshot.
+
+use crate::commands::io_err;
+use crate::flags::Flags;
+use crate::method::{MethodName, TrainOptions};
+use crate::CliError;
+use ehna_tgraph::read_edge_list_path;
+use std::io::Write;
+
+const HELP: &str = "ehna train — train node embeddings
+
+usage: ehna train FILE --method NAME [--dim N] [--epochs N] [--walks N]
+                  [--walk-length N] [--p F] [--q F] [--seed N]
+                  [--bidirectional true] --out SNAPSHOT
+
+methods: ehna, ehna-na, ehna-rw, ehna-sl, node2vec, ctdne, line, htne
+The snapshot is the binary NodeEmbeddings format (load with
+NodeEmbeddings::load or `ehna linkpred --emb SNAPSHOT`).";
+
+/// Run the subcommand.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, HELP)?;
+    flags.expect_known(&[
+        "method",
+        "dim",
+        "epochs",
+        "walks",
+        "walk-length",
+        "p",
+        "q",
+        "seed",
+        "bidirectional",
+        "out",
+    ])?;
+    let input = flags.one_positional("edge-list file")?;
+    let method = MethodName::parse(
+        flags.get("method").ok_or_else(|| CliError::usage("--method is required"))?,
+    )?;
+    let snapshot = flags.get("out").ok_or_else(|| CliError::usage("--out is required"))?;
+    let opts = TrainOptions {
+        dim: flags.get_or("dim", 64usize)?,
+        epochs: flags.get_or("epochs", 3usize)?,
+        num_walks: flags.get_or("walks", 5usize)?,
+        walk_length: flags.get_or("walk-length", 5usize)?,
+        p: flags.get_or("p", 1.0f64)?,
+        q: flags.get_or("q", 1.0f64)?,
+        seed: flags.get_or("seed", 42u64)?,
+        bidirectional: flags.get_or("bidirectional", false)?,
+    };
+
+    let graph = read_edge_list_path(input)?;
+    writeln!(
+        out,
+        "training {} on {} ({} nodes, {} edges)...",
+        method.name(),
+        input,
+        graph.num_nodes(),
+        graph.num_edges()
+    )
+    .map_err(io_err)?;
+    let start = std::time::Instant::now();
+    let emb = method.train(&graph, &opts)?;
+    let f = std::fs::File::create(snapshot).map_err(io_err)?;
+    emb.save(f)?;
+    writeln!(
+        out,
+        "trained in {:.2}s; wrote {} x {} snapshot to {snapshot}",
+        start.elapsed().as_secs_f64(),
+        emb.num_nodes(),
+        emb.dim()
+    )
+    .map_err(io_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehna_tgraph::{write_edge_list_path, GraphBuilder, NodeEmbeddings};
+
+    fn tiny_file(name: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        let mut b = GraphBuilder::new();
+        for i in 0..12u32 {
+            b.add_edge(i, (i + 1) % 13, i as i64, 1.0).unwrap();
+            b.add_edge(i, (i + 5) % 13, i as i64 + 1, 1.0).unwrap();
+        }
+        write_edge_list_path(&b.build().unwrap(), &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn trains_and_saves_snapshot() {
+        let input = tiny_file("ehna_cli_train_in.txt");
+        let snap = std::env::temp_dir().join("ehna_cli_train_out.bin");
+        let args: Vec<String> = [
+            input.to_str().unwrap(),
+            "--method",
+            "ehna",
+            "--dim",
+            "8",
+            "--epochs",
+            "1",
+            "--walks",
+            "2",
+            "--walk-length",
+            "3",
+            "--out",
+            snap.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        let emb = NodeEmbeddings::load(std::fs::File::open(&snap).unwrap()).unwrap();
+        assert_eq!(emb.dim(), 8);
+        assert_eq!(emb.num_nodes(), 13);
+        let _ = std::fs::remove_file(input);
+        let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
+    fn method_list_in_help_matches() {
+        use crate::method::METHOD_NAMES;
+        for name in METHOD_NAMES {
+            assert!(HELP.contains(name), "{name} missing from help");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let input = tiny_file("ehna_cli_train_in2.txt");
+        let args: Vec<String> =
+            [input.to_str().unwrap(), "--method", "ehna", "--lr", "0.1", "--out", "/tmp/x.bin"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let mut buf = Vec::new();
+        assert!(run(&args, &mut buf).is_err());
+        let _ = std::fs::remove_file(input);
+    }
+}

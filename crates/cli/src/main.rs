@@ -1,0 +1,10 @@
+//! The `ehna` binary: thin wrapper around [`ehna_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(e) = ehna_cli::run(&args, &mut stdout) {
+        eprintln!("{e}");
+        std::process::exit(e.code);
+    }
+}

@@ -1,0 +1,211 @@
+//! Method selection by name, covering the baselines and all EHNA
+//! variants.
+
+use crate::CliError;
+use ehna_baselines::{Ctdne, EmbeddingMethod, Htne, Line, Node2Vec, SkipGramConfig};
+use ehna_core::{EhnaConfig, EhnaVariant, Trainer};
+use ehna_tgraph::{NodeEmbeddings, TemporalGraph};
+use ehna_walks::{CtdneConfig, Node2VecConfig};
+
+/// Per-method training knobs exposed on the CLI.
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Epochs (EHNA / HTNE) or SGNS passes (walk methods).
+    pub epochs: usize,
+    /// Walks per target / per node.
+    pub num_walks: usize,
+    /// Walk length.
+    pub walk_length: usize,
+    /// node2vec-style return parameter.
+    pub p: f64,
+    /// node2vec-style in-out parameter.
+    pub q: f64,
+    /// Seed.
+    pub seed: u64,
+    /// Bidirectional negative sampling (EHNA, Eq. 7).
+    pub bidirectional: bool,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            dim: 64,
+            epochs: 3,
+            num_walks: 5,
+            walk_length: 5,
+            p: 1.0,
+            q: 1.0,
+            seed: 42,
+            bidirectional: false,
+        }
+    }
+}
+
+/// A method selected by CLI name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodName {
+    /// Full EHNA or one of its Table VII variants.
+    Ehna(EhnaVariant),
+    /// Static node2vec baseline.
+    Node2Vec,
+    /// CTDNE baseline.
+    Ctdne,
+    /// LINE baseline.
+    Line,
+    /// HTNE baseline.
+    Htne,
+}
+
+/// Every accepted method name, for help text.
+pub const METHOD_NAMES: [&str; 8] =
+    ["ehna", "ehna-na", "ehna-rw", "ehna-sl", "node2vec", "ctdne", "line", "htne"];
+
+impl MethodName {
+    /// Parse a CLI method name.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s.to_ascii_lowercase().as_str() {
+            "ehna" => Ok(MethodName::Ehna(EhnaVariant::Full)),
+            "ehna-na" => Ok(MethodName::Ehna(EhnaVariant::NoAttention)),
+            "ehna-rw" => Ok(MethodName::Ehna(EhnaVariant::StaticWalks)),
+            "ehna-sl" => Ok(MethodName::Ehna(EhnaVariant::SingleLevel)),
+            "node2vec" => Ok(MethodName::Node2Vec),
+            "ctdne" => Ok(MethodName::Ctdne),
+            "line" => Ok(MethodName::Line),
+            "htne" => Ok(MethodName::Htne),
+            other => Err(CliError::usage(format!(
+                "unknown method '{other}' (expected one of: {})",
+                METHOD_NAMES.join(", ")
+            ))),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodName::Ehna(v) => v.name(),
+            MethodName::Node2Vec => "Node2Vec",
+            MethodName::Ctdne => "CTDNE",
+            MethodName::Line => "LINE",
+            MethodName::Htne => "HTNE",
+        }
+    }
+
+    /// Train on `graph` with `opts`.
+    pub fn train(
+        self,
+        graph: &TemporalGraph,
+        opts: &TrainOptions,
+    ) -> Result<NodeEmbeddings, CliError> {
+        let emb = match self {
+            MethodName::Ehna(variant) => {
+                let config = variant.configure(EhnaConfig {
+                    dim: opts.dim,
+                    num_walks: opts.num_walks,
+                    walk_length: opts.walk_length,
+                    p: opts.p,
+                    q: opts.q,
+                    epochs: opts.epochs,
+                    batch_size: 128,
+                    lr: 2e-3,
+                    seed: opts.seed,
+                    bidirectional: opts.bidirectional,
+                    ..Default::default()
+                });
+                let mut trainer = Trainer::new(graph, config).map_err(CliError::usage)?;
+                trainer.train();
+                trainer.into_embeddings()
+            }
+            MethodName::Node2Vec => Node2Vec {
+                walks: Node2VecConfig {
+                    length: opts.walk_length.max(10) * 4,
+                    walks_per_node: opts.num_walks,
+                    p: opts.p,
+                    q: opts.q,
+                },
+                sgns: SkipGramConfig { dim: opts.dim, epochs: opts.epochs, ..Default::default() },
+                threads: 1,
+            }
+            .embed(graph, opts.seed),
+            MethodName::Ctdne => Ctdne {
+                walks: CtdneConfig { length: opts.walk_length.max(10) * 4, ..Default::default() },
+                walks_per_node: opts.num_walks,
+                sgns: SkipGramConfig { dim: opts.dim, epochs: opts.epochs, ..Default::default() },
+                threads: 1,
+            }
+            .embed(graph, opts.seed),
+            MethodName::Line => {
+                if opts.dim % 2 != 0 {
+                    return Err(CliError::usage("LINE needs an even --dim".to_string()));
+                }
+                Line {
+                    dim: opts.dim,
+                    samples_per_edge: 20 * opts.epochs.max(1),
+                    ..Default::default()
+                }
+                .embed(graph, opts.seed)
+            }
+            MethodName::Htne => Htne {
+                dim: opts.dim,
+                epochs: opts.epochs.max(1) * 2,
+                ..Default::default()
+            }
+            .embed(graph, opts.seed),
+        };
+        Ok(emb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehna_tgraph::GraphBuilder;
+
+    #[test]
+    fn all_names_parse() {
+        for name in METHOD_NAMES {
+            assert!(MethodName::parse(name).is_ok(), "{name}");
+        }
+        assert!(MethodName::parse("gcn").is_err());
+    }
+
+    #[test]
+    fn variant_names_roundtrip() {
+        assert_eq!(MethodName::parse("ehna-rw").unwrap().name(), "EHNA-RW");
+        assert_eq!(MethodName::parse("EHNA").unwrap().name(), "EHNA");
+    }
+
+    #[test]
+    fn line_rejects_odd_dim() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let opts = TrainOptions { dim: 15, epochs: 1, ..Default::default() };
+        assert!(MethodName::Line.train(&g, &opts).is_err());
+    }
+
+    #[test]
+    fn tiny_training_works_for_each_method() {
+        let mut b = GraphBuilder::new();
+        for i in 0..8u32 {
+            b.add_edge(i, (i + 1) % 9, i as i64, 1.0).unwrap();
+            b.add_edge(i, (i + 3) % 9, i as i64 + 1, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let opts = TrainOptions {
+            dim: 8,
+            epochs: 1,
+            num_walks: 2,
+            walk_length: 3,
+            ..Default::default()
+        };
+        for name in METHOD_NAMES {
+            let m = MethodName::parse(name).unwrap();
+            let e = m.train(&g, &opts).unwrap();
+            assert_eq!(e.num_nodes(), g.num_nodes(), "{name}");
+            assert_eq!(e.dim(), 8, "{name}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Model checkpointing: persist a trained [`EhnaModel`] (parameters,
+//! batch-norm running statistics, and the architecture-defining config
+//! fields) and restore it for further training or inference.
+//!
+//! Format: a small little-endian header with the architecture fields,
+//! followed by the two batch-norm statistic blocks and the
+//! [`ParamStore`](ehna_nn::ParamStore) snapshot.
+
+use crate::config::{EhnaConfig, WalkStyle};
+use crate::model::EhnaModel;
+use ehna_nn::ParamStore;
+use ehna_tgraph::TemporalGraph;
+use std::io::{self, Read, Write};
+
+/// Magic bytes ("EHNC" + version 1).
+const MAGIC: u32 = 0x45484E43;
+const VERSION: u32 = 1;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_f32s<W: Write>(w: &mut W, xs: &[f32]) -> io::Result<()> {
+    write_u32(w, xs.len() as u32)?;
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+    let n = read_u32(r)? as usize;
+    if n > (1 << 24) {
+        return Err(bad("implausible stat block"));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut b = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut b)?;
+        out.push(f32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+impl EhnaModel {
+    /// Serialize the trained model to `w`.
+    pub fn save_checkpoint<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write_u32(&mut w, MAGIC)?;
+        write_u32(&mut w, VERSION)?;
+        // Architecture-defining fields (must match at load).
+        write_u32(&mut w, self.num_nodes() as u32)?;
+        write_u32(&mut w, self.config.dim as u32)?;
+        write_u32(&mut w, self.config.lstm_layers as u32)?;
+        write_u32(&mut w, u32::from(self.config.two_level))?;
+        write_u32(&mut w, u32::from(self.config.attention))?;
+        write_u32(
+            &mut w,
+            match self.config.walk_style {
+                WalkStyle::Temporal => 0,
+                WalkStyle::Static => 1,
+            },
+        )?;
+        // Batch-norm running statistics.
+        for bn in [&self.bn_node, &self.bn_walk] {
+            let (mean, var, init) = bn.running_stats();
+            write_u32(&mut w, u32::from(init))?;
+            write_f32s(&mut w, mean)?;
+            write_f32s(&mut w, var)?;
+        }
+        // Parameters.
+        self.store.save(&mut w)
+    }
+
+    /// Restore a checkpoint saved by [`EhnaModel::save_checkpoint`].
+    ///
+    /// `graph` must be the network the model was (or will be) used with —
+    /// its node count must match the checkpoint; `config` supplies the
+    /// non-architectural hyperparameters (lr, margin, walks, …) and its
+    /// architectural fields are validated against the stored ones.
+    ///
+    /// # Errors
+    /// `InvalidData` on format or architecture mismatches.
+    pub fn load_checkpoint<R: Read>(
+        mut r: R,
+        graph: &TemporalGraph,
+        config: EhnaConfig,
+    ) -> io::Result<EhnaModel> {
+        if read_u32(&mut r)? != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if read_u32(&mut r)? != VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let nodes = read_u32(&mut r)? as usize;
+        if nodes != graph.num_nodes() {
+            return Err(bad(&format!(
+                "node count mismatch: checkpoint {nodes}, graph {}",
+                graph.num_nodes()
+            )));
+        }
+        let dim = read_u32(&mut r)? as usize;
+        let layers = read_u32(&mut r)? as usize;
+        let two_level = read_u32(&mut r)? != 0;
+        let attention = read_u32(&mut r)? != 0;
+        let walk_style = match read_u32(&mut r)? {
+            0 => WalkStyle::Temporal,
+            1 => WalkStyle::Static,
+            _ => return Err(bad("unknown walk style")),
+        };
+        if dim != config.dim
+            || layers != config.lstm_layers
+            || two_level != config.two_level
+            || attention != config.attention
+            || walk_style != config.walk_style
+        {
+            return Err(bad("architecture fields differ from the supplied config"));
+        }
+        let mut model = EhnaModel::new(graph, config).map_err(|e| bad(&e))?;
+        for bn in [&mut model.bn_node, &mut model.bn_walk] {
+            let init = read_u32(&mut r)? != 0;
+            let mean = read_f32s(&mut r)?;
+            let var = read_f32s(&mut r)?;
+            if mean.len() != bn.dim || var.len() != bn.dim {
+                return Err(bad("batch-norm width mismatch"));
+            }
+            bn.set_running_stats(&mean, &var, init);
+        }
+        let loaded = ParamStore::load(&mut r)?;
+        model.store.load_values_from(&loaded).map_err(|e| bad(&e))?;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::Trainer;
+    use ehna_tgraph::GraphBuilder;
+
+    fn toy() -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..10u32 {
+            b.add_edge(i, (i + 1) % 11, i as i64, 1.0).unwrap();
+            b.add_edge(i, (i + 4) % 11, i as i64 + 1, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn cfg() -> EhnaConfig {
+        EhnaConfig {
+            dim: 8,
+            num_walks: 3,
+            walk_length: 3,
+            batch_size: 8,
+            epochs: 2,
+            ..EhnaConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn checkpoint_preserves_inference_output() {
+        let g = toy();
+        let mut trainer = Trainer::new(&g, cfg()).unwrap();
+        trainer.train();
+        let emb_before = trainer.embeddings();
+
+        let mut buf = Vec::new();
+        trainer.model().save_checkpoint(&mut buf).unwrap();
+
+        let model = EhnaModel::load_checkpoint(&buf[..], &g, cfg()).unwrap();
+        let mut restored = Trainer::from_model(&g, model).unwrap();
+        let emb_after = restored.embeddings();
+        assert_eq!(emb_before, emb_after, "restored model diverges");
+    }
+
+    #[test]
+    fn mismatched_architecture_rejected() {
+        let g = toy();
+        let trainer = Trainer::new(&g, cfg()).unwrap();
+        let mut buf = Vec::new();
+        trainer.model().save_checkpoint(&mut buf).unwrap();
+
+        let wrong_dim = EhnaConfig { dim: 16, ..cfg() };
+        assert!(EhnaModel::load_checkpoint(&buf[..], &g, wrong_dim).is_err());
+        let wrong_variant = EhnaConfig { attention: false, ..cfg() };
+        assert!(EhnaModel::load_checkpoint(&buf[..], &g, wrong_variant).is_err());
+    }
+
+    #[test]
+    fn mismatched_graph_rejected() {
+        let g = toy();
+        let trainer = Trainer::new(&g, cfg()).unwrap();
+        let mut buf = Vec::new();
+        trainer.model().save_checkpoint(&mut buf).unwrap();
+
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1, 1.0).unwrap();
+        let tiny = b.build().unwrap();
+        assert!(EhnaModel::load_checkpoint(&buf[..], &tiny, cfg()).is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let g = toy();
+        assert!(EhnaModel::load_checkpoint(&b"junk"[..], &g, cfg()).is_err());
+        let trainer = Trainer::new(&g, cfg()).unwrap();
+        let mut buf = Vec::new();
+        trainer.model().save_checkpoint(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(EhnaModel::load_checkpoint(&buf[..], &g, cfg()).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! The EHNA parameter set and embedding readout.
+
+use crate::attention::TimeNormalizer;
+use crate::config::{EhnaConfig, WalkStyle};
+use ehna_nn::layers::{BatchNorm1d, Linear, StackedLstm};
+use ehna_nn::{init, ParamId, ParamStore};
+use ehna_tgraph::{NodeEmbeddings, TemporalGraph};
+use ehna_walks::{DecayKernel, TemporalWalkConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All trainable state of an EHNA model, bound to one graph's node count.
+#[derive(Debug)]
+pub struct EhnaModel {
+    /// Parameter store holding every trainable tensor.
+    pub store: ParamStore,
+    /// The `|V| × d` embedding table (`e_v` in the paper).
+    pub embeddings: ParamId,
+    /// Node-level stacked LSTM (Algorithm 1 line 4).
+    pub node_lstm: StackedLstm,
+    /// Walk-level stacked LSTM (Algorithm 1 line 6).
+    pub walk_lstm: StackedLstm,
+    /// Batch norm after the node-level LSTM.
+    pub bn_node: BatchNorm1d,
+    /// Batch norm after the walk-level LSTM.
+    pub bn_walk: BatchNorm1d,
+    /// The readout matrix `W` mapping `[H ‖ e] → z` (Algorithm 1 line 7).
+    pub readout: Linear,
+    /// Hyperparameters.
+    pub config: EhnaConfig,
+    /// Timestamp normalizer for the attention coefficients.
+    pub time_norm: TimeNormalizer,
+    num_nodes: usize,
+}
+
+impl EhnaModel {
+    /// Initialize a model for `graph` under `config`.
+    ///
+    /// # Errors
+    /// Returns the config validation error, if any.
+    pub fn new(graph: &TemporalGraph, config: EhnaConfig) -> Result<Self, String> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let n = graph.num_nodes();
+        let d = config.dim;
+        let emb_scale = config.emb_init_scale.unwrap_or(0.5 / d as f32);
+        let embeddings =
+            store.add_param("embeddings", n, d, init::uniform(n * d, emb_scale, &mut rng));
+        // EHNA-SL collapses to a single-layer LSTM (Table VII).
+        let node_layers = if config.two_level { config.lstm_layers } else { 1 };
+        let node_lstm = StackedLstm::new(&mut store, "node_lstm", d, d, node_layers, &mut rng);
+        let walk_lstm =
+            StackedLstm::new(&mut store, "walk_lstm", d, d, config.lstm_layers, &mut rng);
+        let bn_node = BatchNorm1d::new(&mut store, "bn_node", d);
+        let bn_walk = BatchNorm1d::new(&mut store, "bn_walk", d);
+        let readout = Linear::new(&mut store, "readout", 2 * d, d, &mut rng);
+        let time_norm = TimeNormalizer::new(graph.min_time(), graph.max_time());
+        Ok(EhnaModel {
+            store,
+            embeddings,
+            node_lstm,
+            walk_lstm,
+            bn_node,
+            bn_walk,
+            readout,
+            config,
+            time_norm,
+            num_nodes: n,
+        })
+    }
+
+    /// Number of nodes the embedding table covers.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The walk configuration implied by the model config, with the kernel
+    /// resolved against `graph`'s time span.
+    pub fn walk_config(&self, graph: &TemporalGraph) -> TemporalWalkConfig {
+        let kernel = match (self.config.walk_style, self.config.kernel) {
+            // EHNA-RW: traditional walks, no decay.
+            (WalkStyle::Static, _) => DecayKernel::Uniform,
+            (WalkStyle::Temporal, Some(k)) => k,
+            (WalkStyle::Temporal, None) => {
+                DecayKernel::exponential_for_span(graph.max_time().delta(graph.min_time()))
+            }
+        };
+        TemporalWalkConfig {
+            length: self.config.walk_length,
+            p: self.config.p,
+            q: self.config.q,
+            kernel,
+            max_candidates: 512,
+            time_ordered: self.config.walk_style == WalkStyle::Temporal,
+        }
+    }
+
+    /// Copy the raw embedding table (`e_v`) out as [`NodeEmbeddings`].
+    pub fn raw_embeddings(&self) -> NodeEmbeddings {
+        NodeEmbeddings::from_vec(self.config.dim, self.store.value(self.embeddings).to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehna_tgraph::GraphBuilder;
+
+    fn toy_graph() -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 10, 1.0).unwrap();
+        b.add_edge(1, 2, 20, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn model_registers_expected_parameters() {
+        let g = toy_graph();
+        let m = EhnaModel::new(&g, EhnaConfig::tiny()).unwrap();
+        // embeddings + 2×(2-layer LSTM à 3 tensors) + 2×BN à 2 + readout à 2
+        assert_eq!(m.store.len(), 1 + 2 * (2 * 3) + 2 * 2 + 2);
+        assert_eq!(m.store.shape(m.embeddings), (3, 16));
+        assert_eq!(m.num_nodes(), 3);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let g = toy_graph();
+        let bad = EhnaConfig { dim: 0, ..EhnaConfig::tiny() };
+        assert!(EhnaModel::new(&g, bad).is_err());
+    }
+
+    #[test]
+    fn single_level_uses_one_lstm_layer() {
+        let g = toy_graph();
+        let cfg = EhnaConfig { two_level: false, ..EhnaConfig::tiny() };
+        let m = EhnaModel::new(&g, cfg).unwrap();
+        assert_eq!(m.node_lstm.num_layers(), 1);
+    }
+
+    #[test]
+    fn static_walk_style_disables_kernel_and_ordering() {
+        let g = toy_graph();
+        let cfg = EhnaConfig { walk_style: WalkStyle::Static, ..EhnaConfig::tiny() };
+        let m = EhnaModel::new(&g, cfg).unwrap();
+        let wc = m.walk_config(&g);
+        assert_eq!(wc.kernel, DecayKernel::Uniform);
+        assert!(!wc.time_ordered);
+    }
+
+    #[test]
+    fn temporal_default_kernel_tracks_span() {
+        let g = toy_graph();
+        let m = EhnaModel::new(&g, EhnaConfig::tiny()).unwrap();
+        match m.walk_config(&g).kernel {
+            DecayKernel::Exponential { timescale } => assert!(timescale >= 1.0),
+            k => panic!("expected exponential kernel, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn raw_embeddings_shape_and_init_scale() {
+        let g = toy_graph();
+        let cfg = EhnaConfig { emb_init_scale: Some(0.25), ..EhnaConfig::tiny() };
+        let m = EhnaModel::new(&g, cfg).unwrap();
+        let e = m.raw_embeddings();
+        assert_eq!(e.num_nodes(), 3);
+        assert_eq!(e.dim(), 16);
+        assert!(e.as_slice().iter().all(|&x| x.abs() <= 0.25));
+        assert!(e.as_slice().iter().any(|&x| x.abs() > 0.1));
+    }
+}

@@ -1,0 +1,119 @@
+//! Negative sampling from the degree^0.75 noise distribution (paper §IV-D,
+//! following the word2vec convention).
+
+use ehna_tgraph::{NodeId, TemporalGraph};
+use ehna_walks::alias::degree_noise_table;
+use ehna_walks::AliasTable;
+use rand::Rng;
+
+/// Draws negative nodes `v_q ~ P_n(v) ∝ d_v^0.75`, rejecting the positive
+/// pair's endpoints so a "negative" never coincides with the edge being
+/// analyzed.
+#[derive(Debug, Clone)]
+pub struct NegativeSampler {
+    table: AliasTable,
+}
+
+impl NegativeSampler {
+    /// Build the noise distribution from `graph`'s temporal degrees.
+    ///
+    /// # Panics
+    /// Panics if the graph has no edges (degrees all zero).
+    pub fn new(graph: &TemporalGraph) -> Self {
+        let degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+        let table = degree_noise_table(&degrees).expect("graph must have edges");
+        NegativeSampler { table }
+    }
+
+    /// Draw one negative, avoiding `x` and `y`.
+    pub fn sample<R: Rng + ?Sized>(&self, x: NodeId, y: NodeId, rng: &mut R) -> NodeId {
+        // Degree-weighted rejection terminates fast: the excluded mass is
+        // at most two nodes' worth.
+        for _ in 0..64 {
+            let v = NodeId(self.table.sample(rng) as u32);
+            if v != x && v != y {
+                return v;
+            }
+        }
+        // Pathological graph (e.g. two nodes): fall back to whatever the
+        // table yields.
+        NodeId(self.table.sample(rng) as u32)
+    }
+
+    /// Draw `q` negatives for the edge `(x, y)`.
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        x: NodeId,
+        y: NodeId,
+        q: usize,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        (0..q).map(|_| self.sample(x, y, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehna_tgraph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star(n: u32) -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        for i in 1..n {
+            b.add_edge(0, i, i as i64, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hub_sampled_most_often() {
+        let g = star(20);
+        let s = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hub = 0usize;
+        for _ in 0..5_000 {
+            if s.sample(NodeId(5), NodeId(6), &mut rng) == NodeId(0) {
+                hub += 1;
+            }
+        }
+        // Hub degree 19 vs leaf degree 1: 19^.75 ≈ 9.1 of total ≈ 27.1.
+        assert!(hub > 1_000, "hub drawn only {hub}/5000");
+    }
+
+    #[test]
+    fn positives_excluded() {
+        let g = star(10);
+        let s = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let v = s.sample(NodeId(0), NodeId(3), &mut rng);
+            assert!(v != NodeId(0) && v != NodeId(3));
+        }
+    }
+
+    #[test]
+    fn sample_many_count() {
+        let g = star(10);
+        let s = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = s.sample_many(NodeId(1), NodeId(2), 7, &mut rng);
+        assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn isolated_nodes_never_sampled() {
+        // Node ids 0..=5 but node 5 isolated.
+        let mut b = GraphBuilder::with_num_nodes(6);
+        b.add_edge(0, 1, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 2, 1.0).unwrap();
+        b.add_edge(3, 4, 3, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let s = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            assert_ne!(s.sample(NodeId(0), NodeId(1), &mut rng), NodeId(5));
+        }
+    }
+}

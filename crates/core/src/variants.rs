@@ -1,0 +1,100 @@
+//! The ablation variants of Table VII.
+
+use crate::config::{EhnaConfig, WalkStyle};
+
+/// Which EHNA variant to train (paper §V-F, Table VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EhnaVariant {
+    /// The full model: temporal walks, two-level aggregation, attention.
+    Full,
+    /// EHNA-NA — attention mechanisms removed (walk nodes and walks are
+    /// aggregated unweighted).
+    NoAttention,
+    /// EHNA-RW — traditional (non-temporal) random walks over the
+    /// historical snapshot, no attention.
+    StaticWalks,
+    /// EHNA-SL — a single single-layer LSTM over the flattened walk
+    /// sequence; no two-level aggregation, no attention.
+    SingleLevel,
+}
+
+/// All variants in Table VII order.
+pub const ALL_VARIANTS: [EhnaVariant; 4] = [
+    EhnaVariant::Full,
+    EhnaVariant::NoAttention,
+    EhnaVariant::StaticWalks,
+    EhnaVariant::SingleLevel,
+];
+
+impl EhnaVariant {
+    /// The paper's row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            EhnaVariant::Full => "EHNA",
+            EhnaVariant::NoAttention => "EHNA-NA",
+            EhnaVariant::StaticWalks => "EHNA-RW",
+            EhnaVariant::SingleLevel => "EHNA-SL",
+        }
+    }
+
+    /// Apply the variant's switches to a base configuration.
+    pub fn configure(self, base: EhnaConfig) -> EhnaConfig {
+        match self {
+            EhnaVariant::Full => base,
+            EhnaVariant::NoAttention => EhnaConfig { attention: false, ..base },
+            EhnaVariant::StaticWalks => EhnaConfig {
+                attention: false,
+                walk_style: WalkStyle::Static,
+                ..base
+            },
+            EhnaVariant::SingleLevel => EhnaConfig {
+                attention: false,
+                two_level: false,
+                ..base
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for EhnaVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_switches() {
+        let base = EhnaConfig::tiny();
+        let full = EhnaVariant::Full.configure(base.clone());
+        assert!(full.attention && full.two_level);
+        assert_eq!(full.walk_style, WalkStyle::Temporal);
+
+        let na = EhnaVariant::NoAttention.configure(base.clone());
+        assert!(!na.attention && na.two_level);
+        assert_eq!(na.walk_style, WalkStyle::Temporal);
+
+        let rw = EhnaVariant::StaticWalks.configure(base.clone());
+        assert!(!rw.attention);
+        assert_eq!(rw.walk_style, WalkStyle::Static);
+
+        let sl = EhnaVariant::SingleLevel.configure(base);
+        assert!(!sl.attention && !sl.two_level);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = ALL_VARIANTS.iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["EHNA", "EHNA-NA", "EHNA-RW", "EHNA-SL"]);
+    }
+
+    #[test]
+    fn all_variants_valid_configs() {
+        for v in ALL_VARIANTS {
+            assert!(v.configure(EhnaConfig::tiny()).validate().is_ok(), "{v} invalid");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! *DBLP-like* co-authorship network generator.
+//!
+//! Reproduces the temporal mechanics the paper's introduction narrates
+//! around Figures 1–2: researchers enter the field over the years, publish
+//! in small teams, collaborate repeatedly with prior co-authors, and are
+//! introduced to new collaborators *through* existing ones (the "node 5
+//! enables node 1's collaborations with 6 and 7" story). Edge timestamps
+//! carry yearly resolution like the DBLP dump (1955–2017).
+//!
+//! Mechanics per simulated year:
+//! 1. a cohort of new authors joins, each attached to a mentor chosen by
+//!    preferential attachment (Ph.D. student → supervisor);
+//! 2. papers are formed: a lead author is drawn by activity, then the team
+//!    fills with (a) repeat collaborators, (b) collaborators-of-
+//!    collaborators (introductions), or (c) random authors;
+//! 3. every pair in a team gets a co-authorship edge stamped with the year.
+
+use crate::util::CumulativeSampler;
+use ehna_tgraph::{GraphBuilder, TemporalGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`CoauthorConfig::generate`].
+#[derive(Debug, Clone)]
+pub struct CoauthorConfig {
+    /// Total number of authors at the end of the simulation.
+    pub num_authors: usize,
+    /// Simulated year range (inclusive), e.g. `(1955, 2017)`.
+    pub years: (i64, i64),
+    /// Papers published per year per 100 active authors.
+    pub papers_per_100_authors: f64,
+    /// Mean team size (teams are 2..=6, geometric around this mean).
+    pub mean_team_size: f64,
+    /// Probability a team slot is filled by a repeat collaborator.
+    pub repeat_collab: f64,
+    /// Probability a team slot is filled through an introduction
+    /// (collaborator of a collaborator).
+    pub introduction: f64,
+}
+
+impl Default for CoauthorConfig {
+    fn default() -> Self {
+        CoauthorConfig {
+            num_authors: 2_000,
+            years: (1955, 2017),
+            papers_per_100_authors: 8.0,
+            mean_team_size: 3.0,
+            repeat_collab: 0.45,
+            introduction: 0.30,
+        }
+    }
+}
+
+impl CoauthorConfig {
+    /// Generate the co-authorship network.
+    ///
+    /// # Panics
+    /// Panics if `num_authors < 10` or the year range is empty.
+    pub fn generate(&self, seed: u64) -> TemporalGraph {
+        assert!(self.num_authors >= 10, "need at least 10 authors");
+        let (y0, y1) = self.years;
+        assert!(y1 > y0, "empty year range");
+        let num_years = (y1 - y0 + 1) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut builder = GraphBuilder::with_num_nodes(self.num_authors);
+        // collaborators[v] = distinct prior co-authors of v.
+        let mut collaborators: Vec<Vec<u32>> = vec![Vec::new(); self.num_authors];
+        let mut papers_count = vec![0usize; self.num_authors];
+        // Authors join at a super-linear rate (the field grows).
+        let mut joined = 4usize; // initial seed group
+        let mut seen_pairs: std::collections::HashSet<(u32, u32)> = Default::default();
+
+        let add_pair = |a: u32,
+                            b: u32,
+                            year: i64,
+                            builder: &mut GraphBuilder,
+                            collaborators: &mut [Vec<u32>],
+                            seen_pairs: &mut std::collections::HashSet<(u32, u32)>| {
+            if a == b {
+                return;
+            }
+            builder.add_edge(a, b, year, 1.0).expect("validated ids");
+            let key = (a.min(b), a.max(b));
+            if seen_pairs.insert(key) {
+                collaborators[a as usize].push(b);
+                collaborators[b as usize].push(a);
+            }
+        };
+
+        // Seed clique: the founding group writes one paper in year y0.
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                add_pair(a, b, y0, &mut builder, &mut collaborators, &mut seen_pairs);
+            }
+        }
+
+        for yi in 0..num_years {
+            let year = y0 + yi as i64;
+            // Growth: fraction of remaining authors joins, accelerating.
+            let target = ((yi + 1) as f64 / num_years as f64).powf(1.5);
+            let want = ((self.num_authors as f64) * target) as usize;
+            while joined < want.min(self.num_authors) {
+                let newcomer = joined as u32;
+                joined += 1;
+                // Mentor by preferential attachment over paper counts.
+                let weights: Vec<f64> =
+                    (0..newcomer as usize).map(|u| papers_count[u] as f64 + 1.0).collect();
+                if let Some(s) = CumulativeSampler::new(&weights) {
+                    let mentor = s.sample(&mut rng) as u32;
+                    add_pair(
+                        newcomer,
+                        mentor,
+                        year,
+                        &mut builder,
+                        &mut collaborators,
+                        &mut seen_pairs,
+                    );
+                }
+            }
+            // Papers this year.
+            let n_papers = ((joined as f64 / 100.0) * self.papers_per_100_authors).ceil() as usize;
+            let activity: Vec<f64> =
+                (0..joined).map(|u| papers_count[u] as f64 + 1.0).collect();
+            let lead_sampler = match CumulativeSampler::new(&activity) {
+                Some(s) => s,
+                None => continue,
+            };
+            for _ in 0..n_papers {
+                let lead = lead_sampler.sample(&mut rng) as u32;
+                let mut team = vec![lead];
+                let size = sample_team_size(self.mean_team_size, &mut rng);
+                let mut guard = 0;
+                while team.len() < size && guard < 50 {
+                    guard += 1;
+                    let r: f64 = rng.gen();
+                    let candidate = if r < self.repeat_collab
+                        && !collaborators[lead as usize].is_empty()
+                    {
+                        let cs = &collaborators[lead as usize];
+                        cs[rng.gen_range(0..cs.len())]
+                    } else if r < self.repeat_collab + self.introduction {
+                        // introduction: collaborator of a random team member
+                        let via = team[rng.gen_range(0..team.len())];
+                        let cs = &collaborators[via as usize];
+                        if cs.is_empty() {
+                            continue;
+                        }
+                        let bridge = cs[rng.gen_range(0..cs.len())];
+                        let cs2 = &collaborators[bridge as usize];
+                        if cs2.is_empty() {
+                            continue;
+                        }
+                        cs2[rng.gen_range(0..cs2.len())]
+                    } else {
+                        rng.gen_range(0..joined) as u32
+                    };
+                    if !team.contains(&candidate) {
+                        team.push(candidate);
+                    }
+                }
+                for &m in &team {
+                    papers_count[m as usize] += 1;
+                }
+                for i in 0..team.len() {
+                    for j in (i + 1)..team.len() {
+                        add_pair(
+                            team[i],
+                            team[j],
+                            year,
+                            &mut builder,
+                            &mut collaborators,
+                            &mut seen_pairs,
+                        );
+                    }
+                }
+            }
+        }
+        builder.build().expect("seed clique guarantees edges")
+    }
+}
+
+/// Team sizes in 2..=6, geometric-ish around the configured mean.
+fn sample_team_size<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> usize {
+    let p = 1.0 / (mean - 1.0).max(1.0);
+    let mut size = 2usize;
+    while size < 6 && !rng.gen_bool(p.clamp(0.05, 1.0)) {
+        size += 1;
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social::clustering_coefficient;
+    use ehna_tgraph::GraphStats;
+
+    fn small() -> TemporalGraph {
+        CoauthorConfig { num_authors: 400, ..Default::default() }.generate(13)
+    }
+
+    #[test]
+    fn yearly_timestamps() {
+        let g = small();
+        assert!(g.min_time().raw() >= 1955);
+        assert!(g.max_time().raw() <= 2017);
+        // Yearly resolution: far fewer distinct times than edges.
+        let mut times: Vec<i64> = g.edges().iter().map(|e| e.t.raw()).collect();
+        times.dedup();
+        assert!(times.len() <= 63);
+    }
+
+    #[test]
+    fn repeat_collaborations_exist() {
+        let g = small();
+        let s = GraphStats::compute(&g);
+        assert!(
+            (s.num_temporal_edges as f64) > 1.15 * s.num_static_edges as f64,
+            "too few repeat collaborations: {} vs {}",
+            s.num_temporal_edges,
+            s.num_static_edges
+        );
+    }
+
+    #[test]
+    fn team_cliques_create_clustering() {
+        let g = small();
+        let cc = clustering_coefficient(&g);
+        assert!(cc > 0.15, "coauthor clustering {cc:.3} too low");
+    }
+
+    #[test]
+    fn field_grows_over_time() {
+        let g = small();
+        let mid = (1955 + 2017) / 2;
+        let early = g.edges_before(ehna_tgraph::Timestamp(mid));
+        let late = g.num_edges() - early;
+        assert!(late > 2 * early, "no densification: {early} early vs {late} late");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn team_size_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let s = sample_team_size(3.0, &mut rng);
+            assert!((2..=6).contains(&s));
+        }
+    }
+}

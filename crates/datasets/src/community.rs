@@ -1,0 +1,180 @@
+//! Temporal stochastic block model with ground-truth communities.
+//!
+//! Used by the node-classification *extension* experiment (the paper's
+//! introduction lists node classification among the applications of
+//! network embedding but evaluates only reconstruction and link
+//! prediction). Nodes belong to `k` communities; interaction probability
+//! is much higher within than across, and each community has an activity
+//! "era" so the temporal signal also carries label information — a method
+//! that uses time well can separate communities that overlap structurally.
+
+use crate::util::CumulativeSampler;
+use ehna_tgraph::{GraphBuilder, TemporalGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`CommunityConfig::generate`].
+#[derive(Debug, Clone)]
+pub struct CommunityConfig {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of communities (labels).
+    pub num_communities: usize,
+    /// Total interaction events.
+    pub num_events: usize,
+    /// Probability an event is intra-community.
+    pub intra_prob: f64,
+    /// Time horizon.
+    pub horizon: i64,
+    /// Fraction of each community's events concentrated in its own era.
+    pub era_mass: f64,
+}
+
+impl Default for CommunityConfig {
+    fn default() -> Self {
+        CommunityConfig {
+            num_nodes: 400,
+            num_communities: 4,
+            num_events: 4_000,
+            intra_prob: 0.85,
+            horizon: 10_000,
+            era_mass: 0.6,
+        }
+    }
+}
+
+impl CommunityConfig {
+    /// Generate the network and its ground-truth community labels
+    /// (`labels[v]` ∈ `0..num_communities`).
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 communities or fewer than 2 nodes per
+    /// community.
+    pub fn generate(&self, seed: u64) -> (TemporalGraph, Vec<usize>) {
+        assert!(self.num_communities >= 2, "need at least 2 communities");
+        assert!(
+            self.num_nodes >= 2 * self.num_communities,
+            "need at least 2 nodes per community"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = self.num_communities;
+        // Round-robin labels, then shuffled so ids carry no signal.
+        let mut labels: Vec<usize> = (0..self.num_nodes).map(|i| i % k).collect();
+        for i in (1..labels.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            labels.swap(i, j);
+        }
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for (v, &c) in labels.iter().enumerate() {
+            members[c].push(v as u32);
+        }
+        // Power-law activity within each community.
+        let activity: Vec<f64> =
+            (0..self.num_nodes).map(|_| rng.gen_range(0.2f64..1.0).powi(3) + 0.05).collect();
+        let samplers: Vec<CumulativeSampler> = members
+            .iter()
+            .map(|m| {
+                let w: Vec<f64> = m.iter().map(|&v| activity[v as usize]).collect();
+                CumulativeSampler::new(&w).expect("positive activity")
+            })
+            .collect();
+        let era_len = self.horizon / k as i64;
+
+        let mut builder = GraphBuilder::with_num_nodes(self.num_nodes);
+        let mut events: Vec<(u32, u32, i64)> = Vec::with_capacity(self.num_events);
+        let mut guard = 0usize;
+        while events.len() < self.num_events && guard < self.num_events * 20 {
+            guard += 1;
+            let c = rng.gen_range(0..k);
+            let a = members[c][samplers[c].sample(&mut rng)];
+            let b = if rng.gen_bool(self.intra_prob) {
+                members[c][samplers[c].sample(&mut rng)]
+            } else {
+                let other = (c + rng.gen_range(1..k)) % k;
+                members[other][samplers[other].sample(&mut rng)]
+            };
+            if a == b {
+                continue;
+            }
+            // Era-concentrated timestamps.
+            let t = if rng.gen_bool(self.era_mass) {
+                let start = c as i64 * era_len;
+                rng.gen_range(start..start + era_len.max(1))
+            } else {
+                rng.gen_range(0..self.horizon)
+            };
+            events.push((a, b, t));
+        }
+        events.sort_by_key(|&(_, _, t)| t);
+        for (a, b, t) in events {
+            builder.add_edge(a, b, t, 1.0).expect("validated ids");
+        }
+        (builder.build().expect("events generated"), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehna_tgraph::NodeId;
+
+    #[test]
+    fn labels_cover_all_communities() {
+        let cfg = CommunityConfig::default();
+        let (g, labels) = cfg.generate(1);
+        assert_eq!(labels.len(), g.num_nodes());
+        for c in 0..cfg.num_communities {
+            assert!(labels.iter().any(|&l| l == c), "community {c} empty");
+        }
+    }
+
+    #[test]
+    fn intra_community_edges_dominate() {
+        let cfg = CommunityConfig::default();
+        let (g, labels) = cfg.generate(2);
+        let intra = g
+            .edges()
+            .iter()
+            .filter(|e| labels[e.src.index()] == labels[e.dst.index()])
+            .count();
+        let frac = intra as f64 / g.num_edges() as f64;
+        assert!(frac > 0.7, "only {frac:.2} intra-community");
+    }
+
+    #[test]
+    fn eras_concentrate_community_activity() {
+        let cfg = CommunityConfig::default();
+        let (g, labels) = cfg.generate(3);
+        let era_len = cfg.horizon / cfg.num_communities as i64;
+        // Edges of community 0 nodes should cluster in era 0.
+        let mut in_era = 0usize;
+        let mut total = 0usize;
+        for e in g.edges() {
+            if labels[e.src.index()] == 0 && labels[e.dst.index()] == 0 {
+                total += 1;
+                if e.t.raw() < era_len {
+                    in_era += 1;
+                }
+            }
+        }
+        assert!(total > 50);
+        let frac = in_era as f64 / total as f64;
+        assert!(frac > 0.5, "era mass {frac:.2} too diffuse");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = CommunityConfig::default();
+        let (a, la) = cfg.generate(7);
+        let (b, lb) = cfg.generate(7);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(la, lb);
+        assert_eq!(a.degree(NodeId(0)), b.degree(NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 communities")]
+    fn rejects_single_community() {
+        CommunityConfig { num_communities: 1, ..Default::default() }.generate(0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Named dataset presets shared by examples, tests, and the benchmark
+//! harnesses (the four rows of Table I at laptop scales).
+
+use crate::{BipartiteConfig, CoauthorConfig, SocialConfig};
+use ehna_tgraph::TemporalGraph;
+use std::fmt;
+use std::str::FromStr;
+
+/// The four evaluation datasets of the paper, in synthetic form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Social friendship network (paper: Digg, 279 630 nodes / 1.7 M edges).
+    DiggLike,
+    /// User–business review network (paper: Yelp, 424 450 / 2.6 M).
+    YelpLike,
+    /// User–item purchase network (paper: Tmall, 577 314 / 4.8 M).
+    TmallLike,
+    /// Co-authorship network (paper: DBLP, 175 000 / 5.9 M).
+    DblpLike,
+}
+
+/// All datasets in paper order (Table I).
+pub const ALL_DATASETS: [Dataset; 4] =
+    [Dataset::DiggLike, Dataset::YelpLike, Dataset::TmallLike, Dataset::DblpLike];
+
+impl Dataset {
+    /// Short lowercase name used in CLI flags and result files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::DiggLike => "digg",
+            Dataset::YelpLike => "yelp",
+            Dataset::TmallLike => "tmall",
+            Dataset::DblpLike => "dblp",
+        }
+    }
+
+    /// The Table I statistics of the real dataset this preset mirrors:
+    /// `(nodes, temporal_edges)`.
+    pub fn paper_scale(self) -> (usize, usize) {
+        match self {
+            Dataset::DiggLike => (279_630, 1_731_653),
+            Dataset::YelpLike => (424_450, 2_610_143),
+            Dataset::TmallLike => (577_314, 4_807_545),
+            Dataset::DblpLike => (175_000, 5_881_024),
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Dataset {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "digg" | "digg-like" | "digglike" => Ok(Dataset::DiggLike),
+            "yelp" | "yelp-like" | "yelplike" => Ok(Dataset::YelpLike),
+            "tmall" | "tmall-like" | "tmalllike" => Ok(Dataset::TmallLike),
+            "dblp" | "dblp-like" | "dblplike" => Ok(Dataset::DblpLike),
+            other => Err(format!("unknown dataset '{other}' (digg|yelp|tmall|dblp)")),
+        }
+    }
+}
+
+/// Experiment scale. The paper runs at 10^5–10^6 nodes on a server; these
+/// presets keep the same *relative* proportions between the four datasets
+/// at laptop sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~1–3 k edges: unit/integration tests, doc examples.
+    Tiny,
+    /// ~10–30 k edges: default for the benchmark harnesses.
+    Small,
+    /// ~80–200 k edges: closer-to-paper runs (minutes per method).
+    Medium,
+}
+
+impl Scale {
+    /// Multiplier applied to the `Tiny` base sizes.
+    fn factor(self) -> usize {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 8,
+            Scale::Medium => 64,
+        }
+    }
+}
+
+impl FromStr for Scale {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Ok(Scale::Tiny),
+            "small" => Ok(Scale::Small),
+            "medium" => Ok(Scale::Medium),
+            other => Err(format!("unknown scale '{other}' (tiny|small|medium)")),
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Generate a dataset preset. Deterministic in `(dataset, scale, seed)`.
+pub fn generate(dataset: Dataset, scale: Scale, seed: u64) -> TemporalGraph {
+    let f = scale.factor();
+    match dataset {
+        Dataset::DiggLike => SocialConfig {
+            num_nodes: 400 * f,
+            edges_per_node: 5,
+            ..Default::default()
+        }
+        .generate(seed),
+        Dataset::YelpLike => {
+            BipartiteConfig::yelp(300 * f, 150 * f, 2_400 * f).generate(seed)
+        }
+        Dataset::TmallLike => {
+            BipartiteConfig::tmall(350 * f, 200 * f, 3_400 * f).generate(seed)
+        }
+        Dataset::DblpLike => CoauthorConfig {
+            num_authors: 250 * f,
+            papers_per_100_authors: 10.0,
+            ..Default::default()
+        }
+        .generate(seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehna_tgraph::GraphStats;
+
+    #[test]
+    fn all_presets_generate_at_tiny() {
+        for d in ALL_DATASETS {
+            let g = generate(d, Scale::Tiny, 1);
+            let s = GraphStats::compute(&g);
+            assert!(s.num_temporal_edges >= 1_000, "{d}: only {} edges", s.num_temporal_edges);
+            assert!(s.num_active_nodes >= 250, "{d}: only {} active", s.num_active_nodes);
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let t = generate(Dataset::YelpLike, Scale::Tiny, 1).num_edges();
+        let s = generate(Dataset::YelpLike, Scale::Small, 1).num_edges();
+        assert!(s > 4 * t, "small ({s}) not much bigger than tiny ({t})");
+    }
+
+    #[test]
+    fn relative_proportions_match_table1() {
+        // In Table I, Tmall has the most temporal edges of the bipartite
+        // pair and DBLP has the highest edge/node ratio.
+        let yelp = generate(Dataset::YelpLike, Scale::Tiny, 1);
+        let tmall = generate(Dataset::TmallLike, Scale::Tiny, 1);
+        assert!(tmall.num_edges() > yelp.num_edges());
+        let dblp = generate(Dataset::DblpLike, Scale::Tiny, 1);
+        let digg = generate(Dataset::DiggLike, Scale::Tiny, 1);
+        let ratio = |g: &ehna_tgraph::TemporalGraph| g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(ratio(&dblp) > ratio(&digg), "dblp should be densest per node");
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for d in ALL_DATASETS {
+            assert_eq!(d.name().parse::<Dataset>().unwrap(), d);
+        }
+        assert!("bogus".parse::<Dataset>().is_err());
+        for s in ["tiny", "small", "medium"] {
+            assert_eq!(s.parse::<Scale>().unwrap().to_string(), s);
+        }
+        assert!("huge".parse::<Scale>().is_err());
+    }
+}

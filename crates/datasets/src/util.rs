@@ -1,0 +1,79 @@
+//! Small sampling helpers shared by the generators.
+
+use rand::Rng;
+
+/// Weighted discrete sampler over `0..n` built from a cumulative sum.
+///
+/// `O(log n)` per draw; weights may be updated only by rebuilding. The
+/// generators rebuild rarely (per epoch of growth), so this beats
+/// maintaining an alias table under churn.
+#[derive(Debug, Clone)]
+pub struct CumulativeSampler {
+    cumulative: Vec<f64>,
+}
+
+impl CumulativeSampler {
+    /// Build from non-negative weights. Returns `None` if the total weight
+    /// is not positive and finite.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0f64;
+        for &w in weights {
+            debug_assert!(w >= 0.0, "negative weight {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        if acc > 0.0 && acc.is_finite() {
+            Some(CumulativeSampler { cumulative })
+        } else {
+            None
+        }
+    }
+
+    /// Draw one index proportionally to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+
+}
+
+/// Zipf-distributed ranks: weight of rank `i` (0-based) is
+/// `1 / (i + 1)^exponent`.
+pub fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampler_respects_weights() {
+        let s = CumulativeSampler::new(&[0.0, 9.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > 8_000, "{counts:?}");
+        assert!(counts[2] > 500, "{counts:?}");
+    }
+
+    #[test]
+    fn sampler_rejects_zero_total() {
+        assert!(CumulativeSampler::new(&[0.0, 0.0]).is_none());
+        assert!(CumulativeSampler::new(&[]).is_none());
+    }
+
+    #[test]
+    fn zipf_is_decreasing_and_normalizable() {
+        let w = zipf_weights(100, 1.2);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+        assert!(w.iter().sum::<f64>() > 1.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Classification and ranking metrics used throughout §V.
+
+/// Threshold metrics of a binary classifier at 0.5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryMetrics {
+    /// Area under the ROC curve (threshold-free).
+    pub auc: f64,
+    /// F1 score of the positive class.
+    pub f1: f64,
+    /// Precision of the positive class.
+    pub precision: f64,
+    /// Recall of the positive class.
+    pub recall: f64,
+    /// Overall accuracy.
+    pub accuracy: f64,
+}
+
+impl BinaryMetrics {
+    /// Compute all metrics from scores (higher = more positive) and
+    /// boolean labels. Scores are thresholded at 0.5 for the threshold
+    /// metrics, matching a probability-output classifier.
+    ///
+    /// # Panics
+    /// Panics if inputs are empty or lengths differ.
+    pub fn compute(scores: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        assert!(!scores.is_empty(), "empty evaluation set");
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut tn = 0usize;
+        let mut fn_ = 0usize;
+        for (&s, &y) in scores.iter().zip(labels) {
+            match (s >= 0.5, y) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, false) => tn += 1,
+                (false, true) => fn_ += 1,
+            }
+        }
+        let precision = safe_div(tp as f64, (tp + fp) as f64);
+        let recall = safe_div(tp as f64, (tp + fn_) as f64);
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        let accuracy = (tp + tn) as f64 / scores.len() as f64;
+        BinaryMetrics { auc: auc(scores, labels), f1, precision, recall, accuracy }
+    }
+}
+
+fn safe_div(a: f64, b: f64) -> f64 {
+    if b > 0.0 {
+        a / b
+    } else {
+        0.0
+    }
+}
+
+/// Rank-based AUC (equivalent to the Mann–Whitney U statistic), with tie
+/// handling via midranks. Returns 0.5 when one class is absent.
+pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("no NaN scores"));
+    // Midranks for ties.
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = mid;
+        }
+        i = j + 1;
+    }
+    let rank_sum: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l)
+        .map(|(_, &r)| r)
+        .sum();
+    (rank_sum - pos as f64 * (pos as f64 + 1.0) / 2.0) / (pos as f64 * neg as f64)
+}
+
+/// The paper's error-reduction formula (Tables III–VI, citing
+/// "Watch your step"): `((1 - them) - (1 - us)) / (1 - them)` where `them`
+/// is the best baseline score and `us` ours. Positive = we reduce error.
+pub fn error_reduction(best_baseline: f64, ours: f64) -> f64 {
+    let denom = 1.0 - best_baseline;
+    if denom.abs() < 1e-12 {
+        return 0.0;
+    }
+    ((1.0 - best_baseline) - (1.0 - ours)) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [true, true, false, false];
+        let m = BinaryMetrics::compute(&scores, &labels);
+        assert_eq!(m.auc, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn inverted_classifier() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let labels = [true, true, false, false];
+        let m = BinaryMetrics::compute(&scores, &labels);
+        assert_eq!(m.auc, 0.0);
+        assert_eq!(m.recall, 0.0);
+    }
+
+    #[test]
+    fn random_classifier_auc_half() {
+        // Interleaved equal scores: midranks give AUC 0.5.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // Pos scores {0.8, 0.4}, neg {0.6, 0.2}: pairs won = 3/4.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_label_sets() {
+        assert_eq!(auc(&[0.1, 0.9], &[true, true]), 0.5);
+        assert_eq!(auc(&[0.1, 0.9], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn precision_recall_tradeoff() {
+        // One FP, one FN.
+        let scores = [0.9, 0.4, 0.8, 0.1];
+        let labels = [true, true, false, false];
+        let m = BinaryMetrics::compute(&scores, &labels);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.f1 - 0.5).abs() < 1e-12);
+        assert!((m.accuracy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_reduction_matches_paper_convention() {
+        // them=0.90, us=0.95: error halves => 50%.
+        assert!((error_reduction(0.90, 0.95) - 0.5).abs() < 1e-12);
+        // us worse than them => negative.
+        assert!(error_reduction(0.90, 0.85) < 0.0);
+        // Degenerate perfect baseline.
+        assert_eq!(error_reduction(1.0, 0.99), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        BinaryMetrics::compute(&[0.5], &[true, false]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Node classification — the third application the paper's introduction
+//! motivates (evaluated here as an extension; the paper itself reports
+//! only reconstruction and link prediction).
+//!
+//! One-vs-rest logistic regression over node embeddings with a random
+//! node split, reporting accuracy and macro-F1.
+
+use crate::logreg::{LogRegConfig, LogisticRegression};
+use ehna_tgraph::{NodeEmbeddings, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Node-classification evaluation settings.
+#[derive(Debug, Clone)]
+pub struct NodeClassificationConfig {
+    /// Fraction of labeled nodes used for training.
+    pub train_ratio: f64,
+    /// Repetitions over random splits.
+    pub repetitions: usize,
+    /// Per-class classifier settings.
+    pub logreg: LogRegConfig,
+    /// Split seed.
+    pub seed: u64,
+}
+
+impl Default for NodeClassificationConfig {
+    fn default() -> Self {
+        NodeClassificationConfig {
+            train_ratio: 0.5,
+            repetitions: 5,
+            logreg: LogRegConfig::default(),
+            seed: 3,
+        }
+    }
+}
+
+/// Result of one node-classification evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeClassificationResult {
+    /// Mean test accuracy over repetitions.
+    pub accuracy: f64,
+    /// Mean macro-averaged F1 over repetitions.
+    pub macro_f1: f64,
+}
+
+/// Evaluate `embeddings` against integer `labels` (one per node).
+///
+/// # Panics
+/// Panics if `labels.len() != embeddings.num_nodes()` or fewer than two
+/// classes are present.
+pub fn evaluate(
+    embeddings: &NodeEmbeddings,
+    labels: &[usize],
+    config: &NodeClassificationConfig,
+) -> NodeClassificationResult {
+    assert_eq!(labels.len(), embeddings.num_nodes(), "label/embedding count mismatch");
+    let num_classes = labels.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    assert!(num_classes >= 2, "need at least two classes");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = labels.len();
+    let train_n = ((config.train_ratio * n as f64).round() as usize).clamp(1, n - 1);
+    let mut order: Vec<usize> = (0..n).collect();
+
+    let mut acc_total = 0.0;
+    let mut f1_total = 0.0;
+    let mut reps = 0usize;
+    for _ in 0..config.repetitions {
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let (train_idx, test_idx) = order.split_at(train_n);
+        // Every class must appear in training for one-vs-rest to work.
+        let mut seen = vec![false; num_classes];
+        for &i in train_idx {
+            seen[labels[i]] = true;
+        }
+        if seen.iter().any(|&s| !s) {
+            continue;
+        }
+        let features = |idx: &[usize]| -> Vec<Vec<f32>> {
+            idx.iter().map(|&i| embeddings.get(NodeId(i as u32)).to_vec()).collect()
+        };
+        let tr_x = features(train_idx);
+        let te_x = features(test_idx);
+
+        // One-vs-rest probabilities.
+        let mut scores = vec![vec![0.0f64; num_classes]; test_idx.len()];
+        for c in 0..num_classes {
+            let tr_y: Vec<bool> = train_idx.iter().map(|&i| labels[i] == c).collect();
+            let model = LogisticRegression::fit(&tr_x, &tr_y, &config.logreg);
+            for (row, x) in scores.iter_mut().zip(&te_x) {
+                row[c] = model.predict_proba(x);
+            }
+        }
+        let predicted: Vec<usize> = scores
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                    .map(|(c, _)| c)
+                    .expect("non-empty")
+            })
+            .collect();
+        let truth: Vec<usize> = test_idx.iter().map(|&i| labels[i]).collect();
+
+        let correct = predicted.iter().zip(&truth).filter(|(p, t)| p == t).count();
+        acc_total += correct as f64 / truth.len() as f64;
+        f1_total += macro_f1(&predicted, &truth, num_classes);
+        reps += 1;
+    }
+    let k = reps.max(1) as f64;
+    NodeClassificationResult { accuracy: acc_total / k, macro_f1: f1_total / k }
+}
+
+/// Macro-averaged F1 over classes (classes absent from the test fold are
+/// skipped).
+fn macro_f1(predicted: &[usize], truth: &[usize], num_classes: usize) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for c in 0..num_classes {
+        let tp = predicted.iter().zip(truth).filter(|&(&p, &t)| p == c && t == c).count();
+        let fp = predicted.iter().zip(truth).filter(|&(&p, &t)| p == c && t != c).count();
+        let fn_ = predicted.iter().zip(truth).filter(|&(&p, &t)| p != c && t == c).count();
+        if tp + fn_ == 0 {
+            continue; // class absent from this fold
+        }
+        let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
+        let recall = tp as f64 / (tp + fn_) as f64;
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        total += f1;
+        counted += 1;
+    }
+    if counted > 0 {
+        total / counted as f64
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Embeddings that encode the label on one axis.
+    fn oracle(labels: &[usize], num_classes: usize) -> NodeEmbeddings {
+        let mut e = NodeEmbeddings::zeros(labels.len(), num_classes);
+        for (v, &c) in labels.iter().enumerate() {
+            e.get_mut(NodeId(v as u32))[c] = 1.0;
+        }
+        e
+    }
+
+    fn labels(n: usize, k: usize) -> Vec<usize> {
+        (0..n).map(|i| i % k).collect()
+    }
+
+    #[test]
+    fn oracle_embeddings_classify_perfectly() {
+        let l = labels(60, 3);
+        let e = oracle(&l, 3);
+        let r = evaluate(&e, &l, &NodeClassificationConfig::default());
+        assert!(r.accuracy > 0.98, "accuracy {:.3}", r.accuracy);
+        assert!(r.macro_f1 > 0.98, "macro f1 {:.3}", r.macro_f1);
+    }
+
+    #[test]
+    fn zero_embeddings_are_chance_level() {
+        let l = labels(80, 4);
+        let e = NodeEmbeddings::zeros(80, 8);
+        let r = evaluate(&e, &l, &NodeClassificationConfig::default());
+        assert!(r.accuracy < 0.5, "blank accuracy {:.3}", r.accuracy);
+    }
+
+    #[test]
+    fn macro_f1_known_value() {
+        // predictions for 2 classes: class 0 perfect, class 1 half recall.
+        let predicted = [0, 0, 1, 0];
+        let truth = [0, 0, 1, 1];
+        // class 0: tp=2 fp=1 fn=0 -> p=2/3 r=1 f1=0.8
+        // class 1: tp=1 fp=0 fn=1 -> p=1 r=0.5 f1=2/3
+        let f1 = macro_f1(&predicted, &truth, 2);
+        assert!((f1 - (0.8 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn single_class_rejected() {
+        let e = NodeEmbeddings::zeros(10, 2);
+        evaluate(&e, &vec![0; 10], &NodeClassificationConfig::default());
+    }
+}

@@ -1,0 +1,117 @@
+//! The four binary operators of Table II, turning a pair of node
+//! embeddings into one edge representation.
+
+use ehna_tgraph::{NodeEmbeddings, NodeId};
+use std::fmt;
+use std::str::FromStr;
+
+/// A binary operator `◦ : R^d × R^d → R^d` (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeOperator {
+    /// `(e_x(i) + e_y(i)) / 2`.
+    Mean,
+    /// `e_x(i) · e_y(i)`.
+    Hadamard,
+    /// `|e_x(i) − e_y(i)|`.
+    WeightedL1,
+    /// `|e_x(i) − e_y(i)|²`.
+    WeightedL2,
+}
+
+/// All operators in Table II order.
+pub const ALL_OPERATORS: [EdgeOperator; 4] = [
+    EdgeOperator::Mean,
+    EdgeOperator::Hadamard,
+    EdgeOperator::WeightedL1,
+    EdgeOperator::WeightedL2,
+];
+
+impl EdgeOperator {
+    /// The paper's row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeOperator::Mean => "Mean",
+            EdgeOperator::Hadamard => "Hadamard",
+            EdgeOperator::WeightedL1 => "Weighted-L1",
+            EdgeOperator::WeightedL2 => "Weighted-L2",
+        }
+    }
+
+    /// Apply to two embedding slices, appending `d` features to `out`.
+    pub fn apply_into(self, ex: &[f32], ey: &[f32], out: &mut Vec<f32>) {
+        debug_assert_eq!(ex.len(), ey.len());
+        match self {
+            EdgeOperator::Mean => out.extend(ex.iter().zip(ey).map(|(&a, &b)| (a + b) / 2.0)),
+            EdgeOperator::Hadamard => out.extend(ex.iter().zip(ey).map(|(&a, &b)| a * b)),
+            EdgeOperator::WeightedL1 => {
+                out.extend(ex.iter().zip(ey).map(|(&a, &b)| (a - b).abs()))
+            }
+            EdgeOperator::WeightedL2 => {
+                out.extend(ex.iter().zip(ey).map(|(&a, &b)| (a - b) * (a - b)))
+            }
+        }
+    }
+
+    /// Edge representation `f(x, y)` for a node pair.
+    pub fn edge_features(self, emb: &NodeEmbeddings, x: NodeId, y: NodeId) -> Vec<f32> {
+        let mut out = Vec::with_capacity(emb.dim());
+        self.apply_into(emb.get(x), emb.get(y), &mut out);
+        out
+    }
+}
+
+impl fmt::Display for EdgeOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EdgeOperator {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mean" => Ok(EdgeOperator::Mean),
+            "hadamard" => Ok(EdgeOperator::Hadamard),
+            "l1" | "weighted-l1" | "weightedl1" => Ok(EdgeOperator::WeightedL1),
+            "l2" | "weighted-l2" | "weightedl2" => Ok(EdgeOperator::WeightedL2),
+            other => Err(format!("unknown operator '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emb() -> NodeEmbeddings {
+        NodeEmbeddings::from_vec(2, vec![1.0, -2.0, 3.0, 4.0])
+    }
+
+    #[test]
+    fn definitions_match_table2() {
+        let e = emb();
+        let (x, y) = (NodeId(0), NodeId(1));
+        assert_eq!(EdgeOperator::Mean.edge_features(&e, x, y), vec![2.0, 1.0]);
+        assert_eq!(EdgeOperator::Hadamard.edge_features(&e, x, y), vec![3.0, -8.0]);
+        assert_eq!(EdgeOperator::WeightedL1.edge_features(&e, x, y), vec![2.0, 6.0]);
+        assert_eq!(EdgeOperator::WeightedL2.edge_features(&e, x, y), vec![4.0, 36.0]);
+    }
+
+    #[test]
+    fn symmetric_operators() {
+        let e = emb();
+        for op in ALL_OPERATORS {
+            let xy = op.edge_features(&e, NodeId(0), NodeId(1));
+            let yx = op.edge_features(&e, NodeId(1), NodeId(0));
+            assert_eq!(xy, yx, "{op} not symmetric");
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for op in ALL_OPERATORS {
+            assert_eq!(op.name().parse::<EdgeOperator>().unwrap(), op);
+        }
+        assert!("bogus".parse::<EdgeOperator>().is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based invariants of the evaluation metrics and pipelines.
+
+use ehna_eval::metrics::{auc, error_reduction, BinaryMetrics};
+use ehna_eval::operators::{EdgeOperator, ALL_OPERATORS};
+use ehna_tgraph::{NodeEmbeddings, NodeId};
+use proptest::prelude::*;
+
+fn arb_scored() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+    proptest::collection::vec((0.0f64..1.0, proptest::bool::ANY), 2..100).prop_map(|v| {
+        let (scores, labels): (Vec<f64>, Vec<bool>) = v.into_iter().unzip();
+        (scores, labels)
+    })
+}
+
+proptest! {
+    #[test]
+    fn auc_is_invariant_under_monotone_transform((scores, labels) in arb_scored()) {
+        let base = auc(&scores, &labels);
+        let squashed: Vec<f64> = scores.iter().map(|s| 1.0 / (1.0 + (-5.0 * s).exp())).collect();
+        let transformed = auc(&squashed, &labels);
+        prop_assert!((base - transformed).abs() < 1e-9, "{base} vs {transformed}");
+    }
+
+    #[test]
+    fn auc_flips_under_negation((scores, labels) in arb_scored()) {
+        let pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(pos > 0 && pos < labels.len());
+        let base = auc(&scores, &labels);
+        let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
+        prop_assert!((base + auc(&negated, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_are_bounded((scores, labels) in arb_scored()) {
+        let m = BinaryMetrics::compute(&scores, &labels);
+        for v in [m.auc, m.f1, m.precision, m.recall, m.accuracy] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+        }
+        // F1 is the harmonic mean: between min and max of prec/recall.
+        if m.precision > 0.0 && m.recall > 0.0 {
+            prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-12);
+            prop_assert!(m.f1 >= m.precision.min(m.recall) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn error_reduction_sign_tracks_improvement(them in 0.0f64..0.999, delta in -0.5f64..0.5) {
+        let us = (them + delta).clamp(0.0, 1.0);
+        let er = error_reduction(them, us);
+        if us > them {
+            prop_assert!(er > 0.0);
+        } else if us < them {
+            prop_assert!(er <= 0.0);
+        }
+    }
+
+    #[test]
+    fn operators_are_symmetric_and_finite(
+        dim in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..2 * dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let e = NodeEmbeddings::from_vec(dim, data);
+        for op in ALL_OPERATORS {
+            let xy = op.edge_features(&e, NodeId(0), NodeId(1));
+            let yx = op.edge_features(&e, NodeId(1), NodeId(0));
+            prop_assert_eq!(&xy, &yx, "{} not symmetric", op);
+            prop_assert_eq!(xy.len(), dim);
+            prop_assert!(xy.iter().all(|v| v.is_finite()));
+        }
+        // Weighted-L2 equals Weighted-L1 squared elementwise.
+        let l1 = EdgeOperator::WeightedL1.edge_features(&e, NodeId(0), NodeId(1));
+        let l2 = EdgeOperator::WeightedL2.edge_features(&e, NodeId(0), NodeId(1));
+        for (a, b) in l1.iter().zip(&l2) {
+            prop_assert!((a * a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn identical_embeddings_zero_out_difference_operators(
+        dim in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let row: Vec<f32> = (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let mut data = row.clone();
+        data.extend_from_slice(&row);
+        let e = NodeEmbeddings::from_vec(dim, data);
+        let l1 = EdgeOperator::WeightedL1.edge_features(&e, NodeId(0), NodeId(1));
+        prop_assert!(l1.iter().all(|&v| v == 0.0));
+        let mean = EdgeOperator::Mean.edge_features(&e, NodeId(0), NodeId(1));
+        prop_assert_eq!(mean, row);
+    }
+}

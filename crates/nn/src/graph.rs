@@ -1,0 +1,904 @@
+//! The define-by-run autodiff tape.
+
+use crate::kernels::{fma_acc, gemm_acc, gemm_nt_acc, gemm_tn_acc};
+use crate::store::{ParamId, ParamStore};
+
+/// Handle to one node of a [`Graph`] tape. Cheap to copy; carries its shape
+/// so op constructors can validate without touching the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var {
+    idx: u32,
+    rows: u32,
+    cols: u32,
+}
+
+impl Var {
+    /// Number of rows.
+    pub fn rows(self) -> usize {
+        self.rows as usize
+    }
+    /// Number of columns.
+    pub fn cols(self) -> usize {
+        self.cols as usize
+    }
+    /// Total element count.
+    pub fn len(self) -> usize {
+        self.rows() * self.cols()
+    }
+    /// Whether the tensor has no elements (never true on a live tape).
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Constant,
+    Param(ParamId),
+    Gather { id: ParamId, indices: Vec<u32> },
+    MatMul(u32, u32),
+    Add(u32, u32),
+    Sub(u32, u32),
+    Mul(u32, u32),
+    Div(u32, u32),
+    AddRowB(u32, u32),
+    SubRowB(u32, u32),
+    MulRowB(u32, u32),
+    DivRowB(u32, u32),
+    MulColB(u32, u32),
+    DivColB(u32, u32),
+    Relu(u32),
+    Sigmoid(u32),
+    Tanh(u32),
+    Exp(u32),
+    Log(u32),
+    Sqrt(u32),
+    Square(u32),
+    Neg(u32),
+    Scale(u32, f32),
+    AddScalar(u32),
+    SumAll(u32),
+    MeanAll(u32),
+    SumRows(u32),
+    SumCols(u32),
+    MeanRows(u32),
+    MeanCols(u32),
+    SoftmaxRows(u32),
+    ConcatCols(u32, u32),
+    ConcatRows(Vec<u32>),
+    SliceCols { x: u32, c0: usize, c1: usize },
+    SliceRows { x: u32, r0: usize },
+    SelectRows { x: u32, rows: Vec<u32> },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    op: Op,
+    rows: usize,
+    cols: usize,
+    value: Vec<f32>,
+}
+
+/// A single-use tape: build the forward computation with the op methods
+/// (values are computed eagerly), call [`Graph::backward`] once on a scalar
+/// loss, then [`Graph::write_grads`] to accumulate leaf gradients into the
+/// [`ParamStore`].
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Vec<f32>>,
+}
+
+impl Graph {
+    /// Fresh empty tape.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of tape nodes (diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn push(&mut self, op: Op, rows: usize, cols: usize, value: Vec<f32>) -> Var {
+        debug_assert_eq!(value.len(), rows * cols);
+        debug_assert!(rows > 0 && cols > 0, "zero-sized tensor");
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node { op, rows, cols, value });
+        Var { idx, rows: rows as u32, cols: cols as u32 }
+    }
+
+    fn val(&self, v: Var) -> &[f32] {
+        &self.nodes[v.idx as usize].value
+    }
+
+    /// The forward value of `v` (row-major).
+    pub fn value(&self, v: Var) -> &[f32] {
+        self.val(v)
+    }
+
+    /// The gradient of the loss w.r.t. `v`. Zeros if `v` did not influence
+    /// the loss. Only valid after [`Graph::backward`].
+    ///
+    /// # Panics
+    /// Panics if `backward` has not been called.
+    pub fn grad(&self, v: Var) -> &[f32] {
+        assert!(!self.grads.is_empty(), "call backward() first");
+        &self.grads[v.idx as usize]
+    }
+
+    // ---------------------------------------------------------------- leaves
+
+    /// A constant (non-differentiable) tensor.
+    ///
+    /// # Panics
+    /// Panics if `value.len() != rows * cols` or the shape is empty.
+    pub fn constant(&mut self, rows: usize, cols: usize, value: Vec<f32>) -> Var {
+        assert_eq!(value.len(), rows * cols, "constant shape mismatch");
+        self.push(Op::Constant, rows, cols, value)
+    }
+
+    /// A scalar constant.
+    pub fn scalar(&mut self, x: f32) -> Var {
+        self.constant(1, 1, vec![x])
+    }
+
+    /// A differentiable leaf referencing the full value of parameter `id`.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let (rows, cols) = store.shape(id);
+        self.push(Op::Param(id), rows, cols, store.value(id).to_vec())
+    }
+
+    /// Gather rows of parameter `id`: output row `r` is the parameter row
+    /// `indices[r]`. Gradients scatter-add back into those rows, which is
+    /// how embedding tables train sparsely.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds or `indices` is empty.
+    pub fn gather(&mut self, store: &ParamStore, id: ParamId, indices: &[u32]) -> Var {
+        let (prows, cols) = store.shape(id);
+        assert!(!indices.is_empty(), "empty gather");
+        let src = store.value(id);
+        let mut value = Vec::with_capacity(indices.len() * cols);
+        for &i in indices {
+            let i = i as usize;
+            assert!(i < prows, "gather index {i} out of bounds ({prows} rows)");
+            value.extend_from_slice(&src[i * cols..(i + 1) * cols]);
+        }
+        self.push(Op::Gather { id, indices: indices.to_vec() }, indices.len(), cols, value)
+    }
+
+    // ------------------------------------------------------------- binary ops
+
+    /// Matrix product `[m,k] x [k,n] -> [m,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(a.cols(), b.rows(), "matmul inner dims {} vs {}", a.cols(), b.rows());
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut value = vec![0.0; m * n];
+        gemm_acc(m, k, n, self.val(a), self.val(b), &mut value);
+        self.push(Op::MatMul(a.idx, b.idx), m, n, value)
+    }
+
+    fn elementwise(&mut self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32, op: Op) -> Var {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "elementwise shape mismatch");
+        let value = self.val(a).iter().zip(self.val(b)).map(|(&x, &y)| f(x, y)).collect();
+        self.push(op, a.rows(), a.cols(), value)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.elementwise(a, b, |x, y| x + y, Op::Add(a.idx, b.idx))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.elementwise(a, b, |x, y| x - y, Op::Sub(a.idx, b.idx))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        self.elementwise(a, b, |x, y| x * y, Op::Mul(a.idx, b.idx))
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        self.elementwise(a, b, |x, y| x / y, Op::Div(a.idx, b.idx))
+    }
+
+    fn row_broadcast(&mut self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32, op: Op) -> Var {
+        assert_eq!(b.rows(), 1, "row-broadcast rhs must be [1,n]");
+        assert_eq!(a.cols(), b.cols(), "row-broadcast width mismatch");
+        let (m, n) = (a.rows(), a.cols());
+        let av = self.val(a);
+        let bv = self.val(b);
+        let mut value = Vec::with_capacity(m * n);
+        for i in 0..m {
+            for j in 0..n {
+                value.push(f(av[i * n + j], bv[j]));
+            }
+        }
+        self.push(op, m, n, value)
+    }
+
+    /// `a[i,j] + b[0,j]` — bias addition.
+    pub fn add_rowb(&mut self, a: Var, b: Var) -> Var {
+        self.row_broadcast(a, b, |x, y| x + y, Op::AddRowB(a.idx, b.idx))
+    }
+
+    /// `a[i,j] - b[0,j]` — e.g. centering by a column-mean row.
+    pub fn sub_rowb(&mut self, a: Var, b: Var) -> Var {
+        self.row_broadcast(a, b, |x, y| x - y, Op::SubRowB(a.idx, b.idx))
+    }
+
+    /// `a[i,j] * b[0,j]` — e.g. batch-norm gain.
+    pub fn mul_rowb(&mut self, a: Var, b: Var) -> Var {
+        self.row_broadcast(a, b, |x, y| x * y, Op::MulRowB(a.idx, b.idx))
+    }
+
+    /// `a[i,j] / b[0,j]` — e.g. batch-norm whitening.
+    pub fn div_rowb(&mut self, a: Var, b: Var) -> Var {
+        self.row_broadcast(a, b, |x, y| x / y, Op::DivRowB(a.idx, b.idx))
+    }
+
+    fn col_broadcast(&mut self, a: Var, c: Var, f: impl Fn(f32, f32) -> f32, op: Op) -> Var {
+        assert_eq!(c.cols(), 1, "col-broadcast rhs must be [m,1]");
+        assert_eq!(a.rows(), c.rows(), "col-broadcast height mismatch");
+        let (m, n) = (a.rows(), a.cols());
+        let av = self.val(a);
+        let cv = self.val(c);
+        let mut value = Vec::with_capacity(m * n);
+        for i in 0..m {
+            for j in 0..n {
+                value.push(f(av[i * n + j], cv[i]));
+            }
+        }
+        self.push(op, m, n, value)
+    }
+
+    /// `a[i,j] * c[i,0]` — per-row scaling (attention weighting).
+    pub fn mul_colb(&mut self, a: Var, c: Var) -> Var {
+        self.col_broadcast(a, c, |x, y| x * y, Op::MulColB(a.idx, c.idx))
+    }
+
+    /// `a[i,j] / c[i,0]` — per-row normalization.
+    pub fn div_colb(&mut self, a: Var, c: Var) -> Var {
+        self.col_broadcast(a, c, |x, y| x / y, Op::DivColB(a.idx, c.idx))
+    }
+
+    // -------------------------------------------------------------- unary ops
+
+    fn unary(&mut self, a: Var, f: impl Fn(f32) -> f32, op: Op) -> Var {
+        let value = self.val(a).iter().map(|&x| f(x)).collect();
+        self.push(op, a.rows(), a.cols(), value)
+    }
+
+    /// `max(0, x)`.
+    pub fn relu(&mut self, a: Var) -> Var {
+        self.unary(a, |x| x.max(0.0), Op::Relu(a.idx))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        self.unary(a, |x| 1.0 / (1.0 + (-x).exp()), Op::Sigmoid(a.idx))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        self.unary(a, f32::tanh, Op::Tanh(a.idx))
+    }
+
+    /// Elementwise `exp`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        self.unary(a, f32::exp, Op::Exp(a.idx))
+    }
+
+    /// Elementwise natural log.
+    pub fn log(&mut self, a: Var) -> Var {
+        self.unary(a, f32::ln, Op::Log(a.idx))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        self.unary(a, f32::sqrt, Op::Sqrt(a.idx))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        self.unary(a, |x| x * x, Op::Square(a.idx))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        self.unary(a, |x| -x, Op::Neg(a.idx))
+    }
+
+    /// Multiply by a compile-time constant.
+    pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        self.unary(a, |x| k * x, Op::Scale(a.idx, k))
+    }
+
+    /// Add a compile-time constant to every element.
+    pub fn add_scalar(&mut self, a: Var, k: f32) -> Var {
+        self.unary(a, |x| x + k, Op::AddScalar(a.idx))
+    }
+
+    // -------------------------------------------------------------- reductions
+
+    /// Sum of all elements `-> [1,1]`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s: f32 = self.val(a).iter().sum();
+        self.push(Op::SumAll(a.idx), 1, 1, vec![s])
+    }
+
+    /// Mean of all elements `-> [1,1]`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let s: f32 = self.val(a).iter().sum();
+        let n = a.len() as f32;
+        self.push(Op::MeanAll(a.idx), 1, 1, vec![s / n])
+    }
+
+    fn reduce_rows(&mut self, a: Var, scale: f32, op: Op) -> Var {
+        let (m, n) = (a.rows(), a.cols());
+        let av = self.val(a);
+        let value: Vec<f32> =
+            (0..m).map(|i| av[i * n..(i + 1) * n].iter().sum::<f32>() * scale).collect();
+        self.push(op, m, 1, value)
+    }
+
+    fn reduce_cols(&mut self, a: Var, scale: f32, op: Op) -> Var {
+        let (m, n) = (a.rows(), a.cols());
+        let av = self.val(a);
+        let mut value = vec![0.0f32; n];
+        for i in 0..m {
+            for j in 0..n {
+                value[j] += av[i * n + j];
+            }
+        }
+        value.iter_mut().for_each(|v| *v *= scale);
+        self.push(op, 1, n, value)
+    }
+
+    /// Row sums `[m,n] -> [m,1]`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        self.reduce_rows(a, 1.0, Op::SumRows(a.idx))
+    }
+
+    /// Column sums `[m,n] -> [1,n]`.
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        self.reduce_cols(a, 1.0, Op::SumCols(a.idx))
+    }
+
+    /// Row means `[m,n] -> [m,1]`.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let scale = 1.0 / a.cols() as f32;
+        self.reduce_rows(a, scale, Op::MeanRows(a.idx))
+    }
+
+    /// Column means `[m,n] -> [1,n]`.
+    pub fn mean_cols(&mut self, a: Var) -> Var {
+        let scale = 1.0 / a.rows() as f32;
+        self.reduce_cols(a, scale, Op::MeanCols(a.idx))
+    }
+
+    /// Numerically-stable softmax along each row.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let (m, n) = (a.rows(), a.cols());
+        let av = self.val(a);
+        let mut value = Vec::with_capacity(m * n);
+        for i in 0..m {
+            let row = &av[i * n..(i + 1) * n];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+            let total: f32 = exps.iter().sum();
+            value.extend(exps.iter().map(|&e| e / total));
+        }
+        self.push(Op::SoftmaxRows(a.idx), m, n, value)
+    }
+
+    // ------------------------------------------------------- shape operations
+
+    /// Horizontal concatenation `[m,p] || [m,q] -> [m,p+q]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(a.rows(), b.rows(), "concat_cols height mismatch");
+        let (m, p, q) = (a.rows(), a.cols(), b.cols());
+        let av = self.val(a);
+        let bv = self.val(b);
+        let mut value = Vec::with_capacity(m * (p + q));
+        for i in 0..m {
+            value.extend_from_slice(&av[i * p..(i + 1) * p]);
+            value.extend_from_slice(&bv[i * q..(i + 1) * q]);
+        }
+        self.push(Op::ConcatCols(a.idx, b.idx), m, p + q, value)
+    }
+
+    /// Vertical concatenation of equal-width blocks.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or widths differ.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows of nothing");
+        let n = parts[0].cols();
+        assert!(parts.iter().all(|p| p.cols() == n), "concat_rows width mismatch");
+        let m: usize = parts.iter().map(|p| p.rows()).sum();
+        let mut value = Vec::with_capacity(m * n);
+        for p in parts {
+            value.extend_from_slice(self.val(*p));
+        }
+        let idxs = parts.iter().map(|p| p.idx).collect();
+        self.push(Op::ConcatRows(idxs), m, n, value)
+    }
+
+    /// Column slice `[m, c1-c0]` of `x` (used to split LSTM gate blocks).
+    pub fn slice_cols(&mut self, x: Var, c0: usize, c1: usize) -> Var {
+        assert!(c0 < c1 && c1 <= x.cols(), "bad column slice {c0}..{c1} of {}", x.cols());
+        let (m, n) = (x.rows(), x.cols());
+        let xv = self.val(x);
+        let mut value = Vec::with_capacity(m * (c1 - c0));
+        for i in 0..m {
+            value.extend_from_slice(&xv[i * n + c0..i * n + c1]);
+        }
+        self.push(Op::SliceCols { x: x.idx, c0, c1 }, m, c1 - c0, value)
+    }
+
+    /// Arbitrary row selection: output row `i` is `x`'s row `rows[i]`
+    /// (repeats allowed). The batched generalization of
+    /// [`slice_rows`](Self::slice_rows); gradients scatter-add back.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or any index is out of bounds.
+    pub fn select_rows(&mut self, x: Var, rows: &[u32]) -> Var {
+        assert!(!rows.is_empty(), "empty row selection");
+        let n = x.cols();
+        let xv = self.val(x);
+        let mut value = Vec::with_capacity(rows.len() * n);
+        for &r in rows {
+            let r = r as usize;
+            assert!(r < x.rows(), "row {r} out of bounds ({} rows)", x.rows());
+            value.extend_from_slice(&xv[r * n..(r + 1) * n]);
+        }
+        self.push(Op::SelectRows { x: x.idx, rows: rows.to_vec() }, rows.len(), n, value)
+    }
+
+    /// Row slice `[r1-r0, n]` of `x`.
+    pub fn slice_rows(&mut self, x: Var, r0: usize, r1: usize) -> Var {
+        assert!(r0 < r1 && r1 <= x.rows(), "bad row slice {r0}..{r1} of {}", x.rows());
+        let n = x.cols();
+        let value = self.val(x)[r0 * n..r1 * n].to_vec();
+        self.push(Op::SliceRows { x: x.idx, r0 }, r1 - r0, n, value)
+    }
+
+    // ----------------------------------------------------------- composites
+
+    /// Squared L2 norm of each row `[m,n] -> [m,1]`.
+    pub fn row_sq_norms(&mut self, a: Var) -> Var {
+        let sq = self.square(a);
+        self.sum_rows(sq)
+    }
+
+    /// L2-normalize each row: `x / max(||x||, eps)` — the Algorithm 1
+    /// readout normalization.
+    pub fn l2_normalize_rows(&mut self, a: Var, eps: f32) -> Var {
+        let sq = self.row_sq_norms(a);
+        let sq = self.add_scalar(sq, eps * eps);
+        let norms = self.sqrt(sq);
+        self.div_colb(a, norms)
+    }
+
+    // ------------------------------------------------------------- backward
+
+    /// Run reverse-mode accumulation from scalar `loss`. May be called once
+    /// per tape.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `[1,1]` or `backward` already ran.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!((loss.rows(), loss.cols()), (1, 1), "loss must be scalar");
+        assert!(self.grads.is_empty(), "backward may run only once per tape");
+        self.grads = self.nodes.iter().map(|n| vec![0.0f32; n.value.len()]).collect();
+        self.grads[loss.idx as usize][0] = 1.0;
+
+        for i in (0..self.nodes.len()).rev() {
+            // Split borrows: gradient of node i is read-only while parents'
+            // gradients are written.
+            let (op, rows, cols) = {
+                let n = &self.nodes[i];
+                (n.op.clone(), n.rows, n.cols)
+            };
+            let g = std::mem::take(&mut self.grads[i]);
+            if g.iter().all(|&x| x == 0.0) {
+                self.grads[i] = g;
+                continue;
+            }
+            match op {
+                Op::Constant | Op::Param(_) | Op::Gather { .. } => {}
+                Op::MatMul(a, b) => {
+                    let (m, n) = (rows, cols);
+                    let k = self.nodes[a as usize].cols;
+                    // dA += g · Bᵀ  (B stored k×n ⇒ use NT kernel)
+                    let bval = std::mem::take(&mut self.nodes[b as usize].value);
+                    {
+                        let ga = &mut self.grads[a as usize];
+                        // g is m×n, bval is k×n; dA[i][p] += Σ_j g[i][j] B[p][j]
+                        gemm_nt_acc(m, n, k, &g, &bval, ga);
+                    }
+                    self.nodes[b as usize].value = bval;
+                    // dB += Aᵀ · g  (A stored m×k ⇒ use TN kernel)
+                    let aval = std::mem::take(&mut self.nodes[a as usize].value);
+                    {
+                        let gb = &mut self.grads[b as usize];
+                        gemm_tn_acc(k, m, n, &aval, &g, gb);
+                    }
+                    self.nodes[a as usize].value = aval;
+                }
+                Op::Add(a, b) => {
+                    acc(&mut self.grads[a as usize], &g, 1.0);
+                    acc(&mut self.grads[b as usize], &g, 1.0);
+                }
+                Op::Sub(a, b) => {
+                    acc(&mut self.grads[a as usize], &g, 1.0);
+                    acc(&mut self.grads[b as usize], &g, -1.0);
+                }
+                Op::Mul(a, b) => {
+                    let bv = std::mem::take(&mut self.nodes[b as usize].value);
+                    fma_acc(&g, &bv, &mut self.grads[a as usize]);
+                    self.nodes[b as usize].value = bv;
+                    let av = std::mem::take(&mut self.nodes[a as usize].value);
+                    fma_acc(&g, &av, &mut self.grads[b as usize]);
+                    self.nodes[a as usize].value = av;
+                }
+                Op::Div(a, b) => {
+                    let av = self.nodes[a as usize].value.clone();
+                    let bv = self.nodes[b as usize].value.clone();
+                    for (j, &gj) in g.iter().enumerate() {
+                        self.grads[a as usize][j] += gj / bv[j];
+                        self.grads[b as usize][j] -= gj * av[j] / (bv[j] * bv[j]);
+                    }
+                }
+                Op::AddRowB(a, b) => {
+                    acc(&mut self.grads[a as usize], &g, 1.0);
+                    row_reduce_acc(&g, rows, cols, &mut self.grads[b as usize], 1.0);
+                }
+                Op::SubRowB(a, b) => {
+                    acc(&mut self.grads[a as usize], &g, 1.0);
+                    row_reduce_acc(&g, rows, cols, &mut self.grads[b as usize], -1.0);
+                }
+                Op::MulRowB(a, b) => {
+                    let av = self.nodes[a as usize].value.clone();
+                    let bv = self.nodes[b as usize].value.clone();
+                    for i in 0..rows {
+                        for j in 0..cols {
+                            let gij = g[i * cols + j];
+                            self.grads[a as usize][i * cols + j] += gij * bv[j];
+                            self.grads[b as usize][j] += gij * av[i * cols + j];
+                        }
+                    }
+                }
+                Op::DivRowB(a, b) => {
+                    let av = self.nodes[a as usize].value.clone();
+                    let bv = self.nodes[b as usize].value.clone();
+                    for i in 0..rows {
+                        for j in 0..cols {
+                            let gij = g[i * cols + j];
+                            self.grads[a as usize][i * cols + j] += gij / bv[j];
+                            self.grads[b as usize][j] -=
+                                gij * av[i * cols + j] / (bv[j] * bv[j]);
+                        }
+                    }
+                }
+                Op::MulColB(a, c) => {
+                    let av = self.nodes[a as usize].value.clone();
+                    let cv = self.nodes[c as usize].value.clone();
+                    for i in 0..rows {
+                        for j in 0..cols {
+                            let gij = g[i * cols + j];
+                            self.grads[a as usize][i * cols + j] += gij * cv[i];
+                            self.grads[c as usize][i] += gij * av[i * cols + j];
+                        }
+                    }
+                }
+                Op::DivColB(a, c) => {
+                    let av = self.nodes[a as usize].value.clone();
+                    let cv = self.nodes[c as usize].value.clone();
+                    for i in 0..rows {
+                        for j in 0..cols {
+                            let gij = g[i * cols + j];
+                            self.grads[a as usize][i * cols + j] += gij / cv[i];
+                            self.grads[c as usize][i] -=
+                                gij * av[i * cols + j] / (cv[i] * cv[i]);
+                        }
+                    }
+                }
+                Op::Relu(a) => {
+                    let av = &self.nodes[a as usize].value;
+                    let mask: Vec<f32> =
+                        av.iter().map(|&x| if x > 0.0 { 1.0 } else { 0.0 }).collect();
+                    fma_acc(&g, &mask, &mut self.grads[a as usize]);
+                }
+                Op::Sigmoid(a) => {
+                    let out = &self.nodes[i].value;
+                    let d: Vec<f32> = out.iter().map(|&s| s * (1.0 - s)).collect();
+                    fma_acc(&g, &d, &mut self.grads[a as usize]);
+                }
+                Op::Tanh(a) => {
+                    let out = &self.nodes[i].value;
+                    let d: Vec<f32> = out.iter().map(|&t| 1.0 - t * t).collect();
+                    fma_acc(&g, &d, &mut self.grads[a as usize]);
+                }
+                Op::Exp(a) => {
+                    let out = self.nodes[i].value.clone();
+                    fma_acc(&g, &out, &mut self.grads[a as usize]);
+                }
+                Op::Log(a) => {
+                    let av = self.nodes[a as usize].value.clone();
+                    for (j, &gj) in g.iter().enumerate() {
+                        self.grads[a as usize][j] += gj / av[j];
+                    }
+                }
+                Op::Sqrt(a) => {
+                    let out = self.nodes[i].value.clone();
+                    for (j, &gj) in g.iter().enumerate() {
+                        self.grads[a as usize][j] += gj * 0.5 / out[j];
+                    }
+                }
+                Op::Square(a) => {
+                    let av = self.nodes[a as usize].value.clone();
+                    for (j, &gj) in g.iter().enumerate() {
+                        self.grads[a as usize][j] += gj * 2.0 * av[j];
+                    }
+                }
+                Op::Neg(a) => acc(&mut self.grads[a as usize], &g, -1.0),
+                Op::Scale(a, k) => acc(&mut self.grads[a as usize], &g, k),
+                Op::AddScalar(a) => acc(&mut self.grads[a as usize], &g, 1.0),
+                Op::SumAll(a) => {
+                    let ga = &mut self.grads[a as usize];
+                    ga.iter_mut().for_each(|x| *x += g[0]);
+                }
+                Op::MeanAll(a) => {
+                    let ga = &mut self.grads[a as usize];
+                    let k = g[0] / ga.len() as f32;
+                    ga.iter_mut().for_each(|x| *x += k);
+                }
+                Op::SumRows(a) | Op::MeanRows(a) => {
+                    let scale = if matches!(op, Op::MeanRows(_)) {
+                        1.0 / self.nodes[a as usize].cols as f32
+                    } else {
+                        1.0
+                    };
+                    let n = self.nodes[a as usize].cols;
+                    let ga = &mut self.grads[a as usize];
+                    for (i, &gi) in g.iter().enumerate() {
+                        for x in &mut ga[i * n..(i + 1) * n] {
+                            *x += gi * scale;
+                        }
+                    }
+                }
+                Op::SumCols(a) | Op::MeanCols(a) => {
+                    let m = self.nodes[a as usize].rows;
+                    let scale = if matches!(op, Op::MeanCols(_)) { 1.0 / m as f32 } else { 1.0 };
+                    let n = self.nodes[a as usize].cols;
+                    let ga = &mut self.grads[a as usize];
+                    for i in 0..m {
+                        for j in 0..n {
+                            ga[i * n + j] += g[j] * scale;
+                        }
+                    }
+                }
+                Op::SoftmaxRows(a) => {
+                    let out = &self.nodes[i].value;
+                    let ga = &mut self.grads[a as usize];
+                    for r in 0..rows {
+                        let s = &out[r * cols..(r + 1) * cols];
+                        let gr = &g[r * cols..(r + 1) * cols];
+                        let dot: f32 = s.iter().zip(gr).map(|(&si, &gi)| si * gi).sum();
+                        for j in 0..cols {
+                            ga[r * cols + j] += s[j] * (gr[j] - dot);
+                        }
+                    }
+                }
+                Op::ConcatCols(a, b) => {
+                    let p = self.nodes[a as usize].cols;
+                    let q = self.nodes[b as usize].cols;
+                    for i in 0..rows {
+                        let row = &g[i * (p + q)..(i + 1) * (p + q)];
+                        for (j, &gv) in row[..p].iter().enumerate() {
+                            self.grads[a as usize][i * p + j] += gv;
+                        }
+                        for (j, &gv) in row[p..].iter().enumerate() {
+                            self.grads[b as usize][i * q + j] += gv;
+                        }
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let mut r = 0usize;
+                    for pidx in parts {
+                        let pr = self.nodes[pidx as usize].rows;
+                        let chunk = &g[r * cols..(r + pr) * cols];
+                        acc(&mut self.grads[pidx as usize], chunk, 1.0);
+                        r += pr;
+                    }
+                }
+                Op::SliceCols { x, c0, c1 } => {
+                    let n = self.nodes[x as usize].cols;
+                    let w = c1 - c0;
+                    for i in 0..rows {
+                        for j in 0..w {
+                            self.grads[x as usize][i * n + c0 + j] += g[i * w + j];
+                        }
+                    }
+                }
+                Op::SliceRows { x, r0 } => {
+                    let n = cols;
+                    let gx = &mut self.grads[x as usize];
+                    for (j, &gv) in g.iter().enumerate() {
+                        gx[r0 * n + j] += gv;
+                    }
+                }
+                Op::SelectRows { x, rows: sel } => {
+                    let n = cols;
+                    let gx = &mut self.grads[x as usize];
+                    for (i, &r) in sel.iter().enumerate() {
+                        let dst = &mut gx[r as usize * n..(r as usize + 1) * n];
+                        for (d, &gv) in dst.iter_mut().zip(&g[i * n..(i + 1) * n]) {
+                            *d += gv;
+                        }
+                    }
+                }
+            }
+            self.grads[i] = g;
+        }
+    }
+
+    /// Accumulate leaf gradients into `store` (dense for [`Graph::param`]
+    /// leaves, scatter-add for [`Graph::gather`] leaves). Requires
+    /// [`Graph::backward`] to have run.
+    pub fn write_grads(&self, store: &mut ParamStore) {
+        assert!(!self.grads.is_empty(), "call backward() first");
+        for (i, node) in self.nodes.iter().enumerate() {
+            match &node.op {
+                Op::Param(id) => {
+                    let g = &self.grads[i];
+                    for (dst, &src) in store.grad_mut(*id).iter_mut().zip(g) {
+                        *dst += src;
+                    }
+                }
+                Op::Gather { id, indices } => {
+                    let g = &self.grads[i];
+                    let (_, cols) = store.shape(*id);
+                    let dst = store.grad_mut(*id);
+                    for (r, &idx) in indices.iter().enumerate() {
+                        let row = &g[r * cols..(r + 1) * cols];
+                        let out = &mut dst[idx as usize * cols..(idx as usize + 1) * cols];
+                        for (o, &v) in out.iter_mut().zip(row) {
+                            *o += v;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// `dst += k * src`.
+fn acc(dst: &mut [f32], src: &[f32], k: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += k * s;
+    }
+}
+
+/// Column-sum `g` ([m,n]) into `dst` ([n]), scaled.
+fn row_reduce_acc(g: &[f32], rows: usize, cols: usize, dst: &mut [f32], k: f32) {
+    debug_assert_eq!(dst.len(), cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            dst[j] += k * g[i * cols + j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values() {
+        let mut g = Graph::new();
+        let a = g.constant(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = g.constant(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c), &[19.0, 22.0, 43.0, 50.0]);
+        let s = g.sum_all(c);
+        assert_eq!(g.value(s), &[134.0]);
+        let sm = g.softmax_rows(a);
+        let v = g.value(sm);
+        assert!((v[0] + v[1] - 1.0).abs() < 1e-6);
+        assert!(v[1] > v[0]);
+    }
+
+    #[test]
+    fn simple_gradient_chain() {
+        // loss = sum((2x)^2) => dloss/dx = 8x
+        let mut store = ParamStore::new();
+        let x = store.add_param("x", 1, 3, vec![1.0, -2.0, 0.5]);
+        let mut g = Graph::new();
+        let xv = g.param(&store, x);
+        let y = g.scale(xv, 2.0);
+        let y2 = g.square(y);
+        let loss = g.sum_all(y2);
+        g.backward(loss);
+        g.write_grads(&mut store);
+        let expect = [8.0, -16.0, 4.0];
+        for (a, e) in store.grad(x).iter().zip(expect) {
+            assert!((a - e).abs() < 1e-5, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn gather_scatters_gradients() {
+        let mut store = ParamStore::new();
+        let emb = store.add_param("emb", 4, 2, vec![0.0; 8]);
+        let mut g = Graph::new();
+        let rows = g.gather(&store, emb, &[1, 3, 1]);
+        assert_eq!(rows.rows(), 3);
+        let loss = g.sum_all(rows);
+        g.backward(loss);
+        g.write_grads(&mut store);
+        // Row 1 gathered twice => grad 2; row 3 once => 1; rows 0,2 => 0.
+        assert_eq!(store.grad(emb), &[0.0, 0.0, 2.0, 2.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn grad_of_unused_node_is_zero() {
+        let mut g = Graph::new();
+        let a = g.constant(1, 2, vec![1.0, 2.0]);
+        let b = g.constant(1, 2, vec![3.0, 4.0]);
+        let s = g.sum_all(a);
+        g.backward(s);
+        assert_eq!(g.grad(b), &[0.0, 0.0]);
+        assert_eq!(g.grad(a), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn non_scalar_loss_panics() {
+        let mut g = Graph::new();
+        let a = g.constant(1, 2, vec![1.0, 2.0]);
+        g.backward(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn shape_mismatch_panics() {
+        let mut g = Graph::new();
+        let a = g.constant(2, 3, vec![0.0; 6]);
+        let b = g.constant(2, 3, vec![0.0; 6]);
+        g.matmul(a, b);
+    }
+
+    #[test]
+    fn l2_normalize_unit_rows() {
+        let mut g = Graph::new();
+        let a = g.constant(2, 2, vec![3.0, 4.0, 0.0, 5.0]);
+        let n = g.l2_normalize_rows(a, 1e-8);
+        let v = g.value(n);
+        assert!((v[0] - 0.6).abs() < 1e-5);
+        assert!((v[1] - 0.8).abs() < 1e-5);
+        assert!((v[3] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let mut g = Graph::new();
+        let a = g.constant(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = g.constant(2, 1, vec![9.0, 10.0]);
+        let c = g.concat_cols(a, b);
+        assert_eq!(g.value(c), &[1.0, 2.0, 9.0, 3.0, 4.0, 10.0]);
+        let back = g.slice_cols(c, 0, 2);
+        assert_eq!(g.value(back), g.value(a));
+        let stacked = g.concat_rows(&[a, a]);
+        assert_eq!(stacked.rows(), 4);
+        let r = g.slice_rows(stacked, 2, 4);
+        assert_eq!(g.value(r), g.value(a));
+    }
+}

@@ -1,0 +1,65 @@
+//! Seeded weight initializers.
+
+use rand::Rng;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+/// The default for all dense and recurrent weights in the EHNA model.
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Vec<f32> {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    (0..fan_in * fan_out).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+/// Uniform `U(-scale, scale)` — used for embedding tables, matching the
+/// word2vec-style `U(-0.5/d, 0.5/d)` convention when `scale = 0.5 / d`.
+pub fn uniform<R: Rng + ?Sized>(count: usize, scale: f32, rng: &mut R) -> Vec<f32> {
+    assert!(scale > 0.0, "scale must be positive");
+    (0..count).map(|_| rng.gen_range(-scale..scale)).collect()
+}
+
+/// All zeros (biases).
+pub fn zeros(count: usize) -> Vec<f32> {
+    vec![0.0; count]
+}
+
+/// All ones (batch-norm gains).
+pub fn ones(count: usize) -> Vec<f32> {
+    vec![1.0; count]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_and_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = xavier_uniform(64, 32, &mut rng);
+        assert_eq!(w.len(), 64 * 32);
+        let a = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(w.iter().all(|&x| x > -a && x < a));
+        // Should actually use the range, not collapse near zero.
+        assert!(w.iter().any(|&x| x.abs() > a / 2.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(9));
+        let b = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = uniform(100, 0.01, &mut rng);
+        assert!(w.iter().all(|&x| x.abs() < 0.01));
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        assert_eq!(zeros(3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(ones(2), vec![1.0, 1.0]);
+    }
+}

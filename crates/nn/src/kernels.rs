@@ -1,0 +1,172 @@
+//! Dense `f32` math kernels shared by forward and backward passes.
+//!
+//! All matrices are row-major. The GEMM uses the cache-friendly i-k-j loop
+//! order; at EHNA's model sizes (hidden dims 32–256, batches ≤ a few
+//! thousand rows) this is within a small factor of a tuned BLAS and keeps
+//! the crate dependency-free.
+
+/// `c += a (m×k) · b (k×n)`.
+pub fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c += aᵀ (k×m)ᵀ=(m×k) · b (k×n)` where `a` is stored as `k×m`.
+///
+/// Equivalently: `c[i][j] += Σ_p a[p][i] * b[p][j]`.
+pub fn gemm_tn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c += a (m×k) · bᵀ (n×k)ᵀ=(k×n)` where `b` is stored as `n×k`.
+///
+/// Equivalently: `c[i][j] += Σ_p a[i][p] * b[j][p]` — a dot product of
+/// rows, which vectorizes well.
+pub fn gemm_nt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            // Four independent accumulators let LLVM vectorize the
+            // reduction without float-reassociation flags.
+            let mut acc = [0.0f32; 4];
+            let chunks = k / 4;
+            for p in 0..chunks {
+                let base = p * 4;
+                acc[0] += arow[base] * brow[base];
+                acc[1] += arow[base + 1] * brow[base + 1];
+                acc[2] += arow[base + 2] * brow[base + 2];
+                acc[3] += arow[base + 3] * brow[base + 3];
+            }
+            let mut tail = 0.0f32;
+            for p in chunks * 4..k {
+                tail += arow[p] * brow[p];
+            }
+            *cv += acc[0] + acc[1] + acc[2] + acc[3] + tail;
+        }
+    }
+}
+
+/// `out[i] += x[i] * y[i]` (fused multiply-accumulate over slices).
+pub fn fma_acc(x: &[f32], y: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), out.len());
+    for ((o, &a), &b) in out.iter_mut().zip(x).zip(y) {
+        *o += a * b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn transpose(rows: usize, cols: usize, x: &[f32]) -> Vec<f32> {
+        let mut t = vec![0.0; x.len()];
+        for i in 0..rows {
+            for j in 0..cols {
+                t[j * rows + i] = x[i * cols + j];
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32) * 0.3 - 1.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32) * 0.1 + 0.5).collect();
+        let expect = naive(m, k, n, &a, &b);
+        let mut c = vec![0.0; m * n];
+        gemm_acc(m, k, n, &a, &b, &mut c);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive() {
+        let (m, k, n) = (3, 4, 2);
+        let at: Vec<f32> = (0..k * m).map(|i| i as f32 * 0.2).collect(); // stored k×m
+        let b: Vec<f32> = (0..k * n).map(|i| i as f32 * -0.1 + 1.0).collect();
+        let a = transpose(k, m, &at); // m×k
+        let expect = naive(m, k, n, &a, &b);
+        let mut c = vec![0.0; m * n];
+        gemm_tn_acc(m, k, n, &at, &b, &mut c);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive() {
+        let (m, k, n) = (2, 3, 4);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.4 - 0.6).collect();
+        let bt: Vec<f32> = (0..n * k).map(|i| i as f32 * 0.15).collect(); // stored n×k
+        let b = transpose(n, k, &bt); // k×n
+        let expect = naive(m, k, n, &a, &b);
+        let mut c = vec![0.0; m * n];
+        gemm_nt_acc(m, k, n, &a, &bt, &mut c);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn accumulation_adds_to_existing() {
+        let mut c = vec![10.0; 1];
+        gemm_acc(1, 1, 1, &[2.0], &[3.0], &mut c);
+        assert_eq!(c[0], 16.0);
+    }
+
+    #[test]
+    fn fma_accumulates() {
+        let mut out = vec![1.0, 1.0];
+        fma_acc(&[2.0, 3.0], &[4.0, 5.0], &mut out);
+        assert_eq!(out, vec![9.0, 16.0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Optimizers: SGD (+momentum) and Adam, with global-norm gradient
+//! clipping. The EHNA trainer uses Adam with clipping; SGD is kept for the
+//! simpler baselines (LINE, skip-gram) and ablations.
+
+use crate::store::ParamStore;
+
+/// Clip all gradients in `store` so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    let norm = store.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for id in store.ids().collect::<Vec<_>>() {
+            for g in store.grad_mut(id) {
+                *g *= scale;
+            }
+        }
+    }
+    norm
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum factor (0 disables the velocity buffer).
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// New optimizer; allocates velocity lazily on first step.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "lr must be positive");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Apply one update from the accumulated gradients, then zero them.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        if self.velocity.len() != store.len() {
+            self.velocity = store
+                .ids()
+                .map(|id| vec![0.0; store.value(id).len()])
+                .collect();
+        }
+        for id in store.ids().collect::<Vec<_>>() {
+            let i = id.index();
+            if self.momentum > 0.0 {
+                let grads = store.grad(id).to_vec();
+                let vel = &mut self.velocity[i];
+                for (v, g) in vel.iter_mut().zip(&grads) {
+                    *v = self.momentum * *v + g;
+                }
+                let lr = self.lr;
+                let vel = self.velocity[i].clone();
+                for (p, v) in store.value_mut(id).iter_mut().zip(vel) {
+                    *p -= lr * v;
+                }
+            } else {
+                let grads = store.grad(id).to_vec();
+                let lr = self.lr;
+                for (p, g) in store.value_mut(id).iter_mut().zip(grads) {
+                    *p -= lr * g;
+                }
+            }
+        }
+        store.zero_grads();
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator floor.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the standard `(0.9, 0.999, 1e-8)` hyperparameters.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "lr must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update from the accumulated gradients, then zero them.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        if self.m.len() != store.len() {
+            self.m = store.ids().map(|id| vec![0.0; store.value(id).len()]).collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for id in store.ids().collect::<Vec<_>>() {
+            let i = id.index();
+            let grads = store.grad(id).to_vec();
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            let params = store.value_mut(id);
+            for j in 0..params.len() {
+                let g = grads[j];
+                // Skip untouched scalars (sparse embedding updates): both
+                // moments would only decay, and decaying them for every
+                // node in a large embedding table dominates runtime.
+                if g == 0.0 && m[j] == 0.0 && v[j] == 0.0 {
+                    continue;
+                }
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
+                let mhat = m[j] / bc1;
+                let vhat = v[j] / bc2;
+                params[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+        store.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimize f(x) = (x - 3)^2 and check convergence.
+    fn quadratic_descent(mut step: impl FnMut(&mut ParamStore)) -> f32 {
+        let mut store = ParamStore::new();
+        let x = store.add_param("x", 1, 1, vec![-5.0]);
+        for _ in 0..300 {
+            let mut g = Graph::new();
+            let xv = g.param(&store, x);
+            let c = g.add_scalar(xv, -3.0);
+            let sq = g.square(c);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            g.write_grads(&mut store);
+            step(&mut store);
+        }
+        store.value(x)[0]
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = quadratic_descent(|s| opt.step(s));
+        assert!((x - 3.0).abs() < 1e-3, "sgd ended at {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        let x = quadratic_descent(|s| opt.step(s));
+        assert!((x - 3.0).abs() < 1e-2, "sgd+momentum ended at {x}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut opt = Adam::new(0.1);
+        let x = quadratic_descent(|s| opt.step(s));
+        assert!((x - 3.0).abs() < 1e-2, "adam ended at {x}");
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn clip_reduces_large_norms_only() {
+        let mut store = ParamStore::new();
+        let a = store.add_param("a", 1, 2, vec![0.0, 0.0]);
+        store.grad_mut(a).copy_from_slice(&[30.0, 40.0]); // norm 50
+        let pre = clip_grad_norm(&mut store, 5.0);
+        assert!((pre - 50.0).abs() < 1e-4);
+        assert!((store.grad_norm() - 5.0).abs() < 1e-4);
+        // Small gradients untouched.
+        store.grad_mut(a).copy_from_slice(&[0.3, 0.4]);
+        clip_grad_norm(&mut store, 5.0);
+        assert_eq!(store.grad(a), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn optimizers_zero_grads_after_step() {
+        let mut store = ParamStore::new();
+        let a = store.add_param("a", 1, 1, vec![1.0]);
+        store.grad_mut(a)[0] = 2.0;
+        Adam::new(0.01).step(&mut store);
+        assert_eq!(store.grad(a), &[0.0]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Edge records: the canonical interaction list and per-node adjacency
+//! entries.
+
+use crate::{NodeId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One timestamped interaction between two nodes.
+///
+/// Edges are undirected: `(src, dst)` and `(dst, src)` denote the same
+/// interaction, and the graph builder normalizes `src <= dst`. A node pair
+/// may appear multiple times with different timestamps (temporal
+/// multigraph).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TemporalEdge {
+    /// Smaller endpoint (after normalization).
+    pub src: NodeId,
+    /// Larger endpoint (after normalization).
+    pub dst: NodeId,
+    /// Formation time `t(src,dst)`.
+    pub t: Timestamp,
+    /// Edge weight `w(src,dst)`; `1.0` for unweighted networks.
+    pub w: f64,
+}
+
+impl TemporalEdge {
+    /// Create a new edge, normalizing endpoint order so `src <= dst`.
+    pub fn new(a: NodeId, b: NodeId, t: Timestamp, w: f64) -> Self {
+        let (src, dst) = if a <= b { (a, b) } else { (b, a) };
+        TemporalEdge { src, dst, t, w }
+    }
+
+    /// The endpoint opposite to `v`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `v` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, v: NodeId) -> NodeId {
+        debug_assert!(v == self.src || v == self.dst, "{v:?} not an endpoint");
+        if v == self.src {
+            self.dst
+        } else {
+            self.src
+        }
+    }
+
+    /// Whether `v` is one of this edge's endpoints.
+    #[inline]
+    pub fn touches(&self, v: NodeId) -> bool {
+        v == self.src || v == self.dst
+    }
+}
+
+/// One entry of a node's time-sorted adjacency list.
+///
+/// For a node `u`, the entry records a neighbor `node` reached through an
+/// interaction at time `t` with weight `w`; `edge` indexes into
+/// [`TemporalGraph::edge`](crate::TemporalGraph::edge) for the canonical
+/// record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NeighborEntry {
+    /// The neighbor on the other end of the interaction.
+    pub node: NodeId,
+    /// When the interaction happened.
+    pub t: Timestamp,
+    /// Interaction weight.
+    pub w: f64,
+    /// Index of the canonical [`TemporalEdge`] in the graph's edge list.
+    pub edge: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_normalizes_endpoints() {
+        let e = TemporalEdge::new(NodeId(5), NodeId(2), Timestamp(7), 1.5);
+        assert_eq!(e.src, NodeId(2));
+        assert_eq!(e.dst, NodeId(5));
+        assert_eq!(e.t, Timestamp(7));
+        assert_eq!(e.w, 1.5);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = TemporalEdge::new(NodeId(1), NodeId(3), Timestamp(0), 1.0);
+        assert_eq!(e.other(NodeId(1)), NodeId(3));
+        assert_eq!(e.other(NodeId(3)), NodeId(1));
+        assert!(e.touches(NodeId(1)));
+        assert!(e.touches(NodeId(3)));
+        assert!(!e.touches(NodeId(2)));
+    }
+
+    #[test]
+    fn self_loop_other_is_same_node() {
+        let e = TemporalEdge::new(NodeId(4), NodeId(4), Timestamp(1), 1.0);
+        assert_eq!(e.other(NodeId(4)), NodeId(4));
+    }
+}

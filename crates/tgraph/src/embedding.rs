@@ -1,0 +1,215 @@
+//! Dense node-embedding matrices — the common output type of every
+//! embedding method in this workspace (EHNA and all baselines), and the
+//! common input type of the evaluation pipelines.
+
+use crate::{GraphError, NodeId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+/// Magic bytes of the binary snapshot format ("EHNA" + version 1).
+const MAGIC: u32 = 0x45484E41;
+const VERSION: u32 = 1;
+
+/// A `num_nodes x dim` row-major embedding matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeEmbeddings {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl NodeEmbeddings {
+    /// Zero-initialized embeddings.
+    pub fn zeros(num_nodes: usize, dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        NodeEmbeddings { dim, data: vec![0.0; num_nodes * dim] }
+    }
+
+    /// Wrap an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim`.
+    pub fn from_vec(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
+        NodeEmbeddings { dim, data }
+    }
+
+    /// Embedding dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows (nodes).
+    pub fn num_nodes(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// The embedding of node `v`.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> &[f32] {
+        &self.data[v.index() * self.dim..(v.index() + 1) * self.dim]
+    }
+
+    /// Mutable embedding of node `v`.
+    #[inline]
+    pub fn get_mut(&mut self, v: NodeId) -> &mut [f32] {
+        &mut self.data[v.index() * self.dim..(v.index() + 1) * self.dim]
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Dot-product similarity between two nodes' embeddings (the ranking
+    /// score of the network-reconstruction task, §V-D).
+    pub fn dot(&self, a: NodeId, b: NodeId) -> f64 {
+        self.get(a).iter().zip(self.get(b)).map(|(&x, &y)| (x as f64) * (y as f64)).sum()
+    }
+
+    /// Squared Euclidean distance between two nodes' embeddings (EHNA's
+    /// native metric, Eq. 5).
+    pub fn sq_dist(&self, a: NodeId, b: NodeId) -> f64 {
+        self.get(a)
+            .iter()
+            .zip(self.get(b))
+            .map(|(&x, &y)| {
+                let d = (x - y) as f64;
+                d * d
+            })
+            .sum()
+    }
+
+    /// L2-normalize every row in place (rows with zero norm are left as
+    /// zeros).
+    pub fn l2_normalize(&mut self) {
+        let dim = self.dim;
+        for row in self.data.chunks_mut(dim) {
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                row.iter_mut().for_each(|x| *x /= norm);
+            }
+        }
+    }
+
+    /// Serialize to the compact binary snapshot format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.data.len() * 4);
+        buf.put_u32(MAGIC);
+        buf.put_u32(VERSION);
+        buf.put_u32(self.num_nodes() as u32);
+        buf.put_u32(self.dim as u32);
+        for &x in &self.data {
+            buf.put_f32(x);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from the binary snapshot format.
+    ///
+    /// # Errors
+    /// [`GraphError::Parse`] on bad magic/version/size.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self, GraphError> {
+        let bad = |msg: &str| GraphError::Parse { line: 0, msg: msg.into() };
+        if buf.len() < 16 {
+            return Err(bad("snapshot too short"));
+        }
+        if buf.get_u32() != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if buf.get_u32() != VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let n = buf.get_u32() as usize;
+        let dim = buf.get_u32() as usize;
+        if dim == 0 {
+            return Err(bad("zero dim"));
+        }
+        if buf.len() != n * dim * 4 {
+            return Err(bad("payload size mismatch"));
+        }
+        let mut data = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            data.push(buf.get_f32());
+        }
+        Ok(NodeEmbeddings { dim, data })
+    }
+
+    /// Write the binary snapshot to `w`.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), GraphError> {
+        w.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Read a binary snapshot from `r`.
+    pub fn load<R: Read>(mut r: R) -> Result<Self, GraphError> {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        Self::from_bytes(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut e = NodeEmbeddings::zeros(3, 2);
+        assert_eq!(e.num_nodes(), 3);
+        assert_eq!(e.dim(), 2);
+        e.get_mut(NodeId(1)).copy_from_slice(&[3.0, 4.0]);
+        assert_eq!(e.get(NodeId(1)), &[3.0, 4.0]);
+        assert_eq!(e.get(NodeId(0)), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_and_distance() {
+        let e = NodeEmbeddings::from_vec(2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(e.dot(NodeId(0), NodeId(1)), 0.0);
+        assert_eq!(e.dot(NodeId(0), NodeId(2)), 1.0);
+        assert_eq!(e.sq_dist(NodeId(0), NodeId(1)), 2.0);
+        assert_eq!(e.sq_dist(NodeId(2), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut e = NodeEmbeddings::from_vec(2, vec![3.0, 4.0, 0.0, 0.0]);
+        e.l2_normalize();
+        assert!((e.get(NodeId(0))[0] - 0.6).abs() < 1e-6);
+        assert_eq!(e.get(NodeId(1)), &[0.0, 0.0]); // zero row untouched
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let e = NodeEmbeddings::from_vec(3, vec![1.5, -2.0, 0.25, 9.0, 0.0, -0.5]);
+        let bytes = e.to_bytes();
+        let back = NodeEmbeddings::from_bytes(&bytes).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn corrupt_snapshots_rejected() {
+        assert!(NodeEmbeddings::from_bytes(&[]).is_err());
+        assert!(NodeEmbeddings::from_bytes(&[0u8; 16]).is_err());
+        let e = NodeEmbeddings::zeros(2, 2);
+        let mut bytes = e.to_bytes().to_vec();
+        bytes.truncate(bytes.len() - 1);
+        assert!(NodeEmbeddings::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let e = NodeEmbeddings::from_vec(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut buf = Vec::new();
+        e.save(&mut buf).unwrap();
+        let back = NodeEmbeddings::load(&buf[..]).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn bad_buffer_panics() {
+        NodeEmbeddings::from_vec(3, vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,313 @@
+//! The immutable CSR temporal graph.
+
+use crate::{NeighborEntry, NodeId, TemporalEdge, Timestamp};
+
+/// An immutable temporal network with time-sorted CSR adjacency.
+///
+/// Construction goes through [`GraphBuilder`](crate::GraphBuilder) or
+/// [`read_edge_list`](crate::read_edge_list). Three parallel structures are
+/// kept:
+///
+/// * `edges` — the canonical interaction list, globally sorted by time;
+///   this is the order in which EHNA's trainer replays edge formations.
+/// * `neighbors`/`offsets` — per-node adjacency sorted by time, answering
+///   "interactions of `v` up to time `t`" with one `partition_point`.
+/// * `nbr_ids`/`offsets` — per-node neighbor ids sorted by id, answering
+///   `has_edge(u, w)` (needed by the node2vec-style `d_uw` bias of Eq. 2)
+///   in `O(log deg)`.
+#[derive(Debug, Clone)]
+pub struct TemporalGraph {
+    num_nodes: usize,
+    edges: Vec<TemporalEdge>,
+    offsets: Vec<usize>,
+    neighbors: Vec<NeighborEntry>,
+    nbr_ids: Vec<NodeId>,
+}
+
+impl TemporalGraph {
+    /// Build from an edge list already sorted by timestamp.
+    ///
+    /// Exposed for the builder and the dataset generators; prefer
+    /// [`GraphBuilder`](crate::GraphBuilder).
+    pub(crate) fn from_sorted_edges(num_nodes: usize, edges: Vec<TemporalEdge>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0].t <= w[1].t), "edges must be time-sorted");
+        let mut degree = vec![0usize; num_nodes];
+        for e in &edges {
+            degree[e.src.index()] += 1;
+            degree[e.dst.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        offsets.push(0usize);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let total = *offsets.last().unwrap();
+        let mut cursor = offsets[..num_nodes].to_vec();
+        let mut neighbors = vec![
+            NeighborEntry { node: NodeId(0), t: Timestamp(0), w: 0.0, edge: 0 };
+            total
+        ];
+        // Edges are globally time-sorted, so appending in order keeps every
+        // per-node slice time-sorted too.
+        for (i, e) in edges.iter().enumerate() {
+            let ei = i as u32;
+            let s = e.src.index();
+            neighbors[cursor[s]] = NeighborEntry { node: e.dst, t: e.t, w: e.w, edge: ei };
+            cursor[s] += 1;
+            let d = e.dst.index();
+            neighbors[cursor[d]] = NeighborEntry { node: e.src, t: e.t, w: e.w, edge: ei };
+            cursor[d] += 1;
+        }
+        let mut nbr_ids: Vec<NodeId> = neighbors.iter().map(|n| n.node).collect();
+        for v in 0..num_nodes {
+            nbr_ids[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        TemporalGraph { num_nodes, edges, offsets, neighbors, nbr_ids }
+    }
+
+    /// Number of nodes `|V|` (including any isolated ids below the max).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of temporal edges `|E|` (multi-edges counted individually).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All interactions, globally sorted by timestamp.
+    #[inline]
+    pub fn edges(&self) -> &[TemporalEdge] {
+        &self.edges
+    }
+
+    /// The `i`-th interaction in chronological order.
+    #[inline]
+    pub fn edge(&self, i: usize) -> &TemporalEdge {
+        &self.edges[i]
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes as u32).map(NodeId)
+    }
+
+    /// Temporal degree of `v`: the number of interactions it participates
+    /// in (not the number of distinct neighbors).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// All interactions of `v`, sorted by time (ascending).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NeighborEntry] {
+        &self.neighbors[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Interactions of `v` that happened strictly before `t`.
+    #[inline]
+    pub fn neighbors_before(&self, v: NodeId, t: Timestamp) -> &[NeighborEntry] {
+        let nbrs = self.neighbors(v);
+        let cut = nbrs.partition_point(|n| n.t < t);
+        &nbrs[..cut]
+    }
+
+    /// Interactions of `v` with timestamp `<= t`.
+    #[inline]
+    pub fn neighbors_at_or_before(&self, v: NodeId, t: Timestamp) -> &[NeighborEntry] {
+        let nbrs = self.neighbors(v);
+        let cut = nbrs.partition_point(|n| n.t <= t);
+        &nbrs[..cut]
+    }
+
+    /// Interactions of `v` in the half-open time window `[t0, t1)`.
+    pub fn neighbors_in(&self, v: NodeId, t0: Timestamp, t1: Timestamp) -> &[NeighborEntry] {
+        let nbrs = self.neighbors(v);
+        let lo = nbrs.partition_point(|n| n.t < t0);
+        let hi = nbrs.partition_point(|n| n.t < t1);
+        &nbrs[lo..hi]
+    }
+
+    /// The most recent interaction of `v`, if any.
+    pub fn latest_interaction(&self, v: NodeId) -> Option<&NeighborEntry> {
+        self.neighbors(v).last()
+    }
+
+    /// Whether `u` and `w` ever interacted (any timestamp).
+    ///
+    /// `O(log deg(u))` via the id-sorted secondary index. This is the
+    /// `d_uw == 1` test of the Eq. 2 walk bias.
+    pub fn has_edge(&self, u: NodeId, w: NodeId) -> bool {
+        let (u, w) = if self.degree(u) <= self.degree(w) { (u, w) } else { (w, u) };
+        let ids = &self.nbr_ids[self.offsets[u.index()]..self.offsets[u.index() + 1]];
+        ids.binary_search(&w).is_ok()
+    }
+
+    /// Earliest timestamp in the graph.
+    pub fn min_time(&self) -> Timestamp {
+        self.edges.first().map(|e| e.t).unwrap_or(Timestamp(0))
+    }
+
+    /// Latest timestamp in the graph.
+    pub fn max_time(&self) -> Timestamp {
+        self.edges.last().map(|e| e.t).unwrap_or(Timestamp(0))
+    }
+
+    /// Index of the first edge with `t >= cutoff` in the chronological edge
+    /// list; everything before is "history" relative to `cutoff`.
+    pub fn edges_before(&self, cutoff: Timestamp) -> usize {
+        self.edges.partition_point(|e| e.t < cutoff)
+    }
+
+    /// Materialize the subgraph of interactions with `t < cutoff`, keeping
+    /// node ids stable. Used by the temporal train/test split.
+    ///
+    /// Returns `None` when no edge precedes `cutoff`.
+    pub fn subgraph_before(&self, cutoff: Timestamp) -> Option<TemporalGraph> {
+        let n = self.edges_before(cutoff);
+        if n == 0 {
+            return None;
+        }
+        Some(TemporalGraph::from_sorted_edges(self.num_nodes, self.edges[..n].to_vec()))
+    }
+
+    /// Distinct neighbor count of `v` (deduplicated multi-edges).
+    pub fn distinct_neighbors(&self, v: NodeId) -> usize {
+        let ids = &self.nbr_ids[self.offsets[v.index()]..self.offsets[v.index() + 1]];
+        let mut count = 0;
+        let mut last: Option<NodeId> = None;
+        for &id in ids {
+            if last != Some(id) {
+                count += 1;
+                last = Some(id);
+            }
+        }
+        count
+    }
+
+    /// Sum of weights of interactions of `v`.
+    pub fn weighted_degree(&self, v: NodeId) -> f64 {
+        self.neighbors(v).iter().map(|n| n.w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// The Figure 1 ego network of the paper (node 1's co-author network).
+    pub(crate) fn figure1_graph() -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        // (a, b, year) from Figure 1.
+        for &(a, bb, t) in &[
+            (1u32, 2u32, 2011i64),
+            (1, 3, 2012),
+            (2, 3, 2011),
+            (1, 4, 2013),
+            (4, 5, 2014),
+            (5, 6, 2015),
+            (1, 6, 2016),
+            (5, 8, 2016),
+            (8, 7, 2017),
+            (6, 7, 2017),
+            (1, 7, 2018),
+        ] {
+            b.add_edge(a, bb, t, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let g = figure1_graph();
+        assert_eq!(g.num_nodes(), 9); // ids 0..=8, 0 isolated
+        assert_eq!(g.num_edges(), 11);
+        assert_eq!(g.degree(NodeId(1)), 5);
+        assert_eq!(g.degree(NodeId(0)), 0);
+        assert_eq!(g.min_time(), Timestamp(2011));
+        assert_eq!(g.max_time(), Timestamp(2018));
+    }
+
+    #[test]
+    fn adjacency_is_time_sorted() {
+        let g = figure1_graph();
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            assert!(nbrs.windows(2).all(|w| w[0].t <= w[1].t), "node {v:?} not time-sorted");
+        }
+    }
+
+    #[test]
+    fn neighbors_before_is_strict() {
+        let g = figure1_graph();
+        let before = g.neighbors_before(NodeId(1), Timestamp(2013));
+        let nodes: Vec<_> = before.iter().map(|n| n.node.0).collect();
+        assert_eq!(nodes, vec![2, 3]);
+        let upto = g.neighbors_at_or_before(NodeId(1), Timestamp(2013));
+        let nodes: Vec<_> = upto.iter().map(|n| n.node.0).collect();
+        assert_eq!(nodes, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn neighbors_in_window() {
+        let g = figure1_graph();
+        let win = g.neighbors_in(NodeId(1), Timestamp(2012), Timestamp(2017));
+        let nodes: Vec<_> = win.iter().map(|n| n.node.0).collect();
+        assert_eq!(nodes, vec![3, 4, 6]);
+        assert!(g.neighbors_in(NodeId(1), Timestamp(2019), Timestamp(2030)).is_empty());
+    }
+
+    #[test]
+    fn has_edge_matches_adjacency() {
+        let g = figure1_graph();
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+        assert!(g.has_edge(NodeId(2), NodeId(1)));
+        assert!(!g.has_edge(NodeId(1), NodeId(5)));
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn latest_interaction() {
+        let g = figure1_graph();
+        let last = g.latest_interaction(NodeId(1)).unwrap();
+        assert_eq!(last.node, NodeId(7));
+        assert_eq!(last.t, Timestamp(2018));
+        assert!(g.latest_interaction(NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn subgraph_before_cuts_time() {
+        let g = figure1_graph();
+        let h = g.subgraph_before(Timestamp(2015)).unwrap();
+        assert_eq!(h.num_nodes(), g.num_nodes());
+        assert_eq!(h.num_edges(), 5);
+        assert_eq!(h.max_time(), Timestamp(2014));
+        assert!(g.subgraph_before(Timestamp(2000)).is_none());
+    }
+
+    #[test]
+    fn distinct_vs_temporal_degree() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1, 1.0).unwrap();
+        b.add_edge(0, 1, 2, 1.0).unwrap();
+        b.add_edge(0, 2, 3, 2.5).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.degree(NodeId(0)), 3);
+        assert_eq!(g.distinct_neighbors(NodeId(0)), 2);
+        assert!((g.weighted_degree(NodeId(0)) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_before_partitions() {
+        let g = figure1_graph();
+        assert_eq!(g.edges_before(Timestamp(2011)), 0);
+        assert_eq!(g.edges_before(Timestamp(2019)), g.num_edges());
+        let k = g.edges_before(Timestamp(2015));
+        assert!(g.edges()[..k].iter().all(|e| e.t < Timestamp(2015)));
+        assert!(g.edges()[k..].iter().all(|e| e.t >= Timestamp(2015)));
+    }
+}

@@ -1,0 +1,124 @@
+//! Identifier newtypes used across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense node identifier in `0..num_nodes`.
+///
+/// Stored as `u32`: the EHNA evaluation graphs top out well below `2^32`
+/// nodes, and the narrower type halves adjacency memory versus `usize`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as an index usable with slices.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "node index {i} exceeds u32 range");
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A discrete event timestamp.
+///
+/// The unit is dataset-defined (seconds, days, publication years, …); EHNA
+/// only relies on the *ordering* of timestamps and on differences
+/// `t_ref - t` fed through a decay kernel, both of which are unit-agnostic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Minimum representable time.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// Maximum representable time.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Raw value.
+    #[inline]
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Saturating difference `self - other` as `f64`, for decay kernels.
+    #[inline]
+    pub fn delta(self, other: Timestamp) -> f64 {
+        (self.0.saturating_sub(other.0)) as f64
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Timestamp {
+    fn from(v: i64) -> Self {
+        Timestamp(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+        assert_eq!(format!("{n}"), "42");
+        assert_eq!(format!("{n:?}"), "n42");
+    }
+
+    #[test]
+    fn timestamp_ordering_and_delta() {
+        let a = Timestamp(10);
+        let b = Timestamp(4);
+        assert!(b < a);
+        assert_eq!(a.delta(b), 6.0);
+        assert_eq!(b.delta(a), -6.0);
+        assert!(Timestamp::MIN < Timestamp(0));
+        assert!(Timestamp(0) < Timestamp::MAX);
+    }
+
+    #[test]
+    fn timestamp_delta_saturates() {
+        let d = Timestamp::MAX.delta(Timestamp::MIN);
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+    }
+}

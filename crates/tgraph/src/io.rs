@@ -1,0 +1,151 @@
+//! Plain-text edge-list IO.
+//!
+//! Format: one interaction per line, whitespace-separated —
+//! `src dst timestamp [weight]` — with `#`-prefixed comment lines and blank
+//! lines ignored. This matches the common public release format of the
+//! datasets the paper evaluates on (SNAP-style temporal edge lists).
+
+use crate::{GraphBuilder, GraphError, TemporalGraph};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Read a temporal graph from an edge-list reader.
+///
+/// # Errors
+/// [`GraphError::Parse`] with the offending line number on malformed input;
+/// [`GraphError::Io`] on read failures; the builder's validation errors
+/// (self-loops, bad weights) are forwarded as-is.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<TemporalGraph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse_u32 = |tok: Option<&str>, what: &str| -> Result<u32, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("missing {what}"),
+            })?
+            .parse::<u32>()
+            .map_err(|e| GraphError::Parse { line: lineno + 1, msg: format!("bad {what}: {e}") })
+        };
+        let src = parse_u32(it.next(), "source node")?;
+        let dst = parse_u32(it.next(), "destination node")?;
+        let t_tok = it.next().ok_or_else(|| GraphError::Parse {
+            line: lineno + 1,
+            msg: "missing timestamp".into(),
+        })?;
+        let t = t_tok.parse::<i64>().map_err(|e| GraphError::Parse {
+            line: lineno + 1,
+            msg: format!("bad timestamp: {e}"),
+        })?;
+        let w = match it.next() {
+            Some(tok) => tok.parse::<f64>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("bad weight: {e}"),
+            })?,
+            None => 1.0,
+        };
+        if it.next().is_some() {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                msg: "trailing tokens after weight".into(),
+            });
+        }
+        builder.add_edge(src, dst, t, w)?;
+    }
+    builder.build()
+}
+
+/// Read a temporal graph from an edge-list file at `path`.
+pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<TemporalGraph, GraphError> {
+    read_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Write `graph` as an edge list (chronological order). Weights equal to
+/// `1.0` are omitted for compactness.
+pub fn write_edge_list<W: Write>(graph: &TemporalGraph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(writer, "# src dst t [w]  ({} nodes, {} edges)", graph.num_nodes(), graph.num_edges())?;
+    for e in graph.edges() {
+        if e.w == 1.0 {
+            writeln!(writer, "{} {} {}", e.src, e.dst, e.t)?;
+        } else {
+            writeln!(writer, "{} {} {} {}", e.src, e.dst, e.t, e.w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Write `graph` to an edge-list file at `path`.
+pub fn write_edge_list_path<P: AsRef<Path>>(
+    graph: &TemporalGraph,
+    path: P,
+) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_edge_list(graph, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, Timestamp};
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_basic_list() {
+        let text = "# comment\n0 1 100\n\n1 2 200 2.5\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge(1).w, 2.5);
+        assert_eq!(g.edge(0).t, Timestamp(100));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "0 1 100\n0 x 200\n";
+        match read_edge_list(Cursor::new(text)) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_trailing() {
+        assert!(matches!(
+            read_edge_list(Cursor::new("0 1\n")),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_edge_list(Cursor::new("0 1 5 1.0 junk\n")),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_timestamps_are_fine() {
+        let g = read_edge_list(Cursor::new("0 1 -5\n1 2 0\n")).unwrap();
+        assert_eq!(g.min_time(), Timestamp(-5));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "0 1 100\n1 2 200 2.5\n2 3 300\n";
+        let g = read_edge_list(Cursor::new(src)).unwrap();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(Cursor::new(out)).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for (a, b) in g.edges().iter().zip(g2.edges()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(g2.degree(NodeId(1)), 2);
+    }
+}

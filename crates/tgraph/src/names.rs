@@ -1,0 +1,142 @@
+//! String-named nodes: real-world edge lists identify nodes by arbitrary
+//! tokens (author names, user handles); this module maps them to dense
+//! [`NodeId`]s and back.
+
+use crate::{GraphBuilder, GraphError, NodeId, TemporalGraph};
+use std::collections::HashMap;
+use std::io::BufRead;
+
+/// A bidirectional mapping between string node names and dense ids,
+/// assigned in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct NameMap {
+    names: Vec<String>,
+    ids: HashMap<String, NodeId>,
+}
+
+impl NameMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id for `name`, allocating the next dense id on first sight.
+    pub fn intern(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = NodeId::from_index(self.names.len());
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Id of an already-interned name.
+    pub fn get(&self, name: &str) -> Option<NodeId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Name of a dense id.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Read an edge list whose endpoints are arbitrary whitespace-free tokens:
+/// `alice bob 1389120000 [weight]`. Returns the graph plus the name map.
+///
+/// # Errors
+/// Same failure modes as [`read_edge_list`](crate::read_edge_list).
+pub fn read_named_edge_list<R: BufRead>(
+    reader: R,
+) -> Result<(TemporalGraph, NameMap), GraphError> {
+    let mut names = NameMap::new();
+    let mut builder = GraphBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<String, GraphError> {
+            tok.map(str::to_string).ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("missing {what}"),
+            })
+        };
+        let src = parse(it.next(), "source node")?;
+        let dst = parse(it.next(), "destination node")?;
+        let t: i64 = parse(it.next(), "timestamp")?.parse().map_err(|e| GraphError::Parse {
+            line: lineno + 1,
+            msg: format!("bad timestamp: {e}"),
+        })?;
+        let w: f64 = match it.next() {
+            Some(tok) => tok.parse().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("bad weight: {e}"),
+            })?,
+            None => 1.0,
+        };
+        let a = names.intern(&src);
+        let b = names.intern(&dst);
+        builder.add_edge(a, b, t, w)?;
+    }
+    Ok((builder.build()?, names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut m = NameMap::new();
+        let a = m.intern("alice");
+        let b = m.intern("bob");
+        assert_eq!(m.intern("alice"), a);
+        assert_ne!(a, b);
+        assert_eq!(m.name(a), Some("alice"));
+        assert_eq!(m.get("bob"), Some(b));
+        assert_eq!(m.get("carol"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn named_edge_list_parses() {
+        let text = "# co-authorships\nalice bob 2011\nbob carol 2013 2.0\nalice carol 2017\n";
+        let (g, names) = read_named_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let alice = names.get("alice").unwrap();
+        let carol = names.get("carol").unwrap();
+        assert!(g.has_edge(alice, carol));
+        assert_eq!(g.edge(1).w, 2.0);
+    }
+
+    #[test]
+    fn self_loops_still_rejected() {
+        let text = "alice alice 2011\n";
+        assert!(read_named_edge_list(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "alice bob 2011\ncarol dave notayear\n";
+        match read_named_edge_list(Cursor::new(text)) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

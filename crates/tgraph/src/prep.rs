@@ -1,0 +1,163 @@
+//! Preprocessing utilities for real-world temporal edge lists:
+//! downsampling to laptop scale, restricting to the largest component,
+//! and densifying node ids after filtering — the steps the paper's
+//! authors describe applying to the raw Digg/Yelp/Tmall/DBLP dumps
+//! ("we derive a subset of the co-author network …").
+
+use crate::algo::connected_components;
+use crate::{GraphBuilder, NodeId, TemporalGraph, Timestamp};
+use rand::Rng;
+
+/// Keep every edge in the closed time window `[from, to]`, dropping nodes
+/// that become isolated and remapping ids densely. Returns the filtered
+/// graph plus `old_id -> new_id` (None for dropped nodes).
+///
+/// Returns `None` if no edge falls inside the window.
+pub fn time_window(
+    graph: &TemporalGraph,
+    from: Timestamp,
+    to: Timestamp,
+) -> Option<(TemporalGraph, Vec<Option<NodeId>>)> {
+    let edges: Vec<_> =
+        graph.edges().iter().filter(|e| e.t >= from && e.t <= to).cloned().collect();
+    rebuild(graph.num_nodes(), edges)
+}
+
+/// Uniformly subsample `fraction` of the temporal edges (chronological
+/// order preserved), remapping ids densely.
+///
+/// Returns `None` when the sample comes out empty.
+pub fn subsample_edges<R: Rng + ?Sized>(
+    graph: &TemporalGraph,
+    fraction: f64,
+    rng: &mut R,
+) -> Option<(TemporalGraph, Vec<Option<NodeId>>)> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let edges: Vec<_> = graph
+        .edges()
+        .iter()
+        .filter(|_| rng.gen::<f64>() < fraction)
+        .cloned()
+        .collect();
+    rebuild(graph.num_nodes(), edges)
+}
+
+/// Restrict to the largest connected component (static projection),
+/// remapping ids densely.
+pub fn largest_component(graph: &TemporalGraph) -> (TemporalGraph, Vec<Option<NodeId>>) {
+    let (comp, count) = connected_components(graph);
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    // Size counts isolated nodes too; weight components by edge presence.
+    let mut edge_counts = vec![0usize; count];
+    for e in graph.edges() {
+        edge_counts[comp[e.src.index()] as usize] += 1;
+    }
+    let biggest = edge_counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i as u32)
+        .expect("non-empty graph");
+    let edges: Vec<_> = graph
+        .edges()
+        .iter()
+        .filter(|e| comp[e.src.index()] == biggest)
+        .cloned()
+        .collect();
+    rebuild(graph.num_nodes(), edges).expect("largest component has edges")
+}
+
+/// Rebuild a graph from a filtered edge set with dense id remapping.
+fn rebuild(
+    old_nodes: usize,
+    edges: Vec<crate::TemporalEdge>,
+) -> Option<(TemporalGraph, Vec<Option<NodeId>>)> {
+    if edges.is_empty() {
+        return None;
+    }
+    let mut remap: Vec<Option<NodeId>> = vec![None; old_nodes];
+    let mut next = 0u32;
+    let mut intern = move |remap: &mut Vec<Option<NodeId>>, v: NodeId| -> NodeId {
+        if let Some(id) = remap[v.index()] {
+            return id;
+        }
+        let id = NodeId(next);
+        next += 1;
+        remap[v.index()] = Some(id);
+        id
+    };
+    let mut b = GraphBuilder::new();
+    for e in edges {
+        let a = intern(&mut remap, e.src);
+        let c = intern(&mut remap, e.dst);
+        b.add_edge(a, c, e.t, e.w).expect("filtered edges stay valid");
+    }
+    Some((b.build().expect("non-empty"), remap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_islands() -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        // Big island: 0-1-2-3 chain (3 edges + extra).
+        for &(x, y, t) in
+            &[(0u32, 1u32, 10i64), (1, 2, 20), (2, 3, 30), (0, 2, 40), (4, 5, 25)]
+        {
+            b.add_edge(x, y, t, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn window_filters_and_remaps() {
+        let g = two_islands();
+        let (h, remap) = time_window(&g, Timestamp(20), Timestamp(30)).unwrap();
+        assert_eq!(h.num_edges(), 3); // t=20, 25, 30
+        // Node 0 (only t=10/40 edges) must be dropped.
+        assert!(remap[0].is_none());
+        assert!(remap[1].is_some());
+        // Remapped ids are dense.
+        assert_eq!(h.num_nodes(), 5);
+        assert!(time_window(&g, Timestamp(100), Timestamp(200)).is_none());
+    }
+
+    #[test]
+    fn subsample_respects_fraction_bounds() {
+        let g = two_islands();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (h, _) = subsample_edges(&g, 1.0, &mut rng).unwrap();
+        assert_eq!(h.num_edges(), g.num_edges());
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(subsample_edges(&g, 0.0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn largest_component_keeps_the_big_island() {
+        let g = two_islands();
+        let (h, remap) = largest_component(&g);
+        assert_eq!(h.num_edges(), 4);
+        assert_eq!(h.num_nodes(), 4);
+        assert!(remap[4].is_none(), "small island leaked through");
+        assert!(remap[0].is_some());
+    }
+
+    #[test]
+    fn remapping_preserves_edge_times_and_weights() {
+        let g = two_islands();
+        let (h, remap) = largest_component(&g);
+        // Edge (0,1)@10 survives as (remap0, remap1)@10.
+        let a = remap[0].unwrap();
+        let b = remap[1].unwrap();
+        assert!(h
+            .neighbors(a)
+            .iter()
+            .any(|n| n.node == b && n.t == Timestamp(10) && n.w == 1.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Zero-copy time-restricted views over a [`TemporalGraph`].
+
+use crate::{NeighborEntry, NodeId, TemporalGraph, Timestamp};
+
+/// A borrowed view of a [`TemporalGraph`] restricted to interactions with
+/// `t <= cutoff` (inclusive by default; see [`SnapshotView::strict`]).
+///
+/// Unlike [`TemporalGraph::subgraph_before`], no edges are copied: each
+/// query re-slices the underlying time-sorted adjacency. Use a view when
+/// many different cutoffs are probed (as the EHNA trainer does — one cutoff
+/// per analyzed edge), and a materialized subgraph when a single cutoff is
+/// reused heavily (as the link-prediction split does).
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotView<'g> {
+    graph: &'g TemporalGraph,
+    cutoff: Timestamp,
+    inclusive: bool,
+}
+
+impl<'g> SnapshotView<'g> {
+    /// View of interactions with `t <= cutoff`.
+    pub fn new(graph: &'g TemporalGraph, cutoff: Timestamp) -> Self {
+        SnapshotView { graph, cutoff, inclusive: true }
+    }
+
+    /// View of interactions with `t < cutoff`.
+    pub fn strict(graph: &'g TemporalGraph, cutoff: Timestamp) -> Self {
+        SnapshotView { graph, cutoff, inclusive: false }
+    }
+
+    /// The underlying full graph.
+    #[inline]
+    pub fn graph(&self) -> &'g TemporalGraph {
+        self.graph
+    }
+
+    /// The cutoff timestamp.
+    #[inline]
+    pub fn cutoff(&self) -> Timestamp {
+        self.cutoff
+    }
+
+    /// Interactions of `v` visible in this snapshot, time-sorted.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &'g [NeighborEntry] {
+        if self.inclusive {
+            self.graph.neighbors_at_or_before(v, self.cutoff)
+        } else {
+            self.graph.neighbors_before(v, self.cutoff)
+        }
+    }
+
+    /// Snapshot degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Number of interactions visible in the snapshot.
+    pub fn num_edges(&self) -> usize {
+        if self.inclusive {
+            self.graph.edges().partition_point(|e| e.t <= self.cutoff)
+        } else {
+            self.graph.edges_before(self.cutoff)
+        }
+    }
+
+    /// Whether `v` has any visible interaction.
+    #[inline]
+    pub fn has_history(&self, v: NodeId) -> bool {
+        !self.neighbors(v).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn chain() -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 10, 1.0).unwrap();
+        b.add_edge(1, 2, 20, 1.0).unwrap();
+        b.add_edge(2, 3, 30, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn inclusive_vs_strict() {
+        let g = chain();
+        let inc = SnapshotView::new(&g, Timestamp(20));
+        let strict = SnapshotView::strict(&g, Timestamp(20));
+        assert_eq!(inc.num_edges(), 2);
+        assert_eq!(strict.num_edges(), 1);
+        assert_eq!(inc.degree(NodeId(1)), 2);
+        assert_eq!(strict.degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn history_presence() {
+        let g = chain();
+        let v = SnapshotView::new(&g, Timestamp(15));
+        assert!(v.has_history(NodeId(0)));
+        assert!(v.has_history(NodeId(1)));
+        assert!(!v.has_history(NodeId(3)));
+    }
+
+    #[test]
+    fn view_matches_materialized_subgraph() {
+        let g = chain();
+        let view = SnapshotView::strict(&g, Timestamp(30));
+        let sub = g.subgraph_before(Timestamp(30)).unwrap();
+        for v in g.nodes() {
+            assert_eq!(view.degree(v), sub.degree(v), "degree mismatch at {v:?}");
+        }
+        assert_eq!(view.num_edges(), sub.num_edges());
+    }
+}

@@ -1,0 +1,165 @@
+//! Walker's alias method: O(n) construction, O(1) weighted sampling.
+//!
+//! Used for the degree^0.75 negative-sampling noise distribution (paper
+//! §IV-D, following word2vec) and for CTDNE's initial edge selection, both
+//! of which draw millions of samples from a fixed distribution.
+
+use rand::Rng;
+
+/// A precomputed alias table over categories `0..n`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights.
+    ///
+    /// Returns `None` when `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Residual numerical slack: the leftovers take probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Draw one category.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+/// The word2vec-style noise distribution over nodes: `P(v) ∝ degree(v)^0.75`
+/// (paper §IV-D). Nodes with zero degree get zero probability.
+pub fn degree_noise_table(degrees: &[usize]) -> Option<AliasTable> {
+    let weights: Vec<f64> = degrees.iter().map(|&d| (d as f64).powf(0.75)).collect();
+    AliasTable::new(&weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(table: &AliasTable, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; table.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights).unwrap();
+        let freq = empirical(&table, 200_000, 42);
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / 10.0;
+            assert!((freq[i] - expect).abs() < 0.01, "cat {i}: {} vs {expect}", freq[i]);
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]).unwrap();
+        let freq = empirical(&table, 50_000, 7);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_category() {
+        let table = AliasTable::new(&[5.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn degree_noise_is_sublinear() {
+        let degrees = [0usize, 1, 16, 81];
+        let table = degree_noise_table(&degrees).unwrap();
+        let freq = empirical(&table, 200_000, 3);
+        assert_eq!(freq[0], 0.0);
+        // 81^0.75 = 27, 16^0.75 = 8: ratio 27/8 = 3.375, well below 81/16.
+        let ratio = freq[3] / freq[2];
+        assert!((ratio - 3.375).abs() < 0.3, "ratio {ratio}");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn alias_never_panics_and_respects_support(
+            weights in proptest::collection::vec(0.0f64..100.0, 1..64),
+            seed in 0u64..1000,
+        ) {
+            if let Some(table) = AliasTable::new(&weights) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..64 {
+                    let i = table.sample(&mut rng);
+                    proptest::prop_assert!(i < weights.len());
+                }
+            }
+        }
+    }
+}

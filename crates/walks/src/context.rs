@@ -1,0 +1,78 @@
+//! Skip-gram context extraction from walk corpora (used by the Node2Vec,
+//! CTDNE and DeepWalk-style baselines).
+
+use ehna_tgraph::NodeId;
+
+/// One `(center, context)` co-occurrence pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipGramPair {
+    /// The center word/node.
+    pub center: NodeId,
+    /// A node within `window` positions of the center.
+    pub context: NodeId,
+}
+
+/// Expand one walk into skip-gram pairs with the given window radius.
+///
+/// Pairs where center and context are the same node are skipped (they
+/// carry no training signal for distinguishing nodes). Appends into `out`
+/// so corpus-level extraction reuses one allocation.
+pub fn walk_to_pairs(walk: &[NodeId], window: usize, out: &mut Vec<SkipGramPair>) {
+    let n = walk.len();
+    for i in 0..n {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(n);
+        for j in lo..hi {
+            if j != i && walk[i] != walk[j] {
+                out.push(SkipGramPair { center: walk[i], context: walk[j] });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn window_one_pairs() {
+        let walk = ids(&[0, 1, 2]);
+        let mut out = Vec::new();
+        walk_to_pairs(&walk, 1, &mut out);
+        let expect = [(0u32, 1u32), (1, 0), (1, 2), (2, 1)];
+        assert_eq!(out.len(), expect.len());
+        for (c, x) in expect {
+            assert!(out.contains(&SkipGramPair { center: NodeId(c), context: NodeId(x) }));
+        }
+    }
+
+    #[test]
+    fn window_clamps_at_boundaries() {
+        let walk = ids(&[0, 1]);
+        let mut out = Vec::new();
+        walk_to_pairs(&walk, 10, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn self_pairs_skipped() {
+        let walk = ids(&[0, 1, 0]);
+        let mut out = Vec::new();
+        walk_to_pairs(&walk, 2, &mut out);
+        assert!(out.iter().all(|p| p.center != p.context));
+        // (0,1),(1,0),(1,0),(0,1): the 0<->0 pair is dropped.
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn singleton_and_empty_walks() {
+        let mut out = Vec::new();
+        walk_to_pairs(&ids(&[5]), 3, &mut out);
+        walk_to_pairs(&[], 3, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Diagnostics over sampled walks: how long they run, how often they
+//! terminate early, and which nodes they visit. Used to understand how
+//! the `p`/`q`/kernel knobs reshape historical neighborhoods (the paper's
+//! §V-H discussion infers "where relevant nodes live" from exactly these
+//! distributions).
+
+use crate::TemporalWalk;
+use ehna_tgraph::NodeId;
+use std::collections::HashMap;
+
+/// Aggregate statistics of a set of temporal walks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkStats {
+    /// Number of walks summarized.
+    pub num_walks: usize,
+    /// Mean number of nodes per walk (including the start).
+    pub mean_length: f64,
+    /// Fraction of walks that ended before reaching the configured
+    /// length budget + 1 nodes (early termination, §IV-A).
+    pub early_termination_rate: f64,
+    /// Fraction of steps that revisit the immediately preceding node
+    /// (backtracks — controlled by `p`).
+    pub backtrack_rate: f64,
+    /// Number of distinct nodes visited across all walks.
+    pub distinct_nodes: usize,
+}
+
+/// Compute [`WalkStats`] for walks sampled with a `length` budget.
+pub fn walk_stats(walks: &[TemporalWalk], length: usize) -> WalkStats {
+    assert!(!walks.is_empty(), "no walks to summarize");
+    let mut total_len = 0usize;
+    let mut early = 0usize;
+    let mut backtracks = 0usize;
+    let mut steps = 0usize;
+    let mut distinct: HashMap<NodeId, ()> = HashMap::new();
+    for w in walks {
+        total_len += w.len();
+        if w.len() < length + 1 {
+            early += 1;
+        }
+        for win in w.nodes.windows(3) {
+            steps += 1;
+            if win[0] == win[2] {
+                backtracks += 1;
+            }
+        }
+        for &v in &w.nodes {
+            distinct.insert(v, ());
+        }
+    }
+    WalkStats {
+        num_walks: walks.len(),
+        mean_length: total_len as f64 / walks.len() as f64,
+        early_termination_rate: early as f64 / walks.len() as f64,
+        backtrack_rate: if steps > 0 { backtracks as f64 / steps as f64 } else { 0.0 },
+        distinct_nodes: distinct.len(),
+    }
+}
+
+/// Per-node visit counts across walks (excluding each walk's start node),
+/// sorted descending — the empirical "relevance distribution" the
+/// attention mechanism reweights.
+pub fn visit_counts(walks: &[TemporalWalk]) -> Vec<(NodeId, usize)> {
+    let mut counts: HashMap<NodeId, usize> = HashMap::new();
+    for w in walks {
+        for &v in &w.nodes[1.min(w.nodes.len())..] {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(NodeId, usize)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehna_tgraph::Timestamp;
+
+    fn walk(nodes: &[u32]) -> TemporalWalk {
+        TemporalWalk {
+            nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+            times: nodes.iter().map(|_| Timestamp(0)).collect(),
+        }
+    }
+
+    #[test]
+    fn stats_basics() {
+        let walks = vec![walk(&[0, 1, 2, 1]), walk(&[0]), walk(&[0, 1, 2, 3])];
+        let s = walk_stats(&walks, 3);
+        assert_eq!(s.num_walks, 3);
+        assert!((s.mean_length - 3.0).abs() < 1e-12);
+        // Walk 2 (singleton) terminated early; walks 1 and 3 hit 4 nodes.
+        assert!((s.early_termination_rate - 1.0 / 3.0).abs() < 1e-12);
+        // One backtrack window (1,2,1) among 4 windows of length 3.
+        assert!((s.backtrack_rate - 0.25).abs() < 1e-12);
+        assert_eq!(s.distinct_nodes, 4);
+    }
+
+    #[test]
+    fn visit_counts_exclude_start_and_sort() {
+        let walks = vec![walk(&[9, 1, 2]), walk(&[9, 2, 2])];
+        let counts = visit_counts(&walks);
+        assert_eq!(counts[0], (NodeId(2), 3));
+        assert_eq!(counts[1], (NodeId(1), 1));
+        assert!(!counts.iter().any(|&(v, _)| v == NodeId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no walks")]
+    fn empty_input_panics() {
+        walk_stats(&[], 5);
+    }
+}

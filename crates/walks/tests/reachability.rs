@@ -1,0 +1,94 @@
+//! The temporal walk must visit only nodes in Definition 2's relevant set
+//! (validated against the exact reachability computation in
+//! `ehna_tgraph::algo`), and must be able to reach any relevant node with
+//! enough samples on small graphs.
+
+use ehna_tgraph::algo::temporal_reachable_set;
+use ehna_tgraph::{GraphBuilder, NodeId, TemporalGraph, Timestamp};
+use ehna_walks::{TemporalWalkConfig, TemporalWalker};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn arb_graph() -> impl Strategy<Value = TemporalGraph> {
+    proptest::collection::vec((0u32..16, 0u32..16, 0i64..40), 1..80).prop_filter_map(
+        "needs a non-loop edge",
+        |edges| {
+            let mut b = GraphBuilder::new();
+            let mut any = false;
+            for (a, bb, t) in edges {
+                if a != bb {
+                    b.add_edge(a, bb, t, 1.0).expect("valid");
+                    any = true;
+                }
+            }
+            any.then(|| b.build().expect("non-empty"))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn walks_stay_within_the_relevant_set(g in arb_graph(), seed in 0u64..200) {
+        let walker = TemporalWalker::new(&g, TemporalWalkConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t_ref = Timestamp(g.max_time().raw() + 1);
+        for start in 0..g.num_nodes().min(6) as u32 {
+            let relevant: HashSet<u32> =
+                temporal_reachable_set(&g, NodeId(start), t_ref)
+                    .iter()
+                    .map(|(v, _)| v.0)
+                    .collect();
+            for _ in 0..4 {
+                let w = walker.walk(NodeId(start), t_ref, &mut rng);
+                for v in &w.nodes {
+                    prop_assert!(
+                        relevant.contains(&v.0),
+                        "walk visited irrelevant node {v:?} from {start}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn enough_walks_cover_the_relevant_set() {
+    // Figure 1 graph: 200 walks of length 8 from node 1 must cover the
+    // full relevant set at t=2019 (nodes 1-8).
+    let mut b = GraphBuilder::new();
+    for &(a, bb, t) in &[
+        (1u32, 2u32, 2011i64),
+        (1, 3, 2012),
+        (2, 3, 2011),
+        (1, 4, 2013),
+        (4, 5, 2014),
+        (5, 6, 2015),
+        (1, 6, 2016),
+        (5, 8, 2016),
+        (8, 7, 2017),
+        (6, 7, 2017),
+        (1, 7, 2018),
+    ] {
+        b.add_edge(a, bb, t, 1.0).unwrap();
+    }
+    let g = b.build().unwrap();
+    let t_ref = Timestamp(2019);
+    let relevant: HashSet<u32> =
+        temporal_reachable_set(&g, NodeId(1), t_ref).iter().map(|(v, _)| v.0).collect();
+    assert_eq!(relevant.len(), 8, "{relevant:?}");
+
+    let cfg = TemporalWalkConfig { length: 8, ..Default::default() };
+    let walker = TemporalWalker::new(&g, cfg);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut visited: HashSet<u32> = HashSet::new();
+    for _ in 0..200 {
+        for v in walker.walk(NodeId(1), t_ref, &mut rng).nodes {
+            visited.insert(v.0);
+        }
+    }
+    assert_eq!(visited, relevant, "visited {visited:?} != relevant {relevant:?}");
+}

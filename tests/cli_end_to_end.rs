@@ -1,0 +1,82 @@
+//! End-to-end CLI flow: generate → stats → train → evaluate, all through
+//! the library entry point (no subprocesses).
+
+use ehna_cli::run;
+use ehna_tgraph::NodeEmbeddings;
+
+fn cli(args: &[&str]) -> Result<String, String> {
+    let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    run(&v, &mut out).map_err(|e| e.message)?;
+    Ok(String::from_utf8(out).expect("utf8 output"))
+}
+
+#[test]
+fn generate_stats_train_evaluate_pipeline() {
+    let dir = std::env::temp_dir();
+    let net = dir.join("ehna_e2e_net.txt");
+    let snap = dir.join("ehna_e2e_emb.bin");
+    let net_s = net.to_str().unwrap();
+    let snap_s = snap.to_str().unwrap();
+
+    // 1. generate
+    let out = cli(&[
+        "generate", "--dataset", "digg", "--scale", "tiny", "--seed", "5", "--out", net_s,
+    ])
+    .expect("generate");
+    assert!(out.contains("digg-like"));
+
+    // 2. stats
+    let out = cli(&["stats", net_s]).expect("stats");
+    assert!(out.contains("temporal edges"));
+
+    // 3. train (cheap method for test speed)
+    let out = cli(&[
+        "train", net_s, "--method", "line", "--dim", "16", "--epochs", "1", "--out", snap_s,
+    ])
+    .expect("train");
+    assert!(out.contains("wrote"));
+    let emb = NodeEmbeddings::load(std::fs::File::open(&snap).unwrap()).expect("snapshot");
+    assert_eq!(emb.dim(), 16);
+
+    // 4. link prediction evaluation
+    let out = cli(&[
+        "linkpred", net_s, "--method", "line", "--dim", "16", "--epochs", "1",
+    ])
+    .expect("linkpred");
+    assert!(out.contains("Weighted-L2"));
+
+    // 5. reconstruction evaluation
+    let out = cli(&[
+        "reconstruct",
+        net_s,
+        "--method",
+        "line",
+        "--dim",
+        "16",
+        "--epochs",
+        "1",
+        "--p",
+        "50,200",
+        "--sample-nodes",
+        "120",
+        "--repetitions",
+        "2",
+    ])
+    .expect("reconstruct");
+    assert!(out.contains("P=200"));
+
+    let _ = std::fs::remove_file(net);
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
+fn cli_errors_are_actionable() {
+    // Unknown method names the valid set.
+    let err = cli(&["train", "/tmp/nonexistent.txt", "--method", "gcn", "--out", "/tmp/x"])
+        .unwrap_err();
+    assert!(err.contains("node2vec"), "{err}");
+    // Missing file is a runtime error mentioning io.
+    let err = cli(&["stats", "/definitely/missing.txt"]).unwrap_err();
+    assert!(err.contains("io error"), "{err}");
+}

@@ -1,0 +1,110 @@
+//! Cross-crate invariants: the walk engines against the synthetic dataset
+//! generators at realistic sizes.
+
+use ehna::datasets::{generate, Dataset, Scale, ALL_DATASETS};
+use ehna::tgraph::Timestamp;
+use ehna::walks::{
+    CtdneConfig, CtdneWalker, NeighborhoodSampler, TemporalWalkConfig, TemporalWalker,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn temporal_walks_respect_relevance_on_every_dataset() {
+    for d in ALL_DATASETS {
+        let g = generate(d, Scale::Tiny, 1);
+        let walker = TemporalWalker::new(&g, TemporalWalkConfig::for_graph(&g));
+        let mut rng = StdRng::seed_from_u64(2);
+        let t_ref = g.max_time();
+        let mut non_trivial = 0usize;
+        for v in g.nodes().take(200) {
+            let w = walker.walk(v, t_ref, &mut rng);
+            assert!(w.times.windows(2).all(|p| p[0] >= p[1]), "{d:?}: time order broken");
+            assert!(
+                w.times[1..].iter().all(|&t| t < t_ref),
+                "{d:?}: future interaction leaked"
+            );
+            if w.len() > 2 {
+                non_trivial += 1;
+            }
+        }
+        // Realistic datasets must yield substantive histories.
+        assert!(non_trivial > 50, "{d:?}: only {non_trivial} non-trivial walks");
+    }
+}
+
+#[test]
+fn neighborhood_sampling_scales_and_is_deterministic() {
+    let g = generate(Dataset::DiggLike, Scale::Tiny, 1);
+    let sampler = NeighborhoodSampler::new(&g, TemporalWalkConfig::for_graph(&g), 10);
+    let targets: Vec<_> = g
+        .edges()
+        .iter()
+        .rev()
+        .take(100)
+        .map(|e| (e.src, e.t))
+        .collect();
+    let a = sampler.sample_batch(&targets, 1, 3);
+    let b = sampler.sample_batch(&targets, 8, 3);
+    assert_eq!(a, b, "thread count changed walk results");
+    assert_eq!(a.len(), 100);
+    assert!(a.iter().filter(|hn| hn.has_history()).count() > 80);
+}
+
+#[test]
+fn ctdne_walks_flow_forward_on_bursty_data() {
+    // The tmall-like burst concentrates events; forward walks must still
+    // respect non-decreasing time through the burst.
+    let g = generate(Dataset::TmallLike, Scale::Tiny, 1);
+    let walker = CtdneWalker::new(&g, CtdneConfig::default());
+    let mut rng = StdRng::seed_from_u64(4);
+    for i in (0..g.num_edges()).step_by(97) {
+        let w = walker.walk_from_edge(i, &mut rng);
+        let mut t = Timestamp::MIN;
+        for pair in w.windows(2) {
+            let hop = g
+                .neighbors(pair[0])
+                .iter()
+                .filter(|n| n.node == pair[1] && n.t >= t)
+                .map(|n| n.t)
+                .min()
+                .expect("phantom hop");
+            t = hop;
+        }
+    }
+}
+
+#[test]
+fn decay_kernel_biases_walks_toward_burst_era() {
+    // On tmall-like data, recent (burst-era) interactions should dominate
+    // first steps under the exponential kernel.
+    let g = generate(Dataset::TmallLike, Scale::Tiny, 1);
+    let span = g.max_time().delta(g.min_time());
+    let cfg = TemporalWalkConfig::for_graph(&g);
+    let walker = TemporalWalker::new(&g, cfg);
+    let mut rng = StdRng::seed_from_u64(5);
+    let t_ref = g.max_time();
+    let burst_start = g.max_time().raw() - (span * 0.10) as i64;
+    let mut recent = 0usize;
+    let mut total = 0usize;
+    for v in g.nodes() {
+        // Only probe nodes active across eras.
+        let nbrs = g.neighbors(v);
+        if nbrs.len() < 4 || nbrs.first().unwrap().t.raw() >= burst_start {
+            continue;
+        }
+        let w = walker.walk(v, t_ref, &mut rng);
+        if w.len() > 1 {
+            total += 1;
+            if w.times[1].raw() >= burst_start {
+                recent += 1;
+            }
+        }
+        if total >= 300 {
+            break;
+        }
+    }
+    assert!(total > 100, "not enough probes ({total})");
+    let frac = recent as f64 / total as f64;
+    assert!(frac > 0.5, "kernel not biasing to recent era: {frac:.2}");
+}
