@@ -88,11 +88,7 @@ impl EmbeddingMethod for Htne {
                 step += 1;
                 // Each undirected interaction is a formation event for both
                 // endpoints; alternate deterministically by edge index.
-                let (x, y) = if ei % 2 == 0 {
-                    (e.src, e.dst)
-                } else {
-                    (e.dst, e.src)
-                };
+                let (x, y) = if ei % 2 == 0 { (e.src, e.dst) } else { (e.dst, e.src) };
                 // History: the most recent prior neighbors of x.
                 hist_w.clear();
                 hist_id.clear();
@@ -136,6 +132,7 @@ impl EmbeddingMethod for Htne {
 impl Htne {
     /// SGD update for one (event, candidate) pair with label ∈ {0, 1}:
     /// gradient of `label·log σ(λ) + (1-label)·log σ(-λ)`.
+    #[allow(clippy::too_many_arguments)]
     fn update_event(
         &self,
         emb: &mut [f32],

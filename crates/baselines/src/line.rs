@@ -39,22 +39,13 @@ impl Line {
     /// Train one proximity order. `second_order` selects whether context
     /// vectors are separate (2nd order) or shared with vertex vectors
     /// (1st order).
-    fn train_order(
-        &self,
-        graph: &TemporalGraph,
-        second_order: bool,
-        seed: u64,
-    ) -> Vec<f32> {
+    fn train_order(&self, graph: &TemporalGraph, second_order: bool, seed: u64) -> Vec<f32> {
         let d = self.dim / 2;
         let n = graph.num_nodes();
         let mut rng = StdRng::seed_from_u64(seed);
         let scale = 0.5 / d as f32;
         let mut vertex: Vec<f32> = (0..n * d).map(|_| rng.gen_range(-scale..scale)).collect();
-        let mut context: Vec<f32> = if second_order {
-            vec![0.0; n * d]
-        } else {
-            Vec::new()
-        };
+        let mut context: Vec<f32> = if second_order { vec![0.0; n * d] } else { Vec::new() };
 
         // Weighted edge sampling + degree^0.75 noise.
         let edge_weights: Vec<f64> = graph.edges().iter().map(|e| e.w).collect();
@@ -78,11 +69,8 @@ impl Line {
             // table *is* `vertex`, so the borrow must not overlap.
             let src_vec = vertex[src * d..(src + 1) * d].to_vec();
             {
-                let (out, o_off) = if second_order {
-                    (&mut context, dst * d)
-                } else {
-                    (&mut vertex, dst * d)
-                };
+                let (out, o_off) =
+                    if second_order { (&mut context, dst * d) } else { (&mut vertex, dst * d) };
                 update(out, o_off, &src_vec, 1.0, lr, &mut grad);
             }
             for _ in 0..self.negatives {
@@ -90,11 +78,8 @@ impl Line {
                 if v == dst {
                     continue;
                 }
-                let (out, o_off) = if second_order {
-                    (&mut context, v * d)
-                } else {
-                    (&mut vertex, v * d)
-                };
+                let (out, o_off) =
+                    if second_order { (&mut context, v * d) } else { (&mut vertex, v * d) };
                 update(out, o_off, &src_vec, 0.0, lr, &mut grad);
             }
             for (w, &g) in vertex[src * d..(src + 1) * d].iter_mut().zip(&grad) {

@@ -21,11 +21,7 @@ pub struct Node2Vec {
 
 impl Default for Node2Vec {
     fn default() -> Self {
-        Node2Vec {
-            walks: Node2VecConfig::default(),
-            sgns: SkipGramConfig::default(),
-            threads: 1,
-        }
+        Node2Vec { walks: Node2VecConfig::default(), sgns: SkipGramConfig::default(), threads: 1 }
     }
 }
 
@@ -49,8 +45,7 @@ impl Node2Vec {
     /// Generate the walk corpus, optionally multi-threaded.
     pub fn corpus(&self, graph: &TemporalGraph, seed: u64) -> Vec<Vec<NodeId>> {
         let walker = Node2VecWalker::new(graph, self.walks.clone());
-        let starts: Vec<NodeId> =
-            graph.nodes().filter(|&v| graph.degree(v) > 0).collect();
+        let starts: Vec<NodeId> = graph.nodes().filter(|&v| graph.degree(v) > 0).collect();
         let per_node = self.walks.walks_per_node;
         if self.threads <= 1 {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -67,11 +62,11 @@ impl Node2Vec {
         let total = starts.len() * per_node;
         let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); total];
         let chunk = total.div_ceil(self.threads);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for (c, slots) in out.chunks_mut(chunk).enumerate() {
                 let walker = &walker;
                 let starts = &starts;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (i, slot) in slots.iter_mut().enumerate() {
                         let idx = c * chunk + i;
                         let v = starts[idx % starts.len()];
@@ -81,8 +76,7 @@ impl Node2Vec {
                     }
                 });
             }
-        })
-        .expect("walk workers do not panic");
+        });
         out
     }
 }

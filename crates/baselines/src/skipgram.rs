@@ -98,13 +98,21 @@ impl SkipGram {
             }
             for &pi in &order {
                 let pair = pairs[pi as usize];
-                let lr = self.config.initial_lr
-                    * (1.0 - step as f32 / total_steps as f32).max(1e-4);
+                let lr =
+                    self.config.initial_lr * (1.0 - step as f32 / total_steps as f32).max(1e-4);
                 step += 1;
                 let c = pair.center.index() * d;
                 grad_in.iter_mut().for_each(|x| *x = 0.0);
                 // Positive update.
-                sgns_update(&mut output, &input, c, pair.context.index() * d, 1.0, lr, &mut grad_in);
+                sgns_update(
+                    &mut output,
+                    &input,
+                    c,
+                    pair.context.index() * d,
+                    1.0,
+                    lr,
+                    &mut grad_in,
+                );
                 // Negative updates.
                 for _ in 0..self.config.negatives {
                     let n = noise.sample(&mut rng);

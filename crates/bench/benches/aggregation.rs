@@ -14,15 +14,9 @@ fn bench_aggregation(c: &mut Criterion) {
     let cfg = ehna_config(32, 7, TrainBudget::Quick);
 
     // A fixed batch of late edges (rich history).
-    let edges: Vec<(NodeId, NodeId, Timestamp)> = g
-        .edges()
-        .iter()
-        .rev()
-        .take(32)
-        .map(|e| (e.src, e.dst, e.t))
-        .collect();
-    let infer_targets: Vec<(NodeId, Timestamp)> =
-        edges.iter().map(|&(x, _, t)| (x, t)).collect();
+    let edges: Vec<(NodeId, NodeId, Timestamp)> =
+        g.edges().iter().rev().take(32).map(|e| (e.src, e.dst, e.t)).collect();
+    let infer_targets: Vec<(NodeId, Timestamp)> = edges.iter().map(|&(x, _, t)| (x, t)).collect();
 
     let mut group = c.benchmark_group("aggregation");
     group.sample_size(10).measurement_time(Duration::from_secs(8));

@@ -43,12 +43,10 @@ fn bench_nn(c: &mut Criterion) {
     let mut store2 = ParamStore::new();
     let stack = StackedLstm::new(&mut store2, "s", 64, 64, 2, &mut rng);
     group.bench_function("stacked_lstm_fwd_bwd_seq10_b64", |bch| {
-        let steps_data: Vec<Vec<f32>> =
-            (0..10).map(|_| rand_vec(64 * 64, &mut rng)).collect();
+        let steps_data: Vec<Vec<f32>> = (0..10).map(|_| rand_vec(64 * 64, &mut rng)).collect();
         bch.iter(|| {
             let mut g = Graph::new();
-            let steps: Vec<_> =
-                steps_data.iter().map(|d| g.constant(64, 64, d.clone())).collect();
+            let steps: Vec<_> = steps_data.iter().map(|d| g.constant(64, 64, d.clone())).collect();
             let h = stack.forward_sequence(&mut g, &store2, &steps);
             let sq = g.square(h);
             let loss = g.sum_all(sq);

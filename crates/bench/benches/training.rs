@@ -12,13 +12,8 @@ use std::time::Duration;
 
 fn bench_training(c: &mut Criterion) {
     let g = generate(Dataset::DblpLike, Scale::Tiny, 1);
-    let edges: Vec<(NodeId, NodeId, Timestamp)> = g
-        .edges()
-        .iter()
-        .rev()
-        .take(32)
-        .map(|e| (e.src, e.dst, e.t))
-        .collect();
+    let edges: Vec<(NodeId, NodeId, Timestamp)> =
+        g.edges().iter().rev().take(32).map(|e| (e.src, e.dst, e.t)).collect();
 
     let mut group = c.benchmark_group("training");
     group.sample_size(10).measurement_time(Duration::from_secs(8));

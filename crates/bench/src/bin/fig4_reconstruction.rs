@@ -31,10 +31,7 @@ fn main() {
         // P sweep: log-spaced up to roughly the edge count.
         let mut ps: Vec<usize> = vec![100, 300, 1_000, 3_000, 10_000, 30_000, 100_000];
         ps.retain(|&p| p <= graph.num_edges() * 10);
-        let cfg = ReconstructionConfig {
-            sample_nodes: 600.min(graph.num_nodes()),
-            repetitions: 5,
-        };
+        let cfg = ReconstructionConfig { sample_nodes: 600.min(graph.num_nodes()), repetitions: 5 };
 
         let mut table = Table::new(
             std::iter::once("P".to_string())
@@ -44,7 +41,7 @@ fn main() {
         for m in PAPER_METHOD_ORDER {
             eprintln!("[fig4] {} / {} ...", d.name(), m.name());
             let emb = m.train(&graph, args.dim, args.seed, args.budget);
-            let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF16_4);
+            let mut rng = StdRng::seed_from_u64(args.seed ^ 0xF164);
             columns.push(precision_at(&graph, &emb, &ps, &cfg, &mut rng));
         }
         for (i, &p) in ps.iter().enumerate() {

@@ -22,17 +22,11 @@ fn avg_f1(task: &LinkPredictionTask, config: EhnaConfig) -> f64 {
     let mut trainer = Trainer::new(task.train_graph(), config).expect("valid config");
     trainer.train();
     let emb = trainer.into_embeddings();
-    let total: f64 =
-        ALL_OPERATORS.iter().map(|&op| task.evaluate(&emb, op).f1).sum();
+    let total: f64 = ALL_OPERATORS.iter().map(|&op| task.evaluate(&emb, op).f1).sum();
     total / ALL_OPERATORS.len() as f64
 }
 
-fn sweep(
-    name: &str,
-    points: Vec<(String, EhnaConfig)>,
-    task: &LinkPredictionTask,
-    args: &Args,
-) {
+fn sweep(name: &str, points: Vec<(String, EhnaConfig)>, task: &LinkPredictionTask, args: &Args) {
     let mut table = Table::new([name, "Avg. F1"]);
     for (label, cfg) in points {
         eprintln!("[fig5] {name} = {label} ...");
@@ -58,9 +52,7 @@ fn main() {
     // (a) safety margin.
     sweep(
         "margin",
-        (1..=5)
-            .map(|m| (m.to_string(), EhnaConfig { margin: m as f32, ..base.clone() }))
-            .collect(),
+        (1..=5).map(|m| (m.to_string(), EhnaConfig { margin: m as f32, ..base.clone() })).collect(),
         &task,
         &args,
     );
@@ -77,22 +69,14 @@ fn main() {
     // (c) log2 p.
     sweep(
         "log2 p",
-        (-2..=2)
-            .map(|e| {
-                (e.to_string(), EhnaConfig { p: 2f64.powi(e), ..base.clone() })
-            })
-            .collect(),
+        (-2..=2).map(|e| (e.to_string(), EhnaConfig { p: 2f64.powi(e), ..base.clone() })).collect(),
         &task,
         &args,
     );
     // (d) log2 q.
     sweep(
         "log2 q",
-        (-2..=2)
-            .map(|e| {
-                (e.to_string(), EhnaConfig { q: 2f64.powi(e), ..base.clone() })
-            })
-            .collect(),
+        (-2..=2).map(|e| (e.to_string(), EhnaConfig { q: 2f64.powi(e), ..base.clone() })).collect(),
         &task,
         &args,
     );

@@ -59,9 +59,9 @@ fn run_dataset(args: &Args, d: Dataset) {
             .chain(std::iter::once("Error Reduction".to_string())),
     );
     for op in ALL_OPERATORS {
-        let per_method: Vec<BinaryMetrics> =
-            embs.iter().map(|e| task.evaluate(e, op)).collect();
-        let metric_rows: [(&str, fn(&BinaryMetrics) -> f64); 4] = [
+        let per_method: Vec<BinaryMetrics> = embs.iter().map(|e| task.evaluate(e, op)).collect();
+        type MetricGetter = fn(&BinaryMetrics) -> f64;
+        let metric_rows: [(&str, MetricGetter); 4] = [
             ("AUC", |m| m.auc),
             ("F1", |m| m.f1),
             ("Precision", |m| m.precision),
@@ -70,10 +70,8 @@ fn run_dataset(args: &Args, d: Dataset) {
         for (label, get) in metric_rows {
             let scores: Vec<f64> = per_method.iter().map(get).collect();
             // Best baseline = best of all non-EHNA columns.
-            let best_baseline = scores[..scores.len() - 1]
-                .iter()
-                .cloned()
-                .fold(f64::NEG_INFINITY, f64::max);
+            let best_baseline =
+                scores[..scores.len() - 1].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let ours = *scores.last().expect("EHNA column");
             let mut row = vec![op.name().to_string(), label.to_string()];
             row.extend(scores.iter().map(|&s| f4(s)));

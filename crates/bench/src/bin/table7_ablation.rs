@@ -19,12 +19,11 @@ fn main() {
     let args = Args::from_env();
     let datasets: Vec<_> = ALL_DATASETS
         .into_iter()
-        .filter(|d| args.only_dataset.as_deref().is_none_or(|o| o == d.name()))
+        .filter(|d| args.only_dataset.as_deref().map_or(true, |o| o == d.name()))
         .collect();
 
     let mut table = Table::new(
-        std::iter::once("Method".to_string())
-            .chain(datasets.iter().map(|d| d.name().to_string())),
+        std::iter::once("Method".to_string()).chain(datasets.iter().map(|d| d.name().to_string())),
     );
     let mut rows: Vec<Vec<String>> =
         ALL_VARIANTS.iter().map(|v| vec![v.name().to_string()]).collect();

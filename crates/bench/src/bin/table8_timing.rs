@@ -47,25 +47,43 @@ fn one_epoch_rows(graph: &TemporalGraph, args: &Args) -> Vec<(String, f64)> {
         threads,
     };
     let mut rows = Vec::new();
-    rows.push(("Node2Vec".to_string(), time_it(|| {
-        n2v(1).embed(graph, seed);
-    })));
-    rows.push(("Node2Vec 10".to_string(), time_it(|| {
-        n2v(10).embed(graph, seed);
-    })));
-    rows.push(("CTDNE".to_string(), time_it(|| {
-        ctdne(1).embed(graph, seed);
-    })));
-    rows.push(("CTDNE 10".to_string(), time_it(|| {
-        ctdne(10).embed(graph, seed);
-    })));
-    rows.push(("LINE".to_string(), time_it(|| {
-        Line { dim, samples_per_edge: if quick { 10 } else { 50 }, ..Default::default() }
-            .embed(graph, seed);
-    })));
-    rows.push(("HTNE".to_string(), time_it(|| {
-        Htne { dim, epochs: 1, ..Default::default() }.embed(graph, seed);
-    })));
+    rows.push((
+        "Node2Vec".to_string(),
+        time_it(|| {
+            n2v(1).embed(graph, seed);
+        }),
+    ));
+    rows.push((
+        "Node2Vec 10".to_string(),
+        time_it(|| {
+            n2v(10).embed(graph, seed);
+        }),
+    ));
+    rows.push((
+        "CTDNE".to_string(),
+        time_it(|| {
+            ctdne(1).embed(graph, seed);
+        }),
+    ));
+    rows.push((
+        "CTDNE 10".to_string(),
+        time_it(|| {
+            ctdne(10).embed(graph, seed);
+        }),
+    ));
+    rows.push((
+        "LINE".to_string(),
+        time_it(|| {
+            Line { dim, samples_per_edge: if quick { 10 } else { 50 }, ..Default::default() }
+                .embed(graph, seed);
+        }),
+    ));
+    rows.push((
+        "HTNE".to_string(),
+        time_it(|| {
+            Htne { dim, epochs: 1, ..Default::default() }.embed(graph, seed);
+        }),
+    ));
     rows.push(("EHNA".to_string(), {
         let cfg = ehna_config(dim, seed, args.budget);
         let mut trainer = Trainer::new(graph, cfg).expect("valid config");
@@ -80,7 +98,7 @@ fn main() {
     let args = Args::from_env();
     let datasets: Vec<_> = ALL_DATASETS
         .into_iter()
-        .filter(|d| args.only_dataset.as_deref().is_none_or(|o| o == d.name()))
+        .filter(|d| args.only_dataset.as_deref().map_or(true, |o| o == d.name()))
         .collect();
     let mut table = Table::new(
         std::iter::once("Method".to_string())

@@ -45,20 +45,15 @@ impl Args {
         let mut out = Args::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("flag {name} needs a value"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("flag {name} needs a value"));
             match flag.as_str() {
                 "--scale" => out.scale = value("--scale")?.parse()?,
                 "--dim" => {
-                    out.dim = value("--dim")?
-                        .parse()
-                        .map_err(|e| format!("bad --dim: {e}"))?;
+                    out.dim = value("--dim")?.parse().map_err(|e| format!("bad --dim: {e}"))?;
                 }
                 "--seed" => {
-                    out.seed = value("--seed")?
-                        .parse()
-                        .map_err(|e| format!("bad --seed: {e}"))?;
+                    out.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
                 }
                 "--budget" => out.budget = value("--budget")?.parse()?,
                 "--out" => out.out = PathBuf::from(value("--out")?),
@@ -116,8 +111,18 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let a = parse(&[
-            "--scale", "small", "--dim", "32", "--seed", "7", "--budget", "full", "--out",
-            "/tmp/r", "--dataset", "yelp",
+            "--scale",
+            "small",
+            "--dim",
+            "32",
+            "--seed",
+            "7",
+            "--budget",
+            "full",
+            "--out",
+            "/tmp/r",
+            "--dataset",
+            "yelp",
         ])
         .unwrap();
         assert_eq!(a.scale, Scale::Small);

@@ -48,13 +48,8 @@ pub enum Method {
 }
 
 /// Column order of Tables III–VI.
-pub const PAPER_METHOD_ORDER: [Method; 5] = [
-    Method::Line,
-    Method::Node2Vec,
-    Method::Ctdne,
-    Method::Htne,
-    Method::Ehna(EhnaVariant::Full),
-];
+pub const PAPER_METHOD_ORDER: [Method; 5] =
+    [Method::Line, Method::Node2Vec, Method::Ctdne, Method::Htne, Method::Ehna(EhnaVariant::Full)];
 
 impl Method {
     /// Table column label.
@@ -83,12 +78,10 @@ impl Method {
     ) -> NodeEmbeddings {
         let quick = budget == TrainBudget::Quick;
         match self {
-            Method::Line => Line {
-                dim,
-                samples_per_edge: if quick { 30 } else { 50 },
-                ..Default::default()
+            Method::Line => {
+                Line { dim, samples_per_edge: if quick { 30 } else { 50 }, ..Default::default() }
+                    .embed(graph, seed)
             }
-            .embed(graph, seed),
             Method::Node2Vec => Node2Vec {
                 walks: Node2VecConfig {
                     length: if quick { 20 } else { 80 },
@@ -104,10 +97,7 @@ impl Method {
             }
             .embed(graph, seed),
             Method::Ctdne => Ctdne {
-                walks: CtdneConfig {
-                    length: if quick { 20 } else { 80 },
-                    ..Default::default()
-                },
+                walks: CtdneConfig { length: if quick { 20 } else { 80 }, ..Default::default() },
                 walks_per_node: if quick { 4 } else { 10 },
                 sgns: SkipGramConfig {
                     dim,
@@ -117,22 +107,15 @@ impl Method {
                 threads: 1,
             }
             .embed(graph, seed),
-            Method::Htne => Htne {
-                dim,
-                epochs: if quick { 3 } else { 10 },
-                ..Default::default()
-            }
-            .embed(graph, seed),
+            Method::Htne => Htne { dim, epochs: if quick { 3 } else { 10 }, ..Default::default() }
+                .embed(graph, seed),
             Method::Ehna(variant) => {
                 // §IV-D: bipartite (user–item) networks need the
                 // bidirectional objective Eq. 7.
                 let bidirectional = ehna_tgraph::algo::is_bipartite(graph);
-                let config = variant.configure(EhnaConfig {
-                    bidirectional,
-                    ..ehna_config(dim, seed, budget)
-                });
-                let mut trainer =
-                    Trainer::new(graph, config).expect("valid EHNA config");
+                let config = variant
+                    .configure(EhnaConfig { bidirectional, ..ehna_config(dim, seed, budget) });
+                let mut trainer = Trainer::new(graph, config).expect("valid EHNA config");
                 trainer.train();
                 trainer.into_embeddings()
             }

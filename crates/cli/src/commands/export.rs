@@ -19,9 +19,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let flags = Flags::parse(args, HELP)?;
     flags.expect_known(&["out"])?;
     let snapshot = flags.one_positional("snapshot file")?;
-    let emb = NodeEmbeddings::load(
-        std::fs::File::open(snapshot).map_err(io_err)?,
-    )?;
+    let emb = NodeEmbeddings::load(std::fs::File::open(snapshot).map_err(io_err)?)?;
 
     let mut sink: Box<dyn Write> = match flags.get("out") {
         Some(path) => Box::new(std::fs::File::create(path).map_err(io_err)?),
@@ -65,11 +63,10 @@ mod tests {
         assert!(s.starts_with("0\t1\t2"));
 
         let tsv = dir.join("ehna_cli_export.tsv");
-        let args: Vec<String> =
-            [snap.to_str().unwrap(), "--out", tsv.to_str().unwrap()]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = [snap.to_str().unwrap(), "--out", tsv.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut buf = Vec::new();
         run(&args, &mut buf).unwrap();
         let content = std::fs::read_to_string(&tsv).unwrap();

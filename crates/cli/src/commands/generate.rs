@@ -21,7 +21,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .ok_or_else(|| CliError::usage("--dataset is required"))?
         .parse()
         .map_err(CliError::usage)?;
-    let scale: Scale = flags.get_or("scale", Scale::Tiny).map_err(|e| e)?;
+    let scale: Scale = flags.get_or("scale", Scale::Tiny)?;
     let seed: u64 = flags.get_or("seed", 42)?;
     let path = flags.get("out").ok_or_else(|| CliError::usage("--out is required"))?;
 

@@ -21,15 +21,7 @@ operators.";
 /// Run the subcommand.
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let flags = Flags::parse(args, HELP)?;
-    flags.expect_known(&[
-        "method",
-        "dim",
-        "epochs",
-        "walks",
-        "walk-length",
-        "seed",
-        "holdout",
-    ])?;
+    flags.expect_known(&["method", "dim", "epochs", "walks", "walk-length", "seed", "holdout"])?;
     let input = flags.one_positional("edge-list file")?;
     let mut methods: Vec<MethodName> = Vec::new();
     for name in flags.all("method") {
@@ -133,10 +125,8 @@ mod tests {
         let path = std::env::temp_dir().join("ehna_cli_lp_test2.txt");
         let g = generate(Dataset::DiggLike, Scale::Tiny, 3);
         write_edge_list_path(&g, &path).unwrap();
-        let args: Vec<String> = [path.to_str().unwrap(), "--holdout", "1.5"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> =
+            [path.to_str().unwrap(), "--holdout", "1.5"].iter().map(|s| s.to_string()).collect();
         let mut buf = Vec::new();
         assert!(run(&args, &mut buf).is_err());
         let _ = std::fs::remove_file(path);

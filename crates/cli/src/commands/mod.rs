@@ -4,7 +4,9 @@ pub mod export;
 pub mod generate;
 pub mod linkpred;
 pub mod nodeclass;
+pub mod query;
 pub mod reconstruct;
+pub mod serve;
 pub mod stats;
 pub mod train;
 

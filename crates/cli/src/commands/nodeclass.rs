@@ -85,13 +85,11 @@ mod tests {
 
     #[test]
     fn runs_with_line() {
-        let args: Vec<String> = [
-            "--method", "line", "--nodes", "60", "--events", "600", "--dim", "8", "--epochs",
-            "1",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        let args: Vec<String> =
+            ["--method", "line", "--nodes", "60", "--events", "600", "--dim", "8", "--epochs", "1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
         let mut buf = Vec::new();
         run(&args, &mut buf).unwrap();
         let s = String::from_utf8(buf).unwrap();

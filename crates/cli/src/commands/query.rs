@@ -1,0 +1,258 @@
+//! `ehna query` — one-shot client for a running `ehna serve` instance.
+
+use crate::commands::io_err;
+use crate::flags::Flags;
+use crate::CliError;
+use ehna_serve::{query_lines, Json};
+use std::io::Write;
+
+const HELP: &str = "ehna query — query a running `ehna serve` instance
+
+usage: ehna query --addr HOST:PORT (--node KEY | --vector V | --pairs P |
+                  --stats | --ping) [--k N] [--explain] [--raw]
+
+exactly one of:
+  --node KEY      top-k neighbors of a stored node (name or decimal id)
+  --vector V      top-k neighbors of a free vector, e.g. --vector 0.1,0.2
+  --pairs P       link scores for candidate edges, e.g. --pairs a:b,c:d
+                  (squared Euclidean, Eq. 5 — lower = stronger link)
+  --stats         serving counters and latency percentiles
+  --ping          liveness check
+
+flags:
+  --addr ADDR     server address (default 127.0.0.1:7878)
+  --k N           neighbors to return (default 10)
+  --explain       include probed IVF centroids and the exact-vs-approx
+                  rank agreement with each k-NN answer
+  --raw           print the raw JSON response instead of formatting";
+
+/// Switch-style flags (present/absent, no value).
+const SWITCHES: &[&str] = &["stats", "ping", "explain", "raw"];
+
+/// Build the request document from the parsed flags.
+fn build_request(flags: &Flags) -> Result<Json, CliError> {
+    let k = flags.get_or("k", 10usize)?;
+    let explain = flags.has("explain");
+    let modes = [
+        flags.has("node"),
+        flags.has("vector"),
+        flags.has("pairs"),
+        flags.has("stats"),
+        flags.has("ping"),
+    ];
+    if modes.iter().filter(|&&m| m).count() != 1 {
+        return Err(CliError::usage(format!(
+            "need exactly one of --node/--vector/--pairs/--stats/--ping\n{HELP}"
+        )));
+    }
+    if let Some(node) = flags.get("node") {
+        let mut fields = vec![
+            ("op".to_string(), Json::Str("knn".into())),
+            ("node".to_string(), Json::Str(node.to_string())),
+            ("k".to_string(), Json::Num(k as f64)),
+        ];
+        if explain {
+            fields.push(("explain".to_string(), Json::Bool(true)));
+        }
+        return Ok(Json::Obj(fields));
+    }
+    if let Some(vector) = flags.get("vector") {
+        let values: Vec<Json> = vector
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|e| CliError::usage(format!("bad --vector entry '{tok}': {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut fields = vec![
+            ("op".to_string(), Json::Str("knn".into())),
+            ("vector".to_string(), Json::Arr(values)),
+            ("k".to_string(), Json::Num(k as f64)),
+        ];
+        if explain {
+            fields.push(("explain".to_string(), Json::Bool(true)));
+        }
+        return Ok(Json::Obj(fields));
+    }
+    if let Some(pairs) = flags.get("pairs") {
+        let parsed: Vec<Json> = pairs
+            .split(',')
+            .map(|pair| {
+                let (a, b) = pair.split_once(':').ok_or_else(|| {
+                    CliError::usage(format!("bad --pairs entry '{pair}' (want src:dst)"))
+                })?;
+                Ok(Json::Arr(vec![
+                    Json::Str(a.trim().to_string()),
+                    Json::Str(b.trim().to_string()),
+                ]))
+            })
+            .collect::<Result<_, CliError>>()?;
+        return Ok(Json::obj([("op", Json::Str("score".into())), ("pairs", Json::Arr(parsed))]));
+    }
+    if flags.has("stats") {
+        return Ok(Json::obj([("op", Json::Str("stats".into()))]));
+    }
+    Ok(Json::obj([("op", Json::Str("ping".into()))]))
+}
+
+/// Render a response document for humans.
+fn format_response(resp: &Json, out: &mut dyn Write) -> std::io::Result<()> {
+    if resp.get("ok") != Some(&Json::Bool(true)) {
+        let msg = resp.get("error").and_then(Json::as_str).unwrap_or("unknown error");
+        return writeln!(out, "server error: {msg}");
+    }
+    if let Some(neighbors) = resp.get("neighbors").and_then(Json::as_arr) {
+        let cached = resp.get("cached") == Some(&Json::Bool(true));
+        writeln!(
+            out,
+            "rank  node                      id      dist{}",
+            if cached { "   (cached)" } else { "" }
+        )?;
+        for (rank, nb) in neighbors.iter().enumerate() {
+            writeln!(
+                out,
+                "{:>4}  {:<24}  {:>6}  {:.6}",
+                rank + 1,
+                nb.get("node").and_then(Json::as_str).unwrap_or("?"),
+                nb.get("id").and_then(Json::as_f64).unwrap_or(-1.0) as i64,
+                nb.get("dist").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            )?;
+        }
+        if let Some(explain) = resp.get("explain") {
+            let probed = explain
+                .get("probed_centroids")
+                .and_then(Json::as_arr)
+                .map(|cs| {
+                    cs.iter()
+                        .filter_map(Json::as_f64)
+                        .map(|c| (c as i64).to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+                .unwrap_or_default();
+            writeln!(out, "probed centroids: [{probed}]")?;
+            if let Some(scanned) = explain.get("scanned").and_then(Json::as_f64) {
+                writeln!(out, "rows scanned exactly: {}", scanned as i64)?;
+            }
+            if let Some(agree) = explain.get("rank_agreement").and_then(Json::as_f64) {
+                writeln!(out, "exact/approx rank agreement: {agree:.3}")?;
+            }
+        }
+        return Ok(());
+    }
+    if let Some(scores) = resp.get("scores").and_then(Json::as_arr) {
+        for (i, s) in scores.iter().enumerate() {
+            writeln!(out, "pair {i}: score {:.6}", s.as_f64().unwrap_or(f64::NAN))?;
+        }
+        return Ok(());
+    }
+    if resp.get("pong").is_some() {
+        return writeln!(out, "pong");
+    }
+    // stats (or any future op): dump fields one per line.
+    if let Json::Obj(fields) = resp {
+        for (key, value) in fields {
+            if key != "ok" {
+                writeln!(out, "{key}: {value}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the subcommand.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse_with_switches(args, HELP, SWITCHES)?;
+    flags.expect_known(&[
+        "addr", "node", "vector", "pairs", "stats", "ping", "k", "explain", "raw",
+    ])?;
+    if !flags.positionals().is_empty() {
+        return Err(CliError::usage(format!("unexpected positional arguments\n{HELP}")));
+    }
+    let request = build_request(&flags)?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+    let responses = query_lines(addr, &[request.to_string()])
+        .map_err(|e| CliError::runtime(format!("cannot query {addr}: {e}")))?;
+    let line = responses.into_iter().next().unwrap_or_default();
+    if flags.has("raw") {
+        writeln!(out, "{line}").map_err(io_err)?;
+        return Ok(());
+    }
+    let resp = Json::parse(&line)
+        .map_err(|e| CliError::runtime(format!("bad response from server: {e}")))?;
+    format_response(&resp, out).map_err(io_err)?;
+    if resp.get("ok") != Some(&Json::Bool(true)) {
+        return Err(CliError::runtime("server reported an error".to_string()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(list: &[&str]) -> Flags {
+        let args: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+        Flags::parse_with_switches(&args, HELP, SWITCHES).unwrap()
+    }
+
+    #[test]
+    fn builds_knn_request() {
+        let req = build_request(&parse(&["--node", "alice", "--k", "3"])).unwrap();
+        assert_eq!(req.to_string(), r#"{"op":"knn","node":"alice","k":3}"#);
+        let req = build_request(&parse(&["--node", "alice", "--explain"])).unwrap();
+        assert!(req.to_string().contains(r#""explain":true"#));
+    }
+
+    #[test]
+    fn builds_vector_and_pairs_requests() {
+        let req = build_request(&parse(&["--vector", "0.5, -1"])).unwrap();
+        assert_eq!(req.to_string(), r#"{"op":"knn","vector":[0.5,-1],"k":10}"#);
+        let req = build_request(&parse(&["--pairs", "a:b, c:d"])).unwrap();
+        assert_eq!(req.to_string(), r#"{"op":"score","pairs":[["a","b"],["c","d"]]}"#);
+        let req = build_request(&parse(&["--stats"])).unwrap();
+        assert_eq!(req.to_string(), r#"{"op":"stats"}"#);
+    }
+
+    #[test]
+    fn mode_conflicts_are_usage_errors() {
+        assert!(build_request(&parse(&[])).is_err());
+        assert!(build_request(&parse(&["--node", "a", "--ping"])).is_err());
+        assert!(build_request(&parse(&["--vector", "zero,one"])).is_err());
+        assert!(build_request(&parse(&["--pairs", "nocolon"])).is_err());
+    }
+
+    #[test]
+    fn formats_responses() {
+        let resp = Json::parse(
+            r#"{"ok":true,"k":1,"neighbors":[{"node":"bob","id":1,"dist":0.25}],"cached":false,
+                "explain":{"probed_centroids":[2,0],"scanned":12,"rank_agreement":1}}"#
+                .replace('\n', " ")
+                .trim(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        format_response(&resp, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("bob"));
+        assert!(text.contains("probed centroids: [2, 0]"));
+        assert!(text.contains("rank agreement: 1.000"));
+
+        let err = Json::parse(r#"{"ok":false,"error":"boom"}"#).unwrap();
+        let mut buf = Vec::new();
+        format_response(&err, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("boom"));
+    }
+
+    #[test]
+    fn unreachable_server_is_runtime_error() {
+        // Port 1 on localhost is essentially never listening.
+        let args: Vec<String> =
+            ["--addr", "127.0.0.1:1", "--ping"].iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let err = run(&args, &mut buf).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+}

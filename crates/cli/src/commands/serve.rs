@@ -1,0 +1,178 @@
+//! `ehna serve` — serve an embedding snapshot over line-delimited JSON
+//! on TCP.
+
+use crate::commands::io_err;
+use crate::flags::Flags;
+use crate::CliError;
+use ehna_serve::{
+    BruteForceIndex, EmbeddingStore, EngineConfig, IvfConfig, IvfIndex, KnnIndex, QueryEngine,
+    Server,
+};
+use std::io::Write;
+use std::sync::Arc;
+
+const HELP: &str = "ehna serve — serve an embedding snapshot over TCP
+
+usage: ehna serve SNAPSHOT [--names FILE] [--addr HOST:PORT]
+                  [--index ivf|brute] [--clusters N] [--nprobe N]
+                  [--workers N] [--batch N] [--cache N]
+
+Protocol: one JSON request per line, one JSON response per line:
+  {\"op\":\"knn\",\"node\":\"alice\",\"k\":10}
+  {\"op\":\"knn\",\"vector\":[0.1,0.2],\"k\":5,\"explain\":true}
+  {\"op\":\"score\",\"pairs\":[[\"alice\",\"bob\"]]}
+  {\"op\":\"stats\"}
+Distances are squared Euclidean (Eq. 5): lower = stronger link.
+
+flags:
+  --names FILE    name map saved alongside the snapshot (one name per
+                  line, line i names node i); queries may then use names
+  --addr ADDR     listen address (default 127.0.0.1:7878; port 0 picks
+                  an ephemeral port)
+  --index KIND    ivf (cluster-pruned, default for >= 4096 nodes) or
+                  brute (exact, default below that)
+  --clusters N    IVF cluster count (default sqrt(n))
+  --nprobe N      IVF clusters probed per query (default 8)
+  --workers N     query worker threads (default 2)
+  --batch N       max requests drained per worker wakeup (default 32)
+  --cache N       hot-node cache entries (default 1024, 0 disables)";
+
+/// Parse flags, load the snapshot, build the index, and bind the socket.
+/// Split from [`run`] — and public — so tests and embedders can drive a
+/// bound server without blocking on the accept loop.
+pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError> {
+    let flags = Flags::parse(args, HELP)?;
+    flags.expect_known(&[
+        "names", "addr", "index", "clusters", "nprobe", "workers", "batch", "cache",
+    ])?;
+    let snapshot = flags.one_positional("snapshot file")?;
+    let store = Arc::new(
+        EmbeddingStore::open(snapshot, flags.get("names"))
+            .map_err(|e| CliError::runtime(e.to_string()))?,
+    );
+    writeln!(out, "loaded {} x {} snapshot from {snapshot}", store.num_nodes(), store.dim())
+        .map_err(io_err)?;
+
+    let kind = match flags.get("index") {
+        Some(k) => k.to_string(),
+        None => if store.num_nodes() >= 4096 { "ivf" } else { "brute" }.to_string(),
+    };
+    let index: Box<dyn KnnIndex> = match kind.as_str() {
+        "brute" => Box::new(BruteForceIndex::new(Arc::clone(&store))),
+        "ivf" => {
+            let config = IvfConfig {
+                num_clusters: flags
+                    .get("clusters")
+                    .map(str::parse)
+                    .transpose()
+                    .map_err(|e| CliError::usage(format!("bad --clusters: {e}")))?,
+                nprobe: flags.get_or("nprobe", 8usize)?,
+                ..Default::default()
+            };
+            let ivf = IvfIndex::build(Arc::clone(&store), config);
+            writeln!(
+                out,
+                "built ivf index: {} clusters, nprobe {}",
+                ivf.num_clusters(),
+                ivf.nprobe()
+            )
+            .map_err(io_err)?;
+            Box::new(ivf)
+        }
+        other => return Err(CliError::usage(format!("unknown index '{other}'"))),
+    };
+
+    let engine_config = EngineConfig {
+        workers: flags.get_or("workers", 2usize)?.max(1),
+        batch_max: flags.get_or("batch", 32usize)?.max(1),
+        cache_capacity: flags.get_or("cache", 1024usize)?,
+    };
+    let engine = Arc::new(QueryEngine::new(store, index, engine_config));
+
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+    let server = Server::bind(addr, engine)
+        .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?;
+    writeln!(out, "serving on {}", server.local_addr().map_err(io_err)?).map_err(io_err)?;
+    Ok(server)
+}
+
+/// Run the subcommand (blocks in the accept loop until killed).
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    prepare(args, out)?.run().map_err(io_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehna_serve::{query_lines, Json};
+    use ehna_tgraph::NodeEmbeddings;
+
+    fn snapshot_file(name: &str, n: usize, dim: usize) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        let data: Vec<f32> = (0..n * dim).map(|i| (i % 17) as f32 * 0.25).collect();
+        NodeEmbeddings::from_vec(dim, data).save_path(&path).unwrap();
+        path
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serves_over_the_wire() {
+        let snap = snapshot_file("ehna_cli_serve.bin", 30, 4);
+        let mut buf = Vec::new();
+        let server = prepare(
+            &args(&[snap.to_str().unwrap(), "--addr", "127.0.0.1:0", "--workers", "1"]),
+            &mut buf,
+        )
+        .unwrap();
+        let handle = server.spawn().unwrap();
+        let banner = String::from_utf8(buf).unwrap();
+        assert!(banner.contains("serving on"), "banner: {banner}");
+
+        let responses =
+            query_lines(handle.addr(), &[r#"{"op":"knn","node":"3","k":2}"#.to_string()]).unwrap();
+        let resp = Json::parse(&responses[0]).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        handle.shutdown();
+        let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
+    fn ivf_flags_are_honored() {
+        let snap = snapshot_file("ehna_cli_serve_ivf.bin", 64, 4);
+        let mut buf = Vec::new();
+        let server = prepare(
+            &args(&[
+                snap.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--index",
+                "ivf",
+                "--clusters",
+                "4",
+                "--nprobe",
+                "2",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        drop(server);
+        let banner = String::from_utf8(buf).unwrap();
+        assert!(banner.contains("4 clusters, nprobe 2"), "banner: {banner}");
+        let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
+    fn bad_flags_are_usage_errors() {
+        let snap = snapshot_file("ehna_cli_serve_bad.bin", 8, 2);
+        let mut buf = Vec::new();
+        let err =
+            prepare(&args(&[snap.to_str().unwrap(), "--index", "faiss"]), &mut buf).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = prepare(&args(&["/nonexistent/snapshot.bin"]), &mut buf).unwrap_err();
+        assert_eq!(err.code, 1);
+        let _ = std::fs::remove_file(snap);
+    }
+}

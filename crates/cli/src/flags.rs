@@ -18,6 +18,17 @@ pub struct Flags {
 impl Flags {
     /// Parse `args`; `help` is returned as the usage error on `--help`.
     pub fn parse(args: &[String], help: &str) -> Result<Self, CliError> {
+        Self::parse_with_switches(args, help, &[])
+    }
+
+    /// Like [`Flags::parse`], but flags named in `switches` are bare
+    /// booleans (`--explain`) that never consume the next token; they
+    /// record the value `"true"` and answer [`Flags::has`].
+    pub fn parse_with_switches(
+        args: &[String],
+        help: &str,
+        switches: &[&str],
+    ) -> Result<Self, CliError> {
         let mut flags = Flags::default();
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -25,15 +36,24 @@ impl Flags {
                 return Err(CliError::usage(help.to_string()));
             }
             if let Some(name) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| CliError::usage(format!("flag --{name} needs a value")))?;
-                flags.values.entry(name.to_string()).or_default().push(value.clone());
+                let value = if switches.contains(&name) {
+                    "true".to_string()
+                } else {
+                    it.next()
+                        .ok_or_else(|| CliError::usage(format!("flag --{name} needs a value")))?
+                        .clone()
+                };
+                flags.values.entry(name.to_string()).or_default().push(value);
             } else {
                 flags.positionals.push(a.clone());
             }
         }
         Ok(flags)
+    }
+
+    /// Whether a flag or switch was given at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.values.contains_key(name)
     }
 
     /// The positional arguments, in order.
@@ -67,9 +87,9 @@ impl Flags {
     {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse::<T>()
-                .map_err(|e| CliError::usage(format!("bad --{name} '{raw}': {e}"))),
+            Some(raw) => {
+                raw.parse::<T>().map_err(|e| CliError::usage(format!("bad --{name} '{raw}': {e}")))
+            }
         }
     }
 
@@ -153,5 +173,19 @@ mod tests {
     fn missing_value_is_error() {
         let v: Vec<String> = vec!["--dim".into()];
         assert!(Flags::parse(&v, "h").is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let v: Vec<String> =
+            ["--explain", "--k", "5", "--raw"].iter().map(|s| s.to_string()).collect();
+        let f = Flags::parse_with_switches(&v, "h", &["explain", "raw"]).unwrap();
+        assert!(f.has("explain"));
+        assert!(f.has("raw"));
+        assert!(!f.has("stats"));
+        assert_eq!(f.get_or("k", 0usize).unwrap(), 5);
+        // A trailing switch must not demand a value.
+        let v: Vec<String> = vec!["--raw".into()];
+        assert!(Flags::parse_with_switches(&v, "h", &["raw"]).is_ok());
     }
 }

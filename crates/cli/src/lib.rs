@@ -68,6 +68,8 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "linkpred" => commands::linkpred::run(rest, out),
         "nodeclass" => commands::nodeclass::run(rest, out),
         "reconstruct" => commands::reconstruct::run(rest, out),
+        "serve" => commands::serve::run(rest, out),
+        "query" => commands::query::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage()).map_err(|e| CliError::runtime(e.to_string()))
         }
@@ -88,6 +90,8 @@ commands:
   linkpred     run the future-link-prediction evaluation
   reconstruct  run the network-reconstruction evaluation
   nodeclass    node classification on a temporal SBM (extension)
+  serve        serve an embedding snapshot over JSON-on-TCP
+  query        query a running serve instance (knn / score / stats)
   help         show this message
 
 run `ehna <command> --help` for per-command flags"

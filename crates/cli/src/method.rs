@@ -146,12 +146,10 @@ impl MethodName {
                 }
                 .embed(graph, opts.seed)
             }
-            MethodName::Htne => Htne {
-                dim: opts.dim,
-                epochs: opts.epochs.max(1) * 2,
-                ..Default::default()
+            MethodName::Htne => {
+                Htne { dim: opts.dim, epochs: opts.epochs.max(1) * 2, ..Default::default() }
+                    .embed(graph, opts.seed)
             }
-            .embed(graph, opts.seed),
         };
         Ok(emb)
     }
@@ -194,13 +192,8 @@ mod tests {
             b.add_edge(i, (i + 3) % 9, i as i64 + 1, 1.0).unwrap();
         }
         let g = b.build().unwrap();
-        let opts = TrainOptions {
-            dim: 8,
-            epochs: 1,
-            num_walks: 2,
-            walk_length: 3,
-            ..Default::default()
-        };
+        let opts =
+            TrainOptions { dim: 8, epochs: 1, num_walks: 2, walk_length: 3, ..Default::default() };
         for name in METHOD_NAMES {
             let m = MethodName::parse(name).unwrap();
             let e = m.train(&g, &opts).unwrap();

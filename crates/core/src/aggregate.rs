@@ -81,8 +81,7 @@ pub(crate) fn aggregate_batch(
         // Node-level attention (Eq. 3): softmax over walk positions of
         // -(1/S_v) * ||e_x - e_v||^2, then scale each step's embeddings.
         if model.config.attention && len > 1 {
-            let grp_targets: Vec<u32> =
-                members.iter().map(|&u| target_ids[units[u].0]).collect();
+            let grp_targets: Vec<u32> = members.iter().map(|&u| target_ids[units[u].0]).collect();
             let e_grp = g.gather(&model.store, model.embeddings, &grp_targets);
             let mut dist_cols: Vec<Var> = Vec::with_capacity(len);
             for &x_t in &steps {
@@ -109,11 +108,8 @@ pub(crate) fn aggregate_batch(
     }
 
     // BN + ReLU over every unit representation at once (Algorithm 1 line 4).
-    let all_reps = if group_outputs.len() == 1 {
-        group_outputs[0]
-    } else {
-        g.concat_rows(&group_outputs)
-    };
+    let all_reps =
+        if group_outputs.len() == 1 { group_outputs[0] } else { g.concat_rows(&group_outputs) };
     let all_reps = if train {
         model.bn_node.forward_train(g, &model.store, all_reps)
     } else {
@@ -129,9 +125,8 @@ pub(crate) fn aggregate_batch(
 
     // ------------------------------------------------- walk-level stage
     let k = model.config.num_walks;
-    let mut slot_reps: Vec<Var> = (0..k)
-        .map(|j| reassemble_rows(g, all_reps, &unit_row, batch, k, j))
-        .collect();
+    let mut slot_reps: Vec<Var> =
+        (0..k).map(|j| reassemble_rows(g, all_reps, &unit_row, batch, k, j)).collect();
 
     if model.config.attention && k > 1 {
         // Walk-level attention (Eq. 4): softmax over the k walks of
@@ -252,15 +247,9 @@ mod tests {
 
     fn toy() -> TemporalGraph {
         let mut b = GraphBuilder::new();
-        for &(x, y, t) in &[
-            (0u32, 1u32, 1i64),
-            (1, 2, 2),
-            (2, 3, 3),
-            (0, 2, 4),
-            (1, 3, 5),
-            (3, 4, 6),
-            (0, 4, 7),
-        ] {
+        for &(x, y, t) in
+            &[(0u32, 1u32, 1i64), (1, 2, 2), (2, 3, 3), (0, 2, 4), (1, 3, 5), (3, 4, 6), (0, 4, 7)]
+        {
             b.add_edge(x, y, t, 1.0).unwrap();
         }
         b.build().unwrap()

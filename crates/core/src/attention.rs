@@ -50,9 +50,7 @@ impl TimeNormalizer {
 /// over one element is 1 regardless).
 pub fn node_time_coefficients(walk: &TemporalWalk, norm: &TimeNormalizer) -> Vec<f32> {
     let sums = time_sums(walk, |t| norm.unit(t));
-    sums.into_iter()
-        .map(|s| if s > 0.0 { (1.0 / s) as f32 } else { 0.0 })
-        .collect()
+    sums.into_iter().map(|s| if s > 0.0 { (1.0 / s) as f32 } else { 0.0 }).collect()
 }
 
 /// The walk-level temporal coefficient `γ_r` (Eq. 4's constant part).

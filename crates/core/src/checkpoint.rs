@@ -32,10 +32,7 @@ fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
 
 fn write_f32s<W: Write>(w: &mut W, xs: &[f32]) -> io::Result<()> {
     write_u32(w, xs.len() as u32)?;
-    for &x in xs {
-        w.write_all(&x.to_le_bytes())?;
-    }
-    Ok(())
+    ehna_nn::ioutil::write_f32_block(w, xs)
 }
 
 fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
@@ -43,13 +40,7 @@ fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
     if n > (1 << 24) {
         return Err(bad("implausible stat block"));
     }
-    let mut out = Vec::with_capacity(n);
-    let mut b = [0u8; 4];
-    for _ in 0..n {
-        r.read_exact(&mut b)?;
-        out.push(f32::from_le_bytes(b));
-    }
-    Ok(out)
+    ehna_nn::ioutil::read_f32_block(r, n)
 }
 
 impl EhnaModel {

@@ -112,13 +112,11 @@ impl<'g> Trainer<'g> {
         let edges = self.graph.edges();
         let mut total = 0.0f64;
         let mut count = 0usize;
-        let mut batch_idx = 0u64;
-        for chunk in edges.chunks(bs) {
+        for (batch_idx, chunk) in edges.chunks(bs).enumerate() {
             let pairs: Vec<(NodeId, NodeId, Timestamp)> =
                 chunk.iter().map(|e| (e.src, e.dst, e.t)).collect();
-            total += self.train_batch(&pairs, batch_idx);
+            total += self.train_batch(&pairs, batch_idx as u64);
             count += 1;
-            batch_idx += 1;
         }
         (total / count.max(1) as f64, count)
     }
@@ -193,8 +191,7 @@ impl<'g> Trainer<'g> {
         // Reassemble Z_n in the original q-major negative order.
         let z_n = match z_fb {
             None => {
-                let rows: Vec<u32> =
-                    neg_slot.iter().map(|&(_, i)| 2 * b as u32 + i).collect();
+                let rows: Vec<u32> = neg_slot.iter().map(|&(_, i)| 2 * b as u32 + i).collect();
                 g.select_rows(z_all, &rows)
             }
             Some(fb) => {
@@ -206,10 +203,8 @@ impl<'g> Trainer<'g> {
                     g.concat_rows(&[agg_part, fb])
                 };
                 let offset = if agg_negs.is_empty() { 0 } else { agg_negs.len() as u32 };
-                let rows: Vec<u32> = neg_slot
-                    .iter()
-                    .map(|&(agg, i)| if agg { i } else { offset + i })
-                    .collect();
+                let rows: Vec<u32> =
+                    neg_slot.iter().map(|&(agg, i)| if agg { i } else { offset + i }).collect();
                 g.select_rows(combined, &rows)
             }
         };
@@ -290,8 +285,7 @@ impl<'g> Trainer<'g> {
             self.model.walk_config(self.graph),
             self.model.config.num_walks,
         );
-        let hns =
-            sampler.sample_batch(targets, self.model.config.threads, self.model.config.seed);
+        let hns = sampler.sample_batch(targets, self.model.config.threads, self.model.config.seed);
         let mut g = Graph::new();
         let z = aggregate_batch(&mut self.model, &mut g, &hns, train_mode);
         g.value(z).to_vec()
@@ -406,16 +400,12 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let g = two_communities();
-        let mut trainer =
-            Trainer::new(&g, EhnaConfig { epochs: 6, ..tiny_cfg() }).unwrap();
+        let mut trainer = Trainer::new(&g, EhnaConfig { epochs: 6, ..tiny_cfg() }).unwrap();
         let report = trainer.train();
         assert_eq!(report.epoch_losses.len(), 6);
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().unwrap();
-        assert!(
-            last < first * 0.9,
-            "no learning: first epoch {first:.4}, last {last:.4}"
-        );
+        assert!(last < first * 0.9, "no learning: first epoch {first:.4}, last {last:.4}");
         assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
     }
 
@@ -460,10 +450,7 @@ mod tests {
             }
         }
         let (intra, inter) = (intra / n_intra as f64, inter / n_inter as f64);
-        assert!(
-            intra < inter,
-            "communities not separated: intra {intra:.4} vs inter {inter:.4}"
-        );
+        assert!(intra < inter, "communities not separated: intra {intra:.4} vs inter {inter:.4}");
     }
 
     #[test]

@@ -42,16 +42,10 @@ impl EhnaVariant {
         match self {
             EhnaVariant::Full => base,
             EhnaVariant::NoAttention => EhnaConfig { attention: false, ..base },
-            EhnaVariant::StaticWalks => EhnaConfig {
-                attention: false,
-                walk_style: WalkStyle::Static,
-                ..base
-            },
-            EhnaVariant::SingleLevel => EhnaConfig {
-                attention: false,
-                two_level: false,
-                ..base
-            },
+            EhnaVariant::StaticWalks => {
+                EhnaConfig { attention: false, walk_style: WalkStyle::Static, ..base }
+            }
+            EhnaVariant::SingleLevel => EhnaConfig { attention: false, two_level: false, ..base },
         }
     }
 }

@@ -196,12 +196,10 @@ mod tests {
     fn yelp_is_not_bursty() {
         let cfg = BipartiteConfig::yelp(300, 150, 5_000);
         let g = cfg.generate(11);
-        let last5 = g
-            .edges()
-            .iter()
-            .filter(|e| e.t.raw() >= (0.95 * cfg.horizon as f64) as i64)
-            .count() as f64
-            / 5_000.0;
+        let last5 =
+            g.edges().iter().filter(|e| e.t.raw() >= (0.95 * cfg.horizon as f64) as i64).count()
+                as f64
+                / 5_000.0;
         assert!(last5 < 0.10, "yelp tail mass {last5:.3} unexpectedly bursty");
     }
 

@@ -71,22 +71,23 @@ impl CoauthorConfig {
         let mut joined = 4usize; // initial seed group
         let mut seen_pairs: std::collections::HashSet<(u32, u32)> = Default::default();
 
-        let add_pair = |a: u32,
-                            b: u32,
-                            year: i64,
-                            builder: &mut GraphBuilder,
-                            collaborators: &mut [Vec<u32>],
-                            seen_pairs: &mut std::collections::HashSet<(u32, u32)>| {
-            if a == b {
-                return;
-            }
-            builder.add_edge(a, b, year, 1.0).expect("validated ids");
-            let key = (a.min(b), a.max(b));
-            if seen_pairs.insert(key) {
-                collaborators[a as usize].push(b);
-                collaborators[b as usize].push(a);
-            }
-        };
+        let add_pair =
+            |a: u32,
+             b: u32,
+             year: i64,
+             builder: &mut GraphBuilder,
+             collaborators: &mut [Vec<u32>],
+             seen_pairs: &mut std::collections::HashSet<(u32, u32)>| {
+                if a == b {
+                    return;
+                }
+                builder.add_edge(a, b, year, 1.0).expect("validated ids");
+                let key = (a.min(b), a.max(b));
+                if seen_pairs.insert(key) {
+                    collaborators[a as usize].push(b);
+                    collaborators[b as usize].push(a);
+                }
+            };
 
         // Seed clique: the founding group writes one paper in year y0.
         for a in 0..4u32 {
@@ -120,8 +121,7 @@ impl CoauthorConfig {
             }
             // Papers this year.
             let n_papers = ((joined as f64 / 100.0) * self.papers_per_100_authors).ceil() as usize;
-            let activity: Vec<f64> =
-                (0..joined).map(|u| papers_count[u] as f64 + 1.0).collect();
+            let activity: Vec<f64> = (0..joined).map(|u| papers_count[u] as f64 + 1.0).collect();
             let lead_sampler = match CumulativeSampler::new(&activity) {
                 Some(s) => s,
                 None => continue,
@@ -134,27 +134,26 @@ impl CoauthorConfig {
                 while team.len() < size && guard < 50 {
                     guard += 1;
                     let r: f64 = rng.gen();
-                    let candidate = if r < self.repeat_collab
-                        && !collaborators[lead as usize].is_empty()
-                    {
-                        let cs = &collaborators[lead as usize];
-                        cs[rng.gen_range(0..cs.len())]
-                    } else if r < self.repeat_collab + self.introduction {
-                        // introduction: collaborator of a random team member
-                        let via = team[rng.gen_range(0..team.len())];
-                        let cs = &collaborators[via as usize];
-                        if cs.is_empty() {
-                            continue;
-                        }
-                        let bridge = cs[rng.gen_range(0..cs.len())];
-                        let cs2 = &collaborators[bridge as usize];
-                        if cs2.is_empty() {
-                            continue;
-                        }
-                        cs2[rng.gen_range(0..cs2.len())]
-                    } else {
-                        rng.gen_range(0..joined) as u32
-                    };
+                    let candidate =
+                        if r < self.repeat_collab && !collaborators[lead as usize].is_empty() {
+                            let cs = &collaborators[lead as usize];
+                            cs[rng.gen_range(0..cs.len())]
+                        } else if r < self.repeat_collab + self.introduction {
+                            // introduction: collaborator of a random team member
+                            let via = team[rng.gen_range(0..team.len())];
+                            let cs = &collaborators[via as usize];
+                            if cs.is_empty() {
+                                continue;
+                            }
+                            let bridge = cs[rng.gen_range(0..cs.len())];
+                            let cs2 = &collaborators[bridge as usize];
+                            if cs2.is_empty() {
+                                continue;
+                            }
+                            cs2[rng.gen_range(0..cs2.len())]
+                        } else {
+                            rng.gen_range(0..joined) as u32
+                        };
                     if !team.contains(&candidate) {
                         team.push(candidate);
                     }

@@ -52,10 +52,7 @@ impl CommunityConfig {
     /// community.
     pub fn generate(&self, seed: u64) -> (TemporalGraph, Vec<usize>) {
         assert!(self.num_communities >= 2, "need at least 2 communities");
-        assert!(
-            self.num_nodes >= 2 * self.num_communities,
-            "need at least 2 nodes per community"
-        );
+        assert!(self.num_nodes >= 2 * self.num_communities, "need at least 2 nodes per community");
         let mut rng = StdRng::seed_from_u64(seed);
         let k = self.num_communities;
         // Round-robin labels, then shuffled so ids carry no signal.
@@ -124,7 +121,7 @@ mod tests {
         let (g, labels) = cfg.generate(1);
         assert_eq!(labels.len(), g.num_nodes());
         for c in 0..cfg.num_communities {
-            assert!(labels.iter().any(|&l| l == c), "community {c} empty");
+            assert!(labels.contains(&c), "community {c} empty");
         }
     }
 
@@ -132,11 +129,8 @@ mod tests {
     fn intra_community_edges_dominate() {
         let cfg = CommunityConfig::default();
         let (g, labels) = cfg.generate(2);
-        let intra = g
-            .edges()
-            .iter()
-            .filter(|e| labels[e.src.index()] == labels[e.dst.index()])
-            .count();
+        let intra =
+            g.edges().iter().filter(|e| labels[e.src.index()] == labels[e.dst.index()]).count();
         let frac = intra as f64 / g.num_edges() as f64;
         assert!(frac > 0.7, "only {frac:.2} intra-community");
     }

@@ -116,18 +116,12 @@ impl fmt::Display for Scale {
 pub fn generate(dataset: Dataset, scale: Scale, seed: u64) -> TemporalGraph {
     let f = scale.factor();
     match dataset {
-        Dataset::DiggLike => SocialConfig {
-            num_nodes: 400 * f,
-            edges_per_node: 5,
-            ..Default::default()
+        Dataset::DiggLike => {
+            SocialConfig { num_nodes: 400 * f, edges_per_node: 5, ..Default::default() }
+                .generate(seed)
         }
-        .generate(seed),
-        Dataset::YelpLike => {
-            BipartiteConfig::yelp(300 * f, 150 * f, 2_400 * f).generate(seed)
-        }
-        Dataset::TmallLike => {
-            BipartiteConfig::tmall(350 * f, 200 * f, 3_400 * f).generate(seed)
-        }
+        Dataset::YelpLike => BipartiteConfig::yelp(300 * f, 150 * f, 2_400 * f).generate(seed),
+        Dataset::TmallLike => BipartiteConfig::tmall(350 * f, 200 * f, 3_400 * f).generate(seed),
         Dataset::DblpLike => CoauthorConfig {
             num_authors: 250 * f,
             papers_per_100_authors: 10.0,

@@ -68,12 +68,12 @@ impl SocialConfig {
         let mut last_active = vec![0i64; self.num_nodes];
 
         let connect = |a: u32,
-                           b: u32,
-                           t: i64,
-                           builder: &mut GraphBuilder,
-                           degree: &mut [usize],
-                           adj: &mut [Vec<u32>],
-                           last_active: &mut [i64]|
+                       b: u32,
+                       t: i64,
+                       builder: &mut GraphBuilder,
+                       degree: &mut [usize],
+                       adj: &mut [Vec<u32>],
+                       last_active: &mut [i64]|
          -> bool {
             if a == b || adj[a as usize].contains(&b) {
                 return false;
@@ -103,8 +103,7 @@ impl SocialConfig {
             let mut attempts = 0usize;
             while formed < m && attempts < m * 20 {
                 attempts += 1;
-                let target = if rng.gen_bool(self.triadic_closure) && !adj[v as usize].is_empty()
-                {
+                let target = if rng.gen_bool(self.triadic_closure) && !adj[v as usize].is_empty() {
                     // close a triangle through a random existing friend
                     let f = adj[v as usize][rng.gen_range(0..adj[v as usize].len())];
                     let fn_list = &adj[f as usize];

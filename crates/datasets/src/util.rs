@@ -36,7 +36,6 @@ impl CumulativeSampler {
         let x = rng.gen_range(0.0..total);
         self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
     }
-
 }
 
 /// Zipf-distributed ranks: weight of rank `i` (0-based) is

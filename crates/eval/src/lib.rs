@@ -27,7 +27,7 @@ pub mod reconstruction;
 pub mod split;
 
 pub use linkpred::{LinkPredictionConfig, LinkPredictionOutcome, LinkPredictionTask};
-pub use logreg::{LogisticRegression, LogRegConfig};
+pub use logreg::{LogRegConfig, LogisticRegression};
 pub use metrics::{auc, error_reduction, BinaryMetrics};
 pub use nodeclass::{NodeClassificationConfig, NodeClassificationResult};
 pub use operators::EdgeOperator;

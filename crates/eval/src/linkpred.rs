@@ -206,12 +206,14 @@ mod tests {
         b.build().unwrap()
     }
 
-    /// Oracle embeddings: clique membership as a one-hot axis.
+    /// Oracle embeddings: clique membership as a ±1 sign on axis 0, so the
+    /// Hadamard product is +1 for intra-clique pairs and −1 for
+    /// cross-clique pairs — separable on a single axis no matter which
+    /// examples land in the classifier's train split.
     fn oracle(n: usize) -> NodeEmbeddings {
         let mut e = NodeEmbeddings::zeros(n, 2);
         for v in 0..n {
-            let axis = usize::from(v >= 8);
-            e.get_mut(NodeId(v as u32))[axis] = 1.0;
+            e.get_mut(NodeId(v as u32))[0] = if v >= 8 { -1.0 } else { 1.0 };
         }
         e
     }
@@ -230,7 +232,7 @@ mod tests {
         let g = growing_cliques();
         let task = LinkPredictionTask::prepare(&g, LinkPredictionConfig::default());
         let e = oracle(g.num_nodes());
-        // Hadamard on one-hot clique axes perfectly separates intra- from
+        // Hadamard on signed clique axes perfectly separates intra- from
         // inter-clique pairs.
         let m = task.evaluate(&e, EdgeOperator::Hadamard);
         assert!(m.auc > 0.95, "oracle auc {:.3}", m.auc);

@@ -62,8 +62,7 @@ impl LogisticRegression {
             let mut grad_b = 0.0f64;
             let mut loss = 0.0f64;
             for (row, &y) in features.iter().zip(labels) {
-                let z: f64 =
-                    row.iter().zip(&w).map(|(&x, &wi)| x as f64 * wi).sum::<f64>() + b;
+                let z: f64 = row.iter().zip(&w).map(|(&x, &wi)| x as f64 * wi).sum::<f64>() + b;
                 let p = 1.0 / (1.0 + (-z).exp());
                 let target = if y { 1.0 } else { 0.0 };
                 let err = p - target;
@@ -94,11 +93,7 @@ impl LogisticRegression {
     /// Predicted probability of the positive class.
     pub fn predict_proba(&self, features: &[f32]) -> f64 {
         debug_assert_eq!(features.len(), self.weights.len());
-        let z: f64 = features
-            .iter()
-            .zip(&self.weights)
-            .map(|(&x, &w)| x as f64 * w)
-            .sum::<f64>()
+        let z: f64 = features.iter().zip(&self.weights).map(|(&x, &w)| x as f64 * w).sum::<f64>()
             + self.bias;
         1.0 / (1.0 + (-z).exp())
     }
@@ -130,10 +125,7 @@ mod tests {
         for i in 0..n {
             let pos = i % 2 == 0;
             let c = if pos { 1.0 } else { -1.0 };
-            xs.push(vec![
-                c + rng.gen_range(-0.4..0.4f32),
-                c + rng.gen_range(-0.4..0.4f32),
-            ]);
+            xs.push(vec![c + rng.gen_range(-0.4..0.4f32), c + rng.gen_range(-0.4..0.4f32)]);
             ys.push(pos);
         }
         (xs, ys)
@@ -143,11 +135,8 @@ mod tests {
     fn separable_data_is_learned() {
         let (xs, ys) = blobs(200, 1);
         let model = LogisticRegression::fit(&xs, &ys, &LogRegConfig::default());
-        let correct = xs
-            .iter()
-            .zip(&ys)
-            .filter(|(x, &y)| (model.predict_proba(x) >= 0.5) == y)
-            .count();
+        let correct =
+            xs.iter().zip(&ys).filter(|(x, &y)| (model.predict_proba(x) >= 0.5) == y).count();
         assert!(correct >= 195, "only {correct}/200 correct");
     }
 
@@ -164,8 +153,10 @@ mod tests {
     #[test]
     fn regularization_shrinks_weights() {
         let (xs, ys) = blobs(100, 3);
-        let weak = LogisticRegression::fit(&xs, &ys, &LogRegConfig { l2: 1e-6, ..Default::default() });
-        let strong = LogisticRegression::fit(&xs, &ys, &LogRegConfig { l2: 1.0, ..Default::default() });
+        let weak =
+            LogisticRegression::fit(&xs, &ys, &LogRegConfig { l2: 1e-6, ..Default::default() });
+        let strong =
+            LogisticRegression::fit(&xs, &ys, &LogRegConfig { l2: 1.0, ..Default::default() });
         let norm = |m: &LogisticRegression| m.weights.iter().map(|w| w * w).sum::<f64>();
         assert!(norm(&strong) < norm(&weak));
     }

@@ -82,12 +82,7 @@ pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
         }
         i = j + 1;
     }
-    let rank_sum: f64 = labels
-        .iter()
-        .zip(&ranks)
-        .filter(|(&l, _)| l)
-        .map(|(_, &r)| r)
-        .sum();
+    let rank_sum: f64 = labels.iter().zip(&ranks).filter(|(&l, _)| l).map(|(_, &r)| r).sum();
     (rank_sum - pos as f64 * (pos as f64 + 1.0) / 2.0) / (pos as f64 * neg as f64)
 }
 

@@ -193,6 +193,6 @@ mod tests {
     #[should_panic(expected = "at least two classes")]
     fn single_class_rejected() {
         let e = NodeEmbeddings::zeros(10, 2);
-        evaluate(&e, &vec![0; 10], &NodeClassificationConfig::default());
+        evaluate(&e, &[0; 10], &NodeClassificationConfig::default());
     }
 }

@@ -43,9 +43,7 @@ impl EdgeOperator {
         match self {
             EdgeOperator::Mean => out.extend(ex.iter().zip(ey).map(|(&a, &b)| (a + b) / 2.0)),
             EdgeOperator::Hadamard => out.extend(ex.iter().zip(ey).map(|(&a, &b)| a * b)),
-            EdgeOperator::WeightedL1 => {
-                out.extend(ex.iter().zip(ey).map(|(&a, &b)| (a - b).abs()))
-            }
+            EdgeOperator::WeightedL1 => out.extend(ex.iter().zip(ey).map(|(&a, &b)| (a - b).abs())),
             EdgeOperator::WeightedL2 => {
                 out.extend(ex.iter().zip(ey).map(|(&a, &b)| (a - b) * (a - b)))
             }

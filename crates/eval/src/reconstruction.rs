@@ -70,11 +70,7 @@ pub fn precision_at<R: Rng + ?Sized>(
 }
 
 /// Sample up to `count` distinct nodes that have at least one edge.
-fn sample_nodes<R: Rng + ?Sized>(
-    graph: &TemporalGraph,
-    count: usize,
-    rng: &mut R,
-) -> Vec<NodeId> {
+fn sample_nodes<R: Rng + ?Sized>(graph: &TemporalGraph, count: usize, rng: &mut R) -> Vec<NodeId> {
     let active: Vec<NodeId> = graph.nodes().filter(|&v| graph.degree(v) > 0).collect();
     if active.len() <= count {
         return active;

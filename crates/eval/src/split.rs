@@ -31,9 +31,7 @@ pub fn temporal_split(graph: &TemporalGraph, holdout: f64) -> TemporalSplit {
     assert!(keep >= 1, "split leaves no training edges");
     // Cut at a timestamp boundary so equal-time edges are not separated.
     let cutoff = graph.edge(keep.min(m - 1)).t;
-    let train = graph
-        .subgraph_before(cutoff)
-        .expect("holdout < 1 guarantees training edges");
+    let train = graph.subgraph_before(cutoff).expect("holdout < 1 guarantees training edges");
     let mut train_pairs: HashSet<(NodeId, NodeId)> = HashSet::new();
     for e in train.edges() {
         train_pairs.insert((e.src, e.dst));

@@ -42,7 +42,7 @@ pub fn check_grads(
     };
 
     for id in store.ids().collect::<Vec<_>>() {
-        for j in 0..store.value(id).len() {
+        for (j, &a) in analytic[id.index()].iter().enumerate() {
             let orig = store.value(id)[j];
             store.value_mut(id)[j] = orig + h;
             let up = eval(store, &mut build);
@@ -50,7 +50,6 @@ pub fn check_grads(
             let down = eval(store, &mut build);
             store.value_mut(id)[j] = orig;
             let numeric = ((up - down) / (2.0 * h as f64)) as f32;
-            let a = analytic[id.index()][j];
             let denom = 1.0f32.max(a.abs()).max(numeric.abs());
             if (a - numeric).abs() > tol * denom {
                 return Err(format!(
@@ -83,10 +82,7 @@ mod tests {
         store.add_param(name, rows, cols, v)
     }
 
-    fn expect_ok(
-        store: &mut ParamStore,
-        build: impl FnMut(&mut Graph, &ParamStore) -> Var,
-    ) {
+    fn expect_ok(store: &mut ParamStore, build: impl FnMut(&mut Graph, &ParamStore) -> Var) {
         check_grads(store, build, 1e-2, 3e-2).unwrap();
     }
 

@@ -580,8 +580,7 @@ impl Graph {
                         for j in 0..cols {
                             let gij = g[i * cols + j];
                             self.grads[a as usize][i * cols + j] += gij / bv[j];
-                            self.grads[b as usize][j] -=
-                                gij * av[i * cols + j] / (bv[j] * bv[j]);
+                            self.grads[b as usize][j] -= gij * av[i * cols + j] / (bv[j] * bv[j]);
                         }
                     }
                 }
@@ -603,8 +602,7 @@ impl Graph {
                         for j in 0..cols {
                             let gij = g[i * cols + j];
                             self.grads[a as usize][i * cols + j] += gij / cv[i];
-                            self.grads[c as usize][i] -=
-                                gij * av[i * cols + j] / (cv[i] * cv[i]);
+                            self.grads[c as usize][i] -= gij * av[i * cols + j] / (cv[i] * cv[i]);
                         }
                     }
                 }

@@ -1,0 +1,59 @@
+//! Bulk binary IO helpers for `f32` blocks.
+//!
+//! Checkpoint and snapshot formats in this workspace store large
+//! little-endian `f32` blocks (model parameters, batch-norm statistics).
+//! Reading or writing them one element at a time costs a syscall-bounded
+//! `Read::read_exact`/`Write::write_all` per float; these helpers convert
+//! whole blocks through a single contiguous byte buffer instead, which is
+//! what the serving path's snapshot loads want.
+
+use std::io::{self, Read, Write};
+
+/// Write `xs` as one contiguous little-endian block (single `write_all`).
+pub fn write_f32_block<W: Write>(w: &mut W, xs: &[f32]) -> io::Result<()> {
+    let mut buf = vec![0u8; xs.len() * 4];
+    for (chunk, &x) in buf.chunks_exact_mut(4).zip(xs) {
+        chunk.copy_from_slice(&x.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+/// Read `n` little-endian `f32`s as one block (single `read_exact`).
+pub fn read_f32_block<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<f32>> {
+    let mut buf = vec![0u8; n * 4];
+    r.read_exact(&mut buf)?;
+    Ok(buf.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4"))).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let xs = vec![0.0f32, -1.5, f32::MIN_POSITIVE, 3.25e7, -0.0, f32::MAX];
+        let mut buf = Vec::new();
+        write_f32_block(&mut buf, &xs).unwrap();
+        assert_eq!(buf.len(), xs.len() * 4);
+        let back = read_f32_block(&mut &buf[..], xs.len()).unwrap();
+        assert_eq!(
+            xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            back.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_block_roundtrips() {
+        let mut buf = Vec::new();
+        write_f32_block(&mut buf, &[]).unwrap();
+        assert!(buf.is_empty());
+        assert!(read_f32_block(&mut &buf[..], 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_block_errors() {
+        let mut buf = Vec::new();
+        write_f32_block(&mut buf, &[1.0, 2.0]).unwrap();
+        assert!(read_f32_block(&mut &buf[..7], 2).is_err());
+    }
+}

@@ -94,14 +94,7 @@ impl LstmCell {
 
     /// One step: `(x [batch,in], h [batch,hidden], c [batch,hidden])`
     /// → `(h', c')`.
-    pub fn step(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        x: Var,
-        h: Var,
-        c: Var,
-    ) -> (Var, Var) {
+    pub fn step(&self, g: &mut Graph, store: &ParamStore, x: Var, h: Var, c: Var) -> (Var, Var) {
         assert_eq!(x.cols(), self.in_dim, "lstm input width");
         assert_eq!(h.cols(), self.hidden, "lstm hidden width");
         let w_ih = g.param(store, self.w_ih);
@@ -130,12 +123,7 @@ impl LstmCell {
 
     /// Run a whole sequence (`steps[t]` is `[batch, in_dim]`), starting
     /// from zero state; returns the final hidden state.
-    pub fn forward_sequence(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        steps: &[Var],
-    ) -> Var {
+    pub fn forward_sequence(&self, g: &mut Graph, store: &ParamStore, steps: &[Var]) -> Var {
         assert!(!steps.is_empty(), "empty sequence");
         let batch = steps[0].rows();
         let mut h = g.constant(batch, self.hidden, vec![0.0; batch * self.hidden]);
@@ -192,12 +180,7 @@ impl StackedLstm {
 
     /// Run the stack over a sequence; returns the top layer's final hidden
     /// state `[batch, hidden]`.
-    pub fn forward_sequence(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        steps: &[Var],
-    ) -> Var {
+    pub fn forward_sequence(&self, g: &mut Graph, store: &ParamStore, steps: &[Var]) -> Var {
         assert!(!steps.is_empty(), "empty sequence");
         let batch = steps[0].rows();
         let mut states: Vec<(Var, Var)> = self

@@ -41,9 +41,10 @@
 //! assert_eq!(store.grad(w), &[1.0, 1.0, 1.0, 1.0]);
 //! ```
 
-mod graph;
 pub mod gradcheck;
+mod graph;
 pub mod init;
+pub mod ioutil;
 mod kernels;
 pub mod layers;
 pub mod optim;

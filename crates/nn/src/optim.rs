@@ -39,10 +39,7 @@ impl Sgd {
     /// Apply one update from the accumulated gradients, then zero them.
     pub fn step(&mut self, store: &mut ParamStore) {
         if self.velocity.len() != store.len() {
-            self.velocity = store
-                .ids()
-                .map(|id| vec![0.0; store.value(id).len()])
-                .collect();
+            self.velocity = store.ids().map(|id| vec![0.0; store.value(id).len()]).collect();
         }
         for id in store.ids().collect::<Vec<_>>() {
             let i = id.index();

@@ -134,9 +134,7 @@ impl ParamStore {
             w.write_all(name)?;
             w.write_all(&(p.rows as u32).to_le_bytes())?;
             w.write_all(&(p.cols as u32).to_le_bytes())?;
-            for &v in &p.value {
-                w.write_all(&v.to_le_bytes())?;
-            }
+            crate::ioutil::write_f32_block(&mut w, &p.value)?;
         }
         Ok(())
     }
@@ -170,12 +168,7 @@ impl ParamStore {
             let name = String::from_utf8(name).map_err(|_| bad("non-utf8 name"))?;
             let rows = read_u32(&mut r)? as usize;
             let cols = read_u32(&mut r)? as usize;
-            let mut value = Vec::with_capacity(rows * cols);
-            let mut f32buf = [0u8; 4];
-            for _ in 0..rows * cols {
-                r.read_exact(&mut f32buf)?;
-                value.push(f32::from_le_bytes(f32buf));
-            }
+            let value = crate::ioutil::read_f32_block(&mut r, rows * cols)?;
             store.add_param(name, rows, cols, value);
         }
         Ok(store)
@@ -209,12 +202,7 @@ impl ParamStore {
 
     /// Global L2 norm of all gradients (for clipping diagnostics).
     pub fn grad_norm(&self) -> f32 {
-        self.params
-            .iter()
-            .flat_map(|p| p.grad.iter())
-            .map(|g| g * g)
-            .sum::<f32>()
-            .sqrt()
+        self.params.iter().flat_map(|p| p.grad.iter()).map(|g| g * g).sum::<f32>().sqrt()
     }
 }
 

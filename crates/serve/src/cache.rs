@@ -1,0 +1,121 @@
+//! A small least-recently-used cache for hot node queries.
+//!
+//! Implementation: a `HashMap` from key to (value, last-touch stamp) plus
+//! a monotonic counter. Eviction scans for the minimum stamp — O(capacity),
+//! which is deliberate: serving caches are small (hundreds to a few
+//! thousand entries) and the scan avoids the unsafe pointer juggling of an
+//! intrusive list.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An LRU cache. Not internally synchronized — wrap in a lock to share.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, (V, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Cache holding at most `capacity` entries; capacity 0 disables
+    /// caching (every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache { map: HashMap::with_capacity(capacity.min(4096)), capacity, tick: 0 }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key`, refreshing its recency on hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = tick;
+            &*v
+        })
+    }
+
+    /// Insert (or refresh) `key`, evicting the least recently used entry
+    /// if at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c = LruCache::new(2);
+        assert!(c.is_empty());
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), None);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.get(&"a"); // refresh a; b is now oldest
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None, "b should have been evicted");
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh, not a new entry
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        c.insert(1u32, "x");
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! The batched query engine: a pool of worker threads draining a shared
+//! request channel, a hot-node LRU cache, and latency accounting.
+//!
+//! Callers block on a per-request reply channel, so the public API stays
+//! synchronous while the workers batch under load: each worker drains up
+//! to `batch_max` queued requests after its blocking receive, amortizing
+//! wakeups when the queue runs deep.
+
+use crate::cache::LruCache;
+use crate::index::{BruteForceIndex, KnnIndex, Neighbor, SearchInfo};
+use crate::stats::{EngineStats, StatsSnapshot};
+use crate::store::EmbeddingStore;
+use crate::ServeError;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use ehna_tgraph::NodeId;
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Maximum requests one worker drains per wakeup.
+    pub batch_max: usize,
+    /// Hot-node cache entries (`(node, k)` keys); 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { workers: 2, batch_max: 32, cache_capacity: 1024 }
+    }
+}
+
+/// A k-NN answer plus serving metadata.
+#[derive(Debug, Clone)]
+pub struct KnnResult {
+    /// Nearest neighbors, ascending by distance.
+    pub neighbors: Vec<Neighbor>,
+    /// Whether the answer came from the hot-node cache.
+    pub cached: bool,
+    /// Probe diagnostics (explain requests only).
+    pub info: Option<SearchInfo>,
+    /// Fraction of positions where the approximate ranking matches the
+    /// exact oracle ranking (explain requests only).
+    pub agreement: Option<f64>,
+}
+
+enum Request {
+    KnnNode { id: NodeId, k: usize, explain: bool },
+    KnnVector { vector: Vec<f32>, k: usize, explain: bool },
+    Score { pairs: Vec<(NodeId, NodeId)> },
+}
+
+enum Response {
+    Knn(KnnResult),
+    Scores(Vec<f64>),
+}
+
+struct Job {
+    req: Request,
+    started: Instant,
+    reply: Sender<Result<Response, ServeError>>,
+}
+
+/// Cached k-NN answers, keyed by `(node id, k)`.
+type KnnCache = LruCache<(u32, usize), Arc<Vec<Neighbor>>>;
+
+struct Shared {
+    store: Arc<EmbeddingStore>,
+    index: Box<dyn KnnIndex>,
+    oracle: BruteForceIndex,
+    cache: Mutex<KnnCache>,
+    stats: EngineStats,
+}
+
+/// The multi-threaded query engine over one immutable snapshot.
+pub struct QueryEngine {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl QueryEngine {
+    /// Spawn the worker pool over `store`, answering k-NN queries with
+    /// `index` (the exact oracle used by explain requests is always a
+    /// brute-force scan over the same store).
+    pub fn new(store: Arc<EmbeddingStore>, index: Box<dyn KnnIndex>, config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            oracle: BruteForceIndex::new(Arc::clone(&store)),
+            store,
+            index,
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            stats: EngineStats::default(),
+        });
+        let (tx, rx) = unbounded::<Job>();
+        let batch_max = config.batch_max.max(1);
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx: Receiver<Job> = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&rx, &shared, batch_max))
+            })
+            .collect();
+        QueryEngine { tx: Some(tx), workers, shared }
+    }
+
+    /// The snapshot being served.
+    pub fn store(&self) -> &Arc<EmbeddingStore> {
+        &self.shared.store
+    }
+
+    /// Short label of the serving index ("brute" or "ivf").
+    pub fn index_kind(&self) -> &'static str {
+        self.shared.index.kind()
+    }
+
+    /// Top-`k` neighbors of a stored node (the node itself is excluded).
+    ///
+    /// # Errors
+    /// Unknown node, or an engine shut down mid-request.
+    pub fn knn_node(&self, id: NodeId, k: usize, explain: bool) -> Result<KnnResult, ServeError> {
+        self.shared.store.row(id)?; // fail fast before queueing
+        match self.submit(Request::KnnNode { id, k, explain })? {
+            Response::Knn(r) => Ok(r),
+            Response::Scores(_) => unreachable!("knn request got score response"),
+        }
+    }
+
+    /// Top-`k` neighbors of a free query vector.
+    ///
+    /// # Errors
+    /// Dimension mismatch, or an engine shut down mid-request.
+    pub fn knn_vector(
+        &self,
+        vector: Vec<f32>,
+        k: usize,
+        explain: bool,
+    ) -> Result<KnnResult, ServeError> {
+        if vector.len() != self.shared.store.dim() {
+            return Err(ServeError::Dimension {
+                expected: self.shared.store.dim(),
+                got: vector.len(),
+            });
+        }
+        match self.submit(Request::KnnVector { vector, k, explain })? {
+            Response::Knn(r) => Ok(r),
+            Response::Scores(_) => unreachable!("knn request got score response"),
+        }
+    }
+
+    /// Link scores (squared Euclidean, Eq. 5 — lower = stronger) for a
+    /// batch of candidate edges, in input order.
+    ///
+    /// # Errors
+    /// Any unknown endpoint fails the whole batch.
+    pub fn score_pairs(&self, pairs: Vec<(NodeId, NodeId)>) -> Result<Vec<f64>, ServeError> {
+        for &(a, b) in &pairs {
+            self.shared.store.row(a)?;
+            self.shared.store.row(b)?;
+        }
+        match self.submit(Request::Score { pairs })? {
+            Response::Scores(s) => Ok(s),
+            Response::Knn(_) => unreachable!("score request got knn response"),
+        }
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    fn submit(&self, req: Request) -> Result<Response, ServeError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let job = Job { req, started: Instant::now(), reply: reply_tx };
+        self.tx
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(job)
+            .map_err(|_| ServeError::Closed)?;
+        reply_rx.recv().map_err(|_| ServeError::Closed)?
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers after the queue drains.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("index", &self.index_kind())
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker_loop(rx: &Receiver<Job>, shared: &Shared, batch_max: usize) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = Vec::with_capacity(batch_max);
+        batch.push(first);
+        while batch.len() < batch_max {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        for job in batch {
+            let resp = process(shared, job.req);
+            shared.stats.latency.record(job.started.elapsed());
+            // A caller that gave up (disconnected reply channel) is fine.
+            let _ = job.reply.send(resp);
+        }
+    }
+}
+
+fn process(shared: &Shared, req: Request) -> Result<Response, ServeError> {
+    match req {
+        Request::KnnNode { id, k, explain } => {
+            if !explain {
+                if let Some(hit) = shared.cache.lock().get(&(id.0, k)) {
+                    shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Response::Knn(KnnResult {
+                        neighbors: hit.as_ref().clone(),
+                        cached: true,
+                        info: None,
+                        agreement: None,
+                    }));
+                }
+            }
+            shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let query = shared.store.embeddings().get(id).to_vec();
+            let mut result = knn(shared, &query, k, explain, Some(id));
+            if !explain {
+                shared.cache.lock().insert((id.0, k), Arc::new(result.neighbors.clone()));
+            }
+            result.cached = false;
+            Ok(Response::Knn(result))
+        }
+        Request::KnnVector { vector, k, explain } => {
+            shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            Ok(Response::Knn(knn(shared, &vector, k, explain, None)))
+        }
+        Request::Score { pairs } => {
+            let scores = pairs
+                .into_iter()
+                .map(|(a, b)| shared.store.link_score(a, b))
+                .collect::<Result<Vec<f64>, _>>()?;
+            Ok(Response::Scores(scores))
+        }
+    }
+}
+
+/// Run one k-NN search, excluding `exclude` from the results, optionally
+/// with probe diagnostics and oracle rank agreement.
+fn knn(
+    shared: &Shared,
+    query: &[f32],
+    k: usize,
+    explain: bool,
+    exclude: Option<NodeId>,
+) -> KnnResult {
+    // Ask for one extra so self-exclusion still yields k hits.
+    let fetch = k + usize::from(exclude.is_some());
+    let (mut neighbors, info) = shared.index.search_explained(query, fetch);
+    if let Some(id) = exclude {
+        neighbors.retain(|n| n.id != id);
+    }
+    neighbors.truncate(k);
+    if !explain {
+        return KnnResult { neighbors, cached: false, info: None, agreement: None };
+    }
+    let (mut exact, _) = shared.oracle.search_explained(query, fetch);
+    if let Some(id) = exclude {
+        exact.retain(|n| n.id != id);
+    }
+    exact.truncate(k);
+    let agreement = if exact.is_empty() {
+        1.0
+    } else {
+        let matches = exact.iter().zip(&neighbors).filter(|(e, a)| e.id == a.id).count();
+        matches as f64 / exact.len() as f64
+    };
+    KnnResult { neighbors, cached: false, info: Some(info), agreement: Some(agreement) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IvfConfig, IvfIndex};
+    use ehna_tgraph::NodeEmbeddings;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn store(n: usize, dim: usize, seed: u64) -> Arc<EmbeddingStore> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Arc::new(EmbeddingStore::new(NodeEmbeddings::from_vec(dim, data), None).unwrap())
+    }
+
+    fn brute_engine(n: usize) -> QueryEngine {
+        let s = store(n, 8, 42);
+        let idx = Box::new(BruteForceIndex::new(Arc::clone(&s)));
+        QueryEngine::new(s, idx, EngineConfig::default())
+    }
+
+    #[test]
+    fn knn_node_excludes_self_and_caches() {
+        let e = brute_engine(60);
+        let first = e.knn_node(NodeId(3), 5, false).unwrap();
+        assert_eq!(first.neighbors.len(), 5);
+        assert!(!first.cached);
+        assert!(first.neighbors.iter().all(|nb| nb.id != NodeId(3)));
+        let again = e.knn_node(NodeId(3), 5, false).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.neighbors, first.neighbors);
+        let snap = e.stats();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.requests, 2);
+        assert!(snap.batches >= 1);
+    }
+
+    #[test]
+    fn knn_vector_checks_dimension() {
+        let e = brute_engine(10);
+        assert!(matches!(
+            e.knn_vector(vec![0.0; 3], 2, false),
+            Err(ServeError::Dimension { expected: 8, got: 3 })
+        ));
+        let r = e.knn_vector(vec![0.0; 8], 2, false).unwrap();
+        assert_eq!(r.neighbors.len(), 2);
+    }
+
+    #[test]
+    fn score_pairs_match_store_metric() {
+        let e = brute_engine(10);
+        let scores = e.score_pairs(vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(2))]).unwrap();
+        let expected = e.store().link_score(NodeId(0), NodeId(1)).unwrap();
+        assert!((scores[0] - expected).abs() < 1e-12);
+        assert_eq!(scores[1], 0.0);
+        assert!(e.score_pairs(vec![(NodeId(0), NodeId(99))]).is_err());
+    }
+
+    #[test]
+    fn explain_reports_probes_and_agreement() {
+        let s = store(500, 8, 7);
+        let idx = Box::new(IvfIndex::build(
+            Arc::clone(&s),
+            IvfConfig { num_clusters: Some(16), nprobe: 16, ..Default::default() },
+        ));
+        let e = QueryEngine::new(s, idx, EngineConfig::default());
+        let r = e.knn_node(NodeId(5), 10, true).unwrap();
+        let info = r.info.expect("explain carries info");
+        assert_eq!(info.probed.len(), 16);
+        assert!(info.scanned > 0);
+        // nprobe == clusters means the scan is exhaustive: perfect
+        // agreement with the oracle.
+        assert_eq!(r.agreement, Some(1.0));
+    }
+
+    #[test]
+    fn unknown_node_fails_fast() {
+        let e = brute_engine(5);
+        assert!(matches!(e.knn_node(NodeId(5), 3, false), Err(ServeError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn concurrent_queries_all_answer() {
+        let e = Arc::new(brute_engine(200));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let e = Arc::clone(&e);
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        let id = NodeId(((t * 25 + i) % 200) as u32);
+                        let r = e.knn_node(id, 3, false).unwrap();
+                        assert_eq!(r.neighbors.len(), 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(e.stats().requests, 200);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let e = brute_engine(10);
+        e.knn_node(NodeId(0), 1, false).unwrap();
+        drop(e); // must not hang
+    }
+}

@@ -1,0 +1,101 @@
+//! # ehna-serve — embedding serving for EHNA
+//!
+//! Turns a trained [`NodeEmbeddings`](ehna_tgraph::NodeEmbeddings)
+//! snapshot into a queryable service:
+//!
+//! * [`EmbeddingStore`] — the immutable snapshot (rows + optional name
+//!   interner), shared across threads behind an `Arc`.
+//! * [`BruteForceIndex`] / [`IvfIndex`] — exact and cluster-pruned k-NN
+//!   over the rows; the brute-force scan doubles as the correctness
+//!   oracle for the approximate index.
+//! * [`QueryEngine`] — a batched multi-threaded query layer with a
+//!   hot-node LRU cache and latency counters.
+//! * [`Server`] — line-delimited JSON over TCP (std-only), plus the
+//!   [`query_lines`] one-shot client.
+//!
+//! All similarity is squared Euclidean distance — the model's native
+//! metric (paper Eq. 5) — so served rankings agree with `ehna-eval`.
+//! Lower scores mean stronger predicted links.
+//!
+//! ```
+//! use ehna_serve::{BruteForceIndex, EmbeddingStore, EngineConfig, QueryEngine};
+//! use ehna_tgraph::{NodeEmbeddings, NodeId};
+//! use std::sync::Arc;
+//!
+//! let emb = NodeEmbeddings::from_vec(2, vec![0.0, 0.0, 1.0, 0.0, 9.0, 9.0]);
+//! let store = Arc::new(EmbeddingStore::new(emb, None).unwrap());
+//! let index = Box::new(BruteForceIndex::new(Arc::clone(&store)));
+//! let engine = QueryEngine::new(store, index, EngineConfig::default());
+//! let hits = engine.knn_node(NodeId(0), 1, false).unwrap();
+//! assert_eq!(hits.neighbors[0].id, NodeId(1));
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod index;
+pub mod json;
+pub mod server;
+pub mod stats;
+pub mod store;
+
+pub use engine::{EngineConfig, KnnResult, QueryEngine};
+pub use index::{BruteForceIndex, IvfConfig, IvfIndex, KnnIndex, Neighbor, SearchInfo};
+pub use json::Json;
+pub use server::{handle_line, query_lines, Server, ServerHandle};
+pub use stats::{EngineStats, LatencyHistogram, StatsSnapshot};
+pub use store::EmbeddingStore;
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong while serving.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Underlying socket or file IO failed.
+    Io(io::Error),
+    /// A snapshot or names file was malformed or inconsistent.
+    Snapshot(String),
+    /// A query referenced a node that is not in the snapshot.
+    UnknownNode(String),
+    /// A query vector's length differs from the snapshot dimension.
+    Dimension {
+        /// Snapshot dimensionality.
+        expected: usize,
+        /// Query vector length.
+        got: usize,
+    },
+    /// A protocol request was malformed.
+    BadRequest(String),
+    /// The engine's workers have shut down.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Snapshot(msg) => write!(f, "bad snapshot: {msg}"),
+            ServeError::UnknownNode(key) => write!(f, "unknown node '{key}'"),
+            ServeError::Dimension { expected, got } => {
+                write!(f, "query dimension {got} does not match snapshot dimension {expected}")
+            }
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Closed => f.write_str("query engine is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

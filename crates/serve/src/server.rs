@@ -1,0 +1,411 @@
+//! Line-delimited JSON over TCP, std-only.
+//!
+//! One request per line, one response per line. Ops:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"knn","node":"alice","k":10}
+//! {"op":"knn","vector":[0.1,0.2,...],"k":5,"explain":true}
+//! {"op":"score","pairs":[["alice","bob"],["3","7"]]}
+//! {"op":"stats"}
+//! ```
+//!
+//! Every response carries `"ok"`; failures add `"error"`. Scores and
+//! distances are squared Euclidean (Eq. 5) — lower = stronger link.
+
+use crate::engine::QueryEngine;
+use crate::json::Json;
+use crate::ServeError;
+use ehna_tgraph::NodeId;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port, e.g.
+    /// `127.0.0.1:0`).
+    ///
+    /// # Errors
+    /// Socket errors.
+    pub fn bind<A: ToSocketAddrs>(addr: A, engine: Arc<QueryEngine>) -> io::Result<Server> {
+        Ok(Server { listener: TcpListener::bind(addr)?, engine })
+    }
+
+    /// The bound address (reports the real port after binding port 0).
+    ///
+    /// # Errors
+    /// Socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until the process exits: accept loop with one thread per
+    /// connection.
+    ///
+    /// # Errors
+    /// Fatal accept errors.
+    pub fn run(self) -> io::Result<()> {
+        self.run_until(&AtomicBool::new(false))
+    }
+
+    fn run_until(self, stop: &AtomicBool) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    let engine = Arc::clone(&self.engine);
+                    std::thread::spawn(move || handle_connection(stream, &engine));
+                }
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the accept loop on a background thread; the handle can stop it.
+    ///
+    /// # Errors
+    /// Socket errors while reading the bound address.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            let _ = self.run_until(&stop2);
+        });
+        Ok(ServerHandle { addr, stop, join: Some(join) })
+    }
+}
+
+/// Handle to a background server; stops the accept loop on shutdown or
+/// drop (open connections finish on their own threads).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Where the server is listening.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_accept_loop();
+    }
+
+    fn stop_accept_loop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_accept_loop();
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &QueryEngine) {
+    let Ok(peer_reader) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(peer_reader);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            break;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(engine, &line);
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Process one request line into one response document. Pure with respect
+/// to IO — exercised directly by unit tests, and by the TCP loop above.
+pub fn handle_line(engine: &QueryEngine, line: &str) -> Json {
+    let request = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_response(&format!("bad json: {e}")),
+    };
+    match dispatch(engine, &request) {
+        Ok(resp) => resp,
+        Err(e) => error_response(&e.to_string()),
+    }
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(message.to_string()))])
+}
+
+fn dispatch(engine: &QueryEngine, request: &Json) -> Result<Json, ServeError> {
+    let op = request
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing 'op'".into()))?;
+    match op {
+        "ping" => Ok(Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))])),
+        "knn" => knn_op(engine, request),
+        "score" => score_op(engine, request),
+        "stats" => Ok(stats_op(engine)),
+        other => Err(ServeError::BadRequest(format!("unknown op '{other}'"))),
+    }
+}
+
+fn knn_op(engine: &QueryEngine, request: &Json) -> Result<Json, ServeError> {
+    let k = match request.get("k") {
+        Some(v) => v.as_usize().ok_or_else(|| ServeError::BadRequest("bad 'k'".into()))?,
+        None => 10,
+    };
+    let explain = request.get("explain").and_then(Json::as_bool).unwrap_or(false);
+    let result = match (request.get("node"), request.get("vector")) {
+        (Some(node), None) => {
+            let key = node
+                .as_str()
+                .map(str::to_string)
+                .or_else(|| node.as_usize().map(|i| i.to_string()))
+                .ok_or_else(|| ServeError::BadRequest("bad 'node'".into()))?;
+            let id = engine.store().resolve(&key)?;
+            engine.knn_node(id, k, explain)?
+        }
+        (None, Some(vector)) => {
+            let items = vector
+                .as_arr()
+                .ok_or_else(|| ServeError::BadRequest("'vector' must be an array".into()))?;
+            let q: Vec<f32> = items
+                .iter()
+                .map(|v| v.as_f64().map(|x| x as f32))
+                .collect::<Option<_>>()
+                .ok_or_else(|| ServeError::BadRequest("non-numeric vector entry".into()))?;
+            engine.knn_vector(q, k, explain)?
+        }
+        _ => return Err(ServeError::BadRequest("need exactly one of 'node' or 'vector'".into())),
+    };
+    let neighbors = result
+        .neighbors
+        .iter()
+        .map(|nb| {
+            Json::obj([
+                ("node", Json::Str(engine.store().label(nb.id))),
+                ("id", Json::Num(nb.id.index() as f64)),
+                ("dist", Json::Num(nb.dist)),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("k".to_string(), Json::Num(k as f64)),
+        ("neighbors".to_string(), Json::Arr(neighbors)),
+        ("cached".to_string(), Json::Bool(result.cached)),
+    ];
+    if let Some(info) = result.info {
+        fields.push((
+            "explain".to_string(),
+            Json::obj([
+                (
+                    "probed_centroids",
+                    Json::Arr(info.probed.iter().map(|&c| Json::Num(c as f64)).collect()),
+                ),
+                ("scanned", Json::Num(info.scanned as f64)),
+                ("rank_agreement", Json::Num(result.agreement.unwrap_or(1.0))),
+            ]),
+        ));
+    }
+    Ok(Json::Obj(fields))
+}
+
+fn score_op(engine: &QueryEngine, request: &Json) -> Result<Json, ServeError> {
+    let pairs_json = request
+        .get("pairs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::BadRequest("'pairs' must be an array".into()))?;
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(pairs_json.len());
+    for p in pairs_json {
+        let items = p
+            .as_arr()
+            .filter(|items| items.len() == 2)
+            .ok_or_else(|| ServeError::BadRequest("each pair must be [src, dst]".into()))?;
+        let key = |v: &Json| -> Result<String, ServeError> {
+            v.as_str()
+                .map(str::to_string)
+                .or_else(|| v.as_usize().map(|i| i.to_string()))
+                .ok_or_else(|| ServeError::BadRequest("bad pair endpoint".into()))
+        };
+        let a = engine.store().resolve(&key(&items[0])?)?;
+        let b = engine.store().resolve(&key(&items[1])?)?;
+        pairs.push((a, b));
+    }
+    let scores = engine.score_pairs(pairs)?;
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("scores", Json::Arr(scores.into_iter().map(Json::Num).collect())),
+    ]))
+}
+
+fn stats_op(engine: &QueryEngine) -> Json {
+    let snap = engine.stats();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("index", Json::Str(engine.index_kind().to_string())),
+        ("nodes", Json::Num(engine.store().num_nodes() as f64)),
+        ("dim", Json::Num(engine.store().dim() as f64)),
+        ("requests", Json::Num(snap.requests as f64)),
+        ("cache_hits", Json::Num(snap.cache_hits as f64)),
+        ("cache_misses", Json::Num(snap.cache_misses as f64)),
+        ("batches", Json::Num(snap.batches as f64)),
+        ("mean_us", Json::Num(snap.mean_us)),
+        ("p50_us", Json::Num(snap.p50_us as f64)),
+        ("p95_us", Json::Num(snap.p95_us as f64)),
+        ("p99_us", Json::Num(snap.p99_us as f64)),
+    ])
+}
+
+/// One-shot client: connect, send each request line, return one response
+/// line per request. Used by `ehna query` and the integration tests.
+///
+/// # Errors
+/// Socket errors, or a server that hangs up early.
+pub fn query_lines<A: ToSocketAddrs>(addr: A, requests: &[String]) -> io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(requests.len());
+    for req in requests {
+        writeln!(writer, "{req}")?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        responses.push(line.trim_end().to_string());
+    }
+    Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::index::BruteForceIndex;
+    use crate::store::EmbeddingStore;
+    use ehna_tgraph::{NameMap, NodeEmbeddings};
+
+    fn engine() -> Arc<QueryEngine> {
+        let emb = NodeEmbeddings::from_vec(2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 5.0, 5.0]);
+        let mut names = NameMap::new();
+        for n in ["a", "b", "c", "far"] {
+            names.intern(n);
+        }
+        let store = Arc::new(EmbeddingStore::new(emb, Some(names)).unwrap());
+        let index = Box::new(BruteForceIndex::new(Arc::clone(&store)));
+        Arc::new(QueryEngine::new(store, index, EngineConfig::default()))
+    }
+
+    #[test]
+    fn knn_by_name_over_protocol() {
+        let e = engine();
+        let resp = handle_line(&e, r#"{"op":"knn","node":"a","k":2}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let neighbors = resp.get("neighbors").and_then(Json::as_arr).unwrap();
+        assert_eq!(neighbors.len(), 2);
+        assert_eq!(neighbors[0].get("node").and_then(Json::as_str), Some("b"));
+        assert_eq!(neighbors[0].get("dist").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn knn_by_vector_with_explain() {
+        let e = engine();
+        let resp = handle_line(&e, r#"{"op":"knn","vector":[5,5],"k":1,"explain":true}"#);
+        let neighbors = resp.get("neighbors").and_then(Json::as_arr).unwrap();
+        assert_eq!(neighbors[0].get("node").and_then(Json::as_str), Some("far"));
+        let explain = resp.get("explain").unwrap();
+        assert_eq!(explain.get("rank_agreement").and_then(Json::as_f64), Some(1.0));
+        assert!(explain.get("scanned").and_then(Json::as_usize).unwrap() > 0);
+    }
+
+    #[test]
+    fn score_op_resolves_names_and_ids() {
+        let e = engine();
+        let resp = handle_line(&e, r#"{"op":"score","pairs":[["a","b"],["0","far"]]}"#);
+        let scores = resp.get("scores").and_then(Json::as_arr).unwrap();
+        assert_eq!(scores[0].as_f64(), Some(1.0));
+        assert_eq!(scores[1].as_f64(), Some(50.0));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let e = engine();
+        for bad in [
+            "not json",
+            r#"{"op":"warp"}"#,
+            r#"{"op":"knn"}"#,
+            r#"{"op":"knn","node":"nobody"}"#,
+            r#"{"op":"knn","node":"a","vector":[1,2]}"#,
+            r#"{"op":"score","pairs":[["a"]]}"#,
+        ] {
+            let resp = handle_line(&e, bad);
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "no error for {bad}");
+            assert!(resp.get("error").is_some());
+        }
+        // The engine still works after every error.
+        let resp = handle_line(&e, r#"{"op":"ping"}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn stats_op_reports_counters() {
+        let e = engine();
+        handle_line(&e, r#"{"op":"knn","node":"a","k":1}"#);
+        handle_line(&e, r#"{"op":"knn","node":"a","k":1}"#);
+        let resp = handle_line(&e, r#"{"op":"stats"}"#);
+        assert_eq!(resp.get("index").and_then(Json::as_str), Some("brute"));
+        assert_eq!(resp.get("nodes").and_then(Json::as_usize), Some(4));
+        assert_eq!(resp.get("requests").and_then(Json::as_usize), Some(2));
+        assert_eq!(resp.get("cache_hits").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn tcp_roundtrip_and_shutdown() {
+        let e = engine();
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&e)).unwrap();
+        let handle = server.spawn().unwrap();
+        let responses = query_lines(
+            handle.addr(),
+            &[r#"{"op":"ping"}"#.to_string(), r#"{"op":"knn","node":"b","k":2}"#.to_string()],
+        )
+        .unwrap();
+        assert_eq!(responses.len(), 2);
+        let pong = Json::parse(&responses[0]).unwrap();
+        assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+        let knn = Json::parse(&responses[1]).unwrap();
+        assert_eq!(knn.get("ok"), Some(&Json::Bool(true)));
+        handle.shutdown(); // must not hang
+    }
+}

@@ -1,0 +1,176 @@
+//! Lock-free serving telemetry: request counters plus a log-bucketed
+//! latency histogram answering p50/p95/p99 queries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds, so 40 buckets span ~1 µs to ~18 min.
+const BUCKETS: usize = 40;
+
+/// A histogram of request latencies with power-of-two microsecond
+/// buckets. Recording is a single relaxed atomic increment; quantiles are
+/// approximate (upper bound of the containing bucket).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_us.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Approximate `q`-quantile (e.g. 0.5, 0.95, 0.99) in microseconds:
+    /// the upper edge of the first bucket whose cumulative count reaches
+    /// `q * total`. Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// Counters for the query engine, all relaxed atomics.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Per-request latency (submit → reply).
+    pub latency: LatencyHistogram,
+    /// Requests answered from the hot-node cache.
+    pub cache_hits: AtomicU64,
+    /// Requests computed against the index.
+    pub cache_misses: AtomicU64,
+    /// Worker batches drained (≥1 request each).
+    pub batches: AtomicU64,
+}
+
+/// A point-in-time copy of [`EngineStats`], safe to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Total requests recorded.
+    pub requests: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Worker batches drained.
+    pub batches: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Approximate latency quantiles, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+}
+
+impl EngineStats {
+    /// Snapshot every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.latency.count(),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            mean_us: self.latency.mean_us(),
+            p50_us: self.latency.quantile_us(0.50),
+            p95_us: self.latency.quantile_us(0.95),
+            p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        // 99 fast samples (~8 µs) and one slow (~8 ms).
+        for _ in 0..99 {
+            h.record(Duration::from_micros(8));
+        }
+        h.record(Duration::from_millis(8));
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.5);
+        assert!((8..=16).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p50 <= p99);
+        let p100 = h.quantile_us(1.0);
+        assert!(p100 >= 8_000, "p100 {p100} misses the slow sample");
+        assert!(h.mean_us() > 8.0 && h.mean_us() < 8_000.0);
+    }
+
+    #[test]
+    fn subzero_and_huge_samples_clamp() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(100_000));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_us(1.0) > 0);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = EngineStats::default();
+        s.latency.record(Duration::from_micros(5));
+        s.cache_hits.fetch_add(2, Ordering::Relaxed);
+        s.batches.fetch_add(1, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.batches, 1);
+        assert!(snap.p50_us > 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The immutable serving snapshot: a trained embedding matrix plus the
+//! optional name interner, loadable once and shared across every worker
+//! and connection behind an `Arc`.
+
+use crate::ServeError;
+use ehna_tgraph::{NameMap, NodeEmbeddings, NodeId};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+/// An immutable, shareable store over a trained embedding snapshot.
+///
+/// Scoring follows the model's native metric (squared Euclidean distance,
+/// paper Eq. 5): **lower scores mean stronger predicted links**, matching
+/// the ranking `ehna-eval` produces, so serve-time answers agree with the
+/// offline evaluation.
+#[derive(Debug)]
+pub struct EmbeddingStore {
+    emb: NodeEmbeddings,
+    names: Option<NameMap>,
+}
+
+impl EmbeddingStore {
+    /// Wrap an embedding matrix, optionally with the name interner the
+    /// graph was built with.
+    ///
+    /// # Errors
+    /// [`ServeError::Snapshot`] if the name count differs from the row
+    /// count.
+    pub fn new(emb: NodeEmbeddings, names: Option<NameMap>) -> Result<Self, ServeError> {
+        if let Some(ref map) = names {
+            if map.len() != emb.num_nodes() {
+                return Err(ServeError::Snapshot(format!(
+                    "name map has {} names but snapshot has {} nodes",
+                    map.len(),
+                    emb.num_nodes()
+                )));
+            }
+        }
+        Ok(EmbeddingStore { emb, names })
+    }
+
+    /// Load a snapshot file (and optional names file) from disk.
+    ///
+    /// # Errors
+    /// IO failures or malformed files.
+    pub fn open<P: AsRef<Path>>(snapshot: P, names: Option<P>) -> Result<Self, ServeError> {
+        let emb =
+            NodeEmbeddings::load_path(snapshot).map_err(|e| ServeError::Snapshot(e.to_string()))?;
+        let names = match names {
+            Some(path) => Some(NameMap::load(BufReader::new(File::open(path)?))?),
+            None => None,
+        };
+        EmbeddingStore::new(emb, names)
+    }
+
+    /// The embedding matrix.
+    pub fn embeddings(&self) -> &NodeEmbeddings {
+        &self.emb
+    }
+
+    /// Number of serveable nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.emb.num_nodes()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.emb.dim()
+    }
+
+    /// Resolve a query key to a node: an interned name when a name map is
+    /// loaded, else (or as fallback) a decimal dense id.
+    pub fn resolve(&self, key: &str) -> Result<NodeId, ServeError> {
+        if let Some(ref names) = self.names {
+            if let Some(id) = names.get(key) {
+                return Ok(id);
+            }
+        }
+        if let Ok(raw) = key.parse::<u32>() {
+            if (raw as usize) < self.num_nodes() {
+                return Ok(NodeId(raw));
+            }
+        }
+        Err(ServeError::UnknownNode(key.to_string()))
+    }
+
+    /// Display label for a node: its interned name when known, else the
+    /// decimal id.
+    pub fn label(&self, id: NodeId) -> String {
+        match self.names.as_ref().and_then(|m| m.name(id)) {
+            Some(name) => name.to_string(),
+            None => id.index().to_string(),
+        }
+    }
+
+    /// The row of `id`.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownNode`] when out of range.
+    pub fn row(&self, id: NodeId) -> Result<&[f32], ServeError> {
+        if id.index() >= self.num_nodes() {
+            return Err(ServeError::UnknownNode(id.index().to_string()));
+        }
+        Ok(self.emb.get(id))
+    }
+
+    /// Link score of a node pair: squared Euclidean distance (Eq. 5).
+    /// Lower = stronger predicted link.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownNode`] when either endpoint is out of range.
+    pub fn link_score(&self, a: NodeId, b: NodeId) -> Result<f64, ServeError> {
+        self.row(a)?;
+        self.row(b)?;
+        Ok(self.emb.sq_dist(a, b))
+    }
+
+    /// Squared Euclidean distance between a free query vector and a row.
+    pub(crate) fn sq_dist_to(&self, query: &[f32], id: NodeId) -> f64 {
+        sq_dist(query, self.emb.get(id))
+    }
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+pub(crate) fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn named_store() -> EmbeddingStore {
+        let emb = NodeEmbeddings::from_vec(2, vec![0.0, 0.0, 3.0, 4.0, 1.0, 1.0]);
+        let mut names = NameMap::new();
+        for n in ["alice", "bob", "carol"] {
+            names.intern(n);
+        }
+        EmbeddingStore::new(emb, Some(names)).unwrap()
+    }
+
+    #[test]
+    fn resolves_names_and_ids() {
+        let s = named_store();
+        assert_eq!(s.resolve("bob").unwrap(), NodeId(1));
+        assert_eq!(s.resolve("2").unwrap(), NodeId(2));
+        assert!(s.resolve("dave").is_err());
+        assert!(s.resolve("99").is_err());
+        assert_eq!(s.label(NodeId(0)), "alice");
+    }
+
+    #[test]
+    fn anonymous_store_resolves_ids_only() {
+        let emb = NodeEmbeddings::zeros(4, 2);
+        let s = EmbeddingStore::new(emb, None).unwrap();
+        assert_eq!(s.resolve("3").unwrap(), NodeId(3));
+        assert!(s.resolve("4").is_err());
+        assert_eq!(s.label(NodeId(3)), "3");
+    }
+
+    #[test]
+    fn link_score_is_squared_euclidean() {
+        let s = named_store();
+        assert_eq!(s.link_score(NodeId(0), NodeId(1)).unwrap(), 25.0);
+        assert_eq!(s.link_score(NodeId(2), NodeId(2)).unwrap(), 0.0);
+        assert!(s.link_score(NodeId(0), NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn name_count_mismatch_rejected() {
+        let emb = NodeEmbeddings::zeros(2, 2);
+        let mut names = NameMap::new();
+        names.intern("only-one");
+        assert!(EmbeddingStore::new(emb, Some(names)).is_err());
+    }
+
+    #[test]
+    fn open_roundtrips_files() {
+        let dir = std::env::temp_dir();
+        let snap = dir.join("ehna_serve_store_test.bin");
+        let names_path = dir.join("ehna_serve_store_test.names");
+        let emb = NodeEmbeddings::from_vec(2, vec![1.0, 2.0, 3.0, 4.0]);
+        emb.save_path(&snap).unwrap();
+        let mut names = NameMap::new();
+        names.intern("x");
+        names.intern("y");
+        let mut buf = Vec::new();
+        names.save(&mut buf).unwrap();
+        std::fs::write(&names_path, buf).unwrap();
+
+        let s = EmbeddingStore::open(&snap, Some(&names_path)).unwrap();
+        assert_eq!(s.num_nodes(), 2);
+        assert_eq!(s.resolve("y").unwrap(), NodeId(1));
+        let _ = std::fs::remove_file(snap);
+        let _ = std::fs::remove_file(names_path);
+    }
+}

@@ -46,10 +46,7 @@ pub fn temporal_reachable_set(
             }
         }
     }
-    best.iter()
-        .enumerate()
-        .filter_map(|(i, t)| t.map(|t| (NodeId::from_index(i), t)))
-        .collect()
+    best.iter().enumerate().filter_map(|(i, t)| t.map(|t| (NodeId::from_index(i), t))).collect()
 }
 
 /// Connected components of the static projection. Returns
@@ -184,15 +181,11 @@ mod tests {
         b.add_edge(0, 1, 10, 1.0).unwrap();
         b.add_edge(1, 2, 5, 1.0).unwrap();
         let g = b.build().unwrap();
-        let from0: Vec<u32> = temporal_reachable_set(&g, NodeId(0), Timestamp(20))
-            .iter()
-            .map(|(v, _)| v.0)
-            .collect();
+        let from0: Vec<u32> =
+            temporal_reachable_set(&g, NodeId(0), Timestamp(20)).iter().map(|(v, _)| v.0).collect();
         assert_eq!(from0, vec![0, 1, 2]);
-        let from2: Vec<u32> = temporal_reachable_set(&g, NodeId(2), Timestamp(20))
-            .iter()
-            .map(|(v, _)| v.0)
-            .collect();
+        let from2: Vec<u32> =
+            temporal_reachable_set(&g, NodeId(2), Timestamp(20)).iter().map(|(v, _)| v.0).collect();
         assert_eq!(from2, vec![1, 2]);
     }
 

@@ -2,7 +2,6 @@
 //! entries.
 
 use crate::{NodeId, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// One timestamped interaction between two nodes.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// interaction, and the graph builder normalizes `src <= dst`. A node pair
 /// may appear multiple times with different timestamps (temporal
 /// multigraph).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TemporalEdge {
     /// Smaller endpoint (after normalization).
     pub src: NodeId,

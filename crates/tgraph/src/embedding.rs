@@ -3,8 +3,8 @@
 //! common input type of the evaluation pipelines.
 
 use crate::{GraphError, NodeId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::io::{Read, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
 
 /// Magic bytes of the binary snapshot format ("EHNA" + version 1).
 const MAGIC: u32 = 0x45484E41;
@@ -93,49 +93,55 @@ impl NodeEmbeddings {
     }
 
     /// Serialize to the compact binary snapshot format.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16 + self.data.len() * 4);
-        buf.put_u32(MAGIC);
-        buf.put_u32(VERSION);
-        buf.put_u32(self.num_nodes() as u32);
-        buf.put_u32(self.dim as u32);
-        for &x in &self.data {
-            buf.put_f32(x);
+    ///
+    /// Layout (all big-endian, so the magic reads as ASCII `EHNA`):
+    /// `magic u32 | version u32 | num_nodes u32 | dim u32 | rows f32*`.
+    /// The payload is materialized as one contiguous block rather than
+    /// element-by-element — snapshot IO sits on the serving hot path.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; 16 + self.data.len() * 4];
+        buf[0..4].copy_from_slice(&MAGIC.to_be_bytes());
+        buf[4..8].copy_from_slice(&VERSION.to_be_bytes());
+        buf[8..12].copy_from_slice(&(self.num_nodes() as u32).to_be_bytes());
+        buf[12..16].copy_from_slice(&(self.dim as u32).to_be_bytes());
+        for (chunk, &x) in buf[16..].chunks_exact_mut(4).zip(&self.data) {
+            chunk.copy_from_slice(&x.to_be_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Deserialize from the binary snapshot format.
     ///
     /// # Errors
     /// [`GraphError::Parse`] on bad magic/version/size.
-    pub fn from_bytes(mut buf: &[u8]) -> Result<Self, GraphError> {
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, GraphError> {
         let bad = |msg: &str| GraphError::Parse { line: 0, msg: msg.into() };
         if buf.len() < 16 {
             return Err(bad("snapshot too short"));
         }
-        if buf.get_u32() != MAGIC {
+        let field = |i: usize| u32::from_be_bytes(buf[4 * i..4 * i + 4].try_into().expect("4"));
+        if field(0) != MAGIC {
             return Err(bad("bad magic"));
         }
-        if buf.get_u32() != VERSION {
+        if field(1) != VERSION {
             return Err(bad("unsupported version"));
         }
-        let n = buf.get_u32() as usize;
-        let dim = buf.get_u32() as usize;
+        let n = field(2) as usize;
+        let dim = field(3) as usize;
         if dim == 0 {
             return Err(bad("zero dim"));
         }
-        if buf.len() != n * dim * 4 {
+        if buf.len() - 16 != n * dim * 4 {
             return Err(bad("payload size mismatch"));
         }
-        let mut data = Vec::with_capacity(n * dim);
-        for _ in 0..n * dim {
-            data.push(buf.get_f32());
-        }
+        let data = buf[16..]
+            .chunks_exact(4)
+            .map(|c| f32::from_be_bytes(c.try_into().expect("4")))
+            .collect();
         Ok(NodeEmbeddings { dim, data })
     }
 
-    /// Write the binary snapshot to `w`.
+    /// Write the binary snapshot to `w` (one bulk write).
     pub fn save<W: Write>(&self, mut w: W) -> Result<(), GraphError> {
         w.write_all(&self.to_bytes())?;
         Ok(())
@@ -145,6 +151,20 @@ impl NodeEmbeddings {
     pub fn load<R: Read>(mut r: R) -> Result<Self, GraphError> {
         let mut buf = Vec::new();
         r.read_to_end(&mut buf)?;
+        Self::from_bytes(&buf)
+    }
+
+    /// Write the binary snapshot to a file (buffered).
+    pub fn save_path<P: AsRef<Path>>(&self, path: P) -> Result<(), GraphError> {
+        self.save(BufWriter::new(std::fs::File::create(path)?))
+    }
+
+    /// Read a binary snapshot from a file (buffered, size-hinted).
+    pub fn load_path<P: AsRef<Path>>(path: P) -> Result<Self, GraphError> {
+        let file = std::fs::File::open(path)?;
+        let hint = file.metadata().map(|m| m.len() as usize).unwrap_or(0);
+        let mut buf = Vec::with_capacity(hint);
+        BufReader::new(file).read_to_end(&mut buf)?;
         Self::from_bytes(&buf)
     }
 }
@@ -193,7 +213,7 @@ mod tests {
         assert!(NodeEmbeddings::from_bytes(&[]).is_err());
         assert!(NodeEmbeddings::from_bytes(&[0u8; 16]).is_err());
         let e = NodeEmbeddings::zeros(2, 2);
-        let mut bytes = e.to_bytes().to_vec();
+        let mut bytes = e.to_bytes();
         bytes.truncate(bytes.len() - 1);
         assert!(NodeEmbeddings::from_bytes(&bytes).is_err());
     }

@@ -48,7 +48,9 @@ impl fmt::Display for GraphError {
                 write!(f, "edge weight {weight} must be finite and positive")
             }
             GraphError::Empty => write!(f, "temporal graph has no edges"),
-            GraphError::Parse { line, msg } => write!(f, "edge list parse error at line {line}: {msg}"),
+            GraphError::Parse { line, msg } => {
+                write!(f, "edge list parse error at line {line}: {msg}")
+            }
             GraphError::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -43,10 +43,8 @@ impl TemporalGraph {
         }
         let total = *offsets.last().unwrap();
         let mut cursor = offsets[..num_nodes].to_vec();
-        let mut neighbors = vec![
-            NeighborEntry { node: NodeId(0), t: Timestamp(0), w: 0.0, edge: 0 };
-            total
-        ];
+        let mut neighbors =
+            vec![NeighborEntry { node: NodeId(0), t: Timestamp(0), w: 0.0, edge: 0 }; total];
         // Edges are globally time-sorted, so appending in order keeps every
         // per-node slice time-sorted too.
         for (i, e) in edges.iter().enumerate() {

@@ -1,13 +1,12 @@
 //! Identifier newtypes used across the workspace.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense node identifier in `0..num_nodes`.
 ///
 /// Stored as `u32`: the EHNA evaluation graphs top out well below `2^32`
 /// nodes, and the narrower type halves adjacency memory versus `usize`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -51,7 +50,7 @@ impl From<u32> for NodeId {
 /// The unit is dataset-defined (seconds, days, publication years, …); EHNA
 /// only relies on the *ordering* of timestamps and on differences
 /// `t_ref - t` fed through a decay kernel, both of which are unit-agnostic.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub i64);
 
 impl Timestamp {

@@ -69,7 +69,12 @@ pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<TemporalGraph, Gra
 /// Write `graph` as an edge list (chronological order). Weights equal to
 /// `1.0` are omitted for compactness.
 pub fn write_edge_list<W: Write>(graph: &TemporalGraph, mut writer: W) -> Result<(), GraphError> {
-    writeln!(writer, "# src dst t [w]  ({} nodes, {} edges)", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# src dst t [w]  ({} nodes, {} edges)",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for e in graph.edges() {
         if e.w == 1.0 {
             writeln!(writer, "{} {} {}", e.src, e.dst, e.t)?;
@@ -118,10 +123,7 @@ mod tests {
 
     #[test]
     fn rejects_missing_fields_and_trailing() {
-        assert!(matches!(
-            read_edge_list(Cursor::new("0 1\n")),
-            Err(GraphError::Parse { .. })
-        ));
+        assert!(matches!(read_edge_list(Cursor::new("0 1\n")), Err(GraphError::Parse { .. })));
         assert!(matches!(
             read_edge_list(Cursor::new("0 1 5 1.0 junk\n")),
             Err(GraphError::Parse { .. })

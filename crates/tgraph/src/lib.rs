@@ -45,8 +45,8 @@ mod stats;
 mod view;
 
 pub use builder::GraphBuilder;
-pub use embedding::NodeEmbeddings;
 pub use edge::{NeighborEntry, TemporalEdge};
+pub use embedding::NodeEmbeddings;
 pub use error::GraphError;
 pub use graph::TemporalGraph;
 pub use ids::{NodeId, Timestamp};

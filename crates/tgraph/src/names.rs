@@ -4,7 +4,7 @@
 
 use crate::{GraphBuilder, GraphError, NodeId, TemporalGraph};
 use std::collections::HashMap;
-use std::io::BufRead;
+use std::io::{self, BufRead, Write};
 
 /// A bidirectional mapping between string node names and dense ids,
 /// assigned in first-seen order.
@@ -50,6 +50,53 @@ impl NameMap {
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
+
+    /// All names in dense-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Persist the map as newline-delimited names in dense-id order (line
+    /// `i` names id `i`). Names come from whitespace-split tokens, so the
+    /// format is unambiguous; names containing newlines are rejected.
+    ///
+    /// # Errors
+    /// `InvalidInput` if a name contains a newline; otherwise IO errors.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        for name in &self.names {
+            if name.contains('\n') || name.contains('\r') {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("name {name:?} contains a line break"),
+                ));
+            }
+            w.write_all(name.as_bytes())?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Load a map written by [`NameMap::save`].
+    ///
+    /// # Errors
+    /// `InvalidData` on duplicate or empty names; otherwise IO errors.
+    pub fn load<R: BufRead>(r: R) -> io::Result<NameMap> {
+        let mut map = NameMap::new();
+        for line in r.lines() {
+            let name = line?;
+            if name.is_empty() {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "empty name"));
+            }
+            if map.ids.contains_key(&name) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("duplicate name {name:?}"),
+                ));
+            }
+            map.intern(&name);
+        }
+        Ok(map)
+    }
 }
 
 /// Read an edge list whose endpoints are arbitrary whitespace-free tokens:
@@ -57,9 +104,7 @@ impl NameMap {
 ///
 /// # Errors
 /// Same failure modes as [`read_edge_list`](crate::read_edge_list).
-pub fn read_named_edge_list<R: BufRead>(
-    reader: R,
-) -> Result<(TemporalGraph, NameMap), GraphError> {
+pub fn read_named_edge_list<R: BufRead>(reader: R) -> Result<(TemporalGraph, NameMap), GraphError> {
     let mut names = NameMap::new();
     let mut builder = GraphBuilder::new();
     for (lineno, line) in reader.lines().enumerate() {
@@ -129,6 +174,34 @@ mod tests {
     fn self_loops_still_rejected() {
         let text = "alice alice 2011\n";
         assert!(read_named_edge_list(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut m = NameMap::new();
+        for n in ["alice", "bob", "carol"] {
+            m.intern(n);
+        }
+        let mut buf = Vec::new();
+        m.save(&mut buf).unwrap();
+        let loaded = NameMap::load(&buf[..]).unwrap();
+        assert_eq!(loaded.len(), 3);
+        for n in ["alice", "bob", "carol"] {
+            assert_eq!(loaded.get(n), m.get(n));
+        }
+        // Empty map round-trips to nothing.
+        let mut empty = Vec::new();
+        NameMap::new().save(&mut empty).unwrap();
+        assert!(NameMap::load(&empty[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn load_rejects_bad_files() {
+        assert!(NameMap::load(&b"alice\n\nbob\n"[..]).is_err(), "empty name");
+        assert!(NameMap::load(&b"alice\nalice\n"[..]).is_err(), "duplicate");
+        let mut m = NameMap::new();
+        m.intern("line\nbreak");
+        assert!(m.save(&mut Vec::new()).is_err());
     }
 
     #[test]

@@ -33,12 +33,8 @@ pub fn subsample_edges<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Option<(TemporalGraph, Vec<Option<NodeId>>)> {
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
-    let edges: Vec<_> = graph
-        .edges()
-        .iter()
-        .filter(|_| rng.gen::<f64>() < fraction)
-        .cloned()
-        .collect();
+    let edges: Vec<_> =
+        graph.edges().iter().filter(|_| rng.gen::<f64>() < fraction).cloned().collect();
     rebuild(graph.num_nodes(), edges)
 }
 
@@ -61,12 +57,8 @@ pub fn largest_component(graph: &TemporalGraph) -> (TemporalGraph, Vec<Option<No
         .max_by_key(|&(_, &c)| c)
         .map(|(i, _)| i as u32)
         .expect("non-empty graph");
-    let edges: Vec<_> = graph
-        .edges()
-        .iter()
-        .filter(|e| comp[e.src.index()] == biggest)
-        .cloned()
-        .collect();
+    let edges: Vec<_> =
+        graph.edges().iter().filter(|e| comp[e.src.index()] == biggest).cloned().collect();
     rebuild(graph.num_nodes(), edges).expect("largest component has edges")
 }
 
@@ -107,9 +99,7 @@ mod tests {
     fn two_islands() -> TemporalGraph {
         let mut b = GraphBuilder::new();
         // Big island: 0-1-2-3 chain (3 edges + extra).
-        for &(x, y, t) in
-            &[(0u32, 1u32, 10i64), (1, 2, 20), (2, 3, 30), (0, 2, 40), (4, 5, 25)]
-        {
+        for &(x, y, t) in &[(0u32, 1u32, 10i64), (1, 2, 20), (2, 3, 30), (0, 2, 40), (4, 5, 25)] {
             b.add_edge(x, y, t, 1.0).unwrap();
         }
         b.build().unwrap()
@@ -120,7 +110,7 @@ mod tests {
         let g = two_islands();
         let (h, remap) = time_window(&g, Timestamp(20), Timestamp(30)).unwrap();
         assert_eq!(h.num_edges(), 3); // t=20, 25, 30
-        // Node 0 (only t=10/40 edges) must be dropped.
+                                      // Node 0 (only t=10/40 edges) must be dropped.
         assert!(remap[0].is_none());
         assert!(remap[1].is_some());
         // Remapped ids are dense.
@@ -155,9 +145,6 @@ mod tests {
         // Edge (0,1)@10 survives as (remap0, remap1)@10.
         let a = remap[0].unwrap();
         let b = remap[1].unwrap();
-        assert!(h
-            .neighbors(a)
-            .iter()
-            .any(|n| n.node == b && n.t == Timestamp(10) && n.w == 1.0));
+        assert!(h.neighbors(a).iter().any(|n| n.node == b && n.t == Timestamp(10) && n.w == 1.0));
     }
 }

@@ -82,8 +82,7 @@ fn gini(values: &mut [usize]) -> f64 {
     if total == 0.0 {
         return 0.0;
     }
-    let weighted: f64 =
-        values.iter().enumerate().map(|(i, &v)| (i as f64 + 1.0) * v as f64).sum();
+    let weighted: f64 = values.iter().enumerate().map(|(i, &v)| (i as f64 + 1.0) * v as f64).sum();
     (2.0 * weighted) / (n * total) - (n + 1.0) / n
 }
 

@@ -51,11 +51,7 @@ impl<'g> CtdneWalker<'g> {
 
     /// Sample one walk starting from interaction `edge_idx` (an index into
     /// the graph's chronological edge list), walking forwards in time.
-    pub fn walk_from_edge<R: Rng + ?Sized>(
-        &self,
-        edge_idx: usize,
-        rng: &mut R,
-    ) -> Vec<NodeId> {
+    pub fn walk_from_edge<R: Rng + ?Sized>(&self, edge_idx: usize, rng: &mut R) -> Vec<NodeId> {
         let e = self.graph.edge(edge_idx);
         let mut nodes = Vec::with_capacity(self.config.length + 1);
         // Randomly orient the starting interaction.
@@ -161,11 +157,9 @@ mod tests {
         let strict = CtdneWalker::new(&g, CtdneConfig { strict: true, ..Default::default() });
         let relaxed = CtdneWalker::new(&g, CtdneConfig { strict: false, ..Default::default() });
         let mut rng = StdRng::seed_from_u64(2);
-        let max_strict =
-            (0..50).map(|_| strict.walk_from_edge(0, &mut rng).len()).max().unwrap();
+        let max_strict = (0..50).map(|_| strict.walk_from_edge(0, &mut rng).len()).max().unwrap();
         assert_eq!(max_strict, 2);
-        let max_relaxed =
-            (0..50).map(|_| relaxed.walk_from_edge(0, &mut rng).len()).max().unwrap();
+        let max_relaxed = (0..50).map(|_| relaxed.walk_from_edge(0, &mut rng).len()).max().unwrap();
         assert!(max_relaxed >= 3);
     }
 

@@ -54,7 +54,7 @@ pub fn time_sums(walk: &TemporalWalk, f: impl Fn(Timestamp) -> f64) -> Vec<f64> 
     }
     // Walk edge i (1-based over positions) joins nodes[i-1] and nodes[i]
     // at time times[i].
-    for j in 0..n {
+    for (j, sum) in sums.iter_mut().enumerate() {
         let v = walk.nodes[j];
         let mut s = 0.0;
         for i in 1..n {
@@ -62,7 +62,7 @@ pub fn time_sums(walk: &TemporalWalk, f: impl Fn(Timestamp) -> f64) -> Vec<f64> 
                 s += f(walk.times[i]);
             }
         }
-        sums[j] = s;
+        *sum = s;
     }
     sums
 }
@@ -103,9 +103,9 @@ impl<'g> NeighborhoodSampler<'g> {
     }
 
     /// Sample neighborhoods for a batch of `(target, t_ref)` pairs across
-    /// `threads` worker threads (crossbeam scoped). Deterministic given
-    /// `seed` regardless of thread interleaving: each item derives its own
-    /// RNG stream from `(seed, index)`.
+    /// `threads` scoped worker threads. Deterministic given `seed`
+    /// regardless of thread interleaving: each item derives its own RNG
+    /// stream from `(seed, index)`.
     pub fn sample_batch(
         &self,
         targets: &[(NodeId, Timestamp)],
@@ -125,11 +125,11 @@ impl<'g> NeighborhoodSampler<'g> {
         }
         let chunk = targets.len().div_ceil(threads);
         let mut out: Vec<Option<HistoricalNeighborhood>> = vec![None; targets.len()];
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for (c, (targets_chunk, out_chunk)) in
                 targets.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
             {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (j, (&(v, t), slot)) in
                         targets_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
                     {
@@ -138,8 +138,7 @@ impl<'g> NeighborhoodSampler<'g> {
                     }
                 });
             }
-        })
-        .expect("walk workers do not panic");
+        });
         out.into_iter().map(|o| o.expect("all slots filled")).collect()
     }
 }

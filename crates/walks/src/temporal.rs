@@ -60,10 +60,7 @@ impl TemporalWalkConfig {
     /// Config with the decay timescale derived from the graph's span.
     pub fn for_graph(graph: &TemporalGraph) -> Self {
         let span = graph.max_time().delta(graph.min_time());
-        TemporalWalkConfig {
-            kernel: DecayKernel::exponential_for_span(span),
-            ..Default::default()
-        }
+        TemporalWalkConfig { kernel: DecayKernel::exponential_for_span(span), ..Default::default() }
     }
 }
 
@@ -135,9 +132,9 @@ impl<'g> TemporalWalker<'g> {
         // kernel weighs the historical interactions of `start`.
         let first = self.graph.neighbors_before(start, t_ref);
         let first = tail(first, cfg.max_candidates);
-        let Some(choice) = sample_weighted(first.iter().map(|n| {
-            cfg.kernel.weight(t_ref, n.t, n.w)
-        }), rng) else {
+        let Some(choice) =
+            sample_weighted(first.iter().map(|n| cfg.kernel.weight(t_ref, n.t, n.w)), rng)
+        else {
             return TemporalWalk { nodes, times };
         };
         let mut prev = start;
@@ -347,7 +344,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(7);
             let dist = |n: NodeId| match n.0 {
                 0 => 0.0,
-                1 | 2 | 3 => 1.0,
+                1..=3 => 1.0,
                 4 => 2.0,
                 _ => 3.0,
             };

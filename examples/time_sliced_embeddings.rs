@@ -33,10 +33,7 @@ fn main() {
     trainer.train();
 
     // Pick a well-connected author and their most recent collaborator.
-    let hub = graph
-        .nodes()
-        .max_by_key(|&v| graph.degree(v))
-        .expect("non-empty graph");
+    let hub = graph.nodes().max_by_key(|&v| graph.degree(v)).expect("non-empty graph");
     let recent = graph.latest_interaction(hub).expect("hub has edges").node;
     let first = graph.neighbors(hub).first().expect("hub has edges").node;
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aggregation-400676e5c782c081.d: crates/bench/benches/aggregation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaggregation-400676e5c782c081.rmeta: crates/bench/benches/aggregation.rs Cargo.toml
+
+crates/bench/benches/aggregation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

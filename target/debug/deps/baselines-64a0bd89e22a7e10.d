@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-64a0bd89e22a7e10.d: crates/bench/benches/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-64a0bd89e22a7e10.rmeta: crates/bench/benches/baselines.rs Cargo.toml
+
+crates/bench/benches/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_comparison-c8f1fc7876eb6978.d: tests/baselines_comparison.rs
+
+/root/repo/target/debug/deps/baselines_comparison-c8f1fc7876eb6978: tests/baselines_comparison.rs
+
+tests/baselines_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_comparison-e1c268048d93dffe.d: tests/baselines_comparison.rs
+
+/root/repo/target/debug/deps/baselines_comparison-e1c268048d93dffe: tests/baselines_comparison.rs
+
+tests/baselines_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cli_end_to_end-2aff274baff2868b.d: tests/cli_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_end_to_end-2aff274baff2868b.rmeta: tests/cli_end_to_end.rs Cargo.toml
+
+tests/cli_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

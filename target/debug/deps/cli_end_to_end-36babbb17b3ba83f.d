@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli_end_to_end-36babbb17b3ba83f.d: tests/cli_end_to_end.rs
+
+/root/repo/target/debug/deps/cli_end_to_end-36babbb17b3ba83f: tests/cli_end_to_end.rs
+
+tests/cli_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli_end_to_end-3dfb97a1befceeb4.d: tests/cli_end_to_end.rs
+
+/root/repo/target/debug/deps/cli_end_to_end-3dfb97a1befceeb4: tests/cli_end_to_end.rs
+
+tests/cli_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_io-254a5b1373f52e4f.d: tests/dataset_io.rs
+
+/root/repo/target/debug/deps/dataset_io-254a5b1373f52e4f: tests/dataset_io.rs
+
+tests/dataset_io.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataset_io-348ba0022ef4771e.d: tests/dataset_io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataset_io-348ba0022ef4771e.rmeta: tests/dataset_io.rs Cargo.toml
+
+tests/dataset_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_io-e7b6085a7e5f6522.d: tests/dataset_io.rs
+
+/root/repo/target/debug/deps/dataset_io-e7b6085a7e5f6522: tests/dataset_io.rs
+
+tests/dataset_io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ehna-4560777e1777fd3c.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ehna-4560777e1777fd3c: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ehna-4c0c65c16faeb4b2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libehna-4c0c65c16faeb4b2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libehna-4c0c65c16faeb4b2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ehna-4d0bbf7f0e888ed9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libehna-4d0bbf7f0e888ed9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

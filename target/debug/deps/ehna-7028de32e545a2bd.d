@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ehna-7028de32e545a2bd.d: src/lib.rs
+
+/root/repo/target/debug/deps/ehna-7028de32e545a2bd: src/lib.rs
+
+src/lib.rs:

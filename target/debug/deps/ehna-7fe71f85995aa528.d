@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ehna-7fe71f85995aa528.d: src/lib.rs
+
+/root/repo/target/debug/deps/ehna-7fe71f85995aa528: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ehna-d0a668f75c189a13.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ehna-d0a668f75c189a13: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ehna-f93713bf78973f78.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ehna-f93713bf78973f78: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ehna_baselines-0079f04114cc1a5e.d: crates/baselines/src/lib.rs crates/baselines/src/ctdne.rs crates/baselines/src/htne.rs crates/baselines/src/line.rs crates/baselines/src/node2vec.rs crates/baselines/src/skipgram.rs
+
+/root/repo/target/debug/deps/libehna_baselines-0079f04114cc1a5e.rlib: crates/baselines/src/lib.rs crates/baselines/src/ctdne.rs crates/baselines/src/htne.rs crates/baselines/src/line.rs crates/baselines/src/node2vec.rs crates/baselines/src/skipgram.rs
+
+/root/repo/target/debug/deps/libehna_baselines-0079f04114cc1a5e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ctdne.rs crates/baselines/src/htne.rs crates/baselines/src/line.rs crates/baselines/src/node2vec.rs crates/baselines/src/skipgram.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ctdne.rs:
+crates/baselines/src/htne.rs:
+crates/baselines/src/line.rs:
+crates/baselines/src/node2vec.rs:
+crates/baselines/src/skipgram.rs:

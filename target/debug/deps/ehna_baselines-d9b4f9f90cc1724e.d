@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ehna_baselines-d9b4f9f90cc1724e.d: crates/baselines/src/lib.rs crates/baselines/src/ctdne.rs crates/baselines/src/htne.rs crates/baselines/src/line.rs crates/baselines/src/node2vec.rs crates/baselines/src/skipgram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libehna_baselines-d9b4f9f90cc1724e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ctdne.rs crates/baselines/src/htne.rs crates/baselines/src/line.rs crates/baselines/src/node2vec.rs crates/baselines/src/skipgram.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ctdne.rs:
+crates/baselines/src/htne.rs:
+crates/baselines/src/line.rs:
+crates/baselines/src/node2vec.rs:
+crates/baselines/src/skipgram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

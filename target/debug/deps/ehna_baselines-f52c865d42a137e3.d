@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ehna_baselines-f52c865d42a137e3.d: crates/baselines/src/lib.rs crates/baselines/src/ctdne.rs crates/baselines/src/htne.rs crates/baselines/src/line.rs crates/baselines/src/node2vec.rs crates/baselines/src/skipgram.rs
+
+/root/repo/target/debug/deps/ehna_baselines-f52c865d42a137e3: crates/baselines/src/lib.rs crates/baselines/src/ctdne.rs crates/baselines/src/htne.rs crates/baselines/src/line.rs crates/baselines/src/node2vec.rs crates/baselines/src/skipgram.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ctdne.rs:
+crates/baselines/src/htne.rs:
+crates/baselines/src/line.rs:
+crates/baselines/src/node2vec.rs:
+crates/baselines/src/skipgram.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ehna_bench-1a3f7fdad52575f3.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/ehna_bench-1a3f7fdad52575f3: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/table.rs:

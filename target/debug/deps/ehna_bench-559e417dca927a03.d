@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ehna_bench-559e417dca927a03.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libehna_bench-559e417dca927a03.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ehna_bench-a9b31fb84648e82e.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libehna_bench-a9b31fb84648e82e.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libehna_bench-a9b31fb84648e82e.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/table.rs:

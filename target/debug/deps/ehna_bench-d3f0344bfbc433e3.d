@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ehna_bench-d3f0344bfbc433e3.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libehna_bench-d3f0344bfbc433e3.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libehna_bench-d3f0344bfbc433e3.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/table.rs:

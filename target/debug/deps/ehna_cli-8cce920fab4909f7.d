@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ehna_cli-8cce920fab4909f7.d: crates/cli/src/lib.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/export.rs crates/cli/src/commands/generate.rs crates/cli/src/commands/linkpred.rs crates/cli/src/commands/nodeclass.rs crates/cli/src/commands/query.rs crates/cli/src/commands/reconstruct.rs crates/cli/src/commands/serve.rs crates/cli/src/commands/stats.rs crates/cli/src/commands/train.rs crates/cli/src/flags.rs crates/cli/src/method.rs Cargo.toml
+
+/root/repo/target/debug/deps/libehna_cli-8cce920fab4909f7.rmeta: crates/cli/src/lib.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/export.rs crates/cli/src/commands/generate.rs crates/cli/src/commands/linkpred.rs crates/cli/src/commands/nodeclass.rs crates/cli/src/commands/query.rs crates/cli/src/commands/reconstruct.rs crates/cli/src/commands/serve.rs crates/cli/src/commands/stats.rs crates/cli/src/commands/train.rs crates/cli/src/flags.rs crates/cli/src/method.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands/mod.rs:
+crates/cli/src/commands/export.rs:
+crates/cli/src/commands/generate.rs:
+crates/cli/src/commands/linkpred.rs:
+crates/cli/src/commands/nodeclass.rs:
+crates/cli/src/commands/query.rs:
+crates/cli/src/commands/reconstruct.rs:
+crates/cli/src/commands/serve.rs:
+crates/cli/src/commands/stats.rs:
+crates/cli/src/commands/train.rs:
+crates/cli/src/flags.rs:
+crates/cli/src/method.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ehna_cli-a3b07ce40a45eccb.d: crates/cli/src/lib.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/export.rs crates/cli/src/commands/generate.rs crates/cli/src/commands/linkpred.rs crates/cli/src/commands/nodeclass.rs crates/cli/src/commands/reconstruct.rs crates/cli/src/commands/stats.rs crates/cli/src/commands/train.rs crates/cli/src/flags.rs crates/cli/src/method.rs
+
+/root/repo/target/debug/deps/libehna_cli-a3b07ce40a45eccb.rlib: crates/cli/src/lib.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/export.rs crates/cli/src/commands/generate.rs crates/cli/src/commands/linkpred.rs crates/cli/src/commands/nodeclass.rs crates/cli/src/commands/reconstruct.rs crates/cli/src/commands/stats.rs crates/cli/src/commands/train.rs crates/cli/src/flags.rs crates/cli/src/method.rs
+
+/root/repo/target/debug/deps/libehna_cli-a3b07ce40a45eccb.rmeta: crates/cli/src/lib.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/export.rs crates/cli/src/commands/generate.rs crates/cli/src/commands/linkpred.rs crates/cli/src/commands/nodeclass.rs crates/cli/src/commands/reconstruct.rs crates/cli/src/commands/stats.rs crates/cli/src/commands/train.rs crates/cli/src/flags.rs crates/cli/src/method.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands/mod.rs:
+crates/cli/src/commands/export.rs:
+crates/cli/src/commands/generate.rs:
+crates/cli/src/commands/linkpred.rs:
+crates/cli/src/commands/nodeclass.rs:
+crates/cli/src/commands/reconstruct.rs:
+crates/cli/src/commands/stats.rs:
+crates/cli/src/commands/train.rs:
+crates/cli/src/flags.rs:
+crates/cli/src/method.rs:

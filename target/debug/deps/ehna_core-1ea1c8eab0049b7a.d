@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ehna_core-1ea1c8eab0049b7a.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/attention.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/model.rs crates/core/src/negative.rs crates/core/src/trainer.rs crates/core/src/variants.rs
+
+/root/repo/target/debug/deps/libehna_core-1ea1c8eab0049b7a.rlib: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/attention.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/model.rs crates/core/src/negative.rs crates/core/src/trainer.rs crates/core/src/variants.rs
+
+/root/repo/target/debug/deps/libehna_core-1ea1c8eab0049b7a.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/attention.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/model.rs crates/core/src/negative.rs crates/core/src/trainer.rs crates/core/src/variants.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/attention.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/model.rs:
+crates/core/src/negative.rs:
+crates/core/src/trainer.rs:
+crates/core/src/variants.rs:

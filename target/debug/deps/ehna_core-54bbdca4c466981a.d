@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ehna_core-54bbdca4c466981a.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/attention.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/model.rs crates/core/src/negative.rs crates/core/src/trainer.rs crates/core/src/variants.rs
+
+/root/repo/target/debug/deps/ehna_core-54bbdca4c466981a: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/attention.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/model.rs crates/core/src/negative.rs crates/core/src/trainer.rs crates/core/src/variants.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/attention.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/model.rs:
+crates/core/src/negative.rs:
+crates/core/src/trainer.rs:
+crates/core/src/variants.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ehna_core-8fd1dd833fae95a4.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/attention.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/model.rs crates/core/src/negative.rs crates/core/src/trainer.rs crates/core/src/variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libehna_core-8fd1dd833fae95a4.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/attention.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/model.rs crates/core/src/negative.rs crates/core/src/trainer.rs crates/core/src/variants.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/attention.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/model.rs:
+crates/core/src/negative.rs:
+crates/core/src/trainer.rs:
+crates/core/src/variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

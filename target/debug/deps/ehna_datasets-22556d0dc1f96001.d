@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ehna_datasets-22556d0dc1f96001.d: crates/datasets/src/lib.rs crates/datasets/src/bipartite.rs crates/datasets/src/coauthor.rs crates/datasets/src/community.rs crates/datasets/src/registry.rs crates/datasets/src/social.rs crates/datasets/src/util.rs
+
+/root/repo/target/debug/deps/ehna_datasets-22556d0dc1f96001: crates/datasets/src/lib.rs crates/datasets/src/bipartite.rs crates/datasets/src/coauthor.rs crates/datasets/src/community.rs crates/datasets/src/registry.rs crates/datasets/src/social.rs crates/datasets/src/util.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/bipartite.rs:
+crates/datasets/src/coauthor.rs:
+crates/datasets/src/community.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/social.rs:
+crates/datasets/src/util.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ehna_datasets-65af7f0ca9590958.d: crates/datasets/src/lib.rs crates/datasets/src/bipartite.rs crates/datasets/src/coauthor.rs crates/datasets/src/community.rs crates/datasets/src/registry.rs crates/datasets/src/social.rs crates/datasets/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libehna_datasets-65af7f0ca9590958.rmeta: crates/datasets/src/lib.rs crates/datasets/src/bipartite.rs crates/datasets/src/coauthor.rs crates/datasets/src/community.rs crates/datasets/src/registry.rs crates/datasets/src/social.rs crates/datasets/src/util.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/bipartite.rs:
+crates/datasets/src/coauthor.rs:
+crates/datasets/src/community.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/social.rs:
+crates/datasets/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

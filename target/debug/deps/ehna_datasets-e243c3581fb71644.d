@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ehna_datasets-e243c3581fb71644.d: crates/datasets/src/lib.rs crates/datasets/src/bipartite.rs crates/datasets/src/coauthor.rs crates/datasets/src/community.rs crates/datasets/src/registry.rs crates/datasets/src/social.rs crates/datasets/src/util.rs
+
+/root/repo/target/debug/deps/libehna_datasets-e243c3581fb71644.rlib: crates/datasets/src/lib.rs crates/datasets/src/bipartite.rs crates/datasets/src/coauthor.rs crates/datasets/src/community.rs crates/datasets/src/registry.rs crates/datasets/src/social.rs crates/datasets/src/util.rs
+
+/root/repo/target/debug/deps/libehna_datasets-e243c3581fb71644.rmeta: crates/datasets/src/lib.rs crates/datasets/src/bipartite.rs crates/datasets/src/coauthor.rs crates/datasets/src/community.rs crates/datasets/src/registry.rs crates/datasets/src/social.rs crates/datasets/src/util.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/bipartite.rs:
+crates/datasets/src/coauthor.rs:
+crates/datasets/src/community.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/social.rs:
+crates/datasets/src/util.rs:

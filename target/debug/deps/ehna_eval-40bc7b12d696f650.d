@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ehna_eval-40bc7b12d696f650.d: crates/eval/src/lib.rs crates/eval/src/linkpred.rs crates/eval/src/logreg.rs crates/eval/src/metrics.rs crates/eval/src/nodeclass.rs crates/eval/src/operators.rs crates/eval/src/ranking.rs crates/eval/src/reconstruction.rs crates/eval/src/split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libehna_eval-40bc7b12d696f650.rmeta: crates/eval/src/lib.rs crates/eval/src/linkpred.rs crates/eval/src/logreg.rs crates/eval/src/metrics.rs crates/eval/src/nodeclass.rs crates/eval/src/operators.rs crates/eval/src/ranking.rs crates/eval/src/reconstruction.rs crates/eval/src/split.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/linkpred.rs:
+crates/eval/src/logreg.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/nodeclass.rs:
+crates/eval/src/operators.rs:
+crates/eval/src/ranking.rs:
+crates/eval/src/reconstruction.rs:
+crates/eval/src/split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

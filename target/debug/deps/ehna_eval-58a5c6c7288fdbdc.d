@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ehna_eval-58a5c6c7288fdbdc.d: crates/eval/src/lib.rs crates/eval/src/linkpred.rs crates/eval/src/logreg.rs crates/eval/src/metrics.rs crates/eval/src/nodeclass.rs crates/eval/src/operators.rs crates/eval/src/ranking.rs crates/eval/src/reconstruction.rs crates/eval/src/split.rs
+
+/root/repo/target/debug/deps/ehna_eval-58a5c6c7288fdbdc: crates/eval/src/lib.rs crates/eval/src/linkpred.rs crates/eval/src/logreg.rs crates/eval/src/metrics.rs crates/eval/src/nodeclass.rs crates/eval/src/operators.rs crates/eval/src/ranking.rs crates/eval/src/reconstruction.rs crates/eval/src/split.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/linkpred.rs:
+crates/eval/src/logreg.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/nodeclass.rs:
+crates/eval/src/operators.rs:
+crates/eval/src/ranking.rs:
+crates/eval/src/reconstruction.rs:
+crates/eval/src/split.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ehna_eval-f6895b12f6949322.d: crates/eval/src/lib.rs crates/eval/src/linkpred.rs crates/eval/src/logreg.rs crates/eval/src/metrics.rs crates/eval/src/nodeclass.rs crates/eval/src/operators.rs crates/eval/src/ranking.rs crates/eval/src/reconstruction.rs crates/eval/src/split.rs
+
+/root/repo/target/debug/deps/libehna_eval-f6895b12f6949322.rlib: crates/eval/src/lib.rs crates/eval/src/linkpred.rs crates/eval/src/logreg.rs crates/eval/src/metrics.rs crates/eval/src/nodeclass.rs crates/eval/src/operators.rs crates/eval/src/ranking.rs crates/eval/src/reconstruction.rs crates/eval/src/split.rs
+
+/root/repo/target/debug/deps/libehna_eval-f6895b12f6949322.rmeta: crates/eval/src/lib.rs crates/eval/src/linkpred.rs crates/eval/src/logreg.rs crates/eval/src/metrics.rs crates/eval/src/nodeclass.rs crates/eval/src/operators.rs crates/eval/src/ranking.rs crates/eval/src/reconstruction.rs crates/eval/src/split.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/linkpred.rs:
+crates/eval/src/logreg.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/nodeclass.rs:
+crates/eval/src/operators.rs:
+crates/eval/src/ranking.rs:
+crates/eval/src/reconstruction.rs:
+crates/eval/src/split.rs:

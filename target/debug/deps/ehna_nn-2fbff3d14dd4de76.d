@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ehna_nn-2fbff3d14dd4de76.d: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/ioutil.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/store.rs
+
+/root/repo/target/debug/deps/libehna_nn-2fbff3d14dd4de76.rlib: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/ioutil.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/store.rs
+
+/root/repo/target/debug/deps/libehna_nn-2fbff3d14dd4de76.rmeta: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/ioutil.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/store.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/ioutil.rs:
+crates/nn/src/kernels.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/store.rs:

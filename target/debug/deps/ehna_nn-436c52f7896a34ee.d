@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ehna_nn-436c52f7896a34ee.d: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/ioutil.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/store.rs
+
+/root/repo/target/debug/deps/ehna_nn-436c52f7896a34ee: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/ioutil.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/store.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/ioutil.rs:
+crates/nn/src/kernels.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/store.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ehna_nn-98ceef96220339a8.d: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/ioutil.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libehna_nn-98ceef96220339a8.rmeta: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/ioutil.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/store.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/ioutil.rs:
+crates/nn/src/kernels.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

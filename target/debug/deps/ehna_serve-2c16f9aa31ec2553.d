@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ehna_serve-2c16f9aa31ec2553.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/index.rs crates/serve/src/json.rs crates/serve/src/server.rs crates/serve/src/stats.rs crates/serve/src/store.rs
+
+/root/repo/target/debug/deps/ehna_serve-2c16f9aa31ec2553: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/index.rs crates/serve/src/json.rs crates/serve/src/server.rs crates/serve/src/stats.rs crates/serve/src/store.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/index.rs:
+crates/serve/src/json.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:
+crates/serve/src/store.rs:

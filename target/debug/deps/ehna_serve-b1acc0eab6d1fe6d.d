@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ehna_serve-b1acc0eab6d1fe6d.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/index.rs crates/serve/src/json.rs crates/serve/src/server.rs crates/serve/src/stats.rs crates/serve/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libehna_serve-b1acc0eab6d1fe6d.rmeta: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/index.rs crates/serve/src/json.rs crates/serve/src/server.rs crates/serve/src/stats.rs crates/serve/src/store.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/index.rs:
+crates/serve/src/json.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:
+crates/serve/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ehna_serve-d5859961c8b18602.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/index.rs crates/serve/src/json.rs crates/serve/src/server.rs crates/serve/src/stats.rs crates/serve/src/store.rs
+
+/root/repo/target/debug/deps/libehna_serve-d5859961c8b18602.rlib: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/index.rs crates/serve/src/json.rs crates/serve/src/server.rs crates/serve/src/stats.rs crates/serve/src/store.rs
+
+/root/repo/target/debug/deps/libehna_serve-d5859961c8b18602.rmeta: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/index.rs crates/serve/src/json.rs crates/serve/src/server.rs crates/serve/src/stats.rs crates/serve/src/store.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/index.rs:
+crates/serve/src/json.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:
+crates/serve/src/store.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ehna_tgraph-b95fab7ecd5f452f.d: crates/tgraph/src/lib.rs crates/tgraph/src/algo.rs crates/tgraph/src/builder.rs crates/tgraph/src/edge.rs crates/tgraph/src/embedding.rs crates/tgraph/src/error.rs crates/tgraph/src/graph.rs crates/tgraph/src/ids.rs crates/tgraph/src/io.rs crates/tgraph/src/names.rs crates/tgraph/src/prep.rs crates/tgraph/src/stats.rs crates/tgraph/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libehna_tgraph-b95fab7ecd5f452f.rmeta: crates/tgraph/src/lib.rs crates/tgraph/src/algo.rs crates/tgraph/src/builder.rs crates/tgraph/src/edge.rs crates/tgraph/src/embedding.rs crates/tgraph/src/error.rs crates/tgraph/src/graph.rs crates/tgraph/src/ids.rs crates/tgraph/src/io.rs crates/tgraph/src/names.rs crates/tgraph/src/prep.rs crates/tgraph/src/stats.rs crates/tgraph/src/view.rs Cargo.toml
+
+crates/tgraph/src/lib.rs:
+crates/tgraph/src/algo.rs:
+crates/tgraph/src/builder.rs:
+crates/tgraph/src/edge.rs:
+crates/tgraph/src/embedding.rs:
+crates/tgraph/src/error.rs:
+crates/tgraph/src/graph.rs:
+crates/tgraph/src/ids.rs:
+crates/tgraph/src/io.rs:
+crates/tgraph/src/names.rs:
+crates/tgraph/src/prep.rs:
+crates/tgraph/src/stats.rs:
+crates/tgraph/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ehna_walks-09e230d2b7a02dae.d: crates/walks/src/lib.rs crates/walks/src/alias.rs crates/walks/src/context.rs crates/walks/src/ctdne.rs crates/walks/src/decay.rs crates/walks/src/neighborhood.rs crates/walks/src/node2vec.rs crates/walks/src/stats.rs crates/walks/src/temporal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libehna_walks-09e230d2b7a02dae.rmeta: crates/walks/src/lib.rs crates/walks/src/alias.rs crates/walks/src/context.rs crates/walks/src/ctdne.rs crates/walks/src/decay.rs crates/walks/src/neighborhood.rs crates/walks/src/node2vec.rs crates/walks/src/stats.rs crates/walks/src/temporal.rs Cargo.toml
+
+crates/walks/src/lib.rs:
+crates/walks/src/alias.rs:
+crates/walks/src/context.rs:
+crates/walks/src/ctdne.rs:
+crates/walks/src/decay.rs:
+crates/walks/src/neighborhood.rs:
+crates/walks/src/node2vec.rs:
+crates/walks/src/stats.rs:
+crates/walks/src/temporal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ehna_walks-30df0e115fab482f.d: crates/walks/src/lib.rs crates/walks/src/alias.rs crates/walks/src/context.rs crates/walks/src/ctdne.rs crates/walks/src/decay.rs crates/walks/src/neighborhood.rs crates/walks/src/node2vec.rs crates/walks/src/stats.rs crates/walks/src/temporal.rs
+
+/root/repo/target/debug/deps/libehna_walks-30df0e115fab482f.rlib: crates/walks/src/lib.rs crates/walks/src/alias.rs crates/walks/src/context.rs crates/walks/src/ctdne.rs crates/walks/src/decay.rs crates/walks/src/neighborhood.rs crates/walks/src/node2vec.rs crates/walks/src/stats.rs crates/walks/src/temporal.rs
+
+/root/repo/target/debug/deps/libehna_walks-30df0e115fab482f.rmeta: crates/walks/src/lib.rs crates/walks/src/alias.rs crates/walks/src/context.rs crates/walks/src/ctdne.rs crates/walks/src/decay.rs crates/walks/src/neighborhood.rs crates/walks/src/node2vec.rs crates/walks/src/stats.rs crates/walks/src/temporal.rs
+
+crates/walks/src/lib.rs:
+crates/walks/src/alias.rs:
+crates/walks/src/context.rs:
+crates/walks/src/ctdne.rs:
+crates/walks/src/decay.rs:
+crates/walks/src/neighborhood.rs:
+crates/walks/src/node2vec.rs:
+crates/walks/src/stats.rs:
+crates/walks/src/temporal.rs:

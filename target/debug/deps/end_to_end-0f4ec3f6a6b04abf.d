@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0f4ec3f6a6b04abf.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0f4ec3f6a6b04abf: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f1dd5026a03f121d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f1dd5026a03f121d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ablations-275cd9f3f5fe9b36.d: crates/bench/src/bin/ext_ablations.rs
+
+/root/repo/target/debug/deps/ext_ablations-275cd9f3f5fe9b36: crates/bench/src/bin/ext_ablations.rs
+
+crates/bench/src/bin/ext_ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_ablations-29e910e06e750f6c.d: crates/bench/src/bin/ext_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_ablations-29e910e06e750f6c.rmeta: crates/bench/src/bin/ext_ablations.rs Cargo.toml
+
+crates/bench/src/bin/ext_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_ablations-61e83f1434c40af7.d: crates/bench/src/bin/ext_ablations.rs
+
+/root/repo/target/debug/deps/ext_ablations-61e83f1434c40af7: crates/bench/src/bin/ext_ablations.rs
+
+crates/bench/src/bin/ext_ablations.rs:

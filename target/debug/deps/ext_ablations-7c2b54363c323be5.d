@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_ablations-7c2b54363c323be5.d: crates/bench/src/bin/ext_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_ablations-7c2b54363c323be5.rmeta: crates/bench/src/bin/ext_ablations.rs Cargo.toml
+
+crates/bench/src/bin/ext_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

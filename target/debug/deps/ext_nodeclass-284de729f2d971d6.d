@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_nodeclass-284de729f2d971d6.d: crates/bench/src/bin/ext_nodeclass.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_nodeclass-284de729f2d971d6.rmeta: crates/bench/src/bin/ext_nodeclass.rs Cargo.toml
+
+crates/bench/src/bin/ext_nodeclass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_nodeclass-c3cc702175dec48e.d: crates/bench/src/bin/ext_nodeclass.rs
+
+/root/repo/target/debug/deps/ext_nodeclass-c3cc702175dec48e: crates/bench/src/bin/ext_nodeclass.rs
+
+crates/bench/src/bin/ext_nodeclass.rs:

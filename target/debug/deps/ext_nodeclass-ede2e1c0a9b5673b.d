@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_nodeclass-ede2e1c0a9b5673b.d: crates/bench/src/bin/ext_nodeclass.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_nodeclass-ede2e1c0a9b5673b.rmeta: crates/bench/src/bin/ext_nodeclass.rs Cargo.toml
+
+crates/bench/src/bin/ext_nodeclass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_nodeclass-ff7b1f887e0ac081.d: crates/bench/src/bin/ext_nodeclass.rs
+
+/root/repo/target/debug/deps/ext_nodeclass-ff7b1f887e0ac081: crates/bench/src/bin/ext_nodeclass.rs
+
+crates/bench/src/bin/ext_nodeclass.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_reconstruction-1c9ac4256fad7e60.d: crates/bench/src/bin/fig4_reconstruction.rs
+
+/root/repo/target/debug/deps/fig4_reconstruction-1c9ac4256fad7e60: crates/bench/src/bin/fig4_reconstruction.rs
+
+crates/bench/src/bin/fig4_reconstruction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_reconstruction-a5ab631a6cb7d6dd.d: crates/bench/src/bin/fig4_reconstruction.rs
+
+/root/repo/target/debug/deps/fig4_reconstruction-a5ab631a6cb7d6dd: crates/bench/src/bin/fig4_reconstruction.rs
+
+crates/bench/src/bin/fig4_reconstruction.rs:

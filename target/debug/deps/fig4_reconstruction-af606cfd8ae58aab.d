@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_reconstruction-af606cfd8ae58aab.d: crates/bench/src/bin/fig4_reconstruction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_reconstruction-af606cfd8ae58aab.rmeta: crates/bench/src/bin/fig4_reconstruction.rs Cargo.toml
+
+crates/bench/src/bin/fig4_reconstruction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_sensitivity-206fde6c5877cfca.d: crates/bench/src/bin/fig5_sensitivity.rs
+
+/root/repo/target/debug/deps/fig5_sensitivity-206fde6c5877cfca: crates/bench/src/bin/fig5_sensitivity.rs
+
+crates/bench/src/bin/fig5_sensitivity.rs:

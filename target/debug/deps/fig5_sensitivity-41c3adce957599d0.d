@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_sensitivity-41c3adce957599d0.d: crates/bench/src/bin/fig5_sensitivity.rs
+
+/root/repo/target/debug/deps/fig5_sensitivity-41c3adce957599d0: crates/bench/src/bin/fig5_sensitivity.rs
+
+crates/bench/src/bin/fig5_sensitivity.rs:

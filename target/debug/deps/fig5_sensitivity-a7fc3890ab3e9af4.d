@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_sensitivity-a7fc3890ab3e9af4.d: crates/bench/src/bin/fig5_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_sensitivity-a7fc3890ab3e9af4.rmeta: crates/bench/src/bin/fig5_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/fig5_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

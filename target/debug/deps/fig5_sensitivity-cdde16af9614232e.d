@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_sensitivity-cdde16af9614232e.d: crates/bench/src/bin/fig5_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_sensitivity-cdde16af9614232e.rmeta: crates/bench/src/bin/fig5_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/fig5_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

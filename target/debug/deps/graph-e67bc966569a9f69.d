@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph-e67bc966569a9f69.d: crates/bench/benches/graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph-e67bc966569a9f69.rmeta: crates/bench/benches/graph.rs Cargo.toml
+
+crates/bench/benches/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

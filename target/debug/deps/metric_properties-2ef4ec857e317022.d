@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metric_properties-2ef4ec857e317022.d: crates/eval/tests/metric_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetric_properties-2ef4ec857e317022.rmeta: crates/eval/tests/metric_properties.rs Cargo.toml
+
+crates/eval/tests/metric_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

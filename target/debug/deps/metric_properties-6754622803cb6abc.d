@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metric_properties-6754622803cb6abc.d: crates/eval/tests/metric_properties.rs
+
+/root/repo/target/debug/deps/metric_properties-6754622803cb6abc: crates/eval/tests/metric_properties.rs
+
+crates/eval/tests/metric_properties.rs:

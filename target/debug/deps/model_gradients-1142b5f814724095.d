@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_gradients-1142b5f814724095.d: tests/model_gradients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_gradients-1142b5f814724095.rmeta: tests/model_gradients.rs Cargo.toml
+
+tests/model_gradients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_gradients-7f2fbe9d358a5db1.d: tests/model_gradients.rs
+
+/root/repo/target/debug/deps/model_gradients-7f2fbe9d358a5db1: tests/model_gradients.rs
+
+tests/model_gradients.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_gradients-c2cfac768ed9abc8.d: tests/model_gradients.rs
+
+/root/repo/target/debug/deps/model_gradients-c2cfac768ed9abc8: tests/model_gradients.rs
+
+tests/model_gradients.rs:

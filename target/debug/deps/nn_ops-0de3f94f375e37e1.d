@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nn_ops-0de3f94f375e37e1.d: crates/bench/benches/nn_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnn_ops-0de3f94f375e37e1.rmeta: crates/bench/benches/nn_ops.rs Cargo.toml
+
+crates/bench/benches/nn_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/op_properties-9f5a562bff10ee32.d: crates/nn/tests/op_properties.rs
+
+/root/repo/target/debug/deps/op_properties-9f5a562bff10ee32: crates/nn/tests/op_properties.rs
+
+crates/nn/tests/op_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/op_properties-a4d0f001ec8894a1.d: crates/nn/tests/op_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libop_properties-a4d0f001ec8894a1.rmeta: crates/nn/tests/op_properties.rs Cargo.toml
+
+crates/nn/tests/op_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

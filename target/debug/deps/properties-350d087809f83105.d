@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-350d087809f83105.d: crates/tgraph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-350d087809f83105: crates/tgraph/tests/properties.rs
+
+crates/tgraph/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c5506ee3321a21ac.d: crates/tgraph/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c5506ee3321a21ac.rmeta: crates/tgraph/tests/properties.rs Cargo.toml
+
+crates/tgraph/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reachability-3bcffa3c511ca3b1.d: crates/walks/tests/reachability.rs
+
+/root/repo/target/debug/deps/reachability-3bcffa3c511ca3b1: crates/walks/tests/reachability.rs
+
+crates/walks/tests/reachability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reachability-823a1455a3400ddc.d: crates/walks/tests/reachability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreachability-823a1455a3400ddc.rmeta: crates/walks/tests/reachability.rs Cargo.toml
+
+crates/walks/tests/reachability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_end_to_end-7804fe2f2206297f.d: crates/cli/tests/serve_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_end_to_end-7804fe2f2206297f.rmeta: crates/cli/tests/serve_end_to_end.rs Cargo.toml
+
+crates/cli/tests/serve_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_end_to_end-7b9749d9d62662bd.d: crates/cli/tests/serve_end_to_end.rs
+
+/root/repo/target/debug/deps/serve_end_to_end-7b9749d9d62662bd: crates/cli/tests/serve_end_to_end.rs
+
+crates/cli/tests/serve_end_to_end.rs:

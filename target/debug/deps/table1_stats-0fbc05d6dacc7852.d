@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_stats-0fbc05d6dacc7852.d: crates/bench/src/bin/table1_stats.rs
+
+/root/repo/target/debug/deps/table1_stats-0fbc05d6dacc7852: crates/bench/src/bin/table1_stats.rs
+
+crates/bench/src/bin/table1_stats.rs:

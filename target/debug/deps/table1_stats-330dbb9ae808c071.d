@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_stats-330dbb9ae808c071.d: crates/bench/src/bin/table1_stats.rs
+
+/root/repo/target/debug/deps/table1_stats-330dbb9ae808c071: crates/bench/src/bin/table1_stats.rs
+
+crates/bench/src/bin/table1_stats.rs:

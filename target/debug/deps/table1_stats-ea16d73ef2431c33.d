@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_stats-ea16d73ef2431c33.d: crates/bench/src/bin/table1_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_stats-ea16d73ef2431c33.rmeta: crates/bench/src/bin/table1_stats.rs Cargo.toml
+
+crates/bench/src/bin/table1_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_6_linkpred-69b5cfadf57e5d28.d: crates/bench/src/bin/table3_6_linkpred.rs
+
+/root/repo/target/debug/deps/table3_6_linkpred-69b5cfadf57e5d28: crates/bench/src/bin/table3_6_linkpred.rs
+
+crates/bench/src/bin/table3_6_linkpred.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_6_linkpred-713c62a5719768b0.d: crates/bench/src/bin/table3_6_linkpred.rs
+
+/root/repo/target/debug/deps/table3_6_linkpred-713c62a5719768b0: crates/bench/src/bin/table3_6_linkpred.rs
+
+crates/bench/src/bin/table3_6_linkpred.rs:

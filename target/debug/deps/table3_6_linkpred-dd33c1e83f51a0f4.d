@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_6_linkpred-dd33c1e83f51a0f4.d: crates/bench/src/bin/table3_6_linkpred.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_6_linkpred-dd33c1e83f51a0f4.rmeta: crates/bench/src/bin/table3_6_linkpred.rs Cargo.toml
+
+crates/bench/src/bin/table3_6_linkpred.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_ablation-2fee4494e8c3adff.d: crates/bench/src/bin/table7_ablation.rs
+
+/root/repo/target/debug/deps/table7_ablation-2fee4494e8c3adff: crates/bench/src/bin/table7_ablation.rs
+
+crates/bench/src/bin/table7_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7_ablation-63ebb513d758a0c2.d: crates/bench/src/bin/table7_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7_ablation-63ebb513d758a0c2.rmeta: crates/bench/src/bin/table7_ablation.rs Cargo.toml
+
+crates/bench/src/bin/table7_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

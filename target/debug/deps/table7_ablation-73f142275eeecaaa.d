@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_ablation-73f142275eeecaaa.d: crates/bench/src/bin/table7_ablation.rs
+
+/root/repo/target/debug/deps/table7_ablation-73f142275eeecaaa: crates/bench/src/bin/table7_ablation.rs
+
+crates/bench/src/bin/table7_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7_ablation-cb6a8b1e744ebc6b.d: crates/bench/src/bin/table7_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7_ablation-cb6a8b1e744ebc6b.rmeta: crates/bench/src/bin/table7_ablation.rs Cargo.toml
+
+crates/bench/src/bin/table7_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_timing-540c545c0f0c81f2.d: crates/bench/src/bin/table8_timing.rs
+
+/root/repo/target/debug/deps/table8_timing-540c545c0f0c81f2: crates/bench/src/bin/table8_timing.rs
+
+crates/bench/src/bin/table8_timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8_timing-7dd00f21fdf71837.d: crates/bench/src/bin/table8_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8_timing-7dd00f21fdf71837.rmeta: crates/bench/src/bin/table8_timing.rs Cargo.toml
+
+crates/bench/src/bin/table8_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_timing-b32dd5c99cc42877.d: crates/bench/src/bin/table8_timing.rs
+
+/root/repo/target/debug/deps/table8_timing-b32dd5c99cc42877: crates/bench/src/bin/table8_timing.rs
+
+crates/bench/src/bin/table8_timing.rs:

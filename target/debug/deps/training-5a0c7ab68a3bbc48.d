@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training-5a0c7ab68a3bbc48.d: crates/bench/benches/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining-5a0c7ab68a3bbc48.rmeta: crates/bench/benches/training.rs Cargo.toml
+
+crates/bench/benches/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/walks-a6205a730dc6a396.d: crates/bench/benches/walks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwalks-a6205a730dc6a396.rmeta: crates/bench/benches/walks.rs Cargo.toml
+
+crates/bench/benches/walks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/walks_on_datasets-5863d65f7c1b776e.d: tests/walks_on_datasets.rs
+
+/root/repo/target/debug/deps/walks_on_datasets-5863d65f7c1b776e: tests/walks_on_datasets.rs
+
+tests/walks_on_datasets.rs:

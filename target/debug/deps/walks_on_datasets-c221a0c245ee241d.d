@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/walks_on_datasets-c221a0c245ee241d.d: tests/walks_on_datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwalks_on_datasets-c221a0c245ee241d.rmeta: tests/walks_on_datasets.rs Cargo.toml
+
+tests/walks_on_datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/walks_on_datasets-e2bb0db9d6a6bd70.d: tests/walks_on_datasets.rs
+
+/root/repo/target/debug/deps/walks_on_datasets-e2bb0db9d6a6bd70: tests/walks_on_datasets.rs
+
+tests/walks_on_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coauthor_evolution-12276733921f13aa.d: examples/coauthor_evolution.rs
+
+/root/repo/target/debug/examples/coauthor_evolution-12276733921f13aa: examples/coauthor_evolution.rs
+
+examples/coauthor_evolution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/coauthor_evolution-4daa2df661fedfab.d: examples/coauthor_evolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoauthor_evolution-4daa2df661fedfab.rmeta: examples/coauthor_evolution.rs Cargo.toml
+
+examples/coauthor_evolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coauthor_evolution-640db4ba9e70b1d7.d: examples/coauthor_evolution.rs
+
+/root/repo/target/debug/examples/coauthor_evolution-640db4ba9e70b1d7: examples/coauthor_evolution.rs
+
+examples/coauthor_evolution.rs:

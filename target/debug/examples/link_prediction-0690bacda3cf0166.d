@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/link_prediction-0690bacda3cf0166.d: examples/link_prediction.rs
+
+/root/repo/target/debug/examples/link_prediction-0690bacda3cf0166: examples/link_prediction.rs
+
+examples/link_prediction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/link_prediction-55868f01f4ed9c53.d: examples/link_prediction.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblink_prediction-55868f01f4ed9c53.rmeta: examples/link_prediction.rs Cargo.toml
+
+examples/link_prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

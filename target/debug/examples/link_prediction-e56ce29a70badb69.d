@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/link_prediction-e56ce29a70badb69.d: examples/link_prediction.rs
+
+/root/repo/target/debug/examples/link_prediction-e56ce29a70badb69: examples/link_prediction.rs
+
+examples/link_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_reconstruction-0cd50445eea1cafa.d: examples/network_reconstruction.rs
+
+/root/repo/target/debug/examples/network_reconstruction-0cd50445eea1cafa: examples/network_reconstruction.rs
+
+examples/network_reconstruction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_reconstruction-867e300b4d0f4825.d: examples/network_reconstruction.rs
+
+/root/repo/target/debug/examples/network_reconstruction-867e300b4d0f4825: examples/network_reconstruction.rs
+
+examples/network_reconstruction.rs:

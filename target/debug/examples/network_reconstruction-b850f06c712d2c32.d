@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/network_reconstruction-b850f06c712d2c32.d: examples/network_reconstruction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetwork_reconstruction-b850f06c712d2c32.rmeta: examples/network_reconstruction.rs Cargo.toml
+
+examples/network_reconstruction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-25d7d93193ee9fdc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-25d7d93193ee9fdc: examples/quickstart.rs
+
+examples/quickstart.rs:

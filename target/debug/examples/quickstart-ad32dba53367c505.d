@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ad32dba53367c505.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ad32dba53367c505: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/time_sliced_embeddings-37f0201bcc04a813.d: examples/time_sliced_embeddings.rs
+
+/root/repo/target/debug/examples/time_sliced_embeddings-37f0201bcc04a813: examples/time_sliced_embeddings.rs
+
+examples/time_sliced_embeddings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/time_sliced_embeddings-d07dcd01d6b525ba.d: examples/time_sliced_embeddings.rs
+
+/root/repo/target/debug/examples/time_sliced_embeddings-d07dcd01d6b525ba: examples/time_sliced_embeddings.rs
+
+examples/time_sliced_embeddings.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/time_sliced_embeddings-ed7486aa3628b936.d: examples/time_sliced_embeddings.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtime_sliced_embeddings-ed7486aa3628b936.rmeta: examples/time_sliced_embeddings.rs Cargo.toml
+
+examples/time_sliced_embeddings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ehna-41237d4fe1932f33.d: src/lib.rs
+
+/root/repo/target/release/deps/libehna-41237d4fe1932f33.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libehna-41237d4fe1932f33.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ehna-c1d7ad22b8f94392.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/ehna-c1d7ad22b8f94392: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

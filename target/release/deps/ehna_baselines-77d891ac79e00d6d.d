@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ehna_baselines-77d891ac79e00d6d.d: crates/baselines/src/lib.rs crates/baselines/src/ctdne.rs crates/baselines/src/htne.rs crates/baselines/src/line.rs crates/baselines/src/node2vec.rs crates/baselines/src/skipgram.rs
+
+/root/repo/target/release/deps/libehna_baselines-77d891ac79e00d6d.rlib: crates/baselines/src/lib.rs crates/baselines/src/ctdne.rs crates/baselines/src/htne.rs crates/baselines/src/line.rs crates/baselines/src/node2vec.rs crates/baselines/src/skipgram.rs
+
+/root/repo/target/release/deps/libehna_baselines-77d891ac79e00d6d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ctdne.rs crates/baselines/src/htne.rs crates/baselines/src/line.rs crates/baselines/src/node2vec.rs crates/baselines/src/skipgram.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ctdne.rs:
+crates/baselines/src/htne.rs:
+crates/baselines/src/line.rs:
+crates/baselines/src/node2vec.rs:
+crates/baselines/src/skipgram.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ehna_bench-a3e004701031eade.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libehna_bench-a3e004701031eade.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libehna_bench-a3e004701031eade.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/methods.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ehna_cli-f00e8f5555d541e7.d: crates/cli/src/lib.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/export.rs crates/cli/src/commands/generate.rs crates/cli/src/commands/linkpred.rs crates/cli/src/commands/nodeclass.rs crates/cli/src/commands/query.rs crates/cli/src/commands/reconstruct.rs crates/cli/src/commands/serve.rs crates/cli/src/commands/stats.rs crates/cli/src/commands/train.rs crates/cli/src/flags.rs crates/cli/src/method.rs
+
+/root/repo/target/release/deps/libehna_cli-f00e8f5555d541e7.rlib: crates/cli/src/lib.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/export.rs crates/cli/src/commands/generate.rs crates/cli/src/commands/linkpred.rs crates/cli/src/commands/nodeclass.rs crates/cli/src/commands/query.rs crates/cli/src/commands/reconstruct.rs crates/cli/src/commands/serve.rs crates/cli/src/commands/stats.rs crates/cli/src/commands/train.rs crates/cli/src/flags.rs crates/cli/src/method.rs
+
+/root/repo/target/release/deps/libehna_cli-f00e8f5555d541e7.rmeta: crates/cli/src/lib.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/export.rs crates/cli/src/commands/generate.rs crates/cli/src/commands/linkpred.rs crates/cli/src/commands/nodeclass.rs crates/cli/src/commands/query.rs crates/cli/src/commands/reconstruct.rs crates/cli/src/commands/serve.rs crates/cli/src/commands/stats.rs crates/cli/src/commands/train.rs crates/cli/src/flags.rs crates/cli/src/method.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands/mod.rs:
+crates/cli/src/commands/export.rs:
+crates/cli/src/commands/generate.rs:
+crates/cli/src/commands/linkpred.rs:
+crates/cli/src/commands/nodeclass.rs:
+crates/cli/src/commands/query.rs:
+crates/cli/src/commands/reconstruct.rs:
+crates/cli/src/commands/serve.rs:
+crates/cli/src/commands/stats.rs:
+crates/cli/src/commands/train.rs:
+crates/cli/src/flags.rs:
+crates/cli/src/method.rs:

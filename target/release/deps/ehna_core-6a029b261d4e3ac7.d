@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ehna_core-6a029b261d4e3ac7.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/attention.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/model.rs crates/core/src/negative.rs crates/core/src/trainer.rs crates/core/src/variants.rs
+
+/root/repo/target/release/deps/libehna_core-6a029b261d4e3ac7.rlib: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/attention.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/model.rs crates/core/src/negative.rs crates/core/src/trainer.rs crates/core/src/variants.rs
+
+/root/repo/target/release/deps/libehna_core-6a029b261d4e3ac7.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/attention.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/model.rs crates/core/src/negative.rs crates/core/src/trainer.rs crates/core/src/variants.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/attention.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/model.rs:
+crates/core/src/negative.rs:
+crates/core/src/trainer.rs:
+crates/core/src/variants.rs:

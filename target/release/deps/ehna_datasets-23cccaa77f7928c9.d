@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ehna_datasets-23cccaa77f7928c9.d: crates/datasets/src/lib.rs crates/datasets/src/bipartite.rs crates/datasets/src/coauthor.rs crates/datasets/src/community.rs crates/datasets/src/registry.rs crates/datasets/src/social.rs crates/datasets/src/util.rs
+
+/root/repo/target/release/deps/libehna_datasets-23cccaa77f7928c9.rlib: crates/datasets/src/lib.rs crates/datasets/src/bipartite.rs crates/datasets/src/coauthor.rs crates/datasets/src/community.rs crates/datasets/src/registry.rs crates/datasets/src/social.rs crates/datasets/src/util.rs
+
+/root/repo/target/release/deps/libehna_datasets-23cccaa77f7928c9.rmeta: crates/datasets/src/lib.rs crates/datasets/src/bipartite.rs crates/datasets/src/coauthor.rs crates/datasets/src/community.rs crates/datasets/src/registry.rs crates/datasets/src/social.rs crates/datasets/src/util.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/bipartite.rs:
+crates/datasets/src/coauthor.rs:
+crates/datasets/src/community.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/social.rs:
+crates/datasets/src/util.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ehna_eval-111d931df5418b26.d: crates/eval/src/lib.rs crates/eval/src/linkpred.rs crates/eval/src/logreg.rs crates/eval/src/metrics.rs crates/eval/src/nodeclass.rs crates/eval/src/operators.rs crates/eval/src/ranking.rs crates/eval/src/reconstruction.rs crates/eval/src/split.rs
+
+/root/repo/target/release/deps/libehna_eval-111d931df5418b26.rlib: crates/eval/src/lib.rs crates/eval/src/linkpred.rs crates/eval/src/logreg.rs crates/eval/src/metrics.rs crates/eval/src/nodeclass.rs crates/eval/src/operators.rs crates/eval/src/ranking.rs crates/eval/src/reconstruction.rs crates/eval/src/split.rs
+
+/root/repo/target/release/deps/libehna_eval-111d931df5418b26.rmeta: crates/eval/src/lib.rs crates/eval/src/linkpred.rs crates/eval/src/logreg.rs crates/eval/src/metrics.rs crates/eval/src/nodeclass.rs crates/eval/src/operators.rs crates/eval/src/ranking.rs crates/eval/src/reconstruction.rs crates/eval/src/split.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/linkpred.rs:
+crates/eval/src/logreg.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/nodeclass.rs:
+crates/eval/src/operators.rs:
+crates/eval/src/ranking.rs:
+crates/eval/src/reconstruction.rs:
+crates/eval/src/split.rs:

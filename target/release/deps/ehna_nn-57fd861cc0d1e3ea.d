@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ehna_nn-57fd861cc0d1e3ea.d: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/ioutil.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/store.rs
+
+/root/repo/target/release/deps/libehna_nn-57fd861cc0d1e3ea.rlib: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/ioutil.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/store.rs
+
+/root/repo/target/release/deps/libehna_nn-57fd861cc0d1e3ea.rmeta: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/ioutil.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/store.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/ioutil.rs:
+crates/nn/src/kernels.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/store.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ehna_serve-0445b1b3929a4b48.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/index.rs crates/serve/src/json.rs crates/serve/src/server.rs crates/serve/src/stats.rs crates/serve/src/store.rs
+
+/root/repo/target/release/deps/libehna_serve-0445b1b3929a4b48.rlib: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/index.rs crates/serve/src/json.rs crates/serve/src/server.rs crates/serve/src/stats.rs crates/serve/src/store.rs
+
+/root/repo/target/release/deps/libehna_serve-0445b1b3929a4b48.rmeta: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/engine.rs crates/serve/src/index.rs crates/serve/src/json.rs crates/serve/src/server.rs crates/serve/src/stats.rs crates/serve/src/store.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/index.rs:
+crates/serve/src/json.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:
+crates/serve/src/store.rs:

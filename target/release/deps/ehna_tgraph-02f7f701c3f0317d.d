@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ehna_tgraph-02f7f701c3f0317d.d: crates/tgraph/src/lib.rs crates/tgraph/src/algo.rs crates/tgraph/src/builder.rs crates/tgraph/src/edge.rs crates/tgraph/src/embedding.rs crates/tgraph/src/error.rs crates/tgraph/src/graph.rs crates/tgraph/src/ids.rs crates/tgraph/src/io.rs crates/tgraph/src/names.rs crates/tgraph/src/prep.rs crates/tgraph/src/stats.rs crates/tgraph/src/view.rs
+
+/root/repo/target/release/deps/libehna_tgraph-02f7f701c3f0317d.rlib: crates/tgraph/src/lib.rs crates/tgraph/src/algo.rs crates/tgraph/src/builder.rs crates/tgraph/src/edge.rs crates/tgraph/src/embedding.rs crates/tgraph/src/error.rs crates/tgraph/src/graph.rs crates/tgraph/src/ids.rs crates/tgraph/src/io.rs crates/tgraph/src/names.rs crates/tgraph/src/prep.rs crates/tgraph/src/stats.rs crates/tgraph/src/view.rs
+
+/root/repo/target/release/deps/libehna_tgraph-02f7f701c3f0317d.rmeta: crates/tgraph/src/lib.rs crates/tgraph/src/algo.rs crates/tgraph/src/builder.rs crates/tgraph/src/edge.rs crates/tgraph/src/embedding.rs crates/tgraph/src/error.rs crates/tgraph/src/graph.rs crates/tgraph/src/ids.rs crates/tgraph/src/io.rs crates/tgraph/src/names.rs crates/tgraph/src/prep.rs crates/tgraph/src/stats.rs crates/tgraph/src/view.rs
+
+crates/tgraph/src/lib.rs:
+crates/tgraph/src/algo.rs:
+crates/tgraph/src/builder.rs:
+crates/tgraph/src/edge.rs:
+crates/tgraph/src/embedding.rs:
+crates/tgraph/src/error.rs:
+crates/tgraph/src/graph.rs:
+crates/tgraph/src/ids.rs:
+crates/tgraph/src/io.rs:
+crates/tgraph/src/names.rs:
+crates/tgraph/src/prep.rs:
+crates/tgraph/src/stats.rs:
+crates/tgraph/src/view.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ehna_walks-339317e33269382c.d: crates/walks/src/lib.rs crates/walks/src/alias.rs crates/walks/src/context.rs crates/walks/src/ctdne.rs crates/walks/src/decay.rs crates/walks/src/neighborhood.rs crates/walks/src/node2vec.rs crates/walks/src/stats.rs crates/walks/src/temporal.rs
+
+/root/repo/target/release/deps/libehna_walks-339317e33269382c.rlib: crates/walks/src/lib.rs crates/walks/src/alias.rs crates/walks/src/context.rs crates/walks/src/ctdne.rs crates/walks/src/decay.rs crates/walks/src/neighborhood.rs crates/walks/src/node2vec.rs crates/walks/src/stats.rs crates/walks/src/temporal.rs
+
+/root/repo/target/release/deps/libehna_walks-339317e33269382c.rmeta: crates/walks/src/lib.rs crates/walks/src/alias.rs crates/walks/src/context.rs crates/walks/src/ctdne.rs crates/walks/src/decay.rs crates/walks/src/neighborhood.rs crates/walks/src/node2vec.rs crates/walks/src/stats.rs crates/walks/src/temporal.rs
+
+crates/walks/src/lib.rs:
+crates/walks/src/alias.rs:
+crates/walks/src/context.rs:
+crates/walks/src/ctdne.rs:
+crates/walks/src/decay.rs:
+crates/walks/src/neighborhood.rs:
+crates/walks/src/node2vec.rs:
+crates/walks/src/stats.rs:
+crates/walks/src/temporal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_ablations-54902a8813a01975.d: crates/bench/src/bin/ext_ablations.rs
+
+/root/repo/target/release/deps/ext_ablations-54902a8813a01975: crates/bench/src/bin/ext_ablations.rs
+
+crates/bench/src/bin/ext_ablations.rs:

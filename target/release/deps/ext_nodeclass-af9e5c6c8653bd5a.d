@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_nodeclass-af9e5c6c8653bd5a.d: crates/bench/src/bin/ext_nodeclass.rs
+
+/root/repo/target/release/deps/ext_nodeclass-af9e5c6c8653bd5a: crates/bench/src/bin/ext_nodeclass.rs
+
+crates/bench/src/bin/ext_nodeclass.rs:

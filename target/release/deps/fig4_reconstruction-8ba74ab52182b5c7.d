@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_reconstruction-8ba74ab52182b5c7.d: crates/bench/src/bin/fig4_reconstruction.rs
+
+/root/repo/target/release/deps/fig4_reconstruction-8ba74ab52182b5c7: crates/bench/src/bin/fig4_reconstruction.rs
+
+crates/bench/src/bin/fig4_reconstruction.rs:

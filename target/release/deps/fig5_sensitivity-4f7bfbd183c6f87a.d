@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_sensitivity-4f7bfbd183c6f87a.d: crates/bench/src/bin/fig5_sensitivity.rs
+
+/root/repo/target/release/deps/fig5_sensitivity-4f7bfbd183c6f87a: crates/bench/src/bin/fig5_sensitivity.rs
+
+crates/bench/src/bin/fig5_sensitivity.rs:

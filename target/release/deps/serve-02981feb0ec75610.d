@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve-02981feb0ec75610.d: crates/bench/benches/serve.rs
+
+/root/repo/target/release/deps/serve-02981feb0ec75610: crates/bench/benches/serve.rs
+
+crates/bench/benches/serve.rs:

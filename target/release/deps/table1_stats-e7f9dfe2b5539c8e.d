@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_stats-e7f9dfe2b5539c8e.d: crates/bench/src/bin/table1_stats.rs
+
+/root/repo/target/release/deps/table1_stats-e7f9dfe2b5539c8e: crates/bench/src/bin/table1_stats.rs
+
+crates/bench/src/bin/table1_stats.rs:

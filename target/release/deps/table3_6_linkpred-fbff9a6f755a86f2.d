@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_6_linkpred-fbff9a6f755a86f2.d: crates/bench/src/bin/table3_6_linkpred.rs
+
+/root/repo/target/release/deps/table3_6_linkpred-fbff9a6f755a86f2: crates/bench/src/bin/table3_6_linkpred.rs
+
+crates/bench/src/bin/table3_6_linkpred.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_ablation-a53941012c96e89c.d: crates/bench/src/bin/table7_ablation.rs
+
+/root/repo/target/release/deps/table7_ablation-a53941012c96e89c: crates/bench/src/bin/table7_ablation.rs
+
+crates/bench/src/bin/table7_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_timing-ccf71a2fbdbea62e.d: crates/bench/src/bin/table8_timing.rs
+
+/root/repo/target/release/deps/table8_timing-ccf71a2fbdbea62e: crates/bench/src/bin/table8_timing.rs
+
+crates/bench/src/bin/table8_timing.rs:

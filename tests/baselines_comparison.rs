@@ -28,10 +28,8 @@ fn methods(dim: usize) -> Vec<Box<dyn EmbeddingMethod>> {
 #[test]
 fn every_baseline_beats_chance_on_link_prediction() {
     let graph = generate(Dataset::DiggLike, Scale::Tiny, 8);
-    let task = LinkPredictionTask::prepare(
-        &graph,
-        LinkPredictionConfig { seed: 1, ..Default::default() },
-    );
+    let task =
+        LinkPredictionTask::prepare(&graph, LinkPredictionConfig { seed: 1, ..Default::default() });
     for m in methods(24) {
         let emb = m.embed(task.train_graph(), 13);
         assert_eq!(emb.num_nodes(), graph.num_nodes(), "{}", m.name());
@@ -59,10 +57,8 @@ fn operators_disagree_meaningfully() {
     // The paper's point in §V-E: operator choice matters. Hadamard and
     // Weighted-L2 must not yield identical metrics on real embeddings.
     let graph = generate(Dataset::DblpLike, Scale::Tiny, 10);
-    let task = LinkPredictionTask::prepare(
-        &graph,
-        LinkPredictionConfig { seed: 2, ..Default::default() },
-    );
+    let task =
+        LinkPredictionTask::prepare(&graph, LinkPredictionConfig { seed: 2, ..Default::default() });
     let emb = Node2Vec {
         walks: Node2VecConfig { length: 15, walks_per_node: 3, ..Default::default() },
         sgns: SkipGramConfig { dim: 24, epochs: 1, ..Default::default() },

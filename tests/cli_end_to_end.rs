@@ -20,10 +20,9 @@ fn generate_stats_train_evaluate_pipeline() {
     let snap_s = snap.to_str().unwrap();
 
     // 1. generate
-    let out = cli(&[
-        "generate", "--dataset", "digg", "--scale", "tiny", "--seed", "5", "--out", net_s,
-    ])
-    .expect("generate");
+    let out =
+        cli(&["generate", "--dataset", "digg", "--scale", "tiny", "--seed", "5", "--out", net_s])
+            .expect("generate");
     assert!(out.contains("digg-like"));
 
     // 2. stats
@@ -31,19 +30,16 @@ fn generate_stats_train_evaluate_pipeline() {
     assert!(out.contains("temporal edges"));
 
     // 3. train (cheap method for test speed)
-    let out = cli(&[
-        "train", net_s, "--method", "line", "--dim", "16", "--epochs", "1", "--out", snap_s,
-    ])
-    .expect("train");
+    let out =
+        cli(&["train", net_s, "--method", "line", "--dim", "16", "--epochs", "1", "--out", snap_s])
+            .expect("train");
     assert!(out.contains("wrote"));
     let emb = NodeEmbeddings::load(std::fs::File::open(&snap).unwrap()).expect("snapshot");
     assert_eq!(emb.dim(), 16);
 
     // 4. link prediction evaluation
-    let out = cli(&[
-        "linkpred", net_s, "--method", "line", "--dim", "16", "--epochs", "1",
-    ])
-    .expect("linkpred");
+    let out = cli(&["linkpred", net_s, "--method", "line", "--dim", "16", "--epochs", "1"])
+        .expect("linkpred");
     assert!(out.contains("Weighted-L2"));
 
     // 5. reconstruction evaluation
@@ -73,8 +69,8 @@ fn generate_stats_train_evaluate_pipeline() {
 #[test]
 fn cli_errors_are_actionable() {
     // Unknown method names the valid set.
-    let err = cli(&["train", "/tmp/nonexistent.txt", "--method", "gcn", "--out", "/tmp/x"])
-        .unwrap_err();
+    let err =
+        cli(&["train", "/tmp/nonexistent.txt", "--method", "gcn", "--out", "/tmp/x"]).unwrap_err();
     assert!(err.contains("node2vec"), "{err}");
     // Missing file is a runtime error mentioning io.
     let err = cli(&["stats", "/definitely/missing.txt"]).unwrap_err();

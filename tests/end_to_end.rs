@@ -24,10 +24,8 @@ fn quick_config(dim: usize) -> EhnaConfig {
 #[test]
 fn ehna_learns_link_prediction_on_social_network() {
     let graph = generate(Dataset::DiggLike, Scale::Tiny, 3);
-    let task = LinkPredictionTask::prepare(
-        &graph,
-        LinkPredictionConfig { seed: 5, ..Default::default() },
-    );
+    let task =
+        LinkPredictionTask::prepare(&graph, LinkPredictionConfig { seed: 5, ..Default::default() });
     let mut trainer = Trainer::new(task.train_graph(), quick_config(24)).expect("config");
     let report = trainer.train();
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()));

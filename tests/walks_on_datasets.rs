@@ -20,10 +20,7 @@ fn temporal_walks_respect_relevance_on_every_dataset() {
         for v in g.nodes().take(200) {
             let w = walker.walk(v, t_ref, &mut rng);
             assert!(w.times.windows(2).all(|p| p[0] >= p[1]), "{d:?}: time order broken");
-            assert!(
-                w.times[1..].iter().all(|&t| t < t_ref),
-                "{d:?}: future interaction leaked"
-            );
+            assert!(w.times[1..].iter().all(|&t| t < t_ref), "{d:?}: future interaction leaked");
             if w.len() > 2 {
                 non_trivial += 1;
             }
@@ -37,13 +34,7 @@ fn temporal_walks_respect_relevance_on_every_dataset() {
 fn neighborhood_sampling_scales_and_is_deterministic() {
     let g = generate(Dataset::DiggLike, Scale::Tiny, 1);
     let sampler = NeighborhoodSampler::new(&g, TemporalWalkConfig::for_graph(&g), 10);
-    let targets: Vec<_> = g
-        .edges()
-        .iter()
-        .rev()
-        .take(100)
-        .map(|e| (e.src, e.t))
-        .collect();
+    let targets: Vec<_> = g.edges().iter().rev().take(100).map(|e| (e.src, e.t)).collect();
     let a = sampler.sample_batch(&targets, 1, 3);
     let b = sampler.sample_batch(&targets, 8, 3);
     assert_eq!(a, b, "thread count changed walk results");

@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Implements the benchmark-definition surface this workspace's benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`]
+//! / `sample_size` / `finish`, [`Bencher::iter`] / `iter_batched`,
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — backed by a plain wall-clock loop instead of criterion's
+//! statistical machinery. Each benchmark warms up briefly, then runs
+//! `sample_size` timed samples (auto-scaled iteration counts) and reports
+//! min / mean / max per-iteration time to stdout. Good enough to compare
+//! implementations on the same machine; not a substitute for criterion's
+//! outlier analysis.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget for one benchmark's measurement phase.
+const MEASURE_BUDGET: Duration = Duration::from_millis(600);
+const WARMUP_BUDGET: Duration = Duration::from_millis(150);
+
+/// Top-level harness handle; one per binary, passed to each target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: None, measurement_time: None }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.default_sample_size, MEASURE_BUDGET, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Wall-clock budget for one benchmark's measurement phase.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.measurement_time = Some(budget);
+        self
+    }
+
+    /// Run one benchmark of this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        let budget = self.measurement_time.unwrap_or(MEASURE_BUDGET);
+        run_benchmark(&label, self.sample_size.unwrap_or(20), budget, f);
+        self
+    }
+
+    /// End the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; only the API shape is
+/// honored — batches are always one routine call per setup call.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Routine input is cheap to hold many of.
+    SmallInput,
+    /// Routine input is expensive; batch sparsely.
+    LargeInput,
+    /// Re-run setup before every routine call.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, budget: Duration, mut f: F) {
+    // Warmup: discover a per-sample iteration count that fits the budget.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= WARMUP_BUDGET / 4 || iters >= 1 << 20 {
+            let per_iter = b.elapsed.checked_div(iters as u32).unwrap_or_default();
+            let budget_per_sample = budget / samples.max(1) as u32;
+            if !per_iter.is_zero() {
+                iters = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+            }
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    let mut per_iter_nanos: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(2) {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter_nanos.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    let min = per_iter_nanos.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter_nanos.iter().cloned().fold(0.0, f64::max);
+    let mean = per_iter_nanos.iter().sum::<f64>() / per_iter_nanos.len() as f64;
+    println!(
+        "{label:<40} time: [{} {} {}]  ({iters} iters x {} samples)",
+        fmt_nanos(min),
+        fmt_nanos(mean),
+        fmt_nanos(max),
+        per_iter_nanos.len(),
+    );
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Bundle benchmark targets into a group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn bencher_runs_routine_and_times_it() {
+        static CALLS: AtomicU64 = AtomicU64::new(0);
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        b.iter(|| CALLS.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(CALLS.load(Ordering::Relaxed), 10);
+
+        let mut b = Bencher { iters: 3, elapsed: Duration::ZERO };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.iters, 3);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2).bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        c.bench_function("direct", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_nanos(12.0).ends_with("ns"));
+        assert!(fmt_nanos(12_500.0).ends_with("us"));
+        assert!(fmt_nanos(12_500_000.0).ends_with("ms"));
+        assert!(fmt_nanos(2.5e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for `proptest` (API subset, no shrinking).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//!   plus [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assume!`];
+//! * [`Strategy`] with `prop_map` / `prop_filter_map`, range strategies
+//!   over primitive numbers, tuple strategies, [`collection::vec`], and
+//!   [`bool::ANY`].
+//!
+//! Differences from real proptest: failing cases are **not shrunk** (the
+//! failing input is reported as generated), and there is no persistence
+//! file — every run replays the same deterministic sequence, seeded per
+//! test from the test's name, so failures are reproducible by rerunning.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod bool {
+    //! Strategies for `bool`.
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> Option<bool> {
+            use rand::Rng;
+            Some(rng.gen::<bool>())
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for property tests.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Discard the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        #[test]
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::deterministic_rng(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut discarded: u32 = 0;
+            while accepted < config.cases {
+                if discarded > 16 * config.cases + 100 {
+                    panic!(
+                        "proptest '{}' gave up: {} cases accepted, {} discarded",
+                        stringify!($name),
+                        accepted,
+                        discarded
+                    );
+                }
+                $(
+                    let $pat = match $crate::strategy::Strategy::generate(&$strat, &mut rng) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => {
+                            discarded += 1;
+                            continue;
+                        }
+                    };
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => discarded += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => panic!(
+                        "proptest '{}' failed after {} passing cases: {}",
+                        stringify!($name),
+                        accepted,
+                        msg
+                    ),
+                }
+            }
+        }
+    )*};
+}

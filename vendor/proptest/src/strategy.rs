@@ -1,0 +1,219 @@
+//! Value-generation strategies (no shrinking).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// How many times rejection-based combinators retry before giving up on
+/// the attempt and letting the runner regenerate from scratch.
+const LOCAL_RETRIES: usize = 32;
+
+/// A recipe for random values of `Self::Value`.
+///
+/// `generate` returns `None` when the underlying source rejected the draw
+/// (e.g. a `prop_filter_map` predicate failed repeatedly); the test runner
+/// counts that as a discard, not a failure.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value, or `None` on rejection.
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values `f` maps to `Some`, retrying locally a bounded
+    /// number of times. `whence` labels the filter in give-up panics.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, whence, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Clone, Debug)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        for _ in 0..LOCAL_RETRIES {
+            if let Some(out) = self.inner.generate(rng).and_then(&self.f) {
+                return Some(out);
+            }
+        }
+        let _ = self.whence; // reported by the runner as a discard
+        None
+    }
+}
+
+/// Always the same value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+
+/// See [`crate::collection::vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+        let len = rng.gen_range(self.size.clone());
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.generate(rng)?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::deterministic_rng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = deterministic_rng("ranges");
+        for _ in 0..500 {
+            let v = (3u32..9).generate(&mut rng).unwrap();
+            assert!((3..9).contains(&v));
+            let f = (-1.0f64..1.0).generate(&mut rng).unwrap();
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_filter_map_compose() {
+        let mut rng = deterministic_rng("combos");
+        let strat = (0u32..100).prop_map(|v| v * 2).prop_filter_map("multiple of 4", |v| {
+            if v % 4 == 0 {
+                Some(v)
+            } else {
+                None
+            }
+        });
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng).unwrap();
+            assert_eq!(v % 4, 0);
+        }
+    }
+
+    #[test]
+    fn impossible_filter_rejects() {
+        let mut rng = deterministic_rng("reject");
+        let strat = (0u32..10).prop_filter_map("never", |_| None::<u32>);
+        assert!(strat.generate(&mut rng).is_none());
+    }
+
+    #[test]
+    fn vec_and_tuple_shapes() {
+        let mut rng = deterministic_rng("shapes");
+        let strat = crate::collection::vec((0u32..5, crate::bool::ANY), 2..7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng).unwrap();
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&(n, _)| n < 5));
+        }
+        assert_eq!(Just(41).generate(&mut rng), Some(41));
+    }
+}

@@ -1,0 +1,75 @@
+//! Runner plumbing shared by the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (subset: case count only).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// How a single generated case ended, when not a plain pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` failed); try another input.
+    Reject(String),
+    /// The property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discard with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The deterministic generator backing one property test: seeded from the
+/// test's name so distinct tests see distinct—but reproducible—streams.
+pub fn deterministic_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_depends_on_name_only() {
+        assert_eq!(deterministic_rng("a").next_u64(), deterministic_rng("a").next_u64());
+        assert_ne!(deterministic_rng("a").next_u64(), deterministic_rng("b").next_u64());
+    }
+
+    #[test]
+    fn config_defaults() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(64).cases, 64);
+    }
+}
