@@ -11,9 +11,14 @@ const HELP: &str = "ehna train — train node embeddings
 
 usage: ehna train FILE --method NAME [--dim N] [--epochs N] [--walks N]
                   [--walk-length N] [--p F] [--q F] [--seed N]
-                  [--bidirectional true] --out SNAPSHOT
+                  [--bidirectional true] [--threads N] [--pipeline-depth N]
+                  --out SNAPSHOT
 
 methods: ehna, ehna-na, ehna-rw, ehna-sl, node2vec, ctdne, line, htne
+--threads sets the walk-sampling workers and --pipeline-depth how many
+sampled batches the prefetcher may run ahead of the optimizer (0 =
+synchronous; results are identical at any depth). EHNA methods print a
+sample/compute/stall phase-timing summary after training.
 The snapshot is the binary NodeEmbeddings format (load with
 NodeEmbeddings::load or `ehna linkpred --emb SNAPSHOT`).";
 
@@ -30,6 +35,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "q",
         "seed",
         "bidirectional",
+        "threads",
+        "pipeline-depth",
         "out",
     ])?;
     let input = flags.one_positional("edge-list file")?;
@@ -46,6 +53,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         q: flags.get_or("q", 1.0f64)?,
         seed: flags.get_or("seed", 42u64)?,
         bidirectional: flags.get_or("bidirectional", false)?,
+        threads: flags.get_or("threads", 1usize)?,
+        pipeline_depth: flags.get("pipeline-depth").map(str::parse).transpose().map_err(
+            |e: std::num::ParseIntError| CliError::usage(format!("--pipeline-depth: {e}")),
+        )?,
     };
 
     let graph = read_edge_list_path(input)?;
@@ -59,9 +70,30 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     )
     .map_err(io_err)?;
     let start = std::time::Instant::now();
-    let emb = method.train(&graph, &opts)?;
+    let outcome = method.train_full(&graph, &opts)?;
+    let emb = outcome.embeddings;
     let f = std::fs::File::create(snapshot).map_err(io_err)?;
     emb.save(f)?;
+    if let Some(report) = &outcome.report {
+        let phases = report.total_phase_timings();
+        writeln!(
+            out,
+            "epoch loss {:.4} -> {:.4} over {} epochs ({} batches)",
+            report.epoch_losses.first().copied().unwrap_or(f64::NAN),
+            report.epoch_losses.last().copied().unwrap_or(f64::NAN),
+            report.epoch_losses.len(),
+            report.batches,
+        )
+        .map_err(io_err)?;
+        writeln!(
+            out,
+            "phase timings: sample {:.2}s | compute {:.2}s | prefetch stall {:.2}s",
+            phases.sample_time.as_secs_f64(),
+            phases.compute_time.as_secs_f64(),
+            phases.prefetch_stall_time.as_secs_f64(),
+        )
+        .map_err(io_err)?;
+    }
     writeln!(
         out,
         "trained in {:.2}s; wrote {} x {} snapshot to {snapshot}",
@@ -115,6 +147,41 @@ mod tests {
         let emb = NodeEmbeddings::load(std::fs::File::open(&snap).unwrap()).unwrap();
         assert_eq!(emb.dim(), 8);
         assert_eq!(emb.num_nodes(), 13);
+        let _ = std::fs::remove_file(input);
+        let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
+    fn pipelined_flags_print_phase_summary() {
+        let input = tiny_file("ehna_cli_train_pipe_in.txt");
+        let snap = std::env::temp_dir().join("ehna_cli_train_pipe_out.bin");
+        let args: Vec<String> = [
+            input.to_str().unwrap(),
+            "--method",
+            "ehna",
+            "--dim",
+            "8",
+            "--epochs",
+            "1",
+            "--walks",
+            "2",
+            "--walk-length",
+            "3",
+            "--threads",
+            "2",
+            "--pipeline-depth",
+            "3",
+            "--out",
+            snap.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("phase timings: sample"), "missing timings in: {text}");
+        assert!(text.contains("prefetch stall"), "missing stall in: {text}");
         let _ = std::fs::remove_file(input);
         let _ = std::fs::remove_file(snap);
     }

@@ -3,7 +3,7 @@
 
 use crate::CliError;
 use ehna_baselines::{Ctdne, EmbeddingMethod, Htne, Line, Node2Vec, SkipGramConfig};
-use ehna_core::{EhnaConfig, EhnaVariant, Trainer};
+use ehna_core::{EhnaConfig, EhnaVariant, Trainer, TrainingReport};
 use ehna_tgraph::{NodeEmbeddings, TemporalGraph};
 use ehna_walks::{CtdneConfig, Node2VecConfig};
 
@@ -26,6 +26,11 @@ pub struct TrainOptions {
     pub seed: u64,
     /// Bidirectional negative sampling (EHNA, Eq. 7).
     pub bidirectional: bool,
+    /// Walk-sampling worker threads (EHNA).
+    pub threads: usize,
+    /// Batch-prefetch pipeline depth (EHNA); `None` keeps the
+    /// [`EhnaConfig`] default.
+    pub pipeline_depth: Option<usize>,
 }
 
 impl Default for TrainOptions {
@@ -39,8 +44,20 @@ impl Default for TrainOptions {
             q: 1.0,
             seed: 42,
             bidirectional: false,
+            threads: 1,
+            pipeline_depth: None,
         }
     }
+}
+
+/// What a training run produced: the embeddings, and — for EHNA methods,
+/// which train through [`Trainer`] — the trainer's report with per-epoch
+/// losses and sample/compute/stall phase timings.
+pub struct TrainOutcome {
+    /// The trained node embeddings.
+    pub embeddings: NodeEmbeddings,
+    /// Trainer report; `None` for the baseline methods.
+    pub report: Option<TrainingReport>,
 }
 
 /// A method selected by CLI name.
@@ -92,14 +109,26 @@ impl MethodName {
         }
     }
 
-    /// Train on `graph` with `opts`.
+    /// Train on `graph` with `opts`, returning only the embeddings.
     pub fn train(
         self,
         graph: &TemporalGraph,
         opts: &TrainOptions,
     ) -> Result<NodeEmbeddings, CliError> {
+        self.train_full(graph, opts).map(|o| o.embeddings)
+    }
+
+    /// Train on `graph` with `opts`, keeping the trainer report when the
+    /// method produces one.
+    pub fn train_full(
+        self,
+        graph: &TemporalGraph,
+        opts: &TrainOptions,
+    ) -> Result<TrainOutcome, CliError> {
+        let mut report = None;
         let emb = match self {
             MethodName::Ehna(variant) => {
+                let defaults = EhnaConfig::default();
                 let config = variant.configure(EhnaConfig {
                     dim: opts.dim,
                     num_walks: opts.num_walks,
@@ -111,10 +140,12 @@ impl MethodName {
                     lr: 2e-3,
                     seed: opts.seed,
                     bidirectional: opts.bidirectional,
-                    ..Default::default()
+                    threads: opts.threads,
+                    pipeline_depth: opts.pipeline_depth.unwrap_or(defaults.pipeline_depth),
+                    ..defaults
                 });
                 let mut trainer = Trainer::new(graph, config).map_err(CliError::usage)?;
-                trainer.train();
+                report = Some(trainer.train());
                 trainer.into_embeddings()
             }
             MethodName::Node2Vec => Node2Vec {
@@ -151,7 +182,7 @@ impl MethodName {
                     .embed(graph, opts.seed)
             }
         };
-        Ok(emb)
+        Ok(TrainOutcome { embeddings: emb, report })
     }
 }
 

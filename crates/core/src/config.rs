@@ -66,7 +66,20 @@ pub struct EhnaConfig {
     pub seed: u64,
     /// Worker threads for walk sampling.
     pub threads: usize,
+    /// Training-batch prefetch pipeline depth: how many sampled batches a
+    /// background producer may buffer ahead of the optimization step.
+    /// `0` samples synchronously on the main thread. Any depth produces
+    /// bit-identical training results; the knob only trades memory for
+    /// walk-sampling latency hidden behind compute. The
+    /// `EHNA_PIPELINE_DEPTH` environment variable overrides this at
+    /// trainer run time (CI uses it to exercise the pipelined path).
+    pub pipeline_depth: usize,
 }
+
+/// Upper bound on [`EhnaConfig::pipeline_depth`]: each buffered batch
+/// holds `O(batch_size * (2 + negatives) * num_walks * walk_length)`
+/// sampled nodes, so unbounded lookahead is a memory foot-gun.
+pub const MAX_PIPELINE_DEPTH: usize = 64;
 
 impl Default for EhnaConfig {
     fn default() -> Self {
@@ -92,6 +105,7 @@ impl Default for EhnaConfig {
             emb_init_scale: None,
             seed: 42,
             threads: 1,
+            pipeline_depth: 2,
         }
     }
 }
@@ -144,7 +158,23 @@ impl EhnaConfig {
                 return Err("emb_init_scale must be positive".into());
             }
         }
+        if self.pipeline_depth > MAX_PIPELINE_DEPTH {
+            return Err(format!("pipeline_depth must be <= {MAX_PIPELINE_DEPTH}"));
+        }
         Ok(())
+    }
+
+    /// The pipeline depth the trainer should run with: the
+    /// `EHNA_PIPELINE_DEPTH` environment variable when set to an integer
+    /// in `0..=`[`MAX_PIPELINE_DEPTH`], otherwise
+    /// [`EhnaConfig::pipeline_depth`]. Results are depth-invariant, so the
+    /// override can never change what a run computes — only how it
+    /// schedules sampling.
+    pub fn effective_pipeline_depth(&self) -> usize {
+        match std::env::var("EHNA_PIPELINE_DEPTH").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(d) if d <= MAX_PIPELINE_DEPTH => d,
+            _ => self.pipeline_depth,
+        }
     }
 }
 
@@ -185,6 +215,7 @@ mod tests {
             |c: &mut EhnaConfig| c.batch_size = 0,
             |c: &mut EhnaConfig| c.fallback_samples = 0,
             |c: &mut EhnaConfig| c.emb_init_scale = Some(-1.0),
+            |c: &mut EhnaConfig| c.pipeline_depth = MAX_PIPELINE_DEPTH + 1,
         ] {
             let mut c = EhnaConfig::default();
             f(&mut c);

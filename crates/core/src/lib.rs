@@ -49,9 +49,9 @@ mod negative;
 mod trainer;
 pub mod variants;
 
-pub use config::{EhnaConfig, WalkStyle};
+pub use config::{EhnaConfig, WalkStyle, MAX_PIPELINE_DEPTH};
 pub use ehna_tgraph::NodeEmbeddings;
 pub use model::EhnaModel;
 pub use negative::NegativeSampler;
-pub use trainer::{Trainer, TrainingReport};
+pub use trainer::{PhaseTimings, Trainer, TrainingReport};
 pub use variants::EhnaVariant;

@@ -12,6 +12,8 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct NegativeSampler {
     table: AliasTable,
+    /// Node ids with nonzero degree (the noise support), ascending.
+    support: Vec<u32>,
 }
 
 impl NegativeSampler {
@@ -21,8 +23,10 @@ impl NegativeSampler {
     /// Panics if the graph has no edges (degrees all zero).
     pub fn new(graph: &TemporalGraph) -> Self {
         let degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+        let support: Vec<u32> =
+            degrees.iter().enumerate().filter(|&(_, &d)| d > 0).map(|(i, _)| i as u32).collect();
         let table = degree_noise_table(&degrees).expect("graph must have edges");
-        NegativeSampler { table }
+        NegativeSampler { table, support }
     }
 
     /// Draw one negative, avoiding `x` and `y`.
@@ -35,8 +39,26 @@ impl NegativeSampler {
                 return v;
             }
         }
-        // Pathological graph (e.g. two nodes): fall back to whatever the
-        // table yields.
+        // Tiny/pathological support (e.g. almost all noise mass on the
+        // endpoints): walk the support exhaustively instead of risking a
+        // "negative" that is actually a positive endpoint, which would
+        // silently zero the hinge margin.
+        let excluded = usize::from(self.support.binary_search(&x.0).is_ok())
+            + usize::from(x != y && self.support.binary_search(&y.0).is_ok());
+        if let Some(v) =
+            nth_excluding(self.support.iter().copied(), x, y, self.support.len() - excluded, rng)
+        {
+            return v;
+        }
+        // Support is a subset of {x, y}: no active node qualifies, so take
+        // any other node id (isolated nodes still have embeddings).
+        let n = self.table.len();
+        let active = usize::from(x.0 < n as u32) + usize::from(x != y && y.0 < n as u32);
+        if let Some(v) = nth_excluding(0..n as u32, x, y, n - active, rng) {
+            return v;
+        }
+        // Two-node graph: a true negative does not exist. Keep the
+        // historical behavior (degree-weighted draw) rather than panic.
         NodeId(self.table.sample(rng) as u32)
     }
 
@@ -50,6 +72,22 @@ impl NegativeSampler {
     ) -> Vec<NodeId> {
         (0..q).map(|_| self.sample(x, y, rng)).collect()
     }
+}
+
+/// Uniformly pick one of the `count` elements of `ids` that are neither
+/// `x` nor `y`; `None` when `count == 0`.
+fn nth_excluding<R: Rng + ?Sized>(
+    ids: impl Iterator<Item = u32>,
+    x: NodeId,
+    y: NodeId,
+    count: usize,
+    rng: &mut R,
+) -> Option<NodeId> {
+    if count == 0 {
+        return None;
+    }
+    let k = rng.gen_range(0..count);
+    ids.filter(|&v| v != x.0 && v != y.0).nth(k).map(NodeId)
 }
 
 #[cfg(test)]
@@ -100,6 +138,47 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let v = s.sample_many(NodeId(1), NodeId(2), 7, &mut rng);
         assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn three_node_graph_negatives_never_hit_endpoints() {
+        // Path 0-1-2: only node 2 is a valid negative for the edge (0,1).
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let s = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2_000 {
+            assert_eq!(s.sample(NodeId(0), NodeId(1), &mut rng), NodeId(2));
+        }
+    }
+
+    #[test]
+    fn exhausted_rejection_falls_back_to_isolated_node_not_positive() {
+        // Nodes 0, 1 carry all the noise mass; node 2 is isolated. The
+        // 64-draw rejection loop cannot succeed for the edge (0, 1), and
+        // the fallback must still not return an endpoint.
+        let mut b = GraphBuilder::with_num_nodes(3);
+        b.add_edge(0, 1, 1, 1.0).unwrap();
+        b.add_edge(0, 1, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let s = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..200 {
+            assert_eq!(s.sample(NodeId(0), NodeId(1), &mut rng), NodeId(2));
+        }
+    }
+
+    #[test]
+    fn self_loop_endpoints_excluded_once() {
+        // x == y must not be double-counted when sizing the candidate set.
+        let g = star(5);
+        let s = NegativeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            assert_ne!(s.sample(NodeId(0), NodeId(0), &mut rng), NodeId(0));
+        }
     }
 
     #[test]

@@ -8,15 +8,38 @@ use crate::negative::NegativeSampler;
 use ehna_nn::optim::{clip_grad_norm, Adam};
 use ehna_nn::Graph;
 use ehna_tgraph::{NodeEmbeddings, NodeId, TemporalGraph, Timestamp};
-use ehna_walks::NeighborhoodSampler;
+use ehna_walks::{BatchPlan, BatchPrefetcher, NeighborhoodSampler, PrefetchedBatch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
+/// Wall-clock decomposition of one training epoch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Walk-sampling time, summed over prefetch producer batches. With an
+    /// overlapping pipeline this runs concurrently with compute, so it can
+    /// exceed the epoch's elapsed wall-clock.
+    pub sample_time: Duration,
+    /// Main-thread forward/backward/update time.
+    pub compute_time: Duration,
+    /// Main-thread time stalled waiting on the prefetcher. Zero when
+    /// `pipeline_depth == 0` (the synchronous path samples inline, so the
+    /// whole `sample_time` is the stall).
+    pub prefetch_stall_time: Duration,
+}
+
+impl PhaseTimings {
+    fn add(&mut self, other: PhaseTimings) {
+        self.sample_time += other.sample_time;
+        self.compute_time += other.compute_time;
+        self.prefetch_stall_time += other.prefetch_stall_time;
+    }
+}
+
 /// Summary of a training run.
 #[derive(Debug, Clone)]
 pub struct TrainingReport {
-    /// Mean batch loss per epoch.
+    /// Edge-weighted mean batch loss per epoch.
     pub epoch_losses: Vec<f64>,
     /// Total processed batches.
     pub batches: usize,
@@ -24,6 +47,19 @@ pub struct TrainingReport {
     pub wall_time: Duration,
     /// Wall-clock time per epoch (the Table VIII metric).
     pub epoch_times: Vec<Duration>,
+    /// Per-epoch sample/compute/stall decomposition of `epoch_times`.
+    pub phase_timings: Vec<PhaseTimings>,
+}
+
+impl TrainingReport {
+    /// Phase timings summed over all epochs.
+    pub fn total_phase_timings(&self) -> PhaseTimings {
+        let mut total = PhaseTimings::default();
+        for p in &self.phase_timings {
+            total.add(*p);
+        }
+        total
+    }
 }
 
 /// Drives EHNA training on one temporal graph.
@@ -93,90 +129,136 @@ impl<'g> Trainer<'g> {
         let start = Instant::now();
         let mut epoch_losses = Vec::new();
         let mut epoch_times = Vec::new();
+        let mut phase_timings = Vec::new();
         let mut batches = 0usize;
         for _ in 0..self.model.config.epochs {
             let t0 = Instant::now();
-            let (loss, nb) = self.train_epoch();
+            let (loss, nb, phases) = self.run_epoch();
             epoch_times.push(t0.elapsed());
             epoch_losses.push(loss);
+            phase_timings.push(phases);
             batches += nb;
         }
-        TrainingReport { epoch_losses, batches, wall_time: start.elapsed(), epoch_times }
+        TrainingReport {
+            epoch_losses,
+            batches,
+            wall_time: start.elapsed(),
+            epoch_times,
+            phase_timings,
+        }
     }
 
     /// One pass over all edges in chronological order. Returns
-    /// `(mean batch loss, batch count)`.
+    /// `(edge-weighted mean batch loss, batch count)`.
     pub fn train_epoch(&mut self) -> (f64, usize) {
-        self.epoch_counter += 1;
-        let bs = self.model.config.batch_size;
-        let edges = self.graph.edges();
-        let mut total = 0.0f64;
-        let mut count = 0usize;
-        for (batch_idx, chunk) in edges.chunks(bs).enumerate() {
-            let pairs: Vec<(NodeId, NodeId, Timestamp)> =
-                chunk.iter().map(|e| (e.src, e.dst, e.t)).collect();
-            total += self.train_batch(&pairs, batch_idx as u64);
-            count += 1;
-        }
-        (total / count.max(1) as f64, count)
+        let (loss, batches, _) = self.run_epoch();
+        (loss, batches)
     }
 
-    /// One optimization step on a batch of target edges. Returns the batch
-    /// loss (mean hinge over all negative comparisons).
-    pub fn train_batch(&mut self, edges: &[(NodeId, NodeId, Timestamp)], batch_idx: u64) -> f64 {
-        let cfg = &self.model.config;
-        let b = edges.len();
-        let q = cfg.negatives;
-        let margin = cfg.margin;
-        let bidirectional = cfg.bidirectional;
-        let threads = cfg.threads;
-        let num_walks = cfg.num_walks;
-
-        // 1. Historical neighborhoods for both endpoints of every edge
-        //    (walks see only interactions strictly before the edge's time).
-        let mut targets: Vec<(NodeId, Timestamp)> = Vec::with_capacity(2 * b);
-        targets.extend(edges.iter().map(|&(x, _, t)| (x, t)));
-        targets.extend(edges.iter().map(|&(_, y, t)| (y, t)));
-        let sampler =
-            NeighborhoodSampler::new(self.graph, self.model.walk_config(self.graph), num_walks);
-        let walk_seed = self
-            .model
+    /// Per-item walk stream base for `(epoch_counter, batch_idx)`.
+    fn walk_seed(&self, batch_idx: u64) -> u64 {
+        self.model
             .config
             .seed
             .wrapping_mul(0x9E37)
-            .wrapping_add(self.epoch_counter * 1_000_003 + batch_idx);
-        let hns = sampler.sample_batch(&targets, threads, walk_seed);
+            .wrapping_add(self.epoch_counter.wrapping_mul(1_000_003).wrapping_add(batch_idx))
+    }
 
-        // 2. Negative nodes, ordered q-major so row `q*b + i` pairs with
-        //    edge `i`. A negative with identifiable history goes through
-        //    the *same* walk-aggregation network as the targets (sharing
-        //    the batch statistics); only history-less nodes take the
-        //    GraphSAGE-style fallback. Routing them differently would let
-        //    the margin loss separate positives from negatives by network
-        //    pathway instead of by node identity.
-        let mut negatives: Vec<(NodeId, Timestamp)> = Vec::with_capacity(b * q);
+    /// The epoch driver behind [`Trainer::train_epoch`]: lay out a
+    /// deterministic sampling plan for every batch, then stream the plans
+    /// through a [`BatchPrefetcher`] so walk sampling for batch `N+1`
+    /// overlaps the main-thread optimization step of batch `N`.
+    ///
+    /// Negative draws are hoisted into this epoch-start pass: the
+    /// main-thread RNG fully determines every batch's negatives before any
+    /// sampling starts, so the prefetcher owns a pure, replayable plan and
+    /// pipeline depth or thread count cannot perturb the random streams —
+    /// training is bit-identical for every `pipeline_depth`.
+    fn run_epoch(&mut self) -> (f64, usize, PhaseTimings) {
+        self.epoch_counter += 1;
+        let bs = self.model.config.batch_size;
+        let q = self.model.config.negatives;
+        let threads = self.model.config.threads;
+        let depth = self.model.config.effective_pipeline_depth();
+        let edges = self.graph.edges();
+
+        let mut plans: Vec<BatchPlan> = Vec::with_capacity(edges.len().div_ceil(bs));
+        for (batch_idx, chunk) in edges.chunks(bs).enumerate() {
+            let pairs: Vec<(NodeId, NodeId, Timestamp)> =
+                chunk.iter().map(|e| (e.src, e.dst, e.t)).collect();
+            // q-major so row `q*b + i` pairs with edge `i`.
+            let mut negatives: Vec<(NodeId, Timestamp)> = Vec::with_capacity(chunk.len() * q);
+            for _ in 0..q {
+                for e in chunk {
+                    negatives.push((self.negative.sample(e.src, e.dst, &mut self.rng), e.t));
+                }
+            }
+            plans.push(BatchPlan { pairs, negatives, walk_seed: self.walk_seed(batch_idx as u64) });
+        }
+
+        let sampler = NeighborhoodSampler::new(
+            self.graph,
+            self.model.walk_config(self.graph),
+            self.model.config.num_walks,
+        );
+        let prefetcher = BatchPrefetcher::new(&sampler, depth, threads);
+        let mut batch_losses: Vec<(f64, usize)> = Vec::with_capacity(plans.len());
+        let stats = prefetcher.run(plans, |_, batch| {
+            let edges_in_batch = batch.pairs.len();
+            let loss = self.compute_batch(batch);
+            batch_losses.push((loss, edges_in_batch));
+        });
+        let phases = PhaseTimings {
+            sample_time: stats.sample_time,
+            compute_time: stats.compute_time,
+            prefetch_stall_time: stats.stall_time,
+        };
+        (epoch_loss_mean(&batch_losses), batch_losses.len(), phases)
+    }
+
+    /// One optimization step on a batch of target edges, sampling walks
+    /// synchronously. Returns the batch loss (mean hinge over all negative
+    /// comparisons). The epoch loop goes through the prefetcher instead;
+    /// this entry point serves single-step callers (benches, diagnostics).
+    pub fn train_batch(&mut self, edges: &[(NodeId, NodeId, Timestamp)], batch_idx: u64) -> f64 {
+        let q = self.model.config.negatives;
+        let mut negatives: Vec<(NodeId, Timestamp)> = Vec::with_capacity(edges.len() * q);
         for _ in 0..q {
             for &(x, y, t) in edges {
                 negatives.push((self.negative.sample(x, y, &mut self.rng), t));
             }
         }
-        let mut agg_negs: Vec<(NodeId, Timestamp)> = Vec::new();
-        let mut fb_negs: Vec<(NodeId, Timestamp)> = Vec::new();
-        // Row of each negative in the reassembled Z_n, as (path, index).
-        let mut neg_slot: Vec<(bool, u32)> = Vec::with_capacity(negatives.len());
-        for &(v, t) in &negatives {
-            if self.graph.neighbors_before(v, t).is_empty() {
-                neg_slot.push((false, fb_negs.len() as u32));
-                fb_negs.push((v, t));
-            } else {
-                neg_slot.push((true, agg_negs.len() as u32));
-                agg_negs.push((v, t));
-            }
-        }
-        let neg_hns = sampler.sample_batch(&agg_negs, threads, walk_seed ^ 0xAE6);
+        let plan =
+            BatchPlan { pairs: edges.to_vec(), negatives, walk_seed: self.walk_seed(batch_idx) };
+        let sampler = NeighborhoodSampler::new(
+            self.graph,
+            self.model.walk_config(self.graph),
+            self.model.config.num_walks,
+        );
+        let batch = BatchPrefetcher::new(&sampler, 0, self.model.config.threads).sample_plan(plan);
+        self.compute_batch(batch)
+    }
 
-        // 3. Forward. Targets and aggregatable negatives share one
-        //    aggregation batch (and thus batch-norm statistics).
+    /// Forward/backward/update on a presampled batch. Historical
+    /// neighborhoods for the endpoints (`hns`, walks strictly before each
+    /// edge's time) and for negatives with history (`neg_hns`) come from
+    /// the prefetcher; negatives with identifiable history go through the
+    /// *same* walk-aggregation network as the targets (sharing the batch
+    /// statistics) while history-less nodes take the GraphSAGE-style
+    /// fallback — routing them differently would let the margin loss
+    /// separate positives from negatives by network pathway instead of by
+    /// node identity.
+    fn compute_batch(&mut self, batch: PrefetchedBatch) -> f64 {
+        let cfg = &self.model.config;
+        let q = cfg.negatives;
+        let margin = cfg.margin;
+        let bidirectional = cfg.bidirectional;
+        let PrefetchedBatch { pairs, hns, neg_hns, fb_negs, neg_slot, .. } = batch;
+        let b = pairs.len();
+        let num_agg_negs = neg_hns.len();
+
+        // Forward. Targets and aggregatable negatives share one
+        // aggregation batch (and thus batch-norm statistics).
         let mut g = Graph::new();
         let mut all_hns = hns;
         all_hns.extend(neg_hns);
@@ -196,13 +278,13 @@ impl<'g> Trainer<'g> {
             }
             Some(fb) => {
                 // Stack [aggregated | fallback] then select.
-                let combined = if agg_negs.is_empty() {
+                let combined = if num_agg_negs == 0 {
                     fb
                 } else {
-                    let agg_part = g.slice_rows(z_all, 2 * b, 2 * b + agg_negs.len());
+                    let agg_part = g.slice_rows(z_all, 2 * b, 2 * b + num_agg_negs);
                     g.concat_rows(&[agg_part, fb])
                 };
-                let offset = if agg_negs.is_empty() { 0 } else { agg_negs.len() as u32 };
+                let offset = num_agg_negs as u32;
                 let rows: Vec<u32> =
                     neg_slot.iter().map(|&(agg, i)| if agg { i } else { offset + i }).collect();
                 g.select_rows(combined, &rows)
@@ -236,7 +318,7 @@ impl<'g> Trainer<'g> {
         };
         let loss_value = g.value(loss)[0] as f64;
 
-        // 4. Backward + update.
+        // Backward + update.
         g.backward(loss);
         g.write_grads(&mut self.model.store);
         clip_grad_norm(&mut self.model.store, self.model.config.grad_clip);
@@ -285,7 +367,13 @@ impl<'g> Trainer<'g> {
             self.model.walk_config(self.graph),
             self.model.config.num_walks,
         );
-        let hns = sampler.sample_batch(targets, self.model.config.threads, self.model.config.seed);
+        // Salted seed: diagnostic walks must not replay the inference (or
+        // training) streams.
+        let hns = sampler.sample_batch(
+            targets,
+            self.model.config.threads,
+            self.model.config.seed ^ AGGREGATE_WALK_SALT,
+        );
         let mut g = Graph::new();
         let z = aggregate_batch(&mut self.model, &mut g, &hns, train_mode);
         g.value(z).to_vec()
@@ -324,9 +412,15 @@ impl<'g> Trainer<'g> {
         let sampler =
             NeighborhoodSampler::new(self.graph, self.model.walk_config(self.graph), num_walks);
         let bs = self.model.config.batch_size.max(2);
+        // Each chunk folds its global offset into the walk streams: node
+        // `i` of the full list always draws from `(seed, i)`, so inference
+        // walks never repeat across chunks and the resulting embeddings
+        // are invariant to `batch_size`.
+        let seed = self.model.config.seed ^ INFERENCE_WALK_SALT;
+        let mut offset = 0usize;
         for chunk in with_history.chunks(bs) {
-            let hns =
-                sampler.sample_batch(chunk, self.model.config.threads, self.model.config.seed);
+            let hns = sampler.sample_batch_at(chunk, self.model.config.threads, seed, offset);
+            offset += chunk.len();
             let mut g = Graph::new();
             let z = aggregate_batch(&mut self.model, &mut g, &hns, false);
             let zv = g.value(z);
@@ -348,6 +442,21 @@ impl<'g> Trainer<'g> {
     pub fn into_embeddings(mut self) -> NodeEmbeddings {
         self.embeddings()
     }
+}
+
+/// Stream salts separating inference and diagnostic walks from the
+/// training walk seeds (which are derived from `(seed, epoch, batch)`).
+const INFERENCE_WALK_SALT: u64 = 0x1FE2_EB5E_ED00_0001;
+const AGGREGATE_WALK_SALT: u64 = 0xA66_2E6A_7E5E_ED02;
+
+/// Edge-weighted mean of per-batch `(mean loss, edge count)` summaries:
+/// every *edge* contributes equally to the epoch loss, so a short final
+/// chunk (e.g. 1 edge when `|E| % batch_size == 1`) is not overweighted
+/// the way a flat mean over batch means would be.
+fn epoch_loss_mean(batch_losses: &[(f64, usize)]) -> f64 {
+    let edges: usize = batch_losses.iter().map(|&(_, n)| n).sum();
+    let weighted: f64 = batch_losses.iter().map(|&(l, n)| l * n as f64).sum();
+    weighted / edges.max(1) as f64
 }
 
 /// Stack `x` on itself `times` times: `[m,n] -> [times*m, n]`.
@@ -481,5 +590,76 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b, "training is not reproducible");
+    }
+
+    #[test]
+    fn pipeline_depth_is_bit_identical() {
+        // The determinism contract of the prefetch pipeline: any depth
+        // (and thread count) yields bit-identical losses and embeddings.
+        // Note EHNA_PIPELINE_DEPTH overrides all three runs identically,
+        // so a CI-wide override cannot produce a false failure.
+        let g = two_communities();
+        let run = |depth: usize, threads: usize| {
+            let cfg = EhnaConfig { pipeline_depth: depth, threads, ..tiny_cfg() };
+            let mut t = Trainer::new(&g, cfg).unwrap();
+            let report = t.train();
+            (report.epoch_losses, t.into_embeddings())
+        };
+        let (sync_losses, sync_emb) = run(0, 1);
+        for (depth, threads) in [(2, 1), (4, 3)] {
+            let (losses, emb) = run(depth, threads);
+            assert_eq!(
+                sync_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                "losses diverged at depth {depth}, threads {threads}"
+            );
+            assert_eq!(sync_emb, emb, "embeddings diverged at depth {depth}, threads {threads}");
+        }
+    }
+
+    #[test]
+    fn epoch_loss_mean_weights_by_edges() {
+        // A 1-edge trailing chunk must contribute 1/17th, not 1/2.
+        let batches = [(1.0, 16usize), (9.0, 1usize)];
+        let weighted = epoch_loss_mean(&batches);
+        assert!((weighted - 25.0 / 17.0).abs() < 1e-12, "got {weighted}");
+        // Degenerate inputs stay finite.
+        assert_eq!(epoch_loss_mean(&[]), 0.0);
+        // Uniform batch sizes reduce to the flat mean.
+        assert!((epoch_loss_mean(&[(2.0, 8), (4.0, 8)]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_final_batch_trains_and_reports_phases() {
+        // 34 edges with batch_size 16 leaves a 2-edge final chunk.
+        let mut b = ehna_tgraph::GraphBuilder::new();
+        for i in 0..17u32 {
+            b.add_edge(i % 6, (i + 1) % 6 + 4, i as i64 + 1, 1.0).unwrap();
+            b.add_edge(i % 5, (i + 2) % 7 + 3, i as i64 + 1, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cfg = EhnaConfig { epochs: 1, ..tiny_cfg() };
+        let mut t = Trainer::new(&g, cfg).unwrap();
+        let report = t.train();
+        assert_eq!(report.batches, g.num_edges().div_ceil(16));
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        assert_eq!(report.phase_timings.len(), 1);
+        let total = report.total_phase_timings();
+        assert!(total.sample_time > Duration::ZERO);
+        assert!(total.compute_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn inference_embeddings_invariant_to_batch_size() {
+        // fill_embeddings folds each chunk's global offset into the walk
+        // seed, so chunking must not change the final embeddings.
+        let g = two_communities();
+        let at_bs = |bs: usize| {
+            let cfg = EhnaConfig { batch_size: bs, ..tiny_cfg() };
+            Trainer::new(&g, cfg).unwrap().embeddings()
+        };
+        let small = at_bs(3);
+        let large = at_bs(64);
+        assert_eq!(small, large, "embeddings depend on inference batch size");
     }
 }

@@ -13,6 +13,9 @@
 //! * [`ctdne`] — forward-in-time temporal walks (the CTDNE baseline).
 //! * [`neighborhood`] — bundles `k` temporal walks per target into the
 //!   *historical neighborhood* consumed by EHNA's aggregation.
+//! * [`prefetch`] — pipelined batch prefetching: samples upcoming training
+//!   batches on a background thread, bit-identically to the synchronous
+//!   path (the Table VIII sampling cost hidden behind compute).
 //! * [`alias`] — O(1) Walker alias sampling (negative sampling, initial
 //!   edge selection).
 //! * [`context`] — skip-gram `(center, context)` pair extraction.
@@ -44,6 +47,7 @@ pub mod ctdne;
 pub mod decay;
 pub mod neighborhood;
 pub mod node2vec;
+pub mod prefetch;
 pub mod stats;
 pub mod temporal;
 
@@ -53,4 +57,5 @@ pub use ctdne::{CtdneConfig, CtdneWalker};
 pub use decay::DecayKernel;
 pub use neighborhood::{HistoricalNeighborhood, NeighborhoodSampler};
 pub use node2vec::{Node2VecConfig, Node2VecWalker};
+pub use prefetch::{BatchPlan, BatchPrefetcher, PrefetchStats, PrefetchedBatch};
 pub use temporal::{TemporalWalk, TemporalWalkConfig, TemporalWalker};

@@ -112,13 +112,28 @@ impl<'g> NeighborhoodSampler<'g> {
         threads: usize,
         seed: u64,
     ) -> Vec<HistoricalNeighborhood> {
+        self.sample_batch_at(targets, threads, seed, 0)
+    }
+
+    /// Like [`Self::sample_batch`], but item `i` draws from the stream
+    /// `(seed, base_index + i)`. Chunked callers pass each chunk's global
+    /// offset so a long target list samples exactly the same walks no
+    /// matter how it is split into batches (and no chunk repeats another
+    /// chunk's streams).
+    pub fn sample_batch_at(
+        &self,
+        targets: &[(NodeId, Timestamp)],
+        threads: usize,
+        seed: u64,
+        base_index: usize,
+    ) -> Vec<HistoricalNeighborhood> {
         let threads = threads.max(1);
         if threads == 1 || targets.len() < 2 * threads {
             return targets
                 .iter()
                 .enumerate()
                 .map(|(i, &(v, t))| {
-                    let mut rng = item_rng(seed, i);
+                    let mut rng = item_rng(seed, base_index + i);
                     self.sample(v, t, &mut rng)
                 })
                 .collect();
@@ -133,7 +148,7 @@ impl<'g> NeighborhoodSampler<'g> {
                     for (j, (&(v, t), slot)) in
                         targets_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
                     {
-                        let mut rng = item_rng(seed, c * chunk + j);
+                        let mut rng = item_rng(seed, base_index + c * chunk + j);
                         *slot = Some(self.sample(v, t, &mut rng));
                     }
                 });
@@ -244,6 +259,25 @@ mod tests {
     fn time_sums_singleton_is_zero() {
         let w = TemporalWalk { nodes: vec![NodeId(3)], times: vec![Timestamp(1)] };
         assert_eq!(time_sums(&w, |t| t.raw() as f64), vec![0.0]);
+    }
+
+    #[test]
+    fn chunked_sampling_with_offsets_matches_one_batch() {
+        let g = figure1();
+        let s = NeighborhoodSampler::new(&g, TemporalWalkConfig::default(), 3);
+        let targets: Vec<(NodeId, Timestamp)> = (0..17)
+            .map(|i| (NodeId(1 + (i % 7) as u32), Timestamp(2014 + (i % 5) as i64)))
+            .collect();
+        let whole = s.sample_batch(&targets, 1, 31);
+        for bs in [1usize, 4, 5, 16, 17, 32] {
+            let mut chunked = Vec::new();
+            let mut offset = 0;
+            for chunk in targets.chunks(bs) {
+                chunked.extend(s.sample_batch_at(chunk, 2, 31, offset));
+                offset += chunk.len();
+            }
+            assert_eq!(whole, chunked, "chunk size {bs} changed the walks");
+        }
     }
 
     #[test]

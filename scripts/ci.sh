@@ -10,7 +10,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo bench --no-run (benches must compile)"
+cargo bench --workspace --no-run
+
 echo "== cargo test (workspace)"
 cargo test --workspace -q
+
+echo "== cargo test (workspace, pipelined: EHNA_PIPELINE_DEPTH=3)"
+# Re-run the suite with a non-default prefetch depth so the pipelined
+# training path is exercised suite-wide; results must be identical to
+# the synchronous path, so the same tests must pass unchanged.
+EHNA_PIPELINE_DEPTH=3 cargo test --workspace -q
 
 echo "ci: all green"
