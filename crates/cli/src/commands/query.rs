@@ -3,13 +3,15 @@
 use crate::commands::io_err;
 use crate::flags::Flags;
 use crate::CliError;
-use ehna_serve::{query_lines, Json};
+use ehna_serve::{query_lines_timeout, Json};
 use std::io::Write;
+use std::time::Duration;
 
 const HELP: &str = "ehna query — query a running `ehna serve` instance
 
 usage: ehna query --addr HOST:PORT (--node KEY | --vector V | --pairs P |
                   --stats | --ping) [--k N] [--explain] [--raw]
+                  [--timeout-ms N]
 
 exactly one of:
   --node KEY      top-k neighbors of a stored node (name or decimal id)
@@ -24,7 +26,9 @@ flags:
   --k N           neighbors to return (default 10)
   --explain       include probed IVF centroids and the exact-vs-approx
                   rank agreement with each k-NN answer
-  --raw           print the raw JSON response instead of formatting";
+  --raw           print the raw JSON response instead of formatting
+  --timeout-ms N  connect/read/write timeout; a stuck server becomes a
+                  clear error instead of a hang (default 10000)";
 
 /// Switch-style flags (present/absent, no value).
 const SWITCHES: &[&str] = &["stats", "ping", "explain", "raw"];
@@ -166,14 +170,24 @@ fn format_response(resp: &Json, out: &mut dyn Write) -> std::io::Result<()> {
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let flags = Flags::parse_with_switches(args, HELP, SWITCHES)?;
     flags.expect_known(&[
-        "addr", "node", "vector", "pairs", "stats", "ping", "k", "explain", "raw",
+        "addr",
+        "node",
+        "vector",
+        "pairs",
+        "stats",
+        "ping",
+        "k",
+        "explain",
+        "raw",
+        "timeout-ms",
     ])?;
     if !flags.positionals().is_empty() {
         return Err(CliError::usage(format!("unexpected positional arguments\n{HELP}")));
     }
     let request = build_request(&flags)?;
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
-    let responses = query_lines(addr, &[request.to_string()])
+    let timeout = Duration::from_millis(flags.get_or("timeout-ms", 10_000u64)?.max(1));
+    let responses = query_lines_timeout(addr, &[request.to_string()], timeout)
         .map_err(|e| CliError::runtime(format!("cannot query {addr}: {e}")))?;
     let line = responses.into_iter().next().unwrap_or_default();
     if flags.has("raw") {

@@ -6,16 +6,21 @@ use crate::flags::Flags;
 use crate::CliError;
 use ehna_serve::{
     BruteForceIndex, EmbeddingStore, EngineConfig, IvfConfig, IvfIndex, KnnIndex, QueryEngine,
-    Server,
+    RequestLimits, Server, ServerConfig,
 };
 use std::io::Write;
 use std::sync::Arc;
+use std::time::Duration;
 
 const HELP: &str = "ehna serve — serve an embedding snapshot over TCP
 
 usage: ehna serve SNAPSHOT [--names FILE] [--addr HOST:PORT]
                   [--index ivf|brute] [--clusters N] [--nprobe N]
                   [--workers N] [--batch N] [--cache N]
+                  [--conn-workers N] [--max-conns N]
+                  [--read-timeout-ms N] [--write-timeout-ms N]
+                  [--max-line-bytes N] [--max-k N] [--max-pairs N]
+                  [--drain-ms N]
 
 Protocol: one JSON request per line, one JSON response per line:
   {\"op\":\"knn\",\"node\":\"alice\",\"k\":10}
@@ -35,7 +40,23 @@ flags:
   --nprobe N      IVF clusters probed per query (default 8)
   --workers N     query worker threads (default 2)
   --batch N       max requests drained per worker wakeup (default 32)
-  --cache N       hot-node cache entries (default 1024, 0 disables)";
+  --cache N       hot-node cache entries (default 1024, 0 disables)
+
+hardening (see README, 'Operating ehna-serve'):
+  --conn-workers N      connection-handler threads (default 4)
+  --max-conns N         concurrent-connection cap; arrivals beyond it
+                        get {\"ok\":false,\"error\":\"overloaded\"}
+                        (default 64)
+  --read-timeout-ms N   drop a connection idle/stalled on read this
+                        long (default 30000)
+  --write-timeout-ms N  drop a client not draining its response this
+                        long (default 10000)
+  --max-line-bytes N    longest accepted request line (default 1048576)
+  --max-k N             largest k a knn request may ask (default 1024)
+  --max-pairs N         most pairs one score request may send
+                        (default 4096)
+  --drain-ms N          shutdown grace for in-flight requests
+                        (default 5000)";
 
 /// Parse flags, load the snapshot, build the index, and bind the socket.
 /// Split from [`run`] — and public — so tests and embedders can drive a
@@ -43,7 +64,22 @@ flags:
 pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError> {
     let flags = Flags::parse(args, HELP)?;
     flags.expect_known(&[
-        "names", "addr", "index", "clusters", "nprobe", "workers", "batch", "cache",
+        "names",
+        "addr",
+        "index",
+        "clusters",
+        "nprobe",
+        "workers",
+        "batch",
+        "cache",
+        "conn-workers",
+        "max-conns",
+        "read-timeout-ms",
+        "write-timeout-ms",
+        "max-line-bytes",
+        "max-k",
+        "max-pairs",
+        "drain-ms",
     ])?;
     let snapshot = flags.one_positional("snapshot file")?;
     let store = Arc::new(
@@ -89,8 +125,28 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError>
     };
     let engine = Arc::new(QueryEngine::new(store, index, engine_config));
 
+    let defaults = ServerConfig::default();
+    let server_config = ServerConfig {
+        conn_workers: flags.get_or("conn-workers", defaults.conn_workers)?.max(1),
+        max_connections: flags.get_or("max-conns", defaults.max_connections)?.max(1),
+        read_timeout: Duration::from_millis(
+            flags.get_or("read-timeout-ms", defaults.read_timeout.as_millis() as u64)?.max(1),
+        ),
+        write_timeout: Duration::from_millis(
+            flags.get_or("write-timeout-ms", defaults.write_timeout.as_millis() as u64)?.max(1),
+        ),
+        max_line_bytes: flags.get_or("max-line-bytes", defaults.max_line_bytes)?.max(64),
+        limits: RequestLimits {
+            max_k: flags.get_or("max-k", defaults.limits.max_k)?.max(1),
+            max_pairs: flags.get_or("max-pairs", defaults.limits.max_pairs)?.max(1),
+        },
+        drain_deadline: Duration::from_millis(
+            flags.get_or("drain-ms", defaults.drain_deadline.as_millis() as u64)?,
+        ),
+    };
+
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
-    let server = Server::bind(addr, engine)
+    let server = Server::bind_with(addr, engine, server_config)
         .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?;
     writeln!(out, "serving on {}", server.local_addr().map_err(io_err)?).map_err(io_err)?;
     Ok(server)
@@ -161,6 +217,43 @@ mod tests {
         drop(server);
         let banner = String::from_utf8(buf).unwrap();
         assert!(banner.contains("4 clusters, nprobe 2"), "banner: {banner}");
+        let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
+    fn hardening_flags_are_honored() {
+        let snap = snapshot_file("ehna_cli_serve_limits.bin", 30, 4);
+        let mut buf = Vec::new();
+        let server = prepare(
+            &args(&[
+                snap.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--max-k",
+                "2",
+                "--max-conns",
+                "8",
+                "--read-timeout-ms",
+                "2000",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let handle = server.spawn().unwrap();
+        let responses = query_lines(
+            handle.addr(),
+            &[
+                r#"{"op":"knn","node":"3","k":5}"#.to_string(),
+                r#"{"op":"knn","node":"3","k":2}"#.to_string(),
+            ],
+        )
+        .unwrap();
+        let over = Json::parse(&responses[0]).unwrap();
+        assert_eq!(over.get("ok"), Some(&Json::Bool(false)), "k over --max-k accepted");
+        assert!(over.get("error").and_then(Json::as_str).unwrap().contains("limit"));
+        let ok = Json::parse(&responses[1]).unwrap();
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        handle.shutdown();
         let _ = std::fs::remove_file(snap);
     }
 

@@ -174,6 +174,12 @@ impl QueryEngine {
         self.shared.stats.snapshot()
     }
 
+    /// The live counters, for the serving layer to record rejections,
+    /// timeouts, and load-shedding against.
+    pub(crate) fn stats_raw(&self) -> &EngineStats {
+        &self.shared.stats
+    }
+
     fn submit(&self, req: Request) -> Result<Response, ServeError> {
         let (reply_tx, reply_rx) = bounded(1);
         let job = Job { req, started: Instant::now(), reply: reply_tx };

@@ -10,8 +10,10 @@
 //!   oracle for the approximate index.
 //! * [`QueryEngine`] — a batched multi-threaded query layer with a
 //!   hot-node LRU cache and latency counters.
-//! * [`Server`] — line-delimited JSON over TCP (std-only), plus the
-//!   [`query_lines`] one-shot client.
+//! * [`Server`] — line-delimited JSON over TCP (std-only) behind a
+//!   bounded connection-worker pool with admission control, socket
+//!   timeouts, and capped request lines ([`ServerConfig`]), plus the
+//!   [`query_lines`] / [`query_lines_timeout`] one-shot clients.
 //!
 //! All similarity is squared Euclidean distance — the model's native
 //! metric (paper Eq. 5) — so served rankings agree with `ehna-eval`.
@@ -41,7 +43,10 @@ pub mod store;
 pub use engine::{EngineConfig, KnnResult, QueryEngine};
 pub use index::{BruteForceIndex, IvfConfig, IvfIndex, KnnIndex, Neighbor, SearchInfo};
 pub use json::Json;
-pub use server::{handle_line, query_lines, Server, ServerHandle};
+pub use server::{
+    handle_line, query_lines, query_lines_timeout, RequestLimits, Server, ServerConfig,
+    ServerHandle,
+};
 pub use stats::{EngineStats, LatencyHistogram, StatsSnapshot};
 pub use store::EmbeddingStore;
 

@@ -1,4 +1,4 @@
-//! Line-delimited JSON over TCP, std-only.
+//! Line-delimited JSON over TCP, std-only, hardened for hostile clients.
 //!
 //! One request per line, one response per line. Ops:
 //!
@@ -12,32 +12,158 @@
 //!
 //! Every response carries `"ok"`; failures add `"error"`. Scores and
 //! distances are squared Euclidean (Eq. 5) — lower = stronger link.
+//!
+//! # Architecture: bounded worker pool
+//!
+//! Connections are NOT handled one-thread-per-socket. A non-blocking
+//! accept loop admits sockets into a bounded queue drained by a fixed
+//! pool of `ServerConfig::conn_workers` handler threads. Admission is
+//! gated on `ServerConfig::max_connections` (queued + in-flight): a
+//! client arriving past the cap receives a one-line
+//! `{"ok":false,"error":"overloaded"}` response and is disconnected,
+//! so a connection flood degrades into fast load-shedding instead of
+//! unbounded thread spawn.
+//!
+//! Per-connection defenses:
+//!
+//! * read/write socket timeouts (`read_timeout` / `write_timeout`) cut
+//!   off slow-loris clients that trickle or never complete a request;
+//! * a length-capped line reader bounds request-line memory at
+//!   `max_line_bytes` — an endless line gets a structured error and a
+//!   disconnect, never an OOM;
+//! * per-request limits (`RequestLimits::max_k` / `max_pairs`) bound
+//!   the work and allocation a single request can demand.
+//!
+//! Shedding, timeouts, and malformed/over-limit requests are all
+//! counted in [`EngineStats`](crate::EngineStats) and exposed through
+//! the `stats` op.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] is deterministic: the accept loop runs
+//! non-blocking and polls the stop flag (no self-connect hack), queued
+//! but unserved sockets are dropped, idle connections have their read
+//! half shut down so blocked reads wake immediately, and in-flight
+//! requests get up to `drain_deadline` to finish writing their
+//! responses before remaining sockets are force-closed and the workers
+//! joined.
 
 use crate::engine::QueryEngine;
 use crate::json::Json;
 use crate::ServeError;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use ehna_tgraph::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the non-blocking accept loop and idle workers poll the
+/// stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// How often the shutdown drain re-checks the active-connection count.
+const DRAIN_POLL: Duration = Duration::from_millis(5);
+
+/// Per-request protocol limits, enforced before any work is queued.
+#[derive(Debug, Clone)]
+pub struct RequestLimits {
+    /// Largest `k` a `knn` request may ask for.
+    pub max_k: usize,
+    /// Largest number of pairs a `score` request may submit.
+    pub max_pairs: usize,
+}
+
+impl Default for RequestLimits {
+    fn default() -> Self {
+        RequestLimits { max_k: 1024, max_pairs: 4096 }
+    }
+}
+
+/// Socket-layer tuning and protection knobs for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection-handler threads (the bounded pool).
+    pub conn_workers: usize,
+    /// Cap on concurrently admitted connections (queued + being
+    /// served); arrivals beyond it are shed with an `overloaded` error.
+    pub max_connections: usize,
+    /// Socket read timeout: a connection that sends nothing for this
+    /// long is dropped (counts in `timeouts`).
+    pub read_timeout: Duration,
+    /// Socket write timeout: a client that will not drain its response
+    /// for this long is dropped (counts in `timeouts`).
+    pub write_timeout: Duration,
+    /// Longest accepted request line, in bytes; longer lines get a
+    /// structured error and a disconnect.
+    pub max_line_bytes: usize,
+    /// Per-request protocol limits.
+    pub limits: RequestLimits,
+    /// How long `shutdown` waits for in-flight requests to finish
+    /// before force-closing their sockets.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            conn_workers: 4,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_line_bytes: 1 << 20,
+            limits: RequestLimits::default(),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// State shared between the accept loop, the worker pool, and the
+/// shutdown path.
+struct ServerShared {
+    engine: Arc<QueryEngine>,
+    config: ServerConfig,
+    stop: AtomicBool,
+    /// Admitted connections not yet closed (queued + being served).
+    active: AtomicUsize,
+    /// Clones of in-service sockets, so shutdown can unblock their
+    /// reads without waiting out the read timeout.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
 
 /// A bound, not-yet-running server.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     engine: Arc<QueryEngine>,
+    config: ServerConfig,
 }
 
 impl Server {
     /// Bind `addr` (use port 0 for an ephemeral port, e.g.
-    /// `127.0.0.1:0`).
+    /// `127.0.0.1:0`) with default [`ServerConfig`].
     ///
     /// # Errors
     /// Socket errors.
     pub fn bind<A: ToSocketAddrs>(addr: A, engine: Arc<QueryEngine>) -> io::Result<Server> {
-        Ok(Server { listener: TcpListener::bind(addr)?, engine })
+        Server::bind_with(addr, engine, ServerConfig::default())
+    }
+
+    /// Bind `addr` with explicit socket limits and timeouts.
+    ///
+    /// # Errors
+    /// Socket errors.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        engine: Arc<QueryEngine>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        Ok(Server { listener: TcpListener::bind(addr)?, engine, config })
     }
 
     /// The bound address (reports the real port after binding port 0).
@@ -48,54 +174,73 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serve until the process exits: accept loop with one thread per
-    /// connection.
+    /// Serve until the process exits (or a fatal accept error).
     ///
     /// # Errors
     /// Fatal accept errors.
     pub fn run(self) -> io::Result<()> {
-        self.run_until(&AtomicBool::new(false))
+        let mut handle = self.spawn()?;
+        let result = match handle.accept.take() {
+            Some(join) => {
+                join.join().unwrap_or_else(|_| Err(io::Error::other("accept loop panicked")))
+            }
+            None => Ok(()),
+        };
+        handle.shutdown_impl();
+        result
     }
 
-    fn run_until(self, stop: &AtomicBool) -> io::Result<()> {
-        for conn in self.listener.incoming() {
-            if stop.load(Ordering::SeqCst) {
-                break;
-            }
-            match conn {
-                Ok(stream) => {
-                    let engine = Arc::clone(&self.engine);
-                    std::thread::spawn(move || handle_connection(stream, &engine));
-                }
-                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(())
-    }
-
-    /// Run the accept loop on a background thread; the handle can stop it.
+    /// Start the accept loop and the connection worker pool on
+    /// background threads; the returned handle stops them.
     ///
     /// # Errors
-    /// Socket errors while reading the bound address.
+    /// Socket errors while reading the bound address or switching the
+    /// listener to non-blocking mode.
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let join = std::thread::spawn(move || {
-            let _ = self.run_until(&stop2);
+        self.listener.set_nonblocking(true)?;
+        let shared = Arc::new(ServerShared {
+            engine: self.engine,
+            config: self.config,
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
         });
-        Ok(ServerHandle { addr, stop, join: Some(join) })
+        let (tx, rx) = bounded::<TcpStream>(shared.config.max_connections.max(1));
+        let workers = (0..shared.config.conn_workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || conn_worker(&shared, &rx))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let listener = self.listener;
+            std::thread::spawn(move || accept_loop(&listener, &shared, &tx))
+        };
+        Ok(ServerHandle { addr, shared, rx, accept: Some(accept), workers: Some(workers) })
     }
 }
 
-/// Handle to a background server; stops the accept loop on shutdown or
-/// drop (open connections finish on their own threads).
+/// Handle to a running server; stops it deterministically on
+/// [`shutdown`](ServerHandle::shutdown) or drop.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    join: Option<JoinHandle<()>>,
+    shared: Arc<ServerShared>,
+    rx: Receiver<TcpStream>,
+    accept: Option<JoinHandle<io::Result<()>>>,
+    workers: Option<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ServerShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerShared")
+            .field("active", &self.active.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServerHandle {
@@ -104,57 +249,267 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting and join the accept thread.
+    /// Stop accepting, drain in-flight requests (bounded by
+    /// `drain_deadline`), force-close stragglers, and join every
+    /// thread. Returns once the server is fully torn down.
     pub fn shutdown(mut self) {
-        self.stop_accept_loop();
+        self.shutdown_impl();
     }
 
-    fn stop_accept_loop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept call with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(join) = self.join.take() {
+    fn shutdown_impl(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // The accept loop is non-blocking and polls the stop flag, so
+        // it exits within one poll interval — no self-connect needed.
+        if let Some(join) = self.accept.take() {
             let _ = join.join();
+        }
+        // Connections admitted but never picked up by a worker are
+        // dropped unserved.
+        while let Ok(stream) = self.rx.try_recv() {
+            drop(stream);
+            self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+        // Wake workers blocked reading from idle connections; the
+        // write half stays open so in-flight responses still go out.
+        for conn in self.shared.conns.lock().values() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        let deadline = Instant::now() + self.shared.config.drain_deadline;
+        while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(DRAIN_POLL);
+        }
+        // Past the deadline: cut remaining sockets entirely.
+        for conn in self.shared.conns.lock().values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(workers) = self.workers.take() {
+            for w in workers {
+                let _ = w.join();
+            }
         }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop_accept_loop();
+        if self.accept.is_some() || self.workers.is_some() {
+            self.shutdown_impl();
+        }
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: &QueryEngine) {
-    let Ok(peer_reader) = stream.try_clone() else {
+/// Non-blocking accept loop: poll for sockets, shed past the cap, and
+/// exit within one poll interval of the stop flag being set.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    tx: &Sender<TcpStream>,
+) -> io::Result<()> {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => admit(shared, tx, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL_INTERVAL),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted | io::ErrorKind::ConnectionAborted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Admission control: configure socket timeouts, then either enqueue
+/// the connection for the worker pool or shed it with an `overloaded`
+/// response.
+fn admit(shared: &ServerShared, tx: &Sender<TcpStream>, stream: TcpStream) {
+    // Accepted sockets must be blocking regardless of what the
+    // non-blocking listener hands us (platform-dependent inheritance).
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+        shed(shared, &stream);
+        return;
+    }
+    shared.active.fetch_add(1, Ordering::SeqCst);
+    match tx.try_send(stream) {
+        Ok(()) => {}
+        Err(TrySendError::Full(stream) | TrySendError::Disconnected(stream)) => {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            shed(shared, &stream);
+        }
+    }
+}
+
+/// Tell an un-admittable client it is being load-shed, then drop it.
+fn shed(shared: &ServerShared, stream: &TcpStream) {
+    shared.engine.stats_raw().overloads.fetch_add(1, Ordering::Relaxed);
+    let resp = error_response("overloaded");
+    let mut writer = BufWriter::new(stream);
+    let _ = writeln!(writer, "{resp}").and_then(|()| writer.flush());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One worker of the bounded pool: serve connections from the queue
+/// until shutdown.
+fn conn_worker(shared: &Arc<ServerShared>, rx: &Receiver<TcpStream>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match rx.recv_timeout(POLL_INTERVAL) {
+            Ok(stream) => handle_connection(shared, &stream),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Serve one admitted connection to completion, keeping the shutdown
+/// registry and the active-connection count consistent.
+fn handle_connection(shared: &ServerShared, stream: &TcpStream) {
+    if !shared.stop.load(Ordering::SeqCst) {
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let registered = match stream.try_clone() {
+            Ok(clone) => {
+                shared.conns.lock().insert(conn_id, clone);
+                true
+            }
+            Err(_) => false,
+        };
+        serve_connection(shared, stream);
+        if registered {
+            shared.conns.lock().remove(&conn_id);
+        }
+    }
+    shared.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Outcome of one capped line read.
+enum LineRead {
+    /// A complete newline-terminated line (terminator stripped).
+    Line(String),
+    /// Clean end of stream (a trailing partial line is discarded).
+    Eof,
+    /// The line exceeded the byte cap before a newline arrived.
+    TooLong,
+}
+
+/// Read one `\n`-terminated line of at most `max_bytes` bytes. Unlike
+/// `BufRead::read_line`, an endless line cannot grow the buffer past
+/// the cap — the caller is expected to error out and disconnect.
+fn read_line_capped<R: BufRead>(reader: &mut R, max_bytes: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, done) = {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                return Ok(LineRead::Eof);
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if buf.len() + pos > max_bytes {
+                        (pos + 1, Some(LineRead::TooLong))
+                    } else {
+                        buf.extend_from_slice(&chunk[..pos]);
+                        (pos + 1, Some(LineRead::Line(String::new())))
+                    }
+                }
+                None => {
+                    if buf.len() + chunk.len() > max_bytes {
+                        (chunk.len(), Some(LineRead::TooLong))
+                    } else {
+                        buf.extend_from_slice(chunk);
+                        (chunk.len(), None)
+                    }
+                }
+            }
+        };
+        reader.consume(consumed);
+        match done {
+            Some(LineRead::Line(_)) => {
+                return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            Some(other) => return Ok(other),
+            None => {}
+        }
+    }
+}
+
+/// Whether an IO error is the socket timeout firing (platforms report
+/// it as either `WouldBlock` or `TimedOut`).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// The per-connection request/response loop.
+fn serve_connection(shared: &ServerShared, stream: &TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(peer_reader);
+    let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else {
-            break;
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = handle_line(engine, &line);
-        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
-            break;
+    let stats = shared.engine.stats_raw();
+    loop {
+        match read_line_capped(&mut reader, shared.config.max_line_bytes) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                let resp = error_response(&format!(
+                    "request line exceeds {} bytes",
+                    shared.config.max_line_bytes
+                ));
+                let _ = writeln!(writer, "{resp}").and_then(|()| writer.flush());
+                break;
+            }
+            Ok(LineRead::Line(line)) => {
+                if shared.stop.load(Ordering::SeqCst) && line.trim().is_empty() {
+                    break;
+                }
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = handle_line(&shared.engine, &shared.config.limits, &line);
+                if let Err(e) = writeln!(writer, "{response}").and_then(|()| writer.flush()) {
+                    if is_timeout(&e) {
+                        stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+                // Draining: the in-flight request got its response;
+                // close instead of waiting for another.
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) => {
+                if is_timeout(&e) {
+                    stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
         }
     }
 }
 
 /// Process one request line into one response document. Pure with respect
-/// to IO — exercised directly by unit tests, and by the TCP loop above.
-pub fn handle_line(engine: &QueryEngine, line: &str) -> Json {
+/// to IO — exercised directly by unit tests, and by the worker pool above.
+/// Malformed or over-limit requests are answered with `"ok":false` and
+/// counted in the engine's `rejected` stat.
+pub fn handle_line(engine: &QueryEngine, limits: &RequestLimits, line: &str) -> Json {
+    let reject = |msg: &str| {
+        engine.stats_raw().rejected.fetch_add(1, Ordering::Relaxed);
+        error_response(msg)
+    };
     let request = match Json::parse(line) {
         Ok(v) => v,
-        Err(e) => return error_response(&format!("bad json: {e}")),
+        Err(e) => return reject(&format!("bad json: {e}")),
     };
-    match dispatch(engine, &request) {
+    match dispatch(engine, limits, &request) {
         Ok(resp) => resp,
-        Err(e) => error_response(&e.to_string()),
+        Err(e) => reject(&e.to_string()),
     }
 }
 
@@ -162,24 +517,47 @@ fn error_response(message: &str) -> Json {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(message.to_string()))])
 }
 
-fn dispatch(engine: &QueryEngine, request: &Json) -> Result<Json, ServeError> {
+fn dispatch(
+    engine: &QueryEngine,
+    limits: &RequestLimits,
+    request: &Json,
+) -> Result<Json, ServeError> {
     let op = request
         .get("op")
         .and_then(Json::as_str)
         .ok_or_else(|| ServeError::BadRequest("missing 'op'".into()))?;
     match op {
         "ping" => Ok(Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))])),
-        "knn" => knn_op(engine, request),
-        "score" => score_op(engine, request),
+        "knn" => knn_op(engine, limits, request),
+        "score" => score_op(engine, limits, request),
         "stats" => Ok(stats_op(engine)),
         other => Err(ServeError::BadRequest(format!("unknown op '{other}'"))),
     }
 }
 
-fn knn_op(engine: &QueryEngine, request: &Json) -> Result<Json, ServeError> {
+fn knn_op(
+    engine: &QueryEngine,
+    limits: &RequestLimits,
+    request: &Json,
+) -> Result<Json, ServeError> {
+    let num_nodes = engine.store().num_nodes();
     let k = match request.get("k") {
-        Some(v) => v.as_usize().ok_or_else(|| ServeError::BadRequest("bad 'k'".into()))?,
-        None => 10,
+        Some(v) => {
+            let k = v.as_usize().ok_or_else(|| ServeError::BadRequest("bad 'k'".into()))?;
+            if k == 0 || k > num_nodes {
+                return Err(ServeError::BadRequest(format!(
+                    "'k' must be between 1 and {num_nodes} (got {k})"
+                )));
+            }
+            if k > limits.max_k {
+                return Err(ServeError::BadRequest(format!(
+                    "'k' exceeds the server limit of {} (got {k})",
+                    limits.max_k
+                )));
+            }
+            k
+        }
+        None => 10.min(limits.max_k).min(num_nodes).max(1),
     };
     let explain = request.get("explain").and_then(Json::as_bool).unwrap_or(false);
     let result = match (request.get("node"), request.get("vector")) {
@@ -223,6 +601,10 @@ fn knn_op(engine: &QueryEngine, request: &Json) -> Result<Json, ServeError> {
         ("cached".to_string(), Json::Bool(result.cached)),
     ];
     if let Some(info) = result.info {
+        // `rank_agreement` is only meaningful when the brute-force
+        // comparison actually ran; `null` otherwise (never a fabricated
+        // 1.0).
+        let agreement = result.agreement.map_or(Json::Null, Json::Num);
         fields.push((
             "explain".to_string(),
             Json::obj([
@@ -231,18 +613,29 @@ fn knn_op(engine: &QueryEngine, request: &Json) -> Result<Json, ServeError> {
                     Json::Arr(info.probed.iter().map(|&c| Json::Num(c as f64)).collect()),
                 ),
                 ("scanned", Json::Num(info.scanned as f64)),
-                ("rank_agreement", Json::Num(result.agreement.unwrap_or(1.0))),
+                ("rank_agreement", agreement),
             ]),
         ));
     }
     Ok(Json::Obj(fields))
 }
 
-fn score_op(engine: &QueryEngine, request: &Json) -> Result<Json, ServeError> {
+fn score_op(
+    engine: &QueryEngine,
+    limits: &RequestLimits,
+    request: &Json,
+) -> Result<Json, ServeError> {
     let pairs_json = request
         .get("pairs")
         .and_then(Json::as_arr)
         .ok_or_else(|| ServeError::BadRequest("'pairs' must be an array".into()))?;
+    if pairs_json.len() > limits.max_pairs {
+        return Err(ServeError::BadRequest(format!(
+            "'pairs' exceeds the server limit of {} (got {})",
+            limits.max_pairs,
+            pairs_json.len()
+        )));
+    }
     let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(pairs_json.len());
     for p in pairs_json {
         let items = p
@@ -276,6 +669,9 @@ fn stats_op(engine: &QueryEngine) -> Json {
         ("requests", Json::Num(snap.requests as f64)),
         ("cache_hits", Json::Num(snap.cache_hits as f64)),
         ("cache_misses", Json::Num(snap.cache_misses as f64)),
+        ("rejected", Json::Num(snap.rejected as f64)),
+        ("timeouts", Json::Num(snap.timeouts as f64)),
+        ("overloads", Json::Num(snap.overloads as f64)),
         ("batches", Json::Num(snap.batches as f64)),
         ("mean_us", Json::Num(snap.mean_us)),
         ("p50_us", Json::Num(snap.p50_us as f64)),
@@ -286,19 +682,71 @@ fn stats_op(engine: &QueryEngine) -> Json {
 
 /// One-shot client: connect, send each request line, return one response
 /// line per request. Used by `ehna query` and the integration tests.
+/// Connect, read, and write are all bounded by a 10 s default timeout;
+/// use [`query_lines_timeout`] to pick your own.
 ///
 /// # Errors
-/// Socket errors, or a server that hangs up early.
+/// Socket errors, timeouts, or a server that hangs up early.
 pub fn query_lines<A: ToSocketAddrs>(addr: A, requests: &[String]) -> io::Result<Vec<String>> {
-    let stream = TcpStream::connect(addr)?;
+    query_lines_timeout(addr, requests, Duration::from_secs(10))
+}
+
+/// [`query_lines`] with an explicit per-operation timeout, so a stuck or
+/// wedged server produces a clear error instead of blocking forever.
+///
+/// # Errors
+/// Socket errors, a server that hangs up early, or `TimedOut` when the
+/// server does not connect/respond within `timeout`.
+pub fn query_lines_timeout<A: ToSocketAddrs>(
+    addr: A,
+    requests: &[String],
+    timeout: Duration,
+) -> io::Result<Vec<String>> {
+    let timeout = timeout.max(Duration::from_millis(1));
+    let mut last_err: Option<io::Error> = None;
+    let mut stream: Option<TcpStream> = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let stream = stream.ok_or_else(|| {
+        last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to no candidates")
+        })
+    })?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     let mut writer = BufWriter::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
     let mut responses = Vec::with_capacity(requests.len());
+    let timed_out = |what: &str| {
+        io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("server did not {what} within {timeout:?} — is it stuck or overloaded?"),
+        )
+    };
     for req in requests {
-        writeln!(writer, "{req}")?;
-        writer.flush()?;
+        writeln!(writer, "{req}").and_then(|()| writer.flush()).map_err(|e| {
+            if is_timeout(&e) {
+                timed_out("accept the request")
+            } else {
+                e
+            }
+        })?;
         let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
+        let n = reader.read_line(&mut line).map_err(|e| {
+            if is_timeout(&e) {
+                timed_out("respond")
+            } else {
+                e
+            }
+        })?;
+        if n == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
@@ -328,10 +776,14 @@ mod tests {
         Arc::new(QueryEngine::new(store, index, EngineConfig::default()))
     }
 
+    fn limits() -> RequestLimits {
+        RequestLimits::default()
+    }
+
     #[test]
     fn knn_by_name_over_protocol() {
         let e = engine();
-        let resp = handle_line(&e, r#"{"op":"knn","node":"a","k":2}"#);
+        let resp = handle_line(&e, &limits(), r#"{"op":"knn","node":"a","k":2}"#);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
         let neighbors = resp.get("neighbors").and_then(Json::as_arr).unwrap();
         assert_eq!(neighbors.len(), 2);
@@ -342,7 +794,8 @@ mod tests {
     #[test]
     fn knn_by_vector_with_explain() {
         let e = engine();
-        let resp = handle_line(&e, r#"{"op":"knn","vector":[5,5],"k":1,"explain":true}"#);
+        let resp =
+            handle_line(&e, &limits(), r#"{"op":"knn","vector":[5,5],"k":1,"explain":true}"#);
         let neighbors = resp.get("neighbors").and_then(Json::as_arr).unwrap();
         assert_eq!(neighbors[0].get("node").and_then(Json::as_str), Some("far"));
         let explain = resp.get("explain").unwrap();
@@ -351,9 +804,43 @@ mod tests {
     }
 
     #[test]
+    fn knn_validates_k_bounds() {
+        let e = engine();
+        // k = 0 and k > num_nodes are rejected, not silently served.
+        for bad in [
+            r#"{"op":"knn","node":"a","k":0}"#,
+            r#"{"op":"knn","node":"a","k":5}"#, // store has 4 nodes
+        ] {
+            let resp = handle_line(&e, &limits(), bad);
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "accepted {bad}");
+            let msg = resp.get("error").and_then(Json::as_str).unwrap();
+            assert!(msg.contains("'k'"), "unhelpful error: {msg}");
+        }
+        // A tight max_k limit rejects an otherwise-valid k.
+        let tight = RequestLimits { max_k: 1, max_pairs: 4096 };
+        let resp = handle_line(&e, &tight, r#"{"op":"knn","node":"a","k":2}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert!(resp.get("error").and_then(Json::as_str).unwrap().contains("limit"));
+        // The default k clamps to the store size instead of erroring.
+        let resp = handle_line(&e, &limits(), r#"{"op":"knn","node":"a"}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn score_respects_max_pairs() {
+        let e = engine();
+        let tight = RequestLimits { max_k: 1024, max_pairs: 1 };
+        let resp = handle_line(&e, &tight, r#"{"op":"score","pairs":[["a","b"],["a","c"]]}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert!(resp.get("error").and_then(Json::as_str).unwrap().contains("limit"));
+        let resp = handle_line(&e, &tight, r#"{"op":"score","pairs":[["a","b"]]}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
     fn score_op_resolves_names_and_ids() {
         let e = engine();
-        let resp = handle_line(&e, r#"{"op":"score","pairs":[["a","b"],["0","far"]]}"#);
+        let resp = handle_line(&e, &limits(), r#"{"op":"score","pairs":[["a","b"],["0","far"]]}"#);
         let scores = resp.get("scores").and_then(Json::as_arr).unwrap();
         assert_eq!(scores[0].as_f64(), Some(1.0));
         assert_eq!(scores[1].as_f64(), Some(50.0));
@@ -370,25 +857,48 @@ mod tests {
             r#"{"op":"knn","node":"a","vector":[1,2]}"#,
             r#"{"op":"score","pairs":[["a"]]}"#,
         ] {
-            let resp = handle_line(&e, bad);
+            let resp = handle_line(&e, &limits(), bad);
             assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "no error for {bad}");
             assert!(resp.get("error").is_some());
         }
-        // The engine still works after every error.
-        let resp = handle_line(&e, r#"{"op":"ping"}"#);
+        // Every rejected request is counted, and the engine still works.
+        assert_eq!(e.stats().rejected, 6);
+        let resp = handle_line(&e, &limits(), r#"{"op":"ping"}"#);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
     }
 
     #[test]
     fn stats_op_reports_counters() {
         let e = engine();
-        handle_line(&e, r#"{"op":"knn","node":"a","k":1}"#);
-        handle_line(&e, r#"{"op":"knn","node":"a","k":1}"#);
-        let resp = handle_line(&e, r#"{"op":"stats"}"#);
+        handle_line(&e, &limits(), r#"{"op":"knn","node":"a","k":1}"#);
+        handle_line(&e, &limits(), r#"{"op":"knn","node":"a","k":1}"#);
+        let resp = handle_line(&e, &limits(), r#"{"op":"stats"}"#);
         assert_eq!(resp.get("index").and_then(Json::as_str), Some("brute"));
         assert_eq!(resp.get("nodes").and_then(Json::as_usize), Some(4));
         assert_eq!(resp.get("requests").and_then(Json::as_usize), Some(2));
         assert_eq!(resp.get("cache_hits").and_then(Json::as_usize), Some(1));
+        assert_eq!(resp.get("rejected").and_then(Json::as_usize), Some(0));
+        assert_eq!(resp.get("overloads").and_then(Json::as_usize), Some(0));
+        assert_eq!(resp.get("timeouts").and_then(Json::as_usize), Some(0));
+    }
+
+    #[test]
+    fn capped_line_reader_bounds_memory() {
+        use std::io::Cursor;
+        let mut r = Cursor::new(b"short\n".to_vec());
+        match read_line_capped(&mut r, 16).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "short"),
+            _ => panic!("expected a line"),
+        }
+        // Over-long line trips the cap even when the newline never comes.
+        let mut r = Cursor::new(vec![b'x'; 64]);
+        assert!(matches!(read_line_capped(&mut r, 16).unwrap(), LineRead::TooLong));
+        // A partial trailing line is EOF, not a request.
+        let mut r = Cursor::new(b"partial".to_vec());
+        assert!(matches!(read_line_capped(&mut r, 1024).unwrap(), LineRead::Eof));
+        // Exactly at the cap is fine.
+        let mut r = Cursor::new(b"abcd\n".to_vec());
+        assert!(matches!(read_line_capped(&mut r, 4).unwrap(), LineRead::Line(_)));
     }
 
     #[test]
@@ -407,5 +917,25 @@ mod tests {
         let knn = Json::parse(&responses[1]).unwrap();
         assert_eq!(knn.get("ok"), Some(&Json::Bool(true)));
         handle.shutdown(); // must not hang
+    }
+
+    #[test]
+    fn query_lines_times_out_on_unresponsive_server() {
+        // A raw listener that accepts but never responds.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sink = std::thread::spawn(move || {
+            let _conn = listener.accept();
+            std::thread::sleep(Duration::from_millis(400));
+        });
+        let err = query_lines_timeout(
+            addr,
+            &[r#"{"op":"ping"}"#.to_string()],
+            Duration::from_millis(100),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("respond"), "unclear error: {err}");
+        sink.join().unwrap();
     }
 }

@@ -72,7 +72,8 @@ impl LatencyHistogram {
     }
 }
 
-/// Counters for the query engine, all relaxed atomics.
+/// Counters for the query engine and the serving layer above it, all
+/// relaxed atomics.
 #[derive(Debug, Default)]
 pub struct EngineStats {
     /// Per-request latency (submit → reply).
@@ -83,17 +84,36 @@ pub struct EngineStats {
     pub cache_misses: AtomicU64,
     /// Worker batches drained (≥1 request each).
     pub batches: AtomicU64,
+    /// Requests refused as malformed or over the configured limits
+    /// (bad JSON, invalid `k`, too many pairs, oversized request line).
+    pub rejected: AtomicU64,
+    /// Connections dropped because a socket read or write timed out
+    /// (slow-loris or stalled clients).
+    pub timeouts: AtomicU64,
+    /// Connections shed at the admission gate with an `overloaded`
+    /// response because the server was at `max_connections`.
+    pub overloads: AtomicU64,
 }
 
 /// A point-in-time copy of [`EngineStats`], safe to serialize.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
-    /// Total requests recorded.
+    /// Total requests recorded: engine-served (`knn` / `score`) plus
+    /// refused (`rejected`). Every `knn` request is either a cache hit
+    /// or a miss, so for knn-only traffic
+    /// `requests == cache_hits + cache_misses + rejected` holds exactly;
+    /// `score` requests count here without touching the cache counters.
     pub requests: u64,
     /// Cache hits.
     pub cache_hits: u64,
     /// Cache misses.
     pub cache_misses: u64,
+    /// Requests refused as malformed or over the configured limits.
+    pub rejected: u64,
+    /// Connections dropped on a socket read/write timeout.
+    pub timeouts: u64,
+    /// Connections shed at the admission gate (`overloaded` response).
+    pub overloads: u64,
     /// Worker batches drained.
     pub batches: u64,
     /// Mean latency, microseconds.
@@ -109,10 +129,14 @@ pub struct StatsSnapshot {
 impl EngineStats {
     /// Snapshot every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let rejected = self.rejected.load(Ordering::Relaxed);
         StatsSnapshot {
-            requests: self.latency.count(),
+            requests: self.latency.count() + rejected,
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            rejected,
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            overloads: self.overloads.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             mean_us: self.latency.mean_us(),
             p50_us: self.latency.quantile_us(0.50),
@@ -172,5 +196,20 @@ mod tests {
         assert_eq!(snap.cache_hits, 2);
         assert_eq!(snap.batches, 1);
         assert!(snap.p50_us > 0);
+    }
+
+    #[test]
+    fn rejected_requests_count_toward_requests() {
+        let s = EngineStats::default();
+        s.latency.record(Duration::from_micros(5));
+        s.cache_misses.fetch_add(1, Ordering::Relaxed);
+        s.rejected.fetch_add(3, Ordering::Relaxed);
+        s.timeouts.fetch_add(2, Ordering::Relaxed);
+        s.overloads.fetch_add(4, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 4, "requests = engine-served + rejected");
+        assert_eq!(snap.requests, snap.cache_hits + snap.cache_misses + snap.rejected);
+        assert_eq!(snap.timeouts, 2);
+        assert_eq!(snap.overloads, 4);
     }
 }

@@ -1,0 +1,84 @@
+//! Property tests for the hot-node LRU cache: under arbitrary op
+//! sequences it must never exceed its capacity, and eviction must always
+//! pick the least-recently-touched key — checked against a naive
+//! recency-list reference model.
+
+use ehna_serve::cache::LruCache;
+use proptest::prelude::*;
+
+/// Reference model: a vector ordered most- to least-recently used.
+#[derive(Default)]
+struct Model {
+    order: Vec<(u32, i64)>,
+    capacity: usize,
+}
+
+impl Model {
+    fn new(capacity: usize) -> Self {
+        Model { order: Vec::new(), capacity }
+    }
+
+    fn get(&mut self, key: u32) -> Option<i64> {
+        let pos = self.order.iter().position(|&(k, _)| k == key)?;
+        let entry = self.order.remove(pos);
+        self.order.insert(0, entry);
+        Some(entry.1)
+    }
+
+    fn insert(&mut self, key: u32, value: i64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.order.iter().position(|&(k, _)| k == key) {
+            self.order.remove(pos);
+        } else if self.order.len() >= self.capacity {
+            self.order.pop(); // least recently used
+        }
+        self.order.insert(0, (key, value));
+    }
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 0usize..6,
+        ops in proptest::collection::vec((proptest::bool::ANY, 0u32..8, 0i64..1000), 0..300),
+    ) {
+        let mut cache: LruCache<u32, i64> = LruCache::new(capacity);
+        let mut model = Model::new(capacity);
+        for (is_insert, key, value) in ops {
+            if is_insert {
+                cache.insert(key, value);
+                model.insert(key, value);
+            } else {
+                // Hits must agree and both refresh recency identically,
+                // so later evictions stay in lockstep.
+                prop_assert_eq!(cache.get(&key).copied(), model.get(key));
+            }
+            prop_assert!(
+                cache.len() <= capacity,
+                "cache grew past capacity: {} > {}", cache.len(), capacity
+            );
+            prop_assert_eq!(cache.len(), model.order.len());
+        }
+        // Final sweep: exactly the model's keys survive, with its values.
+        for key in 0u32..8 {
+            let expected = model.order.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+            prop_assert_eq!(cache.get(&key).copied(), expected, "key {} diverged", key);
+            // Mirror the recency refresh the get above performed.
+            model.get(key);
+        }
+    }
+
+    #[test]
+    fn lru_never_exceeds_capacity_under_heavy_reinsertion(
+        capacity in 1usize..5,
+        keys in proptest::collection::vec(0u32..4, 1..200),
+    ) {
+        let mut cache: LruCache<u32, u32> = LruCache::new(capacity);
+        for (i, key) in keys.into_iter().enumerate() {
+            cache.insert(key, i as u32);
+            prop_assert!(cache.len() <= capacity);
+        }
+    }
+}

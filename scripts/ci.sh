@@ -16,6 +16,15 @@ cargo bench --workspace --no-run
 echo "== cargo test (workspace)"
 cargo test --workspace -q
 
+echo "== fault-injection suite (wall-clock bounded)"
+# The hostile-client tests double as a regression gate for server
+# shutdown: if a hang is ever reintroduced, the hard timeout turns a
+# wedged CI run into a fast failure. Build first so the timeout budget
+# is spent on the tests, not the compiler.
+cargo test -p ehna-serve --test fault_injection --no-run -q
+timeout --kill-after=10 120 \
+    cargo test -p ehna-serve --test fault_injection -q
+
 echo "== cargo test (workspace, pipelined: EHNA_PIPELINE_DEPTH=3)"
 # Re-run the suite with a non-default prefetch depth so the pipelined
 # training path is exercised suite-wide; results must be identical to

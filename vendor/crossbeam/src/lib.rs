@@ -28,6 +28,25 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]. Carries the unsent
+    /// message back to the caller.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`]: channel empty and no senders.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -117,6 +136,37 @@ pub mod channel {
             drop(queue);
             shared.not_empty.notify_one();
             Ok(())
+        }
+
+        /// Enqueue `msg` without blocking: a full bounded channel is an
+        /// immediate [`TrySendError::Full`] instead of a wait.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let shared = &self.shared;
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = shared.cap {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            queue.push_back(msg);
+            drop(queue);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
         }
     }
 
@@ -294,6 +344,17 @@ pub mod channel {
             assert_eq!(t.join().unwrap(), "sent");
             assert_eq!(rx.recv(), Ok(2));
             assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]
