@@ -12,6 +12,7 @@ const HELP: &str = "ehna train — train node embeddings
 usage: ehna train FILE --method NAME [--dim N] [--epochs N] [--walks N]
                   [--walk-length N] [--p F] [--q F] [--seed N]
                   [--bidirectional true] [--threads N] [--pipeline-depth N]
+                  [--checkpoint FILE] [--checkpoint-every N] [--resume]
                   --out SNAPSHOT
 
 methods: ehna, ehna-na, ehna-rw, ehna-sl, node2vec, ctdne, line, htne
@@ -19,12 +20,17 @@ methods: ehna, ehna-na, ehna-rw, ehna-sl, node2vec, ctdne, line, htne
 sampled batches the prefetcher may run ahead of the optimizer (0 =
 synchronous; results are identical at any depth). EHNA methods print a
 sample/compute/stall phase-timing summary after training.
+--checkpoint (EHNA only) writes full trainer state (model + optimizer +
+RNG) atomically after training; --checkpoint-every N also writes it every
+N epochs, rotating the previous file to FILE.bak. --resume continues
+training from --checkpoint bit-identically to a run that was never
+interrupted (falling back to FILE.bak if FILE is damaged).
 The snapshot is the binary NodeEmbeddings format (load with
 NodeEmbeddings::load or `ehna linkpred --emb SNAPSHOT`).";
 
 /// Run the subcommand.
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let flags = Flags::parse(args, HELP)?;
+    let flags = Flags::parse_with_switches(args, HELP, &["resume"])?;
     flags.expect_known(&[
         "method",
         "dim",
@@ -37,6 +43,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "bidirectional",
         "threads",
         "pipeline-depth",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
         "out",
     ])?;
     let input = flags.one_positional("edge-list file")?;
@@ -57,6 +66,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         pipeline_depth: flags.get("pipeline-depth").map(str::parse).transpose().map_err(
             |e: std::num::ParseIntError| CliError::usage(format!("--pipeline-depth: {e}")),
         )?,
+        checkpoint: flags.get("checkpoint").map(std::path::PathBuf::from),
+        checkpoint_every: flags.get_or("checkpoint-every", 0usize)?,
+        resume: flags.has("resume"),
     };
 
     let graph = read_edge_list_path(input)?;
@@ -71,9 +83,16 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     .map_err(io_err)?;
     let start = std::time::Instant::now();
     let outcome = method.train_full(&graph, &opts)?;
+    for warning in &outcome.warnings {
+        writeln!(out, "warning: {warning}").map_err(io_err)?;
+    }
     let emb = outcome.embeddings;
-    let f = std::fs::File::create(snapshot).map_err(io_err)?;
-    emb.save(f)?;
+    // The snapshot gets the same crash-safety discipline as checkpoints:
+    // a torn write must never destroy a previous good snapshot.
+    ehna_nn::ioutil::atomic_write_path(std::path::Path::new(snapshot), |w| {
+        emb.save(w).map_err(|e| std::io::Error::other(e.to_string()))
+    })
+    .map_err(io_err)?;
     if let Some(report) = &outcome.report {
         let phases = report.total_phase_timings();
         writeln!(
@@ -184,6 +203,156 @@ mod tests {
         assert!(text.contains("prefetch stall"), "missing stall in: {text}");
         let _ = std::fs::remove_file(input);
         let _ = std::fs::remove_file(snap);
+    }
+
+    fn run_args(parts: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn checkpoint_and_resume_through_cli() {
+        let input = tiny_file("ehna_cli_train_ckpt_in.txt");
+        let dir = std::env::temp_dir();
+        let snap = dir.join("ehna_cli_train_ckpt_out.bin");
+        let ckpt = dir.join("ehna_cli_train_ckpt.ckpt");
+        let bak = ehna_nn::ioutil::backup_path(&ckpt);
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(&bak);
+        let common = ["--method", "ehna", "--dim", "8", "--walks", "2", "--walk-length", "3"];
+
+        let mut first = vec![input.to_str().unwrap()];
+        first.extend_from_slice(&common);
+        first.extend_from_slice(&[
+            "--epochs",
+            "2",
+            "--checkpoint-every",
+            "1",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--out",
+            snap.to_str().unwrap(),
+        ]);
+        let text = run_args(&first).unwrap();
+        assert!(!text.contains("warning:"), "unexpected warning: {text}");
+        assert!(ckpt.exists(), "checkpoint not written");
+        assert!(bak.exists(), "periodic checkpoints did not rotate a backup");
+
+        let mut second = vec![input.to_str().unwrap()];
+        second.extend_from_slice(&common);
+        second.extend_from_slice(&[
+            "--epochs",
+            "1",
+            "--resume",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--out",
+            snap.to_str().unwrap(),
+        ]);
+        let text = run_args(&second).unwrap();
+        assert!(!text.contains("warning:"), "v2 resume must be warning-free: {text}");
+        for p in [&input, &snap, &ckpt, &bak, &ehna_nn::ioutil::backup_path(&snap)] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn v1_checkpoint_resume_surfaces_warning() {
+        use ehna_core::{EhnaConfig, Trainer};
+        let input = tiny_file("ehna_cli_train_v1_in.txt");
+        let dir = std::env::temp_dir();
+        let snap = dir.join("ehna_cli_train_v1_out.bin");
+        let ckpt = dir.join("ehna_cli_train_v1.ckpt");
+
+        // A genuine legacy v1 file whose architecture matches the CLI's
+        // EHNA config at --dim 8.
+        let graph = ehna_tgraph::read_edge_list_path(&input).unwrap();
+        let config = EhnaConfig { dim: 8, num_walks: 2, walk_length: 3, ..Default::default() };
+        let trainer = Trainer::new(&graph, config).unwrap();
+        let f = std::fs::File::create(&ckpt).unwrap();
+        ehna_core::write_checkpoint_v1_for_tests(trainer.model(), f).unwrap();
+
+        let args = [
+            input.to_str().unwrap(),
+            "--method",
+            "ehna",
+            "--dim",
+            "8",
+            "--walks",
+            "2",
+            "--walk-length",
+            "3",
+            "--epochs",
+            "1",
+            "--resume",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--out",
+            snap.to_str().unwrap(),
+        ];
+        let text = run_args(&args).unwrap();
+        assert!(text.contains("warning:"), "v1 resume must warn: {text}");
+        assert!(text.contains("not be bit-faithful"), "caveat missing: {text}");
+        for p in [&input, &snap, &ckpt] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_file(ehna_nn::ioutil::backup_path(&ckpt));
+        let _ = std::fs::remove_file(ehna_nn::ioutil::backup_path(&snap));
+    }
+
+    #[test]
+    fn snapshot_writes_are_atomic_and_rotate() {
+        let input = tiny_file("ehna_cli_train_atomic_in.txt");
+        let snap = std::env::temp_dir().join("ehna_cli_train_atomic_out.bin");
+        let bak = ehna_nn::ioutil::backup_path(&snap);
+        let _ = std::fs::remove_file(&snap);
+        let _ = std::fs::remove_file(&bak);
+        let args = [
+            input.to_str().unwrap(),
+            "--method",
+            "htne",
+            "--dim",
+            "8",
+            "--epochs",
+            "1",
+            "--out",
+            snap.to_str().unwrap(),
+        ];
+        run_args(&args).unwrap();
+        assert!(snap.exists() && !bak.exists());
+        let first = std::fs::read(&snap).unwrap();
+        run_args(&args).unwrap();
+        assert!(bak.exists(), "second snapshot did not rotate the first to .bak");
+        assert_eq!(std::fs::read(&bak).unwrap(), first, ".bak is not the prior snapshot");
+        NodeEmbeddings::load(std::fs::File::open(&snap).unwrap()).unwrap();
+        for p in [&input, &snap, &bak] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn resume_with_missing_checkpoint_fails_cleanly() {
+        let input = tiny_file("ehna_cli_train_missing_in.txt");
+        let args = [
+            input.to_str().unwrap(),
+            "--method",
+            "ehna",
+            "--dim",
+            "8",
+            "--epochs",
+            "1",
+            "--resume",
+            "--checkpoint",
+            "/nonexistent/dir/x.ckpt",
+            "--out",
+            "/tmp/ehna_cli_train_missing_out.bin",
+        ];
+        let err = run_args(&args).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("cannot resume"), "{}", err.message);
+        let _ = std::fs::remove_file(input);
     }
 
     #[test]

@@ -3,9 +3,11 @@
 
 use crate::CliError;
 use ehna_baselines::{Ctdne, EmbeddingMethod, Htne, Line, Node2Vec, SkipGramConfig};
-use ehna_core::{EhnaConfig, EhnaVariant, Trainer, TrainingReport};
+use ehna_core::{load_checkpoint_path, EhnaConfig, EhnaVariant, Trainer, TrainingReport};
+use ehna_nn::ioutil::backup_path;
 use ehna_tgraph::{NodeEmbeddings, TemporalGraph};
 use ehna_walks::{CtdneConfig, Node2VecConfig};
+use std::path::PathBuf;
 
 /// Per-method training knobs exposed on the CLI.
 #[derive(Debug, Clone)]
@@ -31,6 +33,15 @@ pub struct TrainOptions {
     /// Batch-prefetch pipeline depth (EHNA); `None` keeps the
     /// [`EhnaConfig`] default.
     pub pipeline_depth: Option<usize>,
+    /// Checkpoint file (EHNA): written atomically after training, and —
+    /// with [`TrainOptions::checkpoint_every`] — during it.
+    pub checkpoint: Option<PathBuf>,
+    /// Write the checkpoint every N epochs while training (EHNA);
+    /// 0 disables periodic checkpointing.
+    pub checkpoint_every: usize,
+    /// Resume from [`TrainOptions::checkpoint`] instead of starting
+    /// fresh (EHNA).
+    pub resume: bool,
 }
 
 impl Default for TrainOptions {
@@ -46,6 +57,9 @@ impl Default for TrainOptions {
             bidirectional: false,
             threads: 1,
             pipeline_depth: None,
+            checkpoint: None,
+            checkpoint_every: 0,
+            resume: false,
         }
     }
 }
@@ -58,6 +72,10 @@ pub struct TrainOutcome {
     pub embeddings: NodeEmbeddings,
     /// Trainer report; `None` for the baseline methods.
     pub report: Option<TrainingReport>,
+    /// Non-fatal conditions the operator should see (e.g. a resume that
+    /// fell back to the `.bak` checkpoint, or one that could not restore
+    /// optimizer state and will not be bit-faithful).
+    pub warnings: Vec<String>,
 }
 
 /// A method selected by CLI name.
@@ -125,7 +143,17 @@ impl MethodName {
         graph: &TemporalGraph,
         opts: &TrainOptions,
     ) -> Result<TrainOutcome, CliError> {
+        if !matches!(self, MethodName::Ehna(_))
+            && (opts.checkpoint.is_some() || opts.checkpoint_every > 0 || opts.resume)
+        {
+            return Err(CliError::usage(format!(
+                "--checkpoint / --checkpoint-every / --resume only apply to EHNA methods, \
+                 not {}",
+                self.name()
+            )));
+        }
         let mut report = None;
+        let mut warnings = Vec::new();
         let emb = match self {
             MethodName::Ehna(variant) => {
                 let defaults = EhnaConfig::default();
@@ -142,10 +170,54 @@ impl MethodName {
                     bidirectional: opts.bidirectional,
                     threads: opts.threads,
                     pipeline_depth: opts.pipeline_depth.unwrap_or(defaults.pipeline_depth),
+                    checkpoint_every: opts.checkpoint_every,
                     ..defaults
                 });
-                let mut trainer = Trainer::new(graph, config).map_err(CliError::usage)?;
-                report = Some(trainer.train());
+                let mut trainer = if opts.resume {
+                    let path = opts
+                        .checkpoint
+                        .as_deref()
+                        .ok_or_else(|| CliError::usage("--resume requires --checkpoint PATH"))?;
+                    let (ckpt, used_backup) =
+                        load_checkpoint_path(path, graph, config).map_err(|e| {
+                            CliError::runtime(format!("cannot resume from {}: {e}", path.display()))
+                        })?;
+                    if used_backup {
+                        warnings.push(format!(
+                            "checkpoint {} was missing or unreadable; resumed from backup {}",
+                            path.display(),
+                            backup_path(path).display()
+                        ));
+                    }
+                    if let Some(w) = ckpt.resume_warning() {
+                        warnings.push(w);
+                    }
+                    Trainer::from_checkpoint(graph, ckpt).map_err(CliError::usage)?
+                } else {
+                    Trainer::new(graph, config).map_err(CliError::usage)?
+                };
+                if let Some(path) = opts.checkpoint.clone() {
+                    trainer.set_checkpoint_hook(Box::new(move |_epoch, t| {
+                        t.checkpoint_to_path(&path)
+                    }));
+                }
+                let r = trainer.train();
+                if let Some(err) = &r.checkpoint_error {
+                    return Err(CliError::runtime(format!("periodic checkpoint failed: {err}")));
+                }
+                // Save the final checkpoint *before* inference: embedding
+                // extraction advances the trainer's RNG on the fallback
+                // path, and a resumed run must continue from the post-
+                // training state, not the post-inference one.
+                if let Some(path) = &opts.checkpoint {
+                    trainer.checkpoint_to_path(path).map_err(|e| {
+                        CliError::runtime(format!(
+                            "cannot write checkpoint {}: {e}",
+                            path.display()
+                        ))
+                    })?;
+                }
+                report = Some(r);
                 trainer.into_embeddings()
             }
             MethodName::Node2Vec => Node2Vec {
@@ -182,7 +254,7 @@ impl MethodName {
                     .embed(graph, opts.seed)
             }
         };
-        Ok(TrainOutcome { embeddings: emb, report })
+        Ok(TrainOutcome { embeddings: emb, report, warnings })
     }
 }
 
@@ -213,6 +285,86 @@ mod tests {
         let g = b.build().unwrap();
         let opts = TrainOptions { dim: 15, epochs: 1, ..Default::default() };
         assert!(MethodName::Line.train(&g, &opts).is_err());
+    }
+
+    #[test]
+    fn baselines_reject_checkpoint_flags() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        for opts in [
+            TrainOptions { checkpoint: Some("/tmp/x.ckpt".into()), ..Default::default() },
+            TrainOptions { checkpoint_every: 1, ..Default::default() },
+            TrainOptions { resume: true, ..Default::default() },
+        ] {
+            let err = MethodName::Htne.train(&g, &opts).unwrap_err();
+            assert_eq!(err.code, 2, "{}", err.message);
+            assert!(err.message.contains("EHNA"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn resume_requires_checkpoint_path() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let opts = TrainOptions { resume: true, epochs: 1, ..Default::default() };
+        let err = MethodName::Ehna(EhnaVariant::Full).train(&g, &opts).unwrap_err();
+        assert!(err.message.contains("--checkpoint"), "{}", err.message);
+    }
+
+    fn richer_graph() -> ehna_tgraph::TemporalGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..10u32 {
+            b.add_edge(i, (i + 1) % 11, i as i64, 1.0).unwrap();
+            b.add_edge(i, (i + 4) % 11, i as i64 + 2, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_training() {
+        let g = richer_graph();
+        let ckpt = std::env::temp_dir()
+            .join(format!("ehna_cli_method_resume_{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(backup_path(&ckpt));
+        let base = TrainOptions { dim: 8, num_walks: 2, walk_length: 3, ..Default::default() };
+        let m = MethodName::Ehna(EhnaVariant::Full);
+
+        let reference = m.train_full(&g, &TrainOptions { epochs: 4, ..base.clone() }).unwrap();
+
+        let first = m
+            .train_full(
+                &g,
+                &TrainOptions { epochs: 2, checkpoint: Some(ckpt.clone()), ..base.clone() },
+            )
+            .unwrap();
+        assert!(first.warnings.is_empty());
+        let resumed = m
+            .train_full(
+                &g,
+                &TrainOptions {
+                    epochs: 2,
+                    checkpoint: Some(ckpt.clone()),
+                    resume: true,
+                    ..base.clone()
+                },
+            )
+            .unwrap();
+        assert!(resumed.warnings.is_empty(), "unexpected: {:?}", resumed.warnings);
+
+        let bits = |r: &TrainOutcome| -> Vec<u64> {
+            r.report.as_ref().unwrap().epoch_losses.iter().map(|l| l.to_bits()).collect()
+        };
+        let mut stitched = bits(&first);
+        stitched.extend(bits(&resumed));
+        assert_eq!(bits(&reference), stitched, "losses diverged across CLI resume");
+        assert_eq!(reference.embeddings, resumed.embeddings, "embeddings diverged");
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(backup_path(&ckpt));
     }
 
     #[test]

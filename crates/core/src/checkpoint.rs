@@ -1,20 +1,48 @@
-//! Model checkpointing: persist a trained [`EhnaModel`] (parameters,
-//! batch-norm running statistics, and the architecture-defining config
-//! fields) and restore it for further training or inference.
+//! Model + trainer checkpointing: persist a trained [`EhnaModel`]
+//! (parameters, batch-norm running statistics, architecture-defining
+//! config fields) and — format v2 — the full trainer state needed for a
+//! *bit-faithful* resume: epochs trained, Adam moments, and the main
+//! RNG position.
 //!
-//! Format: a small little-endian header with the architecture fields,
-//! followed by the two batch-norm statistic blocks and the
-//! [`ParamStore`](ehna_nn::ParamStore) snapshot.
+//! # EHNC format
+//!
+//! Little-endian throughout. Version 1 (legacy, still loadable):
+//!
+//! ```text
+//! magic "EHNC" | version=1 | arch fields | 2 x BN stats | ParamStore
+//! ```
+//!
+//! Version 2 wraps the payload in an FNV-1a 64 checksum and appends the
+//! trainer-state section:
+//!
+//! ```text
+//! magic | version=2 | arch fields | 2 x BN stats | epochs_trained u64
+//!   | ParamStore | has_state u32
+//!   | [rng state 4 x u64 | Adam blob]   (iff has_state == 1)
+//!   | checksum u64                       (FNV-1a 64 of all prior bytes)
+//! ```
+//!
+//! Loads reject trailing garbage (both versions), verify the checksum
+//! (v2), and cap every length field before allocating, so truncation or
+//! byte corruption at any position yields `InvalidData` — never a panic
+//! or a silently-wrong model. A v1 file (or a v2 file saved without
+//! trainer state) still loads, but the resulting resume is
+//! optimizer-cold; [`LoadedCheckpoint::resume_warning`] describes the
+//! caveat for surfacing through the CLI.
 
 use crate::config::{EhnaConfig, WalkStyle};
 use crate::model::EhnaModel;
+use ehna_nn::ioutil::{self, ChecksumReader, ChecksumWriter};
+use ehna_nn::optim::Adam;
 use ehna_nn::ParamStore;
 use ehna_tgraph::TemporalGraph;
 use std::io::{self, Read, Write};
+use std::path::Path;
 
-/// Magic bytes ("EHNC" + version 1).
+/// Magic bytes ("EHNC").
 const MAGIC: u32 = 0x45484E43;
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION: u32 = 2;
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
@@ -30,9 +58,19 @@ fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     Ok(u32::from_le_bytes(b))
 }
 
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
 fn write_f32s<W: Write>(w: &mut W, xs: &[f32]) -> io::Result<()> {
-    write_u32(w, xs.len() as u32)?;
-    ehna_nn::ioutil::write_f32_block(w, xs)
+    write_u32(w, ioutil::checked_u32(xs.len(), "stat block length")?)?;
+    ioutil::write_f32_block(w, xs)
 }
 
 fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
@@ -40,39 +78,245 @@ fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
     if n > (1 << 24) {
         return Err(bad("implausible stat block"));
     }
-    ehna_nn::ioutil::read_f32_block(r, n)
+    ioutil::read_f32_block(r, n)
+}
+
+/// Consume `r` to its end and error unless it was already exhausted:
+/// a checkpoint followed by trailing bytes is a concatenated or corrupt
+/// file, not a checkpoint.
+fn expect_eof<R: Read>(r: &mut R) -> io::Result<()> {
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(()),
+        _ => Err(bad("trailing garbage after checkpoint payload")),
+    }
+}
+
+/// The resumable (non-model) trainer state carried by a v2 checkpoint.
+#[derive(Debug, Clone)]
+pub struct TrainerState {
+    /// Exact xoshiro256++ state of the trainer's main RNG (negative
+    /// sampling, fallback aggregation).
+    pub rng_state: [u64; 4],
+    /// The optimizer, with step count and both moment buffers.
+    pub optimizer: Adam,
+}
+
+/// Everything a checkpoint file yielded.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// The restored model (parameters, BN statistics, `epochs_trained`).
+    pub model: EhnaModel,
+    /// Trainer state for bit-faithful resume; `None` for v1 files and
+    /// model-only v2 saves.
+    pub state: Option<TrainerState>,
+    /// The on-disk format version (1 or 2).
+    pub version: u32,
+}
+
+impl LoadedCheckpoint {
+    /// A human-readable caveat when resuming from this checkpoint will
+    /// not be bit-faithful, for surfacing through the CLI. `None` when
+    /// full trainer state was present.
+    pub fn resume_warning(&self) -> Option<String> {
+        if self.state.is_some() {
+            return None;
+        }
+        Some(format!(
+            "checkpoint (EHNC v{}) carries no optimizer state: resuming restarts \
+             Adam cold and redraws RNG streams, so the continued run will not be \
+             bit-faithful to an uninterrupted one",
+            self.version
+        ))
+    }
+}
+
+/// Serialize a checkpoint. `state` carries the trainer's RNG position
+/// and optimizer for a bit-faithful resume; `None` writes a model-only
+/// v2 file (loadable everywhere, resume is optimizer-cold).
+pub(crate) fn write_checkpoint<W: Write>(
+    w: W,
+    model: &EhnaModel,
+    state: Option<(&Adam, [u64; 4])>,
+) -> io::Result<()> {
+    let mut w = ChecksumWriter::new(w);
+    write_u32(&mut w, MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    // Architecture-defining fields (must match at load).
+    write_u32(&mut w, ioutil::checked_u32(model.num_nodes(), "node count")?)?;
+    write_u32(&mut w, ioutil::checked_u32(model.config.dim, "dim")?)?;
+    write_u32(&mut w, ioutil::checked_u32(model.config.lstm_layers, "lstm_layers")?)?;
+    write_u32(&mut w, u32::from(model.config.two_level))?;
+    write_u32(&mut w, u32::from(model.config.attention))?;
+    write_u32(
+        &mut w,
+        match model.config.walk_style {
+            WalkStyle::Temporal => 0,
+            WalkStyle::Static => 1,
+        },
+    )?;
+    // Batch-norm running statistics.
+    for bn in [&model.bn_node, &model.bn_walk] {
+        let (mean, var, init) = bn.running_stats();
+        write_u32(&mut w, u32::from(init))?;
+        write_f32s(&mut w, mean)?;
+        write_f32s(&mut w, var)?;
+    }
+    write_u64(&mut w, model.epochs_trained)?;
+    // Parameters.
+    model.store.save(&mut w)?;
+    // Trainer state.
+    match state {
+        None => write_u32(&mut w, 0)?,
+        Some((optimizer, rng_state)) => {
+            write_u32(&mut w, 1)?;
+            for word in rng_state {
+                write_u64(&mut w, word)?;
+            }
+            optimizer.save(&mut w)?;
+        }
+    }
+    let digest = w.digest();
+    let mut w = w.into_inner();
+    write_u64(&mut w, digest)?;
+    w.flush()
+}
+
+/// Restore a checkpoint (v1 or v2) with whatever trainer state it
+/// carries. See [`EhnaModel::load_checkpoint`] for the validation
+/// contract; this variant additionally rejects v2 payloads whose
+/// trailing checksum does not match.
+///
+/// # Errors
+/// `InvalidData` on format, checksum, or architecture mismatches.
+pub fn load_checkpoint_full<R: Read>(
+    r: R,
+    graph: &TemporalGraph,
+    config: EhnaConfig,
+) -> io::Result<LoadedCheckpoint> {
+    let mut r = ChecksumReader::new(r);
+    if read_u32(&mut r)? != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION_V1 && version != VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let nodes = read_u32(&mut r)? as usize;
+    if nodes != graph.num_nodes() {
+        return Err(bad(&format!(
+            "node count mismatch: checkpoint {nodes}, graph {}",
+            graph.num_nodes()
+        )));
+    }
+    let dim = read_u32(&mut r)? as usize;
+    let layers = read_u32(&mut r)? as usize;
+    let two_level = read_u32(&mut r)? != 0;
+    let attention = read_u32(&mut r)? != 0;
+    let walk_style = match read_u32(&mut r)? {
+        0 => WalkStyle::Temporal,
+        1 => WalkStyle::Static,
+        _ => return Err(bad("unknown walk style")),
+    };
+    if dim != config.dim
+        || layers != config.lstm_layers
+        || two_level != config.two_level
+        || attention != config.attention
+        || walk_style != config.walk_style
+    {
+        return Err(bad("architecture fields differ from the supplied config"));
+    }
+    let mut model = EhnaModel::new(graph, config).map_err(|e| bad(&e))?;
+    for bn in [&mut model.bn_node, &mut model.bn_walk] {
+        let init = read_u32(&mut r)? != 0;
+        let mean = read_f32s(&mut r)?;
+        let var = read_f32s(&mut r)?;
+        if mean.len() != bn.dim || var.len() != bn.dim {
+            return Err(bad("batch-norm width mismatch"));
+        }
+        bn.set_running_stats(&mean, &var, init);
+    }
+    if version >= VERSION {
+        model.epochs_trained = read_u64(&mut r)?;
+    }
+    let loaded = ParamStore::load(&mut r)?;
+    model.store.load_values_from(&loaded).map_err(|e| bad(&e))?;
+    let state = if version >= VERSION {
+        match read_u32(&mut r)? {
+            0 => None,
+            1 => {
+                let mut rng_state = [0u64; 4];
+                for word in &mut rng_state {
+                    *word = read_u64(&mut r)?;
+                }
+                if rng_state == [0u64; 4] {
+                    // Absorbing xoshiro256++ state: cannot come from a
+                    // seeded generator, only from corruption.
+                    return Err(bad("degenerate RNG state"));
+                }
+                let optimizer = Adam::load(&mut r)?;
+                Some(TrainerState { rng_state, optimizer })
+            }
+            _ => return Err(bad("bad trainer-state flag")),
+        }
+    } else {
+        None
+    };
+    if version >= VERSION {
+        let computed = r.digest();
+        let mut inner = r.into_inner();
+        let stored = read_u64(&mut inner)?;
+        if stored != computed {
+            return Err(bad("checksum mismatch: checkpoint is corrupt"));
+        }
+        expect_eof(&mut inner)?;
+    } else {
+        expect_eof(&mut r)?;
+    }
+    Ok(LoadedCheckpoint { model, state, version })
+}
+
+/// Load a checkpoint from `path`, falling back to the `.bak` sibling
+/// [`ehna_nn::ioutil::atomic_write_path`] rotates (a crash between its
+/// two renames can leave only the backup in place). Returns the
+/// checkpoint and whether the backup was used (callers should surface
+/// that to the operator).
+///
+/// # Errors
+/// The *primary* path's error when neither file loads.
+pub fn load_checkpoint_path(
+    path: &Path,
+    graph: &TemporalGraph,
+    config: EhnaConfig,
+) -> io::Result<(LoadedCheckpoint, bool)> {
+    let try_load = |p: &Path, config: EhnaConfig| -> io::Result<LoadedCheckpoint> {
+        let f = std::fs::File::open(p)?;
+        load_checkpoint_full(io::BufReader::new(f), graph, config)
+    };
+    match try_load(path, config.clone()) {
+        Ok(ckpt) => Ok((ckpt, false)),
+        Err(primary) => match try_load(&ioutil::backup_path(path), config) {
+            Ok(ckpt) => Ok((ckpt, true)),
+            Err(_) => Err(primary),
+        },
+    }
 }
 
 impl EhnaModel {
-    /// Serialize the trained model to `w`.
-    pub fn save_checkpoint<W: Write>(&self, mut w: W) -> io::Result<()> {
-        write_u32(&mut w, MAGIC)?;
-        write_u32(&mut w, VERSION)?;
-        // Architecture-defining fields (must match at load).
-        write_u32(&mut w, self.num_nodes() as u32)?;
-        write_u32(&mut w, self.config.dim as u32)?;
-        write_u32(&mut w, self.config.lstm_layers as u32)?;
-        write_u32(&mut w, u32::from(self.config.two_level))?;
-        write_u32(&mut w, u32::from(self.config.attention))?;
-        write_u32(
-            &mut w,
-            match self.config.walk_style {
-                WalkStyle::Temporal => 0,
-                WalkStyle::Static => 1,
-            },
-        )?;
-        // Batch-norm running statistics.
-        for bn in [&self.bn_node, &self.bn_walk] {
-            let (mean, var, init) = bn.running_stats();
-            write_u32(&mut w, u32::from(init))?;
-            write_f32s(&mut w, mean)?;
-            write_f32s(&mut w, var)?;
-        }
-        // Parameters.
-        self.store.save(&mut w)
+    /// Serialize the trained model to `w` (EHNC v2, without trainer
+    /// state — use [`Trainer::save_checkpoint`](crate::Trainer::save_checkpoint)
+    /// to capture optimizer and RNG state for a bit-faithful resume).
+    ///
+    /// # Errors
+    /// IO failures, or counts that overflow the format's fields.
+    pub fn save_checkpoint<W: Write>(&self, w: W) -> io::Result<()> {
+        write_checkpoint(w, self, None)
     }
 
-    /// Restore a checkpoint saved by [`EhnaModel::save_checkpoint`].
+    /// Restore a checkpoint saved by [`EhnaModel::save_checkpoint`] or
+    /// [`Trainer::save_checkpoint`](crate::Trainer::save_checkpoint),
+    /// discarding any trainer state (use [`load_checkpoint_full`] to
+    /// keep it).
     ///
     /// `graph` must be the network the model was (or will be) used with —
     /// its node count must match the checkpoint; `config` supplies the
@@ -82,54 +326,40 @@ impl EhnaModel {
     /// # Errors
     /// `InvalidData` on format or architecture mismatches.
     pub fn load_checkpoint<R: Read>(
-        mut r: R,
+        r: R,
         graph: &TemporalGraph,
         config: EhnaConfig,
     ) -> io::Result<EhnaModel> {
-        if read_u32(&mut r)? != MAGIC {
-            return Err(bad("bad magic"));
-        }
-        if read_u32(&mut r)? != VERSION {
-            return Err(bad("unsupported version"));
-        }
-        let nodes = read_u32(&mut r)? as usize;
-        if nodes != graph.num_nodes() {
-            return Err(bad(&format!(
-                "node count mismatch: checkpoint {nodes}, graph {}",
-                graph.num_nodes()
-            )));
-        }
-        let dim = read_u32(&mut r)? as usize;
-        let layers = read_u32(&mut r)? as usize;
-        let two_level = read_u32(&mut r)? != 0;
-        let attention = read_u32(&mut r)? != 0;
-        let walk_style = match read_u32(&mut r)? {
-            0 => WalkStyle::Temporal,
-            1 => WalkStyle::Static,
-            _ => return Err(bad("unknown walk style")),
-        };
-        if dim != config.dim
-            || layers != config.lstm_layers
-            || two_level != config.two_level
-            || attention != config.attention
-            || walk_style != config.walk_style
-        {
-            return Err(bad("architecture fields differ from the supplied config"));
-        }
-        let mut model = EhnaModel::new(graph, config).map_err(|e| bad(&e))?;
-        for bn in [&mut model.bn_node, &mut model.bn_walk] {
-            let init = read_u32(&mut r)? != 0;
-            let mean = read_f32s(&mut r)?;
-            let var = read_f32s(&mut r)?;
-            if mean.len() != bn.dim || var.len() != bn.dim {
-                return Err(bad("batch-norm width mismatch"));
-            }
-            bn.set_running_stats(&mean, &var, init);
-        }
-        let loaded = ParamStore::load(&mut r)?;
-        model.store.load_values_from(&loaded).map_err(|e| bad(&e))?;
-        Ok(model)
+        load_checkpoint_full(r, graph, config).map(|c| c.model)
     }
+}
+
+/// Write a checkpoint in the legacy v1 layout (no checksum, no trainer
+/// state, no epoch count). Exists so compatibility tests can produce
+/// genuine v1 bytes; production code always writes v2.
+#[doc(hidden)]
+pub fn write_checkpoint_v1_for_tests<W: Write>(model: &EhnaModel, mut w: W) -> io::Result<()> {
+    write_u32(&mut w, MAGIC)?;
+    write_u32(&mut w, VERSION_V1)?;
+    write_u32(&mut w, model.num_nodes() as u32)?;
+    write_u32(&mut w, model.config.dim as u32)?;
+    write_u32(&mut w, model.config.lstm_layers as u32)?;
+    write_u32(&mut w, u32::from(model.config.two_level))?;
+    write_u32(&mut w, u32::from(model.config.attention))?;
+    write_u32(
+        &mut w,
+        match model.config.walk_style {
+            WalkStyle::Temporal => 0,
+            WalkStyle::Static => 1,
+        },
+    )?;
+    for bn in [&model.bn_node, &model.bn_walk] {
+        let (mean, var, init) = bn.running_stats();
+        write_u32(&mut w, u32::from(init))?;
+        write_f32s(&mut w, mean)?;
+        write_f32s(&mut w, var)?;
+    }
+    model.store.save(&mut w)
 }
 
 #[cfg(test)]
@@ -175,6 +405,51 @@ mod tests {
     }
 
     #[test]
+    fn trainer_checkpoint_carries_state() {
+        let g = toy();
+        let mut trainer = Trainer::new(&g, cfg()).unwrap();
+        trainer.train();
+        let mut buf = Vec::new();
+        trainer.save_checkpoint(&mut buf).unwrap();
+
+        let ckpt = load_checkpoint_full(&buf[..], &g, cfg()).unwrap();
+        assert_eq!(ckpt.version, VERSION);
+        assert_eq!(ckpt.model.epochs_trained, 2);
+        let state = ckpt.state.as_ref().expect("trainer checkpoint must carry state");
+        assert!(state.optimizer.steps() > 0, "optimizer step count lost");
+        assert!(ckpt.resume_warning().is_none());
+    }
+
+    #[test]
+    fn model_only_checkpoint_warns_on_resume() {
+        let g = toy();
+        let trainer = Trainer::new(&g, cfg()).unwrap();
+        let mut buf = Vec::new();
+        trainer.model().save_checkpoint(&mut buf).unwrap();
+        let ckpt = load_checkpoint_full(&buf[..], &g, cfg()).unwrap();
+        assert!(ckpt.state.is_none());
+        let warning = ckpt.resume_warning().expect("model-only checkpoint must warn");
+        assert!(warning.contains("optimizer state"), "vague warning: {warning}");
+    }
+
+    #[test]
+    fn v1_checkpoint_still_loads_with_warning() {
+        let g = toy();
+        let mut trainer = Trainer::new(&g, cfg()).unwrap();
+        trainer.train();
+        let emb_before = trainer.embeddings();
+
+        let mut buf = Vec::new();
+        write_checkpoint_v1_for_tests(trainer.model(), &mut buf).unwrap();
+        let ckpt = load_checkpoint_full(&buf[..], &g, cfg()).unwrap();
+        assert_eq!(ckpt.version, VERSION_V1);
+        assert!(ckpt.state.is_none());
+        assert!(ckpt.resume_warning().is_some());
+        let mut restored = Trainer::from_model(&g, ckpt.model).unwrap();
+        assert_eq!(emb_before, restored.embeddings(), "v1 model diverges");
+    }
+
+    #[test]
     fn mismatched_architecture_rejected() {
         let g = toy();
         let trainer = Trainer::new(&g, cfg()).unwrap();
@@ -208,6 +483,24 @@ mod tests {
         let mut buf = Vec::new();
         trainer.model().save_checkpoint(&mut buf).unwrap();
         buf.truncate(buf.len() / 2);
+        assert!(EhnaModel::load_checkpoint(&buf[..], &g, cfg()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let g = toy();
+        let trainer = Trainer::new(&g, cfg()).unwrap();
+        // v2 with appended bytes (e.g. two concatenated checkpoints).
+        let mut buf = Vec::new();
+        trainer.model().save_checkpoint(&mut buf).unwrap();
+        buf.push(0);
+        let err = EhnaModel::load_checkpoint(&buf[..], &g, cfg()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "wrong error: {err}");
+        // v1 likewise: the legacy loader used to accept any remainder.
+        let mut buf = Vec::new();
+        write_checkpoint_v1_for_tests(trainer.model(), &mut buf).unwrap();
+        let clean = buf.clone();
+        buf.extend_from_slice(&clean);
         assert!(EhnaModel::load_checkpoint(&buf[..], &g, cfg()).is_err());
     }
 }

@@ -74,6 +74,11 @@ pub struct EhnaConfig {
     /// `EHNA_PIPELINE_DEPTH` environment variable overrides this at
     /// trainer run time (CI uses it to exercise the pipelined path).
     pub pipeline_depth: usize,
+    /// Fire the trainer's checkpoint hook every this many epochs
+    /// (`0` disables periodic checkpointing; the hook also never fires
+    /// unless one is installed via
+    /// [`Trainer::set_checkpoint_hook`](crate::Trainer::set_checkpoint_hook)).
+    pub checkpoint_every: usize,
 }
 
 /// Upper bound on [`EhnaConfig::pipeline_depth`]: each buffered batch
@@ -106,6 +111,7 @@ impl Default for EhnaConfig {
             seed: 42,
             threads: 1,
             pipeline_depth: 2,
+            checkpoint_every: 0,
         }
     }
 }

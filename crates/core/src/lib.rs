@@ -49,9 +49,12 @@ mod negative;
 mod trainer;
 pub mod variants;
 
+#[doc(hidden)]
+pub use checkpoint::write_checkpoint_v1_for_tests;
+pub use checkpoint::{load_checkpoint_full, load_checkpoint_path, LoadedCheckpoint, TrainerState};
 pub use config::{EhnaConfig, WalkStyle, MAX_PIPELINE_DEPTH};
 pub use ehna_tgraph::NodeEmbeddings;
 pub use model::EhnaModel;
 pub use negative::NegativeSampler;
-pub use trainer::{PhaseTimings, Trainer, TrainingReport};
+pub use trainer::{CheckpointHook, PhaseTimings, Trainer, TrainingReport};
 pub use variants::EhnaVariant;

@@ -30,6 +30,12 @@ pub struct EhnaModel {
     pub config: EhnaConfig,
     /// Timestamp normalizer for the attention coefficients.
     pub time_norm: TimeNormalizer,
+    /// Completed training epochs over this model's lifetime, across
+    /// checkpoint/resume boundaries. The [`Trainer`](crate::Trainer)
+    /// keeps it current; resumed training uses it to continue the
+    /// `(seed, epoch, batch)` walk-seed streams instead of replaying
+    /// epoch 1's.
+    pub epochs_trained: u64,
     num_nodes: usize,
 }
 
@@ -66,6 +72,7 @@ impl EhnaModel {
             readout,
             config,
             time_norm,
+            epochs_trained: 0,
             num_nodes: n,
         })
     }

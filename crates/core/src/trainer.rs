@@ -2,6 +2,7 @@
 //! and the final inference pass producing node embeddings.
 
 use crate::aggregate::{aggregate_batch, aggregate_fallback};
+use crate::checkpoint::{self, LoadedCheckpoint};
 use crate::config::EhnaConfig;
 use crate::model::EhnaModel;
 use crate::negative::NegativeSampler;
@@ -11,6 +12,8 @@ use ehna_tgraph::{NodeEmbeddings, NodeId, TemporalGraph, Timestamp};
 use ehna_walks::{BatchPlan, BatchPrefetcher, NeighborhoodSampler, PrefetchedBatch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io::Write;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Wall-clock decomposition of one training epoch.
@@ -49,6 +52,11 @@ pub struct TrainingReport {
     pub epoch_times: Vec<Duration>,
     /// Per-epoch sample/compute/stall decomposition of `epoch_times`.
     pub phase_timings: Vec<PhaseTimings>,
+    /// First error the periodic checkpoint hook returned, if any.
+    /// Training continues past a failed checkpoint (losing a checkpoint
+    /// must not waste the epochs), but the hook is not retried and the
+    /// caller should surface the failure loudly.
+    pub checkpoint_error: Option<String>,
 }
 
 impl TrainingReport {
@@ -62,6 +70,13 @@ impl TrainingReport {
     }
 }
 
+/// Periodic checkpoint callback: receives the just-completed epoch
+/// number (1-based, lifetime count across resumes) and the trainer, and
+/// typically calls [`Trainer::save_checkpoint`] or
+/// [`Trainer::checkpoint_to_path`]. Fired from [`Trainer::train`] every
+/// [`EhnaConfig::checkpoint_every`] epochs.
+pub type CheckpointHook<'g> = Box<dyn FnMut(u64, &Trainer<'g>) -> std::io::Result<()> + 'g>;
+
 /// Drives EHNA training on one temporal graph.
 pub struct Trainer<'g> {
     graph: &'g TemporalGraph,
@@ -70,6 +85,7 @@ pub struct Trainer<'g> {
     optimizer: Adam,
     rng: StdRng,
     epoch_counter: u64,
+    checkpoint_hook: Option<CheckpointHook<'g>>,
 }
 
 impl<'g> Trainer<'g> {
@@ -91,11 +107,21 @@ impl<'g> Trainer<'g> {
             optimizer,
             rng,
             epoch_counter: 0,
+            checkpoint_hook: None,
         })
     }
 
-    /// Resume from an existing (e.g. checkpoint-restored) model. The
-    /// optimizer restarts fresh; Adam moments are not part of checkpoints.
+    /// Resume from an existing (e.g. checkpoint-restored) model *without*
+    /// trainer state: the optimizer restarts fresh and the RNG is
+    /// re-seeded, so the continuation is not bit-faithful — prefer
+    /// [`Trainer::from_checkpoint`] with a v2 checkpoint for that.
+    ///
+    /// Epoch accounting does continue: `model.epochs_trained` seeds the
+    /// epoch counter, so the resumed run's `(seed, epoch, batch)`
+    /// walk-seed streams pick up where training stopped instead of
+    /// correlating new walks with epoch 1's, and the RNG seed is salted
+    /// with the same count so negative draws don't replay epoch 1's
+    /// stream either.
     ///
     /// # Errors
     /// Rejects a model whose embedding table does not cover `graph`.
@@ -107,16 +133,47 @@ impl<'g> Trainer<'g> {
                 graph.num_nodes()
             ));
         }
-        let rng = StdRng::seed_from_u64(model.config.seed.wrapping_add(0x5EED));
+        let rng_seed = model
+            .config
+            .seed
+            .wrapping_add(0x5EED)
+            .wrapping_add(model.epochs_trained.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let rng = StdRng::seed_from_u64(rng_seed);
         let optimizer = Adam::new(model.config.lr);
+        let epoch_counter = model.epochs_trained;
         Ok(Trainer {
             graph,
             negative: NegativeSampler::new(graph),
             model,
             optimizer,
             rng,
-            epoch_counter: 0,
+            epoch_counter,
+            checkpoint_hook: None,
         })
+    }
+
+    /// Resume from a loaded checkpoint. With trainer state present (a v2
+    /// file written by [`Trainer::save_checkpoint`]) the optimizer
+    /// moments, step count, RNG position, and epoch counter are restored
+    /// exactly, making the continued run bit-identical to one that never
+    /// stopped. Without it (v1 file or model-only save) this degrades to
+    /// [`Trainer::from_model`] — check
+    /// [`LoadedCheckpoint::resume_warning`] before consuming the
+    /// checkpoint and surface it to the operator.
+    ///
+    /// # Errors
+    /// Rejects a model whose embedding table does not cover `graph`.
+    pub fn from_checkpoint(
+        graph: &'g TemporalGraph,
+        ckpt: LoadedCheckpoint,
+    ) -> Result<Self, String> {
+        let LoadedCheckpoint { model, state, .. } = ckpt;
+        let mut trainer = Self::from_model(graph, model)?;
+        if let Some(state) = state {
+            trainer.rng = StdRng::from_state(state.rng_state);
+            trainer.optimizer = state.optimizer;
+        }
+        Ok(trainer)
     }
 
     /// The model under training.
@@ -124,13 +181,51 @@ impl<'g> Trainer<'g> {
         &self.model
     }
 
-    /// Train for the configured number of epochs.
+    /// Completed training epochs over the model's lifetime (continues
+    /// across checkpoint/resume boundaries).
+    pub fn epochs_trained(&self) -> u64 {
+        self.epoch_counter
+    }
+
+    /// Install the periodic checkpoint callback; it fires after every
+    /// [`EhnaConfig::checkpoint_every`]-th epoch during
+    /// [`Trainer::train`]. Replaces any previous hook.
+    pub fn set_checkpoint_hook(&mut self, hook: CheckpointHook<'g>) {
+        self.checkpoint_hook = Some(hook);
+    }
+
+    /// Serialize a full v2 checkpoint — model, optimizer moments, RNG
+    /// position, epoch count — from which [`Trainer::from_checkpoint`]
+    /// resumes bit-faithfully.
+    ///
+    /// # Errors
+    /// IO failures, or counts that overflow the format's fields.
+    pub fn save_checkpoint<W: Write>(&self, w: W) -> std::io::Result<()> {
+        checkpoint::write_checkpoint(w, &self.model, Some((&self.optimizer, self.rng.state())))
+    }
+
+    /// [`Trainer::save_checkpoint`] through the crash-safe persistence
+    /// discipline: tmp file + fsync + `.bak` rotation + atomic rename
+    /// ([`ehna_nn::ioutil::atomic_write_path`]), so a crash at any byte
+    /// leaves a loadable file for
+    /// [`checkpoint::load_checkpoint_path`](crate::load_checkpoint_path).
+    ///
+    /// # Errors
+    /// IO failures; the previous checkpoint (if any) survives them.
+    pub fn checkpoint_to_path(&self, path: &Path) -> std::io::Result<()> {
+        ehna_nn::ioutil::atomic_write_path(path, |w| self.save_checkpoint(w))
+    }
+
+    /// Train for the configured number of epochs, firing the checkpoint
+    /// hook (if installed) every [`EhnaConfig::checkpoint_every`] epochs.
     pub fn train(&mut self) -> TrainingReport {
         let start = Instant::now();
         let mut epoch_losses = Vec::new();
         let mut epoch_times = Vec::new();
         let mut phase_timings = Vec::new();
         let mut batches = 0usize;
+        let mut checkpoint_error = None;
+        let every = self.model.config.checkpoint_every;
         for _ in 0..self.model.config.epochs {
             let t0 = Instant::now();
             let (loss, nb, phases) = self.run_epoch();
@@ -138,6 +233,16 @@ impl<'g> Trainer<'g> {
             epoch_losses.push(loss);
             phase_timings.push(phases);
             batches += nb;
+            if every > 0 && self.epoch_counter % every as u64 == 0 && checkpoint_error.is_none() {
+                // Temporarily take the hook so it can borrow `&self`.
+                if let Some(mut hook) = self.checkpoint_hook.take() {
+                    if let Err(e) = hook(self.epoch_counter, self) {
+                        checkpoint_error =
+                            Some(format!("checkpoint at epoch {}: {e}", self.epoch_counter));
+                    }
+                    self.checkpoint_hook = Some(hook);
+                }
+            }
         }
         TrainingReport {
             epoch_losses,
@@ -145,6 +250,7 @@ impl<'g> Trainer<'g> {
             wall_time: start.elapsed(),
             epoch_times,
             phase_timings,
+            checkpoint_error,
         }
     }
 
@@ -176,6 +282,7 @@ impl<'g> Trainer<'g> {
     /// training is bit-identical for every `pipeline_depth`.
     fn run_epoch(&mut self) -> (f64, usize, PhaseTimings) {
         self.epoch_counter += 1;
+        self.model.epochs_trained = self.epoch_counter;
         let bs = self.model.config.batch_size;
         let q = self.model.config.negatives;
         let threads = self.model.config.threads;

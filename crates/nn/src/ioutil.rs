@@ -1,4 +1,5 @@
-//! Bulk binary IO helpers for `f32` blocks.
+//! Bulk binary IO helpers for `f32` blocks, stream checksumming, and
+//! crash-safe file persistence.
 //!
 //! Checkpoint and snapshot formats in this workspace store large
 //! little-endian `f32` blocks (model parameters, batch-norm statistics).
@@ -6,8 +7,18 @@
 //! `Read::read_exact`/`Write::write_all` per float; these helpers convert
 //! whole blocks through a single contiguous byte buffer instead, which is
 //! what the serving path's snapshot loads want.
+//!
+//! [`ChecksumWriter`]/[`ChecksumReader`] fold an FNV-1a 64 digest over
+//! everything that passes through them, so a format can append a trailing
+//! checksum and its loader can detect any byte-level corruption of the
+//! payload. [`atomic_write_path`] is the persistence discipline every
+//! long-lived artifact (checkpoint, embedding snapshot) goes through:
+//! tmp file + fsync + `.bak` rotation + atomic rename, so a crash at any
+//! byte leaves a loadable prior file on disk.
 
-use std::io::{self, Read, Write};
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
 
 /// Write `xs` as one contiguous little-endian block (single `write_all`).
 pub fn write_f32_block<W: Write>(w: &mut W, xs: &[f32]) -> io::Result<()> {
@@ -23,6 +34,156 @@ pub fn read_f32_block<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<f32>> {
     let mut buf = vec![0u8; n * 4];
     r.read_exact(&mut buf)?;
     Ok(buf.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4"))).collect())
+}
+
+/// Narrow a `usize` count to a format's `u32` field, erroring instead of
+/// truncating (a truncated count would silently corrupt the stream).
+pub fn checked_u32(n: usize, what: &str) -> io::Result<u32> {
+    u32::try_from(n).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("{what} {n} exceeds u32 range"))
+    })
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+#[inline]
+fn fnv1a_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Forwards writes to the inner writer while folding an FNV-1a 64 digest
+/// over every byte written. Formats append [`ChecksumWriter::digest`] as
+/// a trailing field so loads can detect payload corruption.
+#[derive(Debug)]
+pub struct ChecksumWriter<W> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> ChecksumWriter<W> {
+    /// Wrap `inner`, starting from the FNV offset basis.
+    pub fn new(inner: W) -> Self {
+        ChecksumWriter { inner, hash: FNV_OFFSET }
+    }
+
+    /// Digest of everything written so far.
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+
+    /// Unwrap, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for ChecksumWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash = fnv1a_fold(self.hash, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Forwards reads from the inner reader while folding the same FNV-1a 64
+/// digest [`ChecksumWriter`] computes, for verifying a trailing checksum.
+#[derive(Debug)]
+pub struct ChecksumReader<R> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> ChecksumReader<R> {
+    /// Wrap `inner`, starting from the FNV offset basis.
+    pub fn new(inner: R) -> Self {
+        ChecksumReader { inner, hash: FNV_OFFSET }
+    }
+
+    /// Digest of everything read so far.
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+
+    /// Unwrap, returning the inner reader (e.g. to read the trailing
+    /// checksum itself outside the digest).
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for ChecksumReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash = fnv1a_fold(self.hash, &buf[..n]);
+        Ok(n)
+    }
+}
+
+/// The `.bak` sibling `atomic_write_path` rotates the previous file to.
+pub fn backup_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".bak");
+    PathBuf::from(os)
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Crash-safe file replacement: `write` produces the new content into
+/// `<path>.tmp`, which is fsynced and renamed over `path`; a pre-existing
+/// `path` is first rotated to `<path>.bak`. The parent directory is
+/// fsynced after the renames so the entries are durable.
+///
+/// Interruption at any point leaves a loadable file: before the rotation
+/// the old `path` is untouched; between the rotation and the final rename
+/// `<path>.bak` holds the complete previous content (loaders should fall
+/// back to it); after the final rename the new `path` is complete. The
+/// partial `<path>.tmp` is never observable under the destination name.
+///
+/// # Errors
+/// Propagates IO failures from `write`, fsync, or the renames; on error
+/// the destination still holds its previous content (possibly under
+/// `<path>.bak` if only the final rename failed).
+pub fn atomic_write_path<F>(path: &Path, write: F) -> io::Result<()>
+where
+    F: FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+{
+    let tmp = tmp_path(path);
+    let result = (|| {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        write(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        if path.exists() {
+            fs::rename(path, backup_path(path))?;
+        }
+        fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Directory fsync is what makes the renames durable on Linux;
+            // opening a directory read-only for sync is fine there, and
+            // filesystems where it fails still got the data fsync above.
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -55,5 +216,72 @@ mod tests {
         let mut buf = Vec::new();
         write_f32_block(&mut buf, &[1.0, 2.0]).unwrap();
         assert!(read_f32_block(&mut &buf[..7], 2).is_err());
+    }
+
+    #[test]
+    fn checksum_writer_and_reader_agree() {
+        let mut w = ChecksumWriter::new(Vec::new());
+        w.write_all(b"hello").unwrap();
+        w.write_all(b" world").unwrap();
+        let digest = w.digest();
+        let buf = w.into_inner();
+
+        let mut r = ChecksumReader::new(&buf[..]);
+        let mut back = Vec::new();
+        r.read_to_end(&mut back).unwrap();
+        assert_eq!(back, b"hello world");
+        assert_eq!(r.digest(), digest);
+    }
+
+    #[test]
+    fn checksum_detects_any_single_byte_change() {
+        let mut w = ChecksumWriter::new(Vec::new());
+        w.write_all(b"checkpoint payload bytes").unwrap();
+        let digest = w.digest();
+        let buf = w.into_inner();
+        for i in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[i] ^= 0x41;
+            let mut r = ChecksumReader::new(&corrupt[..]);
+            io::copy(&mut r, &mut io::sink()).unwrap();
+            assert_ne!(r.digest(), digest, "flip at byte {i} not detected");
+        }
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ehna_ioutil_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_creates_replaces_and_rotates() {
+        let dir = tempdir("atomic");
+        let path = dir.join("artifact.bin");
+        atomic_write_path(&path, |w| w.write_all(b"first")).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        assert!(!backup_path(&path).exists());
+
+        atomic_write_path(&path, |w| w.write_all(b"second")).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        assert_eq!(fs::read(backup_path(&path)).unwrap(), b"first");
+        assert!(!tmp_path(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_intact() {
+        let dir = tempdir("fail");
+        let path = dir.join("artifact.bin");
+        atomic_write_path(&path, |w| w.write_all(b"good")).unwrap();
+        let err = atomic_write_path(&path, |w| {
+            w.write_all(b"partial garbage")?;
+            Err(io::Error::other("simulated crash"))
+        });
+        assert!(err.is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"good", "destination clobbered");
+        assert!(!tmp_path(&path).exists(), "tmp file leaked");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

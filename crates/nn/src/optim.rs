@@ -3,6 +3,7 @@
 //! simpler baselines (LINE, skip-gram) and ablations.
 
 use crate::store::ParamStore;
+use std::io::{self, Read, Write};
 
 /// Clip all gradients in `store` so their global L2 norm is at most
 /// `max_norm`. Returns the pre-clip norm.
@@ -125,7 +126,83 @@ impl Adam {
         }
         store.zero_grads();
     }
+
+    /// Serialize the full optimizer state — hyperparameters, step count
+    /// `t`, and both moment buffers — so a resumed run continues with
+    /// identical momentum. The blob is designed to be embedded inside a
+    /// larger format (checkpoint v2); it carries its own magic for
+    /// defense in depth.
+    ///
+    /// # Errors
+    /// `InvalidInput` if a moment buffer exceeds the `u64`-length format
+    /// bound (cannot happen for real models).
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(&ADAM_MAGIC.to_le_bytes())?;
+        for h in [self.lr, self.beta1, self.beta2, self.eps] {
+            w.write_all(&h.to_le_bytes())?;
+        }
+        w.write_all(&self.t.to_le_bytes())?;
+        w.write_all(&(self.m.len() as u64).to_le_bytes())?;
+        for (m, v) in self.m.iter().zip(&self.v) {
+            w.write_all(&(m.len() as u64).to_le_bytes())?;
+            crate::ioutil::write_f32_block(&mut w, m)?;
+            crate::ioutil::write_f32_block(&mut w, v)?;
+        }
+        Ok(())
+    }
+
+    /// Restore an optimizer saved by [`Adam::save`]. The stored
+    /// hyperparameters win over any freshly-configured ones: a faithful
+    /// resume must continue the exact update rule of the original run.
+    ///
+    /// # Errors
+    /// `InvalidData` on bad magic, implausible sizes, or truncation.
+    pub fn load<R: Read>(mut r: R) -> io::Result<Adam> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut b4 = [0u8; 4];
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b4)?;
+        if u32::from_le_bytes(b4) != ADAM_MAGIC {
+            return Err(bad("bad optimizer magic"));
+        }
+        let mut hyper = [0f32; 4];
+        for h in &mut hyper {
+            r.read_exact(&mut b4)?;
+            *h = f32::from_le_bytes(b4);
+        }
+        let [lr, beta1, beta2, eps] = hyper;
+        if !(lr.is_finite() && lr > 0.0 && beta1.is_finite() && beta2.is_finite()) {
+            return Err(bad("implausible optimizer hyperparameters"));
+        }
+        r.read_exact(&mut b8)?;
+        let t = u64::from_le_bytes(b8);
+        r.read_exact(&mut b8)?;
+        let slots = u64::from_le_bytes(b8);
+        if slots > MAX_OPTIM_SLOTS {
+            return Err(bad("implausible optimizer slot count"));
+        }
+        let mut m = Vec::with_capacity(slots as usize);
+        let mut v = Vec::with_capacity(slots as usize);
+        for _ in 0..slots {
+            r.read_exact(&mut b8)?;
+            let len = u64::from_le_bytes(b8);
+            if len > MAX_OPTIM_SLOT_SCALARS {
+                return Err(bad("implausible moment buffer length"));
+            }
+            m.push(crate::ioutil::read_f32_block(&mut r, len as usize)?);
+            v.push(crate::ioutil::read_f32_block(&mut r, len as usize)?);
+        }
+        Ok(Adam { lr, beta1, beta2, eps, t, m, v })
+    }
 }
+
+/// Magic bytes of the embedded Adam state blob ("EHNO").
+const ADAM_MAGIC: u32 = 0x45484E4F;
+/// Plausibility caps guarding [`Adam::load`] against allocating for
+/// corrupt length fields: at most 2^20 tensors of at most 2^28 scalars
+/// (1 GiB of `f32`s) each — far above any model in this workspace.
+const MAX_OPTIM_SLOTS: u64 = 1 << 20;
+const MAX_OPTIM_SLOT_SCALARS: u64 = 1 << 28;
 
 #[cfg(test)]
 mod tests {
@@ -183,6 +260,74 @@ mod tests {
         store.grad_mut(a).copy_from_slice(&[0.3, 0.4]);
         clip_grad_norm(&mut store, 5.0);
         assert_eq!(store.grad(a), &[0.3, 0.4]);
+    }
+
+    /// One noisy quadratic step: deterministic pseudo-gradient per step
+    /// index so two trajectories can be compared bit for bit.
+    fn adam_step(opt: &mut Adam, store: &mut ParamStore, x: crate::ParamId, k: u32) {
+        let val = store.value(x)[0];
+        let noise = ((k as f32 * 0.7).sin()) * 0.3;
+        store.grad_mut(x)[0] = 2.0 * (val - 3.0) + noise;
+        opt.step(store);
+    }
+
+    #[test]
+    fn save_load_resumes_bit_identically() {
+        let mut store_a = ParamStore::new();
+        let xa = store_a.add_param("x", 1, 1, vec![-5.0]);
+        let mut opt_a = Adam::new(0.05);
+        for k in 0..40 {
+            adam_step(&mut opt_a, &mut store_a, xa, k);
+        }
+
+        // Same trajectory, interrupted at step 25 by a save/load.
+        let mut store_b = ParamStore::new();
+        let xb = store_b.add_param("x", 1, 1, vec![-5.0]);
+        let mut opt_b = Adam::new(0.05);
+        for k in 0..25 {
+            adam_step(&mut opt_b, &mut store_b, xb, k);
+        }
+        let mut blob = Vec::new();
+        opt_b.save(&mut blob).unwrap();
+        let mut opt_b = Adam::load(&blob[..]).unwrap();
+        assert_eq!(opt_b.steps(), 25);
+        for k in 25..40 {
+            adam_step(&mut opt_b, &mut store_b, xb, k);
+        }
+        assert_eq!(
+            store_a.value(xa)[0].to_bits(),
+            store_b.value(xb)[0].to_bits(),
+            "resumed Adam diverged from the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn fresh_adam_roundtrips_with_empty_moments() {
+        let mut blob = Vec::new();
+        Adam::new(0.01).save(&mut blob).unwrap();
+        let back = Adam::load(&blob[..]).unwrap();
+        assert_eq!(back.steps(), 0);
+        assert_eq!(back.lr, 0.01);
+    }
+
+    #[test]
+    fn load_rejects_corruption() {
+        assert!(Adam::load(&b"junk"[..]).is_err());
+        let mut store = ParamStore::new();
+        let x = store.add_param("x", 1, 3, vec![0.0; 3]);
+        let mut opt = Adam::new(0.1);
+        store.grad_mut(x).copy_from_slice(&[1.0, 2.0, 3.0]);
+        opt.step(&mut store);
+        let mut blob = Vec::new();
+        opt.save(&mut blob).unwrap();
+        for cut in 0..blob.len() {
+            assert!(Adam::load(&blob[..cut]).is_err(), "truncation at {cut} accepted");
+        }
+        // A corrupt slot length must not provoke a giant allocation.
+        let mut corrupt = blob.clone();
+        let len_off = 4 + 16 + 8 + 8; // magic + hyper + t + slot count
+        corrupt[len_off..len_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Adam::load(&corrupt[..]).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Persistent trainable parameters.
 
+use crate::ioutil::checked_u32;
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -124,16 +125,21 @@ impl ParamStore {
 
     /// Serialize every parameter (names, shapes, values — not gradients)
     /// to a little-endian binary stream.
+    ///
+    /// # Errors
+    /// `InvalidInput` if a count or shape field exceeds the format's
+    /// `u32` range (instead of silently truncating and corrupting the
+    /// stream), plus ordinary IO failures.
     pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
         w.write_all(&MAGIC.to_le_bytes())?;
         w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&(self.params.len() as u32).to_le_bytes())?;
+        w.write_all(&checked_u32(self.params.len(), "param count")?.to_le_bytes())?;
         for p in &self.params {
             let name = p.name.as_bytes();
-            w.write_all(&(name.len() as u32).to_le_bytes())?;
+            w.write_all(&checked_u32(name.len(), "param name length")?.to_le_bytes())?;
             w.write_all(name)?;
-            w.write_all(&(p.rows as u32).to_le_bytes())?;
-            w.write_all(&(p.cols as u32).to_le_bytes())?;
+            w.write_all(&checked_u32(p.rows, "param rows")?.to_le_bytes())?;
+            w.write_all(&checked_u32(p.cols, "param cols")?.to_le_bytes())?;
             crate::ioutil::write_f32_block(&mut w, &p.value)?;
         }
         Ok(())
@@ -168,7 +174,13 @@ impl ParamStore {
             let name = String::from_utf8(name).map_err(|_| bad("non-utf8 name"))?;
             let rows = read_u32(&mut r)? as usize;
             let cols = read_u32(&mut r)? as usize;
-            let value = crate::ioutil::read_f32_block(&mut r, rows * cols)?;
+            // Cap the tensor size before allocating: a corrupt shape
+            // field must yield `InvalidData`, not a multi-GiB allocation.
+            let scalars = rows.checked_mul(cols).filter(|&n| n <= (1 << 28));
+            let Some(scalars) = scalars else {
+                return Err(bad("implausible tensor shape"));
+            };
+            let value = crate::ioutil::read_f32_block(&mut r, scalars)?;
             store.add_param(name, rows, cols, value);
         }
         Ok(store)

@@ -25,6 +25,19 @@ cargo test -p ehna-serve --test fault_injection --no-run -q
 timeout --kill-after=10 120 \
     cargo test -p ehna-serve --test fault_injection -q
 
+echo "== checkpoint/resume gates (wall-clock bounded)"
+# Resume determinism (train 2N uninterrupted == train N + checkpoint +
+# reload + train N, bit-for-bit) and crash-recovery (kill at any point
+# of the atomic-write protocol leaves a loadable checkpoint; corrupted
+# bytes are always rejected). Hard timeout so a deadlocked resume or a
+# proptest blow-up fails fast instead of wedging CI.
+cargo test -p ehna-core --test resume_determinism --no-run -q
+cargo test -p ehna-core --test checkpoint_robustness --no-run -q
+timeout --kill-after=10 180 \
+    cargo test -p ehna-core --test resume_determinism -q
+timeout --kill-after=10 180 \
+    cargo test -p ehna-core --test checkpoint_robustness -q
+
 echo "== cargo test (workspace, pipelined: EHNA_PIPELINE_DEPTH=3)"
 # Re-run the suite with a non-default prefetch depth so the pipelined
 # training path is exercised suite-wide; results must be identical to

@@ -184,6 +184,28 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpoint serialization.
+        /// Not part of the upstream `rand` API; the workspace's
+        /// deterministic-resume machinery needs to persist and restore
+        /// the exact generator position.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator at an exact position captured by
+        /// [`StdRng::state`].
+        ///
+        /// # Panics
+        /// Panics on the all-zero state, which is absorbing for
+        /// xoshiro256++ (every output would be a fixed point); it cannot
+        /// have been produced by [`StdRng::state`] on a seeded generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0u64; 4], "all-zero xoshiro256++ state is degenerate");
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -214,6 +236,24 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(43);
         assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn all_zero_state_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 
     #[test]
