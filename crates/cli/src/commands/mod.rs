@@ -2,12 +2,14 @@
 
 pub mod export;
 pub mod generate;
+pub mod ingest;
 pub mod linkpred;
 pub mod nodeclass;
 pub mod query;
 pub mod reconstruct;
 pub mod serve;
 pub mod stats;
+pub mod stream;
 pub mod train;
 
 use crate::CliError;

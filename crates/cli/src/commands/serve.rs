@@ -6,7 +6,7 @@ use crate::flags::Flags;
 use crate::CliError;
 use ehna_serve::{
     BruteForceIndex, EmbeddingStore, EngineConfig, IvfConfig, IvfIndex, KnnIndex, QueryEngine,
-    RequestLimits, Server, ServerConfig,
+    Reloader, RequestLimits, Server, ServerConfig,
 };
 use std::io::Write;
 use std::sync::Arc;
@@ -27,7 +27,12 @@ Protocol: one JSON request per line, one JSON response per line:
   {\"op\":\"knn\",\"vector\":[0.1,0.2],\"k\":5,\"explain\":true}
   {\"op\":\"score\",\"pairs\":[[\"alice\",\"bob\"]]}
   {\"op\":\"stats\"}
+  {\"op\":\"reload\"}
 Distances are squared Euclidean (Eq. 5): lower = stronger link.
+`reload` re-reads SNAPSHOT (and --names) from disk, rebuilds the index
+with the same flags, and hot-swaps it in without dropping in-flight
+queries; `stats` reports the serving snapshot_version. Pair with
+`ehna stream --reload` for live refresh.
 
 flags:
   --names FILE    name map saved alongside the snapshot (one name per
@@ -93,18 +98,16 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError>
         Some(k) => k.to_string(),
         None => if store.num_nodes() >= 4096 { "ivf" } else { "brute" }.to_string(),
     };
+    let clusters: Option<usize> = flags
+        .get("clusters")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| CliError::usage(format!("bad --clusters: {e}")))?;
+    let nprobe: usize = flags.get_or("nprobe", 8usize)?;
     let index: Box<dyn KnnIndex> = match kind.as_str() {
         "brute" => Box::new(BruteForceIndex::new(Arc::clone(&store))),
         "ivf" => {
-            let config = IvfConfig {
-                num_clusters: flags
-                    .get("clusters")
-                    .map(str::parse)
-                    .transpose()
-                    .map_err(|e| CliError::usage(format!("bad --clusters: {e}")))?,
-                nprobe: flags.get_or("nprobe", 8usize)?,
-                ..Default::default()
-            };
+            let config = IvfConfig { num_clusters: clusters, nprobe, ..Default::default() };
             let ivf = IvfIndex::build(Arc::clone(&store), config);
             writeln!(
                 out,
@@ -145,9 +148,28 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError>
         ),
     };
 
+    // The `reload` op re-reads the same snapshot path with the same
+    // index flags, so an `ehna stream` writer (or any out-of-band
+    // retrain) can hot-swap the served table without a restart.
+    let snapshot_path = snapshot.to_string();
+    let names_path = flags.get("names").map(str::to_string);
+    let reload_kind = kind.clone();
+    let reloader: Reloader = Arc::new(move || {
+        let store = Arc::new(EmbeddingStore::open(snapshot_path.as_str(), names_path.as_deref())?);
+        let index: Box<dyn KnnIndex> = match reload_kind.as_str() {
+            "brute" => Box::new(BruteForceIndex::new(Arc::clone(&store))),
+            _ => Box::new(IvfIndex::build(
+                Arc::clone(&store),
+                IvfConfig { num_clusters: clusters, nprobe, ..Default::default() },
+            )),
+        };
+        Ok((store, index))
+    });
+
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
     let server = Server::bind_with(addr, engine, server_config)
-        .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?;
+        .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?
+        .with_reloader(reloader);
     writeln!(out, "serving on {}", server.local_addr().map_err(io_err)?).map_err(io_err)?;
     Ok(server)
 }
@@ -253,6 +275,45 @@ mod tests {
         assert!(over.get("error").and_then(Json::as_str).unwrap().contains("limit"));
         let ok = Json::parse(&responses[1]).unwrap();
         assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        handle.shutdown();
+        let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
+    fn reload_over_the_wire_picks_up_a_rewritten_snapshot() {
+        let snap = snapshot_file("ehna_cli_serve_reload.bin", 30, 4);
+        let mut buf = Vec::new();
+        let server = prepare(
+            &args(&[snap.to_str().unwrap(), "--addr", "127.0.0.1:0", "--workers", "1"]),
+            &mut buf,
+        )
+        .unwrap();
+        let handle = server.spawn().unwrap();
+
+        // Grow the snapshot on disk, then ask the server to hot-swap it.
+        let data: Vec<f32> = (0..50 * 4).map(|i| (i % 13) as f32 * 0.5).collect();
+        NodeEmbeddings::from_vec(4, data).save_path(&snap).unwrap();
+        let responses = query_lines(
+            handle.addr(),
+            &[
+                r#"{"op":"knn","node":"45","k":2}"#.to_string(),
+                r#"{"op":"reload"}"#.to_string(),
+                r#"{"op":"knn","node":"45","k":2}"#.to_string(),
+                r#"{"op":"stats"}"#.to_string(),
+            ],
+        )
+        .unwrap();
+        let before = Json::parse(&responses[0]).unwrap();
+        assert_eq!(before.get("ok"), Some(&Json::Bool(false)), "node 45 served pre-reload");
+        let reload = Json::parse(&responses[1]).unwrap();
+        assert_eq!(reload.get("ok"), Some(&Json::Bool(true)), "reload: {}", responses[1]);
+        assert_eq!(reload.get("version").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(reload.get("nodes").and_then(Json::as_f64), Some(50.0));
+        let after = Json::parse(&responses[2]).unwrap();
+        assert_eq!(after.get("ok"), Some(&Json::Bool(true)), "node 45 missing post-reload");
+        let stats = Json::parse(&responses[3]).unwrap();
+        assert_eq!(stats.get("snapshot_version").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(stats.get("reloads").and_then(Json::as_f64), Some(1.0));
         handle.shutdown();
         let _ = std::fs::remove_file(snap);
     }

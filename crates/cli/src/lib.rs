@@ -70,6 +70,8 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "reconstruct" => commands::reconstruct::run(rest, out),
         "serve" => commands::serve::run(rest, out),
         "query" => commands::query::run(rest, out),
+        "ingest" => commands::ingest::run(rest, out),
+        "stream" => commands::stream::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage()).map_err(|e| CliError::runtime(e.to_string()))
         }
@@ -92,6 +94,9 @@ commands:
   nodeclass    node classification on a temporal SBM (extension)
   serve        serve an embedding snapshot over JSON-on-TCP
   query        query a running serve instance (knn / score / stats)
+  ingest       append an edge-list file to a crash-safe edge log
+  stream       replay an edge log through incremental embedding refresh,
+               hot-swapping a live serve instance (zero downtime)
   help         show this message
 
 run `ehna <command> --help` for per-command flags"

@@ -64,6 +64,32 @@ impl Default for TrainOptions {
     }
 }
 
+/// The [`EhnaConfig`] a [`TrainOptions`] set resolves to for `variant`.
+///
+/// Shared by `ehna train` and `ehna stream`: a streaming session must
+/// reconstruct exactly the architecture (dim, layers, aggregation,
+/// attention, walk style) the checkpoint was trained with, or the
+/// checkpoint loader rejects it.
+pub fn ehna_config(variant: EhnaVariant, opts: &TrainOptions) -> EhnaConfig {
+    let defaults = EhnaConfig::default();
+    variant.configure(EhnaConfig {
+        dim: opts.dim,
+        num_walks: opts.num_walks,
+        walk_length: opts.walk_length,
+        p: opts.p,
+        q: opts.q,
+        epochs: opts.epochs,
+        batch_size: 128,
+        lr: 2e-3,
+        seed: opts.seed,
+        bidirectional: opts.bidirectional,
+        threads: opts.threads,
+        pipeline_depth: opts.pipeline_depth.unwrap_or(defaults.pipeline_depth),
+        checkpoint_every: opts.checkpoint_every,
+        ..defaults
+    })
+}
+
 /// What a training run produced: the embeddings, and — for EHNA methods,
 /// which train through [`Trainer`] — the trainer's report with per-epoch
 /// losses and sample/compute/stall phase timings.
@@ -156,23 +182,7 @@ impl MethodName {
         let mut warnings = Vec::new();
         let emb = match self {
             MethodName::Ehna(variant) => {
-                let defaults = EhnaConfig::default();
-                let config = variant.configure(EhnaConfig {
-                    dim: opts.dim,
-                    num_walks: opts.num_walks,
-                    walk_length: opts.walk_length,
-                    p: opts.p,
-                    q: opts.q,
-                    epochs: opts.epochs,
-                    batch_size: 128,
-                    lr: 2e-3,
-                    seed: opts.seed,
-                    bidirectional: opts.bidirectional,
-                    threads: opts.threads,
-                    pipeline_depth: opts.pipeline_depth.unwrap_or(defaults.pipeline_depth),
-                    checkpoint_every: opts.checkpoint_every,
-                    ..defaults
-                });
+                let config = ehna_config(variant, opts);
                 let mut trainer = if opts.resume {
                     let path = opts
                         .checkpoint

@@ -160,10 +160,11 @@ mod tests {
     fn temporal_default_kernel_tracks_span() {
         let g = toy_graph();
         let m = EhnaModel::new(&g, EhnaConfig::tiny()).unwrap();
-        match m.walk_config(&g).kernel {
-            DecayKernel::Exponential { timescale } => assert!(timescale >= 1.0),
-            k => panic!("expected exponential kernel, got {k:?}"),
-        }
+        let kernel = m.walk_config(&g).kernel;
+        assert!(
+            matches!(kernel, DecayKernel::Exponential { timescale } if timescale >= 1.0),
+            "expected exponential kernel with timescale >= 1, got {kernel:?}"
+        );
     }
 
     #[test]

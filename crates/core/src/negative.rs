@@ -1,7 +1,7 @@
 //! Negative sampling from the degree^0.75 noise distribution (paper §IV-D,
 //! following the word2vec convention).
 
-use ehna_tgraph::{NodeId, TemporalGraph};
+use ehna_tgraph::{GraphError, NodeId, TemporalGraph};
 use ehna_walks::alias::degree_noise_table;
 use ehna_walks::AliasTable;
 use rand::Rng;
@@ -19,14 +19,17 @@ pub struct NegativeSampler {
 impl NegativeSampler {
     /// Build the noise distribution from `graph`'s temporal degrees.
     ///
-    /// # Panics
-    /// Panics if the graph has no edges (degrees all zero).
-    pub fn new(graph: &TemporalGraph) -> Self {
+    /// # Errors
+    /// [`GraphError::Empty`] if the graph has no edges (degrees all zero,
+    /// so no noise distribution exists). This used to panic; it is a
+    /// library path reachable from [`Trainer::from_model`]
+    /// (crate::Trainer::from_model), so it reports a typed error instead.
+    pub fn new(graph: &TemporalGraph) -> Result<Self, GraphError> {
         let degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
         let support: Vec<u32> =
             degrees.iter().enumerate().filter(|&(_, &d)| d > 0).map(|(i, _)| i as u32).collect();
-        let table = degree_noise_table(&degrees).expect("graph must have edges");
-        NegativeSampler { table, support }
+        let table = degree_noise_table(&degrees).ok_or(GraphError::Empty)?;
+        Ok(NegativeSampler { table, support })
     }
 
     /// Draw one negative, avoiding `x` and `y`.
@@ -108,7 +111,7 @@ mod tests {
     #[test]
     fn hub_sampled_most_often() {
         let g = star(20);
-        let s = NegativeSampler::new(&g);
+        let s = NegativeSampler::new(&g).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let mut hub = 0usize;
         for _ in 0..5_000 {
@@ -123,7 +126,7 @@ mod tests {
     #[test]
     fn positives_excluded() {
         let g = star(10);
-        let s = NegativeSampler::new(&g);
+        let s = NegativeSampler::new(&g).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..500 {
             let v = s.sample(NodeId(0), NodeId(3), &mut rng);
@@ -134,7 +137,7 @@ mod tests {
     #[test]
     fn sample_many_count() {
         let g = star(10);
-        let s = NegativeSampler::new(&g);
+        let s = NegativeSampler::new(&g).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let v = s.sample_many(NodeId(1), NodeId(2), 7, &mut rng);
         assert_eq!(v.len(), 7);
@@ -147,7 +150,7 @@ mod tests {
         b.add_edge(0, 1, 1, 1.0).unwrap();
         b.add_edge(1, 2, 2, 1.0).unwrap();
         let g = b.build().unwrap();
-        let s = NegativeSampler::new(&g);
+        let s = NegativeSampler::new(&g).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..2_000 {
             assert_eq!(s.sample(NodeId(0), NodeId(1), &mut rng), NodeId(2));
@@ -163,7 +166,7 @@ mod tests {
         b.add_edge(0, 1, 1, 1.0).unwrap();
         b.add_edge(0, 1, 2, 1.0).unwrap();
         let g = b.build().unwrap();
-        let s = NegativeSampler::new(&g);
+        let s = NegativeSampler::new(&g).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         for _ in 0..200 {
             assert_eq!(s.sample(NodeId(0), NodeId(1), &mut rng), NodeId(2));
@@ -174,7 +177,7 @@ mod tests {
     fn self_loop_endpoints_excluded_once() {
         // x == y must not be double-counted when sizing the candidate set.
         let g = star(5);
-        let s = NegativeSampler::new(&g);
+        let s = NegativeSampler::new(&g).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..500 {
             assert_ne!(s.sample(NodeId(0), NodeId(0), &mut rng), NodeId(0));
@@ -189,7 +192,7 @@ mod tests {
         b.add_edge(1, 2, 2, 1.0).unwrap();
         b.add_edge(3, 4, 3, 1.0).unwrap();
         let g = b.build().unwrap();
-        let s = NegativeSampler::new(&g);
+        let s = NegativeSampler::new(&g).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..500 {
             assert_ne!(s.sample(NodeId(0), NodeId(1), &mut rng), NodeId(5));

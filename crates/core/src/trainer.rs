@@ -102,7 +102,7 @@ impl<'g> Trainer<'g> {
         let model = EhnaModel::new(graph, config)?;
         Ok(Trainer {
             graph,
-            negative: NegativeSampler::new(graph),
+            negative: NegativeSampler::new(graph).map_err(|e| e.to_string())?,
             model,
             optimizer,
             rng,
@@ -143,7 +143,7 @@ impl<'g> Trainer<'g> {
         let epoch_counter = model.epochs_trained;
         Ok(Trainer {
             graph,
-            negative: NegativeSampler::new(graph),
+            negative: NegativeSampler::new(graph).map_err(|e| e.to_string())?,
             model,
             optimizer,
             rng,
@@ -545,16 +545,115 @@ impl<'g> Trainer<'g> {
         }
     }
 
+    /// Re-aggregate only `nodes` into `out`, leaving every other row
+    /// untouched. The incremental-refresh primitive: after new edges
+    /// arrive, the streaming layer rebinds the model to the grown graph
+    /// ([`Trainer::from_model`]) and refreshes just the dirty rows.
+    ///
+    /// Unlike [`Trainer::embeddings`] (which keys walk streams by list
+    /// position), every node here draws from a stream keyed by its *node
+    /// id*, so the result for a given node is identical whether it is
+    /// refreshed alone, in any batch composition, or by a full pass over
+    /// all nodes — the property the incremental-vs-rebuild equivalence
+    /// guarantee rests on. Batch-norm runs in eval mode (row-independent).
+    ///
+    /// # Errors
+    /// Rejects an `out` whose shape does not match the graph/model, or a
+    /// node id outside the graph.
+    pub fn refresh_rows(
+        &mut self,
+        out: &mut NodeEmbeddings,
+        nodes: &[NodeId],
+    ) -> Result<(), String> {
+        let d = self.model.config.dim;
+        let n = self.graph.num_nodes();
+        if out.num_nodes() != n || out.dim() != d {
+            return Err(format!(
+                "embedding table is {}x{}, expected {}x{}",
+                out.num_nodes(),
+                out.dim(),
+                n,
+                d
+            ));
+        }
+        let mut with_history: Vec<(NodeId, Timestamp)> = Vec::new();
+        let mut without: Vec<NodeId> = Vec::new();
+        for &v in nodes {
+            if v.index() >= n {
+                return Err(format!("node id {} out of range for graph with {n} nodes", v.0));
+            }
+            match self.graph.latest_interaction(v) {
+                // Same reference-time convention as `embeddings()`: just
+                // after the node's last interaction.
+                Some(last) => with_history.push((v, Timestamp(last.t.raw().saturating_add(1)))),
+                None => without.push(v),
+            }
+        }
+        let sampler = NeighborhoodSampler::new(
+            self.graph,
+            self.model.walk_config(self.graph),
+            self.model.config.num_walks,
+        );
+        let seed = self.model.config.seed ^ REFRESH_WALK_SALT;
+        let bs = self.model.config.batch_size.max(2);
+        for chunk in with_history.chunks(bs) {
+            let hns: Vec<_> =
+                chunk.iter().map(|&(v, t)| sampler.sample_keyed(v, t, seed)).collect();
+            let mut g = Graph::new();
+            let z = aggregate_batch(&mut self.model, &mut g, &hns, false);
+            let zv = g.value(z);
+            for (i, &(v, _)) in chunk.iter().enumerate() {
+                out.get_mut(v).copy_from_slice(&zv[i * d..(i + 1) * d]);
+            }
+        }
+        // History-less rows go through the fallback one node at a time
+        // with a node-keyed RNG, so they too are batch-composition
+        // independent.
+        for &v in &without {
+            let mut g = Graph::new();
+            let mut rng = keyed_rng(seed, v);
+            let z = aggregate_fallback(
+                &self.model,
+                &mut g,
+                self.graph,
+                &[(v, Timestamp::MAX)],
+                &mut rng,
+            );
+            out.get_mut(v).copy_from_slice(&g.value(z)[..d]);
+        }
+        Ok(())
+    }
+
     /// Consume the trainer, producing final embeddings.
     pub fn into_embeddings(mut self) -> NodeEmbeddings {
         self.embeddings()
     }
+
+    /// Consume the trainer, returning the (possibly further-trained)
+    /// model. The streaming layer uses this to carry the model across
+    /// graph versions: each batch rebinds via [`Trainer::from_model`] on
+    /// the grown graph, fine-tunes, refreshes rows, and takes the model
+    /// back out.
+    pub fn into_model(self) -> EhnaModel {
+        self.model
+    }
 }
 
-/// Stream salts separating inference and diagnostic walks from the
-/// training walk seeds (which are derived from `(seed, epoch, batch)`).
+/// Stream salts separating inference, diagnostic, and refresh walks from
+/// the training walk seeds (which are derived from `(seed, epoch, batch)`).
 const INFERENCE_WALK_SALT: u64 = 0x1FE2_EB5E_ED00_0001;
 const AGGREGATE_WALK_SALT: u64 = 0xA66_2E6A_7E5E_ED02;
+const REFRESH_WALK_SALT: u64 = 0x5EF1_E54E_D000_0003;
+
+/// Node-keyed RNG for the fallback rows of [`Trainer::refresh_rows`]
+/// (SplitMix64 over `(seed, node id)`, mirroring the walk sampler's
+/// per-item streams).
+fn keyed_rng(seed: u64, v: NodeId) -> StdRng {
+    let mut z = seed ^ u64::from(v.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
 
 /// Edge-weighted mean of per-batch `(mean loss, edge count)` summaries:
 /// every *edge* contributes equally to the epoch loss, so a short final
@@ -754,6 +853,48 @@ mod tests {
         let total = report.total_phase_timings();
         assert!(total.sample_time > Duration::ZERO);
         assert!(total.compute_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn refresh_rows_is_composition_independent() {
+        // A node refreshed alone, in any subset, or by a full pass must
+        // get the same row: walk streams are keyed by node id, fallback
+        // RNGs too, and eval-mode batch norm is row-independent. Pad the
+        // graph so isolated (fallback-path) nodes are covered as well.
+        let g = two_communities().padded_to(12);
+        let mut t = Trainer::new(&g, tiny_cfg()).unwrap();
+        t.train();
+        let all: Vec<NodeId> = g.nodes().collect();
+        let mut full = NodeEmbeddings::zeros(g.num_nodes(), 8);
+        t.refresh_rows(&mut full, &all).unwrap();
+        let mut parts = NodeEmbeddings::zeros(g.num_nodes(), 8);
+        t.refresh_rows(&mut parts, &all[7..]).unwrap();
+        t.refresh_rows(&mut parts, &all[..3]).unwrap();
+        t.refresh_rows(&mut parts, &all[3..7]).unwrap();
+        let max_diff = full
+            .as_slice()
+            .iter()
+            .zip(parts.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-5, "refresh depends on batch composition: max diff {max_diff}");
+    }
+
+    #[test]
+    fn refresh_rows_touches_only_requested_rows() {
+        let g = two_communities();
+        let mut t = Trainer::new(&g, tiny_cfg()).unwrap();
+        let mut out = NodeEmbeddings::zeros(g.num_nodes(), 8);
+        t.refresh_rows(&mut out, &[NodeId(2), NodeId(7)]).unwrap();
+        for v in g.nodes() {
+            let touched = v == NodeId(2) || v == NodeId(7);
+            let nonzero = out.get(v).iter().any(|&x| x != 0.0);
+            assert_eq!(touched, nonzero, "row {v:?}");
+        }
+        // Shape and range validation.
+        let mut bad = NodeEmbeddings::zeros(3, 8);
+        assert!(t.refresh_rows(&mut bad, &[NodeId(0)]).is_err());
+        assert!(t.refresh_rows(&mut out, &[NodeId(99)]).is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::store::EmbeddingStore;
 use crate::ServeError;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ehna_tgraph::NodeId;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -67,15 +67,37 @@ struct Job {
     reply: Sender<Result<Response, ServeError>>,
 }
 
-/// Cached k-NN answers, keyed by `(node id, k)`.
-type KnnCache = LruCache<(u32, usize), Arc<Vec<Neighbor>>>;
+/// Cached k-NN answers, keyed by `(snapshot version, node id, k)` — the
+/// version component makes entries computed against a replaced snapshot
+/// unreachable even if a slow worker inserts one after the swap's cache
+/// clear.
+type KnnCache = LruCache<(u64, u32, usize), Arc<Vec<Neighbor>>>;
 
-struct Shared {
+/// Monotone identifier of the snapshot an engine is serving; starts at 1
+/// and increments on every [`QueryEngine::swap_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SnapshotVersion(pub u64);
+
+/// One immutable generation of serving state. Workers grab an `Arc` to it
+/// per request, so a hot swap never invalidates data mid-search —
+/// in-flight requests finish on the snapshot they started on.
+struct Snapshot {
+    version: u64,
     store: Arc<EmbeddingStore>,
     index: Box<dyn KnnIndex>,
     oracle: BruteForceIndex,
+}
+
+struct Shared {
+    snap: RwLock<Arc<Snapshot>>,
     cache: Mutex<KnnCache>,
     stats: EngineStats,
+}
+
+impl Shared {
+    fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snap.read())
+    }
 }
 
 /// The multi-threaded query engine over one immutable snapshot.
@@ -90,13 +112,14 @@ impl QueryEngine {
     /// `index` (the exact oracle used by explain requests is always a
     /// brute-force scan over the same store).
     pub fn new(store: Arc<EmbeddingStore>, index: Box<dyn KnnIndex>, config: EngineConfig) -> Self {
+        let snap =
+            Snapshot { version: 1, oracle: BruteForceIndex::new(Arc::clone(&store)), store, index };
         let shared = Arc::new(Shared {
-            oracle: BruteForceIndex::new(Arc::clone(&store)),
-            store,
-            index,
+            snap: RwLock::new(Arc::new(snap)),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             stats: EngineStats::default(),
         });
+        shared.stats.snapshot_version.store(1, Ordering::Relaxed);
         let (tx, rx) = unbounded::<Job>();
         let batch_max = config.batch_max.max(1);
         let workers = (0..config.workers.max(1))
@@ -109,14 +132,54 @@ impl QueryEngine {
         QueryEngine { tx: Some(tx), workers, shared }
     }
 
-    /// The snapshot being served.
-    pub fn store(&self) -> &Arc<EmbeddingStore> {
-        &self.shared.store
+    /// The store of the snapshot currently being served. An owning handle:
+    /// after a concurrent [`swap_snapshot`](Self::swap_snapshot) it keeps
+    /// pointing at the generation it was taken from.
+    pub fn store(&self) -> Arc<EmbeddingStore> {
+        Arc::clone(&self.shared.snapshot().store)
+    }
+
+    /// Version of the snapshot currently being served.
+    pub fn snapshot_version(&self) -> SnapshotVersion {
+        SnapshotVersion(self.shared.snapshot().version)
+    }
+
+    /// Atomically replace the serving snapshot: queries submitted after
+    /// this call see the new store and index; requests already in flight
+    /// finish against the old generation. The hot-node cache restarts
+    /// cold (entries are version-keyed, so leftovers from the old
+    /// generation can never answer a new-generation query).
+    ///
+    /// Returns the new snapshot's version.
+    pub fn swap_snapshot(
+        &self,
+        store: Arc<EmbeddingStore>,
+        index: Box<dyn KnnIndex>,
+    ) -> SnapshotVersion {
+        let mut guard = self.shared.snap.write();
+        let next = Snapshot {
+            version: guard.version + 1,
+            oracle: BruteForceIndex::new(Arc::clone(&store)),
+            store,
+            index,
+        };
+        let version = next.version;
+        *guard = Arc::new(next);
+        drop(guard);
+        self.shared.cache.lock().clear();
+        self.shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        self.shared.stats.last_reload_unix.store(now, Ordering::Relaxed);
+        self.shared.stats.snapshot_version.store(version, Ordering::Relaxed);
+        SnapshotVersion(version)
     }
 
     /// Short label of the serving index ("brute" or "ivf").
     pub fn index_kind(&self) -> &'static str {
-        self.shared.index.kind()
+        self.shared.snapshot().index.kind()
     }
 
     /// Top-`k` neighbors of a stored node (the node itself is excluded).
@@ -124,7 +187,7 @@ impl QueryEngine {
     /// # Errors
     /// Unknown node, or an engine shut down mid-request.
     pub fn knn_node(&self, id: NodeId, k: usize, explain: bool) -> Result<KnnResult, ServeError> {
-        self.shared.store.row(id)?; // fail fast before queueing
+        self.shared.snapshot().store.row(id)?; // fail fast before queueing
         match self.submit(Request::KnnNode { id, k, explain })? {
             Response::Knn(r) => Ok(r),
             Response::Scores(_) => unreachable!("knn request got score response"),
@@ -141,11 +204,9 @@ impl QueryEngine {
         k: usize,
         explain: bool,
     ) -> Result<KnnResult, ServeError> {
-        if vector.len() != self.shared.store.dim() {
-            return Err(ServeError::Dimension {
-                expected: self.shared.store.dim(),
-                got: vector.len(),
-            });
+        let dim = self.shared.snapshot().store.dim();
+        if vector.len() != dim {
+            return Err(ServeError::Dimension { expected: dim, got: vector.len() });
         }
         match self.submit(Request::KnnVector { vector, k, explain })? {
             Response::Knn(r) => Ok(r),
@@ -159,9 +220,10 @@ impl QueryEngine {
     /// # Errors
     /// Any unknown endpoint fails the whole batch.
     pub fn score_pairs(&self, pairs: Vec<(NodeId, NodeId)>) -> Result<Vec<f64>, ServeError> {
+        let snap = self.shared.snapshot();
         for &(a, b) in &pairs {
-            self.shared.store.row(a)?;
-            self.shared.store.row(b)?;
+            snap.store.row(a)?;
+            snap.store.row(b)?;
         }
         match self.submit(Request::Score { pairs })? {
             Response::Scores(s) => Ok(s),
@@ -223,7 +285,11 @@ fn worker_loop(rx: &Receiver<Job>, shared: &Shared, batch_max: usize) {
         }
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
         for job in batch {
-            let resp = process(shared, job.req);
+            // Pin one snapshot per request: a swap between submit and
+            // process means the fail-fast checks ran against the old
+            // generation, so every access below must re-validate.
+            let snap = shared.snapshot();
+            let resp = process(shared, &snap, job.req);
             shared.stats.latency.record(job.started.elapsed());
             // A caller that gave up (disconnected reply channel) is fine.
             let _ = job.reply.send(resp);
@@ -231,11 +297,11 @@ fn worker_loop(rx: &Receiver<Job>, shared: &Shared, batch_max: usize) {
     }
 }
 
-fn process(shared: &Shared, req: Request) -> Result<Response, ServeError> {
+fn process(shared: &Shared, snap: &Snapshot, req: Request) -> Result<Response, ServeError> {
     match req {
         Request::KnnNode { id, k, explain } => {
             if !explain {
-                if let Some(hit) = shared.cache.lock().get(&(id.0, k)) {
+                if let Some(hit) = shared.cache.lock().get(&(snap.version, id.0, k)) {
                     shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(Response::Knn(KnnResult {
                         neighbors: hit.as_ref().clone(),
@@ -246,22 +312,33 @@ fn process(shared: &Shared, req: Request) -> Result<Response, ServeError> {
                 }
             }
             shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let query = shared.store.embeddings().get(id).to_vec();
-            let mut result = knn(shared, &query, k, explain, Some(id));
+            // Re-validate: the node existed at submit time, but a swap may
+            // have installed a smaller store since.
+            let query = snap.store.row(id)?.to_vec();
+            let mut result = knn(snap, &query, k, explain, Some(id));
             if !explain {
-                shared.cache.lock().insert((id.0, k), Arc::new(result.neighbors.clone()));
+                shared
+                    .cache
+                    .lock()
+                    .insert((snap.version, id.0, k), Arc::new(result.neighbors.clone()));
             }
             result.cached = false;
             Ok(Response::Knn(result))
         }
         Request::KnnVector { vector, k, explain } => {
+            if vector.len() != snap.store.dim() {
+                return Err(ServeError::Dimension {
+                    expected: snap.store.dim(),
+                    got: vector.len(),
+                });
+            }
             shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-            Ok(Response::Knn(knn(shared, &vector, k, explain, None)))
+            Ok(Response::Knn(knn(snap, &vector, k, explain, None)))
         }
         Request::Score { pairs } => {
             let scores = pairs
                 .into_iter()
-                .map(|(a, b)| shared.store.link_score(a, b))
+                .map(|(a, b)| snap.store.link_score(a, b))
                 .collect::<Result<Vec<f64>, _>>()?;
             Ok(Response::Scores(scores))
         }
@@ -271,7 +348,7 @@ fn process(shared: &Shared, req: Request) -> Result<Response, ServeError> {
 /// Run one k-NN search, excluding `exclude` from the results, optionally
 /// with probe diagnostics and oracle rank agreement.
 fn knn(
-    shared: &Shared,
+    snap: &Snapshot,
     query: &[f32],
     k: usize,
     explain: bool,
@@ -279,7 +356,7 @@ fn knn(
 ) -> KnnResult {
     // Ask for one extra so self-exclusion still yields k hits.
     let fetch = k + usize::from(exclude.is_some());
-    let (mut neighbors, info) = shared.index.search_explained(query, fetch);
+    let (mut neighbors, info) = snap.index.search_explained(query, fetch);
     if let Some(id) = exclude {
         neighbors.retain(|n| n.id != id);
     }
@@ -287,7 +364,7 @@ fn knn(
     if !explain {
         return KnnResult { neighbors, cached: false, info: None, agreement: None };
     }
-    let (mut exact, _) = shared.oracle.search_explained(query, fetch);
+    let (mut exact, _) = snap.oracle.search_explained(query, fetch);
     if let Some(id) = exclude {
         exact.retain(|n| n.id != id);
     }
@@ -397,6 +474,68 @@ mod tests {
             }
         });
         assert_eq!(e.stats().requests, 200);
+    }
+
+    #[test]
+    fn swap_snapshot_serves_new_store_and_bumps_version() {
+        let e = brute_engine(60);
+        assert_eq!(e.snapshot_version(), SnapshotVersion(1));
+        let before = e.knn_node(NodeId(3), 5, false).unwrap();
+        assert!(e.knn_node(NodeId(3), 5, false).unwrap().cached, "warm the cache");
+
+        // Swap in a different (and smaller) store.
+        let s2 = store(40, 8, 1234);
+        let idx2 = Box::new(BruteForceIndex::new(Arc::clone(&s2)));
+        let v = e.swap_snapshot(s2, idx2);
+        assert_eq!(v, SnapshotVersion(2));
+        assert_eq!(e.snapshot_version(), v);
+        assert_eq!(e.store().num_nodes(), 40);
+
+        // The old cache entry must not answer for the new snapshot.
+        let after = e.knn_node(NodeId(3), 5, false).unwrap();
+        assert!(!after.cached, "cache survived the swap");
+        assert_ne!(after.neighbors, before.neighbors, "answers still from old store");
+
+        // Nodes that only existed in the old store now error cleanly.
+        assert!(matches!(e.knn_node(NodeId(50), 3, false), Err(ServeError::UnknownNode(_))));
+
+        let snap = e.stats();
+        assert_eq!(snap.reloads, 1);
+        assert_eq!(snap.snapshot_version, 2);
+        assert!(snap.last_reload_unix > 0);
+    }
+
+    #[test]
+    fn swap_under_concurrent_queries_never_breaks_requests() {
+        let e = Arc::new(brute_engine(100));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let e = Arc::clone(&e);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let id = NodeId(((t * 50 + i) % 80) as u32);
+                        // UnknownNode is acceptable mid-swap (store shrank
+                        // to 80 would not, but sizes alternate); panics or
+                        // hangs are not.
+                        match e.knn_node(id, 3, false) {
+                            Ok(r) => assert_eq!(r.neighbors.len(), 3),
+                            Err(ServeError::UnknownNode(_)) => {}
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                });
+            }
+            let e = Arc::clone(&e);
+            scope.spawn(move || {
+                for gen in 0..3u64 {
+                    let s = store(if gen % 2 == 0 { 90 } else { 100 }, 8, 900 + gen);
+                    let idx = Box::new(BruteForceIndex::new(Arc::clone(&s)));
+                    e.swap_snapshot(s, idx);
+                }
+            });
+        });
+        assert_eq!(e.snapshot_version(), SnapshotVersion(4));
+        assert_eq!(e.stats().reloads, 3);
     }
 
     #[test]

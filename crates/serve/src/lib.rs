@@ -40,9 +40,10 @@ pub mod server;
 pub mod stats;
 pub mod store;
 
-pub use engine::{EngineConfig, KnnResult, QueryEngine};
+pub use engine::{EngineConfig, KnnResult, QueryEngine, SnapshotVersion};
 pub use index::{BruteForceIndex, IvfConfig, IvfIndex, KnnIndex, Neighbor, SearchInfo};
 pub use json::Json;
+pub use server::Reloader;
 pub use server::{
     handle_line, query_lines, query_lines_timeout, RequestLimits, Server, ServerConfig,
     ServerHandle,

@@ -8,6 +8,7 @@
 //! {"op":"knn","vector":[0.1,0.2,...],"k":5,"explain":true}
 //! {"op":"score","pairs":[["alice","bob"],["3","7"]]}
 //! {"op":"stats"}
+//! {"op":"reload"}
 //! ```
 //!
 //! Every response carries `"ok"`; failures add `"error"`. Scores and
@@ -49,7 +50,9 @@
 //! joined.
 
 use crate::engine::QueryEngine;
+use crate::index::KnnIndex;
 use crate::json::Json;
+use crate::store::EmbeddingStore;
 use crate::ServeError;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use ehna_tgraph::NodeId;
@@ -122,10 +125,18 @@ impl Default for ServerConfig {
     }
 }
 
+/// Builds a fresh `(store, index)` pair for the `reload` op — typically
+/// by re-reading a snapshot file that `ehna stream` rewrote. Runs on a
+/// connection-worker thread; queries keep flowing against the old
+/// snapshot while it loads, and the swap itself is atomic.
+pub type Reloader =
+    Arc<dyn Fn() -> Result<(Arc<EmbeddingStore>, Box<dyn KnnIndex>), ServeError> + Send + Sync>;
+
 /// State shared between the accept loop, the worker pool, and the
 /// shutdown path.
 struct ServerShared {
     engine: Arc<QueryEngine>,
+    reloader: Option<Reloader>,
     config: ServerConfig,
     stop: AtomicBool,
     /// Admitted connections not yet closed (queued + being served).
@@ -137,11 +148,20 @@ struct ServerShared {
 }
 
 /// A bound, not-yet-running server.
-#[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     engine: Arc<QueryEngine>,
+    reloader: Option<Reloader>,
     config: ServerConfig,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("engine", &self.engine)
+            .field("reload", &self.reloader.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Server {
@@ -163,7 +183,16 @@ impl Server {
         engine: Arc<QueryEngine>,
         config: ServerConfig,
     ) -> io::Result<Server> {
-        Ok(Server { listener: TcpListener::bind(addr)?, engine, config })
+        Ok(Server { listener: TcpListener::bind(addr)?, engine, reloader: None, config })
+    }
+
+    /// Enable the `reload` op: each request runs `reloader` and hot-swaps
+    /// the returned snapshot into the engine. Without this, `reload`
+    /// requests get a structured `"reload not configured"` error.
+    #[must_use]
+    pub fn with_reloader(mut self, reloader: Reloader) -> Self {
+        self.reloader = Some(reloader);
+        self
     }
 
     /// The bound address (reports the real port after binding port 0).
@@ -201,6 +230,7 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let shared = Arc::new(ServerShared {
             engine: self.engine,
+            reloader: self.reloader,
             config: self.config,
             stop: AtomicBool::new(false),
             active: AtomicUsize::new(0),
@@ -471,7 +501,12 @@ fn serve_connection(shared: &ServerShared, stream: &TcpStream) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let response = handle_line(&shared.engine, &shared.config.limits, &line);
+                let response = handle_line_with(
+                    &shared.engine,
+                    &shared.config.limits,
+                    shared.reloader.as_ref(),
+                    &line,
+                );
                 if let Err(e) = writeln!(writer, "{response}").and_then(|()| writer.flush()) {
                     if is_timeout(&e) {
                         stats.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -499,6 +534,16 @@ fn serve_connection(shared: &ServerShared, stream: &TcpStream) {
 /// Malformed or over-limit requests are answered with `"ok":false` and
 /// counted in the engine's `rejected` stat.
 pub fn handle_line(engine: &QueryEngine, limits: &RequestLimits, line: &str) -> Json {
+    handle_line_with(engine, limits, None, line)
+}
+
+/// [`handle_line`] with an optional [`Reloader`] backing the `reload` op.
+pub fn handle_line_with(
+    engine: &QueryEngine,
+    limits: &RequestLimits,
+    reloader: Option<&Reloader>,
+    line: &str,
+) -> Json {
     let reject = |msg: &str| {
         engine.stats_raw().rejected.fetch_add(1, Ordering::Relaxed);
         error_response(msg)
@@ -507,7 +552,7 @@ pub fn handle_line(engine: &QueryEngine, limits: &RequestLimits, line: &str) -> 
         Ok(v) => v,
         Err(e) => return reject(&format!("bad json: {e}")),
     };
-    match dispatch(engine, limits, &request) {
+    match dispatch(engine, limits, reloader, &request) {
         Ok(resp) => resp,
         Err(e) => reject(&e.to_string()),
     }
@@ -520,6 +565,7 @@ fn error_response(message: &str) -> Json {
 fn dispatch(
     engine: &QueryEngine,
     limits: &RequestLimits,
+    reloader: Option<&Reloader>,
     request: &Json,
 ) -> Result<Json, ServeError> {
     let op = request
@@ -531,8 +577,28 @@ fn dispatch(
         "knn" => knn_op(engine, limits, request),
         "score" => score_op(engine, limits, request),
         "stats" => Ok(stats_op(engine)),
+        "reload" => reload_op(engine, reloader),
         other => Err(ServeError::BadRequest(format!("unknown op '{other}'"))),
     }
+}
+
+/// Run the configured [`Reloader`] and hot-swap its snapshot into the
+/// engine. Queries on other connections keep being answered (by the old
+/// snapshot) for the whole duration — only the final pointer swap is
+/// synchronized.
+fn reload_op(engine: &QueryEngine, reloader: Option<&Reloader>) -> Result<Json, ServeError> {
+    let reloader =
+        reloader.ok_or_else(|| ServeError::BadRequest("reload not configured".into()))?;
+    let (store, index) = reloader()?;
+    let nodes = store.num_nodes();
+    let dim = store.dim();
+    let version = engine.swap_snapshot(store, index);
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("version", Json::Num(version.0 as f64)),
+        ("nodes", Json::Num(nodes as f64)),
+        ("dim", Json::Num(dim as f64)),
+    ]))
 }
 
 fn knn_op(
@@ -673,6 +739,9 @@ fn stats_op(engine: &QueryEngine) -> Json {
         ("timeouts", Json::Num(snap.timeouts as f64)),
         ("overloads", Json::Num(snap.overloads as f64)),
         ("batches", Json::Num(snap.batches as f64)),
+        ("snapshot_version", Json::Num(snap.snapshot_version as f64)),
+        ("reloads", Json::Num(snap.reloads as f64)),
+        ("last_reload_unix", Json::Num(snap.last_reload_unix as f64)),
         ("mean_us", Json::Num(snap.mean_us)),
         ("p50_us", Json::Num(snap.p50_us as f64)),
         ("p95_us", Json::Num(snap.p95_us as f64)),

@@ -93,6 +93,14 @@ pub struct EngineStats {
     /// Connections shed at the admission gate with an `overloaded`
     /// response because the server was at `max_connections`.
     pub overloads: AtomicU64,
+    /// Hot swaps performed (`reload` requests that installed a snapshot).
+    pub reloads: AtomicU64,
+    /// Version of the snapshot currently served (starts at 1; equals
+    /// `reloads + 1` when all swaps came through one engine).
+    pub snapshot_version: AtomicU64,
+    /// Unix timestamp (seconds) of the last completed hot swap; 0 when
+    /// the engine has never swapped.
+    pub last_reload_unix: AtomicU64,
 }
 
 /// A point-in-time copy of [`EngineStats`], safe to serialize.
@@ -116,6 +124,12 @@ pub struct StatsSnapshot {
     pub overloads: u64,
     /// Worker batches drained.
     pub batches: u64,
+    /// Hot swaps performed.
+    pub reloads: u64,
+    /// Version of the snapshot currently served.
+    pub snapshot_version: u64,
+    /// Unix timestamp (seconds) of the last hot swap; 0 = never.
+    pub last_reload_unix: u64,
     /// Mean latency, microseconds.
     pub mean_us: f64,
     /// Approximate latency quantiles, microseconds.
@@ -138,6 +152,9 @@ impl EngineStats {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             overloads: self.overloads.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            snapshot_version: self.snapshot_version.load(Ordering::Relaxed),
+            last_reload_unix: self.last_reload_unix.load(Ordering::Relaxed),
             mean_us: self.latency.mean_us(),
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),

@@ -325,3 +325,108 @@ fn sixteen_clients_hammer_and_stats_reconcile() {
     assert_eq!(field("requests"), field("cache_hits") + field("cache_misses") + field("rejected"));
     handle.shutdown();
 }
+
+#[test]
+fn reload_under_query_load_never_breaks_a_response() {
+    // 16 clients hammer knn/score/stats while the snapshot is hot-swapped
+    // three times. Every response must be well-formed line JSON with an
+    // "ok" field — never a hang, a connection reset mid-request, or a
+    // panic — and the swap telemetry must land exactly.
+    const CLIENTS: usize = 16;
+    const PER_CLIENT: usize = 30;
+    const SWAPS: u64 = 3;
+
+    fn make_store(gen: u64) -> Arc<EmbeddingStore> {
+        let (nodes, dim) = (64, 4);
+        let data: Vec<f32> =
+            (0..nodes * dim).map(|i| ((i as u64 * 31 + gen * 7) % 23) as f32 * 0.125).collect();
+        Arc::new(EmbeddingStore::new(NodeEmbeddings::from_vec(dim, data), None).unwrap())
+    }
+    let store = make_store(0);
+    let index = Box::new(BruteForceIndex::new(Arc::clone(&store)));
+    let e = Arc::new(QueryEngine::new(store, index, EngineConfig::default()));
+
+    let gen = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let reloader: ehna_serve::Reloader = Arc::new({
+        let gen = Arc::clone(&gen);
+        move || {
+            let g = gen.fetch_add(1, Ordering::SeqCst) + 1;
+            let store = make_store(g);
+            let index: Box<dyn ehna_serve::KnnIndex> =
+                Box::new(BruteForceIndex::new(Arc::clone(&store)));
+            Ok((store, index))
+        }
+    });
+    let handle = Server::bind_with("127.0.0.1:0", Arc::clone(&e), ServerConfig::default())
+        .unwrap()
+        .with_reloader(reloader)
+        .spawn()
+        .unwrap();
+    let addr = handle.addr();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                for i in 0..PER_CLIENT {
+                    let node = (c * PER_CLIENT + i) % 64;
+                    let lines = [
+                        format!(r#"{{"op":"knn","node":"{node}","k":3}}"#),
+                        format!(r#"{{"op":"score","pairs":[["{node}","{}"]]}}"#, (node + 1) % 64),
+                        r#"{"op":"stats"}"#.to_string(),
+                    ];
+                    let resps = query_lines(addr, &lines).expect("query round failed");
+                    assert_eq!(resps.len(), lines.len());
+                    for (req, resp) in lines.iter().zip(&resps) {
+                        let json = Json::parse(resp)
+                            .unwrap_or_else(|err| panic!("malformed response to {req}: {err}"));
+                        assert_eq!(
+                            json.get("ok"),
+                            Some(&Json::Bool(true)),
+                            "request {req} failed: {resp}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Interleave the hot swaps with the query storm.
+    let swapper = std::thread::spawn(move || {
+        for swap in 0..SWAPS {
+            std::thread::sleep(Duration::from_millis(40));
+            let resp = query_lines(addr, &[r#"{"op":"reload"}"#.to_string()]).unwrap();
+            let json = Json::parse(&resp[0]).unwrap();
+            assert_eq!(json.get("ok"), Some(&Json::Bool(true)), "reload {swap} failed: {resp:?}");
+            assert_eq!(
+                json.get("version").and_then(Json::as_usize),
+                Some(swap as usize + 2),
+                "versions must advance monotonically"
+            );
+        }
+    });
+    for c in clients {
+        c.join().unwrap();
+    }
+    swapper.join().unwrap();
+
+    let snap = e.stats();
+    assert_eq!(snap.reloads, SWAPS);
+    assert_eq!(snap.snapshot_version, SWAPS + 1);
+    assert!(snap.last_reload_unix > 0);
+    assert_eq!(snap.timeouts, 0);
+    assert_eq!(snap.rejected, 0);
+
+    // The wire-level stats op surfaces the swap telemetry too.
+    let resp = query_lines(addr, &[r#"{"op":"stats"}"#.to_string()]).unwrap();
+    let stats = Json::parse(&resp[0]).unwrap();
+    assert_eq!(stats.get("snapshot_version").and_then(Json::as_usize), Some(SWAPS as usize + 1));
+    assert_eq!(stats.get("reloads").and_then(Json::as_usize), Some(SWAPS as usize));
+
+    // An unconfigured server answers reload with a structured error.
+    let bare = spawn(&engine(8), ServerConfig::default());
+    let resp = query_lines(bare.addr(), &[r#"{"op":"reload"}"#.to_string()]).unwrap();
+    let json = Json::parse(&resp[0]).unwrap();
+    assert_eq!(json.get("ok"), Some(&Json::Bool(false)));
+    bare.shutdown();
+    handle.shutdown();
+}

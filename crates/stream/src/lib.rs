@@ -1,0 +1,24 @@
+//! `ehna-stream`: online edge ingestion and incremental embedding
+//! refresh for EHNA.
+//!
+//! Three pieces, composed by the `ehna ingest` / `ehna stream` CLI:
+//!
+//! * [`wal`] — a crash-safe append-only temporal edge log
+//!   ([`EdgeLogWriter`]/[`EdgeLogReader`]): length-prefixed records with
+//!   trailing FNV-1a 64 checksums, torn-tail tolerant, tailable.
+//! * [`refresh`] — the [`RefreshPlanner`], computing which nodes'
+//!   historical neighborhoods a batch of new edges can have changed.
+//! * [`processor`] — the [`StreamProcessor`], folding batches into a
+//!   graph + model + embedding-table triple via targeted
+//!   [`Trainer::refresh_rows`](ehna_core::Trainer::refresh_rows) updates,
+//!   with optional fine-tuning and a full-rebuild escape hatch.
+
+#![warn(missing_docs)]
+
+pub mod processor;
+pub mod refresh;
+pub mod wal;
+
+pub use processor::{BatchOutcome, StreamError, StreamOptions, StreamProcessor};
+pub use refresh::{RefreshPlan, RefreshPlanner};
+pub use wal::{EdgeLogReader, EdgeLogWriter, WalError, MAX_RECORD_LEN, WAL_HEADER_LEN};

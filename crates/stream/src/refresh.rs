@@ -1,0 +1,242 @@
+//! Dirty-set planning: which nodes' historical neighborhoods can a batch
+//! of new edges have changed?
+//!
+//! EHNA embeddings are aggregations over *backward* temporal walks: from
+//! a target at reference time `t_ref`, each step moves to an interaction
+//! strictly earlier than the current one. A new edge `(u, v)@t` therefore
+//! affects a node `w` only if some walk from `w` can reach `u` or `v` at
+//! a time later than `t` — i.e. there is a time-non-increasing path of at
+//! most `walk_length` hops from `w` down to the new edge. Reversing that
+//! path gives the frontier expansion implemented here: start from the new
+//! edge's endpoints at its timestamp and expand along interactions with
+//! *non-decreasing* timestamps for `walk_length` rounds, keeping the
+//! minimal attained time per node (a smaller attained time only admits
+//! more continuations, so the minimum dominates).
+//!
+//! One caveat makes this tight bound conditional: the Eq. 2 node2vec bias
+//! consults `has_edge(prev, candidate)` with *no time filter*, so when
+//! `p != 1` or `q != 1` a new edge can shift walk probabilities outside
+//! the temporal cone. In that regime the planner falls back to plain
+//! (time-agnostic) BFS reachability within the walk horizon — a strictly
+//! larger over-approximation that still contains every affected node,
+//! because any walk that could consult the new pair must pass within
+//! `walk_length` hops of an endpoint.
+
+use ehna_core::EhnaConfig;
+use ehna_tgraph::{NodeId, TemporalEdge, TemporalGraph};
+use std::collections::HashMap;
+
+/// Plans the dirty set for incremental refresh.
+#[derive(Debug, Clone)]
+pub struct RefreshPlanner {
+    horizon: usize,
+    time_respecting: bool,
+}
+
+/// The outcome of planning one batch.
+#[derive(Debug, Clone)]
+pub struct RefreshPlan {
+    /// Nodes whose rows must be re-aggregated, ascending and deduplicated.
+    pub dirty: Vec<NodeId>,
+    /// Whether the tight temporal-cone expansion was used (`p == q == 1`)
+    /// or the conservative static-BFS fallback.
+    pub time_respecting: bool,
+    /// The hop horizon used (the configured walk length).
+    pub horizon: usize,
+}
+
+impl RefreshPlanner {
+    /// Plan with an explicit hop horizon; `time_respecting` selects the
+    /// temporal-cone expansion over the static-BFS over-approximation.
+    pub fn new(horizon: usize, time_respecting: bool) -> Self {
+        RefreshPlanner { horizon, time_respecting }
+    }
+
+    /// Derive the planner a model config calls for: horizon = walk
+    /// length, temporal-cone expansion only when the `p`/`q` bias is
+    /// inert (see module docs).
+    pub fn for_config(config: &EhnaConfig) -> Self {
+        let unbiased = config.p == 1.0 && config.q == 1.0;
+        RefreshPlanner::new(config.walk_length, unbiased)
+    }
+
+    /// Hop horizon.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Compute the dirty set of `batch` against `graph` — the graph
+    /// *with the batch already appended*, so expansion sees the new
+    /// interactions too.
+    pub fn plan(&self, graph: &TemporalGraph, batch: &[TemporalEdge]) -> RefreshPlan {
+        let dirty = if self.time_respecting {
+            self.temporal_cone(graph, batch)
+        } else {
+            self.static_bfs(graph, batch)
+        };
+        RefreshPlan { dirty, time_respecting: self.time_respecting, horizon: self.horizon }
+    }
+
+    /// Bellman-Ford-layered expansion: after round `h`, `best[v]` is the
+    /// minimal attained time over non-decreasing-time paths of at most
+    /// `h` edges from a new-edge endpoint. Every labeled node is dirty.
+    fn temporal_cone(&self, graph: &TemporalGraph, batch: &[TemporalEdge]) -> Vec<NodeId> {
+        let mut best: HashMap<u32, i64> = HashMap::new();
+        let mut frontier: Vec<u32> = Vec::new();
+        for e in batch {
+            for v in [e.src, e.dst] {
+                let t = e.t.raw();
+                let cur = best.entry(v.0).or_insert(i64::MAX);
+                if t < *cur {
+                    *cur = t;
+                    frontier.push(v.0);
+                }
+            }
+        }
+        frontier.sort_unstable();
+        frontier.dedup();
+        for _ in 0..self.horizon {
+            let mut next: Vec<u32> = Vec::new();
+            for &x in &frontier {
+                let tx = best[&x];
+                let nbrs = graph.neighbors(NodeId(x));
+                let start = nbrs.partition_point(|n| n.t.raw() < tx);
+                for entry in &nbrs[start..] {
+                    let t = entry.t.raw();
+                    let cur = best.entry(entry.node.0).or_insert(i64::MAX);
+                    if t < *cur {
+                        *cur = t;
+                        next.push(entry.node.0);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+        let mut dirty: Vec<NodeId> = best.keys().map(|&v| NodeId(v)).collect();
+        dirty.sort_unstable();
+        dirty
+    }
+
+    /// Conservative fallback: every node within `horizon` static hops of
+    /// a new-edge endpoint.
+    fn static_bfs(&self, graph: &TemporalGraph, batch: &[TemporalEdge]) -> Vec<NodeId> {
+        let mut seen: Vec<bool> = vec![false; graph.num_nodes()];
+        let mut frontier: Vec<u32> = Vec::new();
+        for e in batch {
+            for v in [e.src, e.dst] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    frontier.push(v.0);
+                }
+            }
+        }
+        for _ in 0..self.horizon {
+            let mut next: Vec<u32> = Vec::new();
+            for &x in &frontier {
+                for entry in graph.neighbors(NodeId(x)) {
+                    if !seen[entry.node.index()] {
+                        seen[entry.node.index()] = true;
+                        next.push(entry.node.0);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        seen.iter().enumerate().filter(|&(_, &s)| s).map(|(i, _)| NodeId(i as u32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehna_tgraph::{GraphBuilder, Timestamp};
+
+    /// Path 0-1-2-3-4 with ascending times, then a chain 5-6 far away.
+    fn path_graph() -> TemporalGraph {
+        let mut b = GraphBuilder::with_num_nodes(8);
+        b.add_edge(0, 1, 10, 1.0).unwrap();
+        b.add_edge(1, 2, 20, 1.0).unwrap();
+        b.add_edge(2, 3, 30, 1.0).unwrap();
+        b.add_edge(3, 4, 40, 1.0).unwrap();
+        b.add_edge(5, 6, 15, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn ids(plan: &RefreshPlan) -> Vec<u32> {
+        plan.dirty.iter().map(|v| v.0).collect()
+    }
+
+    #[test]
+    fn endpoints_always_dirty() {
+        let g = path_graph();
+        let batch = vec![TemporalEdge::new(NodeId(0), NodeId(5), Timestamp(50), 1.0)];
+        let g2 = g.with_edges_appended(&batch).unwrap();
+        let plan = RefreshPlanner::new(0, true).plan(&g2, &batch);
+        assert_eq!(ids(&plan), vec![0, 5]);
+    }
+
+    #[test]
+    fn temporal_cone_respects_time_direction() {
+        let g = path_graph();
+        // New edge at node 2 at time 50: nodes reachable from 2 along
+        // NON-decreasing times within 2 hops. All of node 2's incident
+        // interactions (20, 30) precede 50, so nothing beyond the
+        // endpoints is affected — no existing walk can pass the new edge
+        // and continue into history that postdates it.
+        let batch = vec![TemporalEdge::new(NodeId(2), NodeId(7), Timestamp(50), 1.0)];
+        let g2 = g.with_edges_appended(&batch).unwrap();
+        let plan = RefreshPlanner::new(2, true).plan(&g2, &batch);
+        assert_eq!(ids(&plan), vec![2, 7]);
+
+        // New edge at time 5 (before everything): the whole forward cone
+        // of node 2 within 2 hops gets dirty (1@20, 3@30, then 0? 0-1@10
+        // is before 1's attained 20 — excluded; 4@40 included).
+        let batch = vec![TemporalEdge::new(NodeId(2), NodeId(7), Timestamp(5), 1.0)];
+        let g2 = g.with_edges_appended(&batch).unwrap();
+        let plan = RefreshPlanner::new(2, true).plan(&g2, &batch);
+        assert_eq!(ids(&plan), vec![1, 2, 3, 4, 7]);
+    }
+
+    #[test]
+    fn static_fallback_ignores_time() {
+        let g = path_graph();
+        let batch = vec![TemporalEdge::new(NodeId(2), NodeId(7), Timestamp(50), 1.0)];
+        let g2 = g.with_edges_appended(&batch).unwrap();
+        let plan = RefreshPlanner::new(2, false).plan(&g2, &batch);
+        // 2 hops from {2, 7} statically: 2,7 then 1,3 then 0,4.
+        assert_eq!(ids(&plan), vec![0, 1, 2, 3, 4, 7]);
+        assert!(!plan.time_respecting);
+    }
+
+    #[test]
+    fn for_config_picks_mode_from_bias() {
+        let cfg = EhnaConfig::tiny();
+        assert!(RefreshPlanner::for_config(&cfg).time_respecting);
+        let biased = EhnaConfig { p: 0.5, ..EhnaConfig::tiny() };
+        assert!(!RefreshPlanner::for_config(&biased).time_respecting);
+    }
+
+    #[test]
+    fn min_attained_time_dominates() {
+        // Two new edges touch node 1 at times 100 and 5; the t=5 seed
+        // must win so the expansion sees 1's later interactions.
+        let g = path_graph();
+        let batch = vec![
+            TemporalEdge::new(NodeId(1), NodeId(7), Timestamp(100), 1.0),
+            TemporalEdge::new(NodeId(1), NodeId(6), Timestamp(5), 1.0),
+        ];
+        let g2 = g.with_edges_appended(&batch).unwrap();
+        let plan = RefreshPlanner::new(1, true).plan(&g2, &batch);
+        // From 1@5: 0@10, 2@20, 7@100 (the new edge itself) in one hop.
+        // From 6@5: 5@15, 1@5. From 7@100: nothing later.
+        assert_eq!(ids(&plan), vec![0, 1, 2, 5, 6, 7]);
+    }
+}

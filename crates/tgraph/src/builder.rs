@@ -97,10 +97,27 @@ impl GraphBuilder {
         self.add_edge(a, b, t, 1.0)
     }
 
+    /// Add a batch of edges, validating each one like
+    /// [`add_edge`](Self::add_edge).
+    ///
+    /// # Errors
+    /// Stops at the first invalid edge; edges before it are kept.
+    pub fn extend_edges<I: IntoIterator<Item = TemporalEdge>>(
+        &mut self,
+        edges: I,
+    ) -> Result<(), GraphError> {
+        for e in edges {
+            self.add_edge(e.src, e.dst, e.t, e.w)?;
+        }
+        Ok(())
+    }
+
     /// Finalize into an immutable [`TemporalGraph`].
     ///
     /// Sorts edges chronologically (stable, so insertion order breaks ties)
-    /// and builds the time-sorted CSR adjacency.
+    /// and builds the time-sorted CSR adjacency. Input that is already
+    /// time-ordered — the streaming/append common case — skips the sort
+    /// entirely after an `O(E)` ordering check.
     ///
     /// # Errors
     /// [`GraphError::Empty`] if no edges were added.
@@ -110,7 +127,9 @@ impl GraphBuilder {
         }
         let n = self.num_nodes.unwrap_or(self.max_node as usize + 1);
         let mut edges = self.edges;
-        edges.sort_by_key(|e| e.t);
+        if !edges.windows(2).all(|w| w[0].t <= w[1].t) {
+            edges.sort_by_key(|e| e.t);
+        }
         Ok(TemporalGraph::from_sorted_edges(n, edges))
     }
 }
@@ -179,6 +198,44 @@ mod tests {
         b.add_edge(0, 1, 1, 1.0).unwrap();
         let g = b.build().unwrap();
         assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn extend_edges_validates() {
+        use crate::{NodeId, Timestamp};
+        let mut b = GraphBuilder::new();
+        b.extend_edges(vec![
+            TemporalEdge::new(NodeId(0), NodeId(1), Timestamp(1), 1.0),
+            TemporalEdge::new(NodeId(1), NodeId(2), Timestamp(2), 2.0),
+        ])
+        .unwrap();
+        assert_eq!(b.len(), 2);
+        let bad = TemporalEdge { src: NodeId(3), dst: NodeId(3), t: Timestamp(3), w: 1.0 };
+        assert!(matches!(b.extend_edges(vec![bad]), Err(GraphError::SelfLoop { node: 3 })));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn presorted_input_builds_identically() {
+        // Sorted input (the streaming common case, which skips the sort)
+        // must produce the exact same graph as shuffled input.
+        let sorted: Vec<(u32, u32, i64)> =
+            vec![(0, 1, 1), (1, 2, 2), (2, 3, 3), (0, 3, 5), (1, 3, 8)];
+        let mut shuffled = sorted.clone();
+        shuffled.reverse();
+        let build = |list: &[(u32, u32, i64)]| {
+            let mut b = GraphBuilder::new();
+            for &(a, bb, t) in list {
+                b.add_edge(a, bb, t, 1.0).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let g1 = build(&sorted);
+        let g2 = build(&shuffled);
+        assert_eq!(g1.edges(), g2.edges());
+        for v in g1.nodes() {
+            assert_eq!(g1.neighbors(v), g2.neighbors(v));
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The immutable CSR temporal graph.
 
-use crate::{NeighborEntry, NodeId, TemporalEdge, Timestamp};
+use crate::{GraphError, NeighborEntry, NodeId, TemporalEdge, Timestamp};
 
 /// An immutable temporal network with time-sorted CSR adjacency.
 ///
@@ -190,6 +190,70 @@ impl TemporalGraph {
     pub fn weighted_degree(&self, v: NodeId) -> f64 {
         self.neighbors(v).iter().map(|n| n.w).sum()
     }
+
+    /// A copy of this graph with capacity for at least `n` node ids.
+    ///
+    /// Grow-only: `n <= num_nodes` returns an unchanged clone. The extra
+    /// ids are isolated until edges referencing them arrive via
+    /// [`with_edges_appended`](Self::with_edges_appended). Used by the
+    /// streaming path to align a base graph with a model trained with
+    /// node-id headroom.
+    pub fn padded_to(&self, n: usize) -> TemporalGraph {
+        if n <= self.num_nodes {
+            return self.clone();
+        }
+        TemporalGraph::from_sorted_edges(n, self.edges.clone())
+    }
+
+    /// Build a new graph with `batch` appended, without re-sorting the
+    /// existing edge list.
+    ///
+    /// Only the batch itself is sorted (`O(b log b)`); it is then merged
+    /// with the already-sorted edge list and the CSR adjacency is rebuilt
+    /// in `O(V + E + b)`. Ties between an old and a new edge at the same
+    /// timestamp keep the old edge first, matching what a stable full
+    /// re-sort of "old then new" would produce. The node count is
+    /// unchanged, so every batch edge must reference ids `< num_nodes`.
+    ///
+    /// # Errors
+    /// [`GraphError::SelfLoop`] / [`GraphError::InvalidWeight`] /
+    /// [`GraphError::NodeOutOfRange`] under the same rules as
+    /// [`GraphBuilder::add_edge`](crate::GraphBuilder::add_edge); the
+    /// graph is left untouched on error.
+    pub fn with_edges_appended(&self, batch: &[TemporalEdge]) -> Result<TemporalGraph, GraphError> {
+        for e in batch {
+            if e.src == e.dst {
+                return Err(GraphError::SelfLoop { node: e.src.0 });
+            }
+            if !e.w.is_finite() || e.w <= 0.0 {
+                return Err(GraphError::InvalidWeight { weight: e.w });
+            }
+            let hi = e.src.0.max(e.dst.0);
+            if hi as usize >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange { node: hi, num_nodes: self.num_nodes });
+            }
+        }
+        if batch.is_empty() {
+            return Ok(self.clone());
+        }
+        let mut new: Vec<TemporalEdge> =
+            batch.iter().map(|e| TemporalEdge::new(e.src, e.dst, e.t, e.w)).collect();
+        new.sort_by_key(|e| e.t);
+        let mut merged = Vec::with_capacity(self.edges.len() + new.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.edges.len() && j < new.len() {
+            if new[j].t < self.edges[i].t {
+                merged.push(new[j]);
+                j += 1;
+            } else {
+                merged.push(self.edges[i]);
+                i += 1;
+            }
+        }
+        merged.extend_from_slice(&self.edges[i..]);
+        merged.extend_from_slice(&new[j..]);
+        Ok(TemporalGraph::from_sorted_edges(self.num_nodes, merged))
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +361,69 @@ mod tests {
         assert_eq!(g.degree(NodeId(0)), 3);
         assert_eq!(g.distinct_neighbors(NodeId(0)), 2);
         assert!((g.weighted_degree(NodeId(0)) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn append_matches_full_rebuild() {
+        let g = figure1_graph();
+        let batch = vec![
+            TemporalEdge::new(NodeId(3), NodeId(8), Timestamp(2019), 1.0),
+            TemporalEdge::new(NodeId(2), NodeId(4), Timestamp(2015), 2.0),
+        ];
+        let appended = g.with_edges_appended(&batch).unwrap();
+        let mut b = GraphBuilder::with_num_nodes(g.num_nodes());
+        for e in g.edges() {
+            b.add_edge(e.src, e.dst, e.t, e.w).unwrap();
+        }
+        b.extend_edges(batch).unwrap();
+        let rebuilt = b.build().unwrap();
+        assert_eq!(appended.edges(), rebuilt.edges());
+        for v in appended.nodes() {
+            assert_eq!(appended.neighbors(v), rebuilt.neighbors(v));
+        }
+        // Original is untouched.
+        assert_eq!(g.num_edges(), 11);
+    }
+
+    #[test]
+    fn append_tie_keeps_old_edges_first() {
+        let g = figure1_graph();
+        // 2016 already has two edges; a new one at the same time must land
+        // after them (stable merge).
+        let batch = vec![TemporalEdge::new(NodeId(2), NodeId(4), Timestamp(2016), 1.0)];
+        let h = g.with_edges_appended(&batch).unwrap();
+        let at_2016: Vec<_> = h
+            .edges()
+            .iter()
+            .filter(|e| e.t == Timestamp(2016))
+            .map(|e| (e.src.0, e.dst.0))
+            .collect();
+        assert_eq!(at_2016, vec![(1, 6), (5, 8), (2, 4)]);
+    }
+
+    #[test]
+    fn append_validates_and_preserves() {
+        let g = figure1_graph();
+        let loops = vec![TemporalEdge { src: NodeId(2), dst: NodeId(2), t: Timestamp(0), w: 1.0 }];
+        assert!(matches!(g.with_edges_appended(&loops), Err(GraphError::SelfLoop { node: 2 })));
+        let out = vec![TemporalEdge::new(NodeId(1), NodeId(99), Timestamp(0), 1.0)];
+        assert!(matches!(
+            g.with_edges_appended(&out),
+            Err(GraphError::NodeOutOfRange { node: 99, num_nodes: 9 })
+        ));
+        let bad = vec![TemporalEdge::new(NodeId(1), NodeId(2), Timestamp(0), -1.0)];
+        assert!(matches!(g.with_edges_appended(&bad), Err(GraphError::InvalidWeight { .. })));
+        assert!(g.with_edges_appended(&[]).unwrap().edges() == g.edges());
+    }
+
+    #[test]
+    fn padded_to_grows_only() {
+        let g = figure1_graph();
+        let h = g.padded_to(20);
+        assert_eq!(h.num_nodes(), 20);
+        assert_eq!(h.num_edges(), g.num_edges());
+        assert_eq!(h.degree(NodeId(19)), 0);
+        assert_eq!(g.padded_to(3).num_nodes(), g.num_nodes());
     }
 
     #[test]

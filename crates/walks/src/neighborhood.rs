@@ -102,6 +102,26 @@ impl<'g> NeighborhoodSampler<'g> {
         HistoricalNeighborhood { target, t_ref, walks }
     }
 
+    /// Sample the neighborhood of `target` with a walk stream keyed by the
+    /// *node id* rather than a batch position: the same `(seed, target,
+    /// t_ref)` always draws the same walks, no matter which other nodes
+    /// are sampled alongside it.
+    ///
+    /// This is the primitive behind incremental embedding refresh: a dirty
+    /// node re-aggregated on its own must reproduce exactly the walks a
+    /// full-rebuild pass would draw for it, which position-keyed streams
+    /// ([`Self::sample_batch`]) cannot guarantee across differing batch
+    /// compositions.
+    pub fn sample_keyed(
+        &self,
+        target: NodeId,
+        t_ref: Timestamp,
+        seed: u64,
+    ) -> HistoricalNeighborhood {
+        let mut rng = item_rng(seed, target.index());
+        self.sample(target, t_ref, &mut rng)
+    }
+
     /// Sample neighborhoods for a batch of `(target, t_ref)` pairs across
     /// `threads` scoped worker threads. Deterministic given `seed`
     /// regardless of thread interleaving: each item derives its own RNG
@@ -278,6 +298,23 @@ mod tests {
             }
             assert_eq!(whole, chunked, "chunk size {bs} changed the walks");
         }
+    }
+
+    #[test]
+    fn keyed_sampling_is_position_independent() {
+        let g = figure1();
+        let s = NeighborhoodSampler::new(&g, TemporalWalkConfig::default(), 5);
+        let solo = s.sample_keyed(NodeId(5), Timestamp(2017), 42);
+        // Same node, same seed, different "surroundings": identical walks.
+        for other in [NodeId(1), NodeId(6), NodeId(7)] {
+            let _ = s.sample_keyed(other, Timestamp(2017), 42);
+            let again = s.sample_keyed(NodeId(5), Timestamp(2017), 42);
+            assert_eq!(solo, again);
+        }
+        // Distinct nodes draw distinct streams.
+        let w1 = s.sample_keyed(NodeId(1), Timestamp(2018), 42);
+        let w7 = s.sample_keyed(NodeId(7), Timestamp(2018), 42);
+        assert_ne!(w1.walks, w7.walks);
     }
 
     #[test]

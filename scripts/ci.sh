@@ -38,6 +38,23 @@ timeout --kill-after=10 180 \
 timeout --kill-after=10 180 \
     cargo test -p ehna-core --test checkpoint_robustness -q
 
+echo "== streaming gates (wall-clock bounded)"
+# WAL robustness (proptest round-trip, every-byte truncation recovery,
+# torn-tail tolerance, mid-file corruption fail-stop), incremental-vs-
+# full-rebuild equivalence (frozen model < 1e-4; fine-tuned drift under
+# the documented bound), and the CLI end-to-end path (train a prefix,
+# serve it, ingest + stream the suffix, hot-swap per batch under client
+# load). Hard timeouts so a wedged tail-poll or refresh loop fails fast.
+cargo test -p ehna-stream --test wal_robustness --no-run -q
+cargo test -p ehna-stream --test refresh_equivalence --no-run -q
+cargo test -p ehna-cli --test streaming --no-run -q
+timeout --kill-after=10 120 \
+    cargo test -p ehna-stream --test wal_robustness -q
+timeout --kill-after=10 180 \
+    cargo test -p ehna-stream --test refresh_equivalence -q
+timeout --kill-after=10 120 \
+    cargo test -p ehna-cli --test streaming -q
+
 echo "== cargo test (workspace, pipelined: EHNA_PIPELINE_DEPTH=3)"
 # Re-run the suite with a non-default prefetch depth so the pipelined
 # training path is exercised suite-wide; results must be identical to
