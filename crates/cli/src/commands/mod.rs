@@ -7,7 +7,9 @@ pub mod linkpred;
 pub mod nodeclass;
 pub mod query;
 pub mod reconstruct;
+pub mod router;
 pub mod serve;
+pub mod shard;
 pub mod stats;
 pub mod stream;
 pub mod train;

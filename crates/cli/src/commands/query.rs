@@ -3,7 +3,7 @@
 use crate::commands::io_err;
 use crate::flags::Flags;
 use crate::CliError;
-use ehna_serve::{query_lines_timeout, Json};
+use ehna_serve::{query_lines_detailed, Json};
 use std::io::Write;
 use std::time::Duration;
 
@@ -187,8 +187,16 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let request = build_request(&flags)?;
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
     let timeout = Duration::from_millis(flags.get_or("timeout-ms", 10_000u64)?.max(1));
-    let responses = query_lines_timeout(addr, &[request.to_string()], timeout)
-        .map_err(|e| CliError::runtime(format!("cannot query {addr}: {e}")))?;
+    // The typed client error tells a human what to do next: a connect
+    // failure means the server is down (start it, fix the address),
+    // while a mid-stream timeout means it is up but stuck or overloaded.
+    let responses = query_lines_detailed(addr, &[request.to_string()], timeout).map_err(|e| {
+        if e.is_connect() {
+            CliError::runtime(format!("server at {addr} is unreachable: {e}"))
+        } else {
+            CliError::runtime(format!("server at {addr} accepted the connection but: {e}"))
+        }
+    })?;
     let line = responses.into_iter().next().unwrap_or_default();
     if flags.has("raw") {
         writeln!(out, "{line}").map_err(io_err)?;
@@ -261,12 +269,39 @@ mod tests {
     }
 
     #[test]
-    fn unreachable_server_is_runtime_error() {
-        // Port 1 on localhost is essentially never listening.
-        let args: Vec<String> =
-            ["--addr", "127.0.0.1:1", "--ping"].iter().map(|s| s.to_string()).collect();
+    fn unreachable_server_reports_a_connect_failure() {
+        // Bind-then-drop guarantees nothing is listening on the port.
+        let unused = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = unused.local_addr().unwrap().to_string();
+        drop(unused);
+        let args: Vec<String> = ["--addr", &addr, "--ping", "--timeout-ms", "500"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut buf = Vec::new();
         let err = run(&args, &mut buf).unwrap_err();
         assert_eq!(err.code, 1);
+        assert!(err.message.contains("unreachable"), "message: {}", err.message);
+    }
+
+    #[test]
+    fn stuck_server_reports_a_mid_stream_timeout() {
+        // Accepts the connection, never answers: up but wedged.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let sink = std::thread::spawn(move || {
+            let _conn = listener.accept();
+            std::thread::sleep(std::time::Duration::from_millis(400));
+        });
+        let args: Vec<String> = ["--addr", &addr, "--ping", "--timeout-ms", "100"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut buf = Vec::new();
+        let err = run(&args, &mut buf).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("accepted the connection but"), "message: {}", err.message);
+        assert!(!err.message.contains("unreachable"));
+        sink.join().unwrap();
     }
 }

@@ -4,6 +4,7 @@
 use crate::commands::io_err;
 use crate::flags::Flags;
 use crate::CliError;
+use ehna_cluster::{ShardConfig, ShardServer};
 use ehna_serve::{
     BruteForceIndex, EmbeddingStore, EngineConfig, IvfConfig, IvfIndex, KnnIndex, QueryEngine,
     Reloader, RequestLimits, Server, ServerConfig,
@@ -17,6 +18,8 @@ const HELP: &str = "ehna serve — serve an embedding snapshot over TCP
 usage: ehna serve SNAPSHOT [--names FILE] [--addr HOST:PORT]
                   [--index ivf|brute] [--clusters N] [--nprobe N]
                   [--workers N] [--batch N] [--cache N]
+                  [--role standalone|shard] [--shard-id N]
+                  [--ehnp-addr HOST:PORT] [--frame-deadline-ms N]
                   [--conn-workers N] [--max-conns N]
                   [--read-timeout-ms N] [--write-timeout-ms N]
                   [--max-line-bytes N] [--max-k N] [--max-pairs N]
@@ -47,6 +50,18 @@ flags:
   --batch N       max requests drained per worker wakeup (default 32)
   --cache N       hot-node cache entries (default 1024, 0 disables)
 
+cluster role (see `ehna shard` / `ehna router`):
+  --role KIND           standalone (default) or shard; a shard also
+                        serves EHNP v1 — the binary router protocol —
+                        on --ehnp-addr, sharing the JSON port's engine,
+                        stats, and hot-swapped snapshots
+  --shard-id N          this shard's id in the cluster (default 0;
+                        reported by `stats` on both ports)
+  --ehnp-addr ADDR      EHNP listen address (default 127.0.0.1:7879;
+                        port 0 picks an ephemeral port)
+  --frame-deadline-ms N drop a router connection stalled mid-frame this
+                        long (default 10000; idle keep-alive is fine)
+
 hardening (see README, 'Operating ehna-serve'):
   --conn-workers N      connection-handler threads (default 4)
   --max-conns N         concurrent-connection cap; arrivals beyond it
@@ -60,13 +75,30 @@ hardening (see README, 'Operating ehna-serve'):
   --max-k N             largest k a knn request may ask (default 1024)
   --max-pairs N         most pairs one score request may send
                         (default 4096)
+  --max-batch N         most sub-requests one batch envelope may carry
+                        (default 256)
   --drain-ms N          shutdown grace for in-flight requests
                         (default 5000)";
 
-/// Parse flags, load the snapshot, build the index, and bind the socket.
-/// Split from [`run`] — and public — so tests and embedders can drive a
-/// bound server without blocking on the accept loop.
-pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError> {
+/// A bound-but-not-yet-serving `ehna serve` process: the JSON server,
+/// plus the EHNP endpoint when `--role shard` was given.
+pub struct PreparedServe {
+    /// The JSON line-protocol server (always present).
+    pub server: Server,
+    /// The EHNP v1 shard endpoint (`--role shard` only).
+    pub shard: Option<ShardServer>,
+}
+
+impl std::fmt::Debug for PreparedServe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedServe").field("shard", &self.shard).finish_non_exhaustive()
+    }
+}
+
+/// Parse flags, load the snapshot, build the index, and bind the
+/// socket(s). Split from [`run`] — and public — so tests and embedders
+/// can drive a bound server without blocking on the accept loop.
+pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<PreparedServe, CliError> {
     let flags = Flags::parse(args, HELP)?;
     flags.expect_known(&[
         "names",
@@ -77,6 +109,10 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError>
         "workers",
         "batch",
         "cache",
+        "role",
+        "shard-id",
+        "ehnp-addr",
+        "frame-deadline-ms",
         "conn-workers",
         "max-conns",
         "read-timeout-ms",
@@ -84,6 +120,7 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError>
         "max-line-bytes",
         "max-k",
         "max-pairs",
+        "max-batch",
         "drain-ms",
     ])?;
     let snapshot = flags.one_positional("snapshot file")?;
@@ -142,6 +179,7 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError>
         limits: RequestLimits {
             max_k: flags.get_or("max-k", defaults.limits.max_k)?.max(1),
             max_pairs: flags.get_or("max-pairs", defaults.limits.max_pairs)?.max(1),
+            max_batch: flags.get_or("max-batch", defaults.limits.max_batch)?.max(1),
         },
         drain_deadline: Duration::from_millis(
             flags.get_or("drain-ms", defaults.drain_deadline.as_millis() as u64)?,
@@ -166,17 +204,55 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError>
         Ok((store, index))
     });
 
+    // `--role shard` binds the EHNP endpoint on the same engine, so the
+    // router's binary traffic and local JSON debugging see one coherent
+    // view (stats, counters, snapshot version).
+    let shard = match flags.get("role").unwrap_or("standalone") {
+        "standalone" => None,
+        "shard" => {
+            let ehnp_addr = flags.get("ehnp-addr").unwrap_or("127.0.0.1:7879");
+            let shard_config = ShardConfig {
+                shard_id: flags.get_or("shard-id", 0u32)?,
+                frame_deadline: Duration::from_millis(
+                    flags.get_or("frame-deadline-ms", 10_000u64)?.max(1),
+                ),
+                ..Default::default()
+            };
+            let shard = ShardServer::bind(
+                ehnp_addr,
+                Arc::clone(&engine),
+                server_config.limits.clone(),
+                Some(Arc::clone(&reloader)),
+                shard_config,
+            )
+            .map_err(|e| CliError::runtime(format!("cannot bind EHNP on {ehnp_addr}: {e}")))?;
+            writeln!(
+                out,
+                "shard {} serving EHNP on {}",
+                flags.get_or("shard-id", 0u32)?,
+                shard.local_addr().map_err(io_err)?
+            )
+            .map_err(io_err)?;
+            Some(shard)
+        }
+        other => return Err(CliError::usage(format!("unknown role '{other}'"))),
+    };
+
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
     let server = Server::bind_with(addr, engine, server_config)
         .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?
         .with_reloader(reloader);
     writeln!(out, "serving on {}", server.local_addr().map_err(io_err)?).map_err(io_err)?;
-    Ok(server)
+    Ok(PreparedServe { server, shard })
 }
 
 /// Run the subcommand (blocks in the accept loop until killed).
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    prepare(args, out)?.run().map_err(io_err)
+    let prepared = prepare(args, out)?;
+    // The shard endpoint's accept loop runs on its own thread for the
+    // life of the process; the JSON accept loop blocks here.
+    let _shard = prepared.shard.map(ShardServer::spawn).transpose().map_err(io_err)?;
+    prepared.server.run().map_err(io_err)
 }
 
 #[cfg(test)]
@@ -200,12 +276,13 @@ mod tests {
     fn serves_over_the_wire() {
         let snap = snapshot_file("ehna_cli_serve.bin", 30, 4);
         let mut buf = Vec::new();
-        let server = prepare(
+        let prepared = prepare(
             &args(&[snap.to_str().unwrap(), "--addr", "127.0.0.1:0", "--workers", "1"]),
             &mut buf,
         )
         .unwrap();
-        let handle = server.spawn().unwrap();
+        assert!(prepared.shard.is_none(), "standalone must not bind EHNP");
+        let handle = prepared.server.spawn().unwrap();
         let banner = String::from_utf8(buf).unwrap();
         assert!(banner.contains("serving on"), "banner: {banner}");
 
@@ -243,6 +320,65 @@ mod tests {
     }
 
     #[test]
+    fn shard_role_serves_both_protocols() {
+        use ehna_cluster::{MuxClient, Request, Response};
+
+        let snap = snapshot_file("ehna_cli_serve_shard.bin", 30, 4);
+        let mut buf = Vec::new();
+        let prepared = prepare(
+            &args(&[
+                snap.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--role",
+                "shard",
+                "--shard-id",
+                "2",
+                "--ehnp-addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let banner = String::from_utf8(buf).unwrap();
+        assert!(banner.contains("shard 2 serving EHNP on"), "banner: {banner}");
+        let shard = prepared.shard.expect("--role shard must bind EHNP");
+        let ehnp_addr = shard.local_addr().unwrap();
+        let shard_handle = shard.spawn().unwrap();
+        let handle = prepared.server.spawn().unwrap();
+
+        // Binary port answers router traffic...
+        let client =
+            MuxClient::connect(ehnp_addr, Duration::from_secs(5), Duration::from_secs(5)).unwrap();
+        let pong = client.call(&Request::Ping, Duration::from_secs(5)).unwrap();
+        assert_eq!(pong, Response::Pong);
+        drop(client);
+
+        // ...while the JSON port still works and reports the identity.
+        let responses = query_lines(handle.addr(), &[r#"{"op":"stats"}"#.to_string()]).unwrap();
+        let stats = Json::parse(&responses[0]).unwrap();
+        assert_eq!(stats.get("role").and_then(Json::as_str), Some("shard"));
+        assert_eq!(stats.get("shard_id").and_then(Json::as_f64), Some(2.0));
+
+        handle.shutdown();
+        shard_handle.shutdown();
+        let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
+    fn unknown_role_is_a_usage_error() {
+        let snap = snapshot_file("ehna_cli_serve_badrole.bin", 8, 2);
+        let mut buf = Vec::new();
+        let err =
+            prepare(&args(&[snap.to_str().unwrap(), "--role", "leader"]), &mut buf).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("leader"), "message: {}", err.message);
+        let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
     fn hardening_flags_are_honored() {
         let snap = snapshot_file("ehna_cli_serve_limits.bin", 30, 4);
         let mut buf = Vec::new();
@@ -261,7 +397,7 @@ mod tests {
             &mut buf,
         )
         .unwrap();
-        let handle = server.spawn().unwrap();
+        let handle = server.server.spawn().unwrap();
         let responses = query_lines(
             handle.addr(),
             &[
@@ -288,7 +424,7 @@ mod tests {
             &mut buf,
         )
         .unwrap();
-        let handle = server.spawn().unwrap();
+        let handle = server.server.spawn().unwrap();
 
         // Grow the snapshot on disk, then ask the server to hot-swap it.
         let data: Vec<f32> = (0..50 * 4).map(|i| (i % 13) as f32 * 0.5).collect();

@@ -1,0 +1,126 @@
+//! `ehna shard` — partition an embedding snapshot for cluster serving.
+
+use crate::commands::io_err;
+use crate::flags::Flags;
+use crate::CliError;
+use ehna_cluster::{plan_shards, MANIFEST_NAME};
+use ehna_tgraph::{NameMap, NodeEmbeddings};
+use std::io::{BufReader, Write};
+use std::path::Path;
+
+const HELP: &str = "ehna shard — partition a snapshot into cluster shards
+
+usage: ehna shard SNAPSHOT --shards N --out DIR [--names FILE]
+
+Splits SNAPSHOT round-robin into N shard snapshots (global node g lands
+at local row g/N of shard g%N) and writes them to DIR as shard_I.bin +
+shard_I.names, plus a checksummed cluster.manifest describing the
+layout. Serve each shard with `ehna serve shard_I.bin --names
+shard_I.names --role shard --shard-id I --ehnp-addr ...`, then front
+them with `ehna router --manifest DIR --shard ADDR ...`; the routed
+answers are byte-identical to serving the unsplit SNAPSHOT.
+
+flags:
+  --shards N    number of shards to produce (at least 1, at most the
+                node count)
+  --out DIR     output directory (created if missing)
+  --names FILE  name map for SNAPSHOT (one name per line, line i names
+                node i); shard name files then carry the global names,
+                so clusters resolve the same keys a single node does";
+
+/// Run the subcommand.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, HELP)?;
+    flags.expect_known(&["shards", "out", "names"])?;
+    let snapshot = flags.one_positional("snapshot file")?;
+    let num_shards: u32 = flags.get_or("shards", 0u32)?;
+    if num_shards == 0 {
+        return Err(CliError::usage(format!("--shards is required (and must be >= 1)\n{HELP}")));
+    }
+    let Some(out_dir) = flags.get("out") else {
+        return Err(CliError::usage(format!("--out is required\n{HELP}")));
+    };
+
+    let emb = NodeEmbeddings::load_path(snapshot)
+        .map_err(|e| CliError::runtime(format!("cannot load {snapshot}: {e}")))?;
+    let names = flags
+        .get("names")
+        .map(|path| {
+            std::fs::File::open(path)
+                .map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))
+                .and_then(|f| {
+                    NameMap::load(BufReader::new(f))
+                        .map_err(|e| CliError::runtime(format!("bad name map {path}: {e}")))
+                })
+        })
+        .transpose()?;
+    writeln!(out, "loaded {} x {} snapshot from {snapshot}", emb.num_nodes(), emb.dim())
+        .map_err(io_err)?;
+
+    let dir = Path::new(out_dir);
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::runtime(format!("cannot create {out_dir}: {e}")))?;
+    let manifest = plan_shards(&emb, names.as_ref(), num_shards, dir)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    for (i, entry) in manifest.shards.iter().enumerate() {
+        writeln!(out, "shard {i}: {} nodes -> {}/{}", entry.nodes, out_dir, entry.snapshot)
+            .map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "wrote {}/{MANIFEST_NAME} ({} shards, {} nodes, dim {})",
+        out_dir, manifest.num_shards, manifest.total_nodes, manifest.dim
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehna_cluster::ClusterManifest;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn shards_a_snapshot_and_writes_a_manifest() {
+        let dir = std::env::temp_dir().join("ehna_cli_shard_cmd");
+        let _ = std::fs::remove_dir_all(&dir);
+        let snap = dir.join("full.bin");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data: Vec<f32> = (0..10 * 3).map(|i| i as f32).collect();
+        NodeEmbeddings::from_vec(3, data).save_path(&snap).unwrap();
+
+        let out_dir = dir.join("cluster");
+        let mut buf = Vec::new();
+        run(
+            &args(&[snap.to_str().unwrap(), "--shards", "3", "--out", out_dir.to_str().unwrap()]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("3 shards, 10 nodes, dim 3"), "output: {text}");
+
+        let manifest = ClusterManifest::load(&out_dir).unwrap();
+        assert_eq!(manifest.num_shards, 3);
+        manifest.verify(&out_dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_flags_are_usage_errors() {
+        let mut buf = Vec::new();
+        let err = run(&args(&["snap.bin", "--out", "/tmp/x"]), &mut buf).unwrap_err();
+        assert_eq!(err.code, 2, "missing --shards: {}", err.message);
+        let err = run(&args(&["snap.bin", "--shards", "2"]), &mut buf).unwrap_err();
+        assert_eq!(err.code, 2, "missing --out: {}", err.message);
+        let err = run(
+            &args(&["/nonexistent.bin", "--shards", "2", "--out", "/tmp/ehna_shard_nope"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+}

@@ -70,6 +70,8 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "reconstruct" => commands::reconstruct::run(rest, out),
         "serve" => commands::serve::run(rest, out),
         "query" => commands::query::run(rest, out),
+        "shard" => commands::shard::run(rest, out),
+        "router" => commands::router::run(rest, out),
         "ingest" => commands::ingest::run(rest, out),
         "stream" => commands::stream::run(rest, out),
         "help" | "--help" | "-h" => {
@@ -93,7 +95,11 @@ commands:
   reconstruct  run the network-reconstruction evaluation
   nodeclass    node classification on a temporal SBM (extension)
   serve        serve an embedding snapshot over JSON-on-TCP
+               (--role shard adds the EHNP binary port for routers)
   query        query a running serve instance (knn / score / stats)
+  shard        partition a snapshot into cluster shards + manifest
+  router       scatter-gather front end over a shard cluster; same
+               protocol and byte-identical answers as a single serve
   ingest       append an edge-list file to a crash-safe edge log
   stream       replay an edge log through incremental embedding refresh,
                hot-swapping a live serve instance (zero downtime)

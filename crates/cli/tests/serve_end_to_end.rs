@@ -80,7 +80,7 @@ fn train_export_serve_query_round_trip() {
         &mut banner,
     )
     .expect("serve prepares");
-    let handle = server.spawn().expect("serve spawns");
+    let handle = server.server.spawn().expect("serve spawns");
     let banner = String::from_utf8(banner).unwrap();
     assert!(banner.contains("loaded 250 x 8 snapshot"), "banner: {banner}");
 

@@ -95,7 +95,7 @@ fn train_ingest_stream_reload_round_trip() {
         &mut Vec::new(),
     )
     .unwrap();
-    let handle = server.spawn().unwrap();
+    let handle = server.server.spawn().unwrap();
     let addr = handle.addr().to_string();
 
     // 3. Ingest the suffix into the edge log in small batches.

@@ -1,0 +1,1065 @@
+//! The scatter-gather router — a sharded cluster's JSON front door.
+//!
+//! [`Router`] implements [`ehna_serve::LineHandler`], so it plugs into
+//! the hardened socket front end from `ehna-serve` (admission control,
+//! bounded worker pool, line caps, socket timeouts, deterministic
+//! shutdown) via [`ehna_serve::Server::bind_handler`] — clients cannot
+//! tell a router from a standalone server except by asking `stats`.
+//!
+//! ## Exactness
+//!
+//! Every `knn` is scattered to all shards; each shard returns its local
+//! top-`k'` ascending by `(distance, local id)`. Because the planner's
+//! round-robin partition makes the local→global id map monotone within a
+//! shard, merging the per-shard lists by `(distance, global id)` applies
+//! *exactly* the single-node tie-break `(dist, NodeId)` — the sharded
+//! top-k is identical, ids and ordering, to the unsharded one (the
+//! router over-fetches one extra when it must exclude the query node,
+//! which keeps every candidate list sufficient). Distances are computed
+//! by the shards with the same f32-subtract/f64-accumulate loop as the
+//! single-node store and travel as exact f64 bit patterns.
+//!
+//! ## Failure handling
+//!
+//! Each shard runs one or more replicas. Calls rotate round-robin,
+//! preferring replicas that are marked healthy with a closed circuit
+//! breaker; on error or timeout the call fails over to the next replica.
+//! [`RouterConfig::breaker_threshold`] consecutive failures open a
+//! replica's breaker for [`RouterConfig::breaker_cooldown`], taking it
+//! out of the preferred set so a sick replica stops eating latency
+//! budget. A background probe pings every replica each
+//! [`RouterConfig::probe_interval`] — probes bypass the breaker (they
+//! *are* the recovery path) and a successful probe closes it.
+
+use crate::client::{CallError, MuxClient};
+use crate::manifest::{global_of, owner_of, ClusterManifest};
+use crate::proto::{Request, Response};
+use crate::ClusterError;
+use ehna_serve::{op_counts_json, EngineStats, Json, LineHandler, RequestLimits, Role};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for the router's shard fan-out and failure detection.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-shard budget for one scattered call (after this the call
+    /// fails over to the next replica).
+    pub shard_timeout: Duration,
+    /// TCP connect budget per replica.
+    pub connect_timeout: Duration,
+    /// How often the background probe pings every replica; zero disables
+    /// probing (breaker cooldown then becomes the only recovery path).
+    pub probe_interval: Duration,
+    /// Consecutive failures that open a replica's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker keeps a replica out of the preferred
+    /// set before it is retried (half-open).
+    pub breaker_cooldown: Duration,
+    /// Per-replica budget for a rolling `reload` (snapshot loads are
+    /// much slower than queries).
+    pub reload_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shard_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(2),
+            probe_interval: Duration::from_secs(2),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
+            reload_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Point-in-time health of one replica, as reported by `stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// The replica's EHNP address.
+    pub addr: SocketAddr,
+    /// Whether the last contact succeeded.
+    pub healthy: bool,
+    /// Whether the circuit breaker is currently open.
+    pub breaker_open: bool,
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// Whether a live multiplexed connection is established.
+    pub connected: bool,
+}
+
+struct Replica {
+    addr: SocketAddr,
+    conn: Mutex<Option<Arc<MuxClient>>>,
+    failures: AtomicU32,
+    open_until: Mutex<Option<Instant>>,
+    healthy: AtomicBool,
+}
+
+impl Replica {
+    fn new(addr: SocketAddr) -> Replica {
+        Replica {
+            addr,
+            conn: Mutex::new(None),
+            failures: AtomicU32::new(0),
+            open_until: Mutex::new(None),
+            // Optimistic start: a replica has to fail to be demoted.
+            healthy: AtomicBool::new(true),
+        }
+    }
+
+    fn breaker_open(&self) -> bool {
+        matches!(*self.open_until.lock(), Some(until) if Instant::now() < until)
+    }
+
+    fn preferred(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed) && !self.breaker_open()
+    }
+
+    fn record_success(&self) {
+        self.failures.store(0, Ordering::Relaxed);
+        *self.open_until.lock() = None;
+        self.healthy.store(true, Ordering::Relaxed);
+    }
+
+    fn record_failure(&self, config: &RouterConfig) {
+        let f = self.failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if f >= config.breaker_threshold {
+            *self.open_until.lock() = Some(Instant::now() + config.breaker_cooldown);
+        }
+        self.healthy.store(false, Ordering::Relaxed);
+    }
+
+    /// The live connection, dialing a fresh one if needed. The lock is
+    /// held across the dial so concurrent workers don't race N parallel
+    /// connects at the same replica.
+    fn client(&self, config: &RouterConfig) -> Result<Arc<MuxClient>, String> {
+        let mut guard = self.conn.lock();
+        if let Some(c) = guard.as_ref() {
+            if !c.is_dead() {
+                return Ok(Arc::clone(c));
+            }
+        }
+        match MuxClient::connect(self.addr, config.connect_timeout, config.shard_timeout) {
+            Ok(c) => {
+                let c = Arc::new(c);
+                *guard = Some(Arc::clone(&c));
+                Ok(c)
+            }
+            Err(e) => {
+                *guard = None;
+                Err(format!("connect {}: {e}", self.addr))
+            }
+        }
+    }
+
+    fn call(
+        &self,
+        req: &Request,
+        timeout: Duration,
+        config: &RouterConfig,
+    ) -> Result<Response, String> {
+        let client = match self.client(config) {
+            Ok(c) => c,
+            Err(e) => {
+                self.record_failure(config);
+                return Err(e);
+            }
+        };
+        match client.call(req, timeout) {
+            Ok(resp) => {
+                self.record_success();
+                Ok(resp)
+            }
+            Err(CallError::Dead(msg)) => {
+                // Drop the dead connection so the next call redials.
+                let mut guard = self.conn.lock();
+                if guard.as_ref().is_some_and(|c| Arc::ptr_eq(c, &client)) {
+                    *guard = None;
+                }
+                drop(guard);
+                self.record_failure(config);
+                Err(format!("{}: {msg}", self.addr))
+            }
+            Err(CallError::Timeout(t)) => {
+                self.record_failure(config);
+                Err(format!("{}: no answer within {t:?}", self.addr))
+            }
+        }
+    }
+
+    fn status(&self) -> ReplicaStatus {
+        ReplicaStatus {
+            addr: self.addr,
+            healthy: self.healthy.load(Ordering::Relaxed),
+            breaker_open: self.breaker_open(),
+            consecutive_failures: self.failures.load(Ordering::Relaxed),
+            connected: self.conn.lock().as_ref().is_some_and(|c| !c.is_dead()),
+        }
+    }
+}
+
+struct ShardSet {
+    replicas: Vec<Arc<Replica>>,
+    rr: AtomicUsize,
+}
+
+struct Inner {
+    manifest: ClusterManifest,
+    shards: Vec<ShardSet>,
+    stats: EngineStats,
+    limits: RequestLimits,
+    config: RouterConfig,
+    stop: AtomicBool,
+}
+
+/// The scatter-gather front door of a sharded cluster. See the module
+/// docs for semantics; build with [`Router::new`] and serve it via
+/// [`ehna_serve::Server::bind_handler`].
+pub struct Router {
+    inner: Arc<Inner>,
+    probe: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("num_shards", &self.inner.manifest.num_shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Router {
+    /// Build a router over `manifest`, with `replicas[s]` listing the
+    /// EHNP addresses serving shard `s`. Starts the health-probe thread
+    /// unless `config.probe_interval` is zero.
+    ///
+    /// # Errors
+    /// [`ClusterError::Plan`] when the replica map does not cover every
+    /// shard exactly once.
+    pub fn new(
+        manifest: ClusterManifest,
+        replicas: Vec<Vec<SocketAddr>>,
+        limits: RequestLimits,
+        config: RouterConfig,
+    ) -> Result<Router, ClusterError> {
+        if replicas.len() != manifest.num_shards as usize {
+            return Err(ClusterError::Plan(format!(
+                "manifest has {} shards but {} replica sets were given",
+                manifest.num_shards,
+                replicas.len()
+            )));
+        }
+        if let Some(empty) = replicas.iter().position(Vec::is_empty) {
+            return Err(ClusterError::Plan(format!("shard {empty} has no replicas")));
+        }
+        let shards = replicas
+            .into_iter()
+            .map(|addrs| ShardSet {
+                replicas: addrs.into_iter().map(|a| Arc::new(Replica::new(a))).collect(),
+                rr: AtomicUsize::new(0),
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            manifest,
+            shards,
+            stats: EngineStats::default(),
+            limits,
+            config,
+            stop: AtomicBool::new(false),
+        });
+        inner.stats.set_identity(Role::Router, None);
+        let probe = if inner.config.probe_interval.is_zero() {
+            None
+        } else {
+            let probe_inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("ehna-router-probe".into())
+                    .spawn(move || probe_loop(&probe_inner))
+                    .expect("spawn router probe"),
+            )
+        };
+        Ok(Router { inner, probe: Mutex::new(probe) })
+    }
+
+    /// Health of every replica, by shard — what `stats` reports, exposed
+    /// directly for tests and embedders.
+    pub fn replica_status(&self) -> Vec<Vec<ReplicaStatus>> {
+        self.inner.shards.iter().map(|s| s.replicas.iter().map(|r| r.status()).collect()).collect()
+    }
+
+    /// The manifest this router routes by.
+    pub fn manifest(&self) -> &ClusterManifest {
+        &self.inner.manifest
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.probe.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl LineHandler for Router {
+    fn handle_line(&self, line: &str) -> Json {
+        let inner = &self.inner;
+        let reject = |msg: &str| {
+            inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            error_json(msg)
+        };
+        let request = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return reject(&format!("bad json: {e}")),
+        };
+        let started = Instant::now();
+        match inner.dispatch(&request) {
+            Ok(resp) => {
+                inner.stats.latency.record(started.elapsed());
+                resp
+            }
+            Err(msg) => reject(&msg),
+        }
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.inner.stats
+    }
+}
+
+fn probe_loop(inner: &Arc<Inner>) {
+    let poll = Duration::from_millis(20);
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < inner.config.probe_interval {
+            if inner.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(poll);
+            slept += poll;
+        }
+        for set in &inner.shards {
+            for replica in &set.replicas {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Probes bypass the breaker on purpose: a successful
+                // ping is what closes it again.
+                let _ = replica.call(&Request::Ping, inner.config.shard_timeout, &inner.config);
+            }
+        }
+    }
+}
+
+fn error_json(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(message.to_string()))])
+}
+
+/// Squared Euclidean distance, replicating the single-node store's loop
+/// bit-for-bit (f32 subtraction, f64 square-and-accumulate, in
+/// dimension order) so router-computed scores equal shard/standalone
+/// ones exactly.
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+impl Inner {
+    /// Route one parsed request. Error strings are fully formatted to
+    /// match the standalone server's wording, so a client cannot tell a
+    /// router's rejection from a standalone server's.
+    fn dispatch(&self, request: &Json) -> Result<Json, String> {
+        let op = request
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "bad request: missing 'op'".to_string())?;
+        self.stats.ops.record(op);
+        match op {
+            "ping" => Ok(Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))])),
+            "knn" => self.knn_op(request),
+            "score" => self.score_op(request),
+            "stats" => Ok(self.stats_op()),
+            "reload" => self.reload_op(),
+            "batch" => self.batch_op(request),
+            other => Err(format!("bad request: unknown op '{other}'")),
+        }
+    }
+
+    /// One scattered call to shard `shard`, failing over across its
+    /// replicas: round-robin start, preferred (healthy, breaker closed)
+    /// replicas first, everything else as a second pass.
+    fn call_shard(
+        &self,
+        shard: usize,
+        req: &Request,
+        timeout: Duration,
+    ) -> Result<Response, String> {
+        let set = &self.shards[shard];
+        let n = set.replicas.len();
+        let start = set.rr.fetch_add(1, Ordering::Relaxed) % n;
+        let mut tried = vec![false; n];
+        let mut last_err = String::from("no replicas");
+        for pass in 0..2 {
+            for step in 0..n {
+                let idx = (start + step) % n;
+                if tried[idx] {
+                    continue;
+                }
+                let replica = &set.replicas[idx];
+                if pass == 0 && !replica.preferred() {
+                    continue;
+                }
+                tried[idx] = true;
+                match replica.call(req, timeout, &self.config) {
+                    Ok(Response::Error(msg)) => {
+                        // The shard answered; this is a request-level
+                        // error, not a replica failure.
+                        return Err(format!("shard {shard}: {msg}"));
+                    }
+                    Ok(resp) => return Ok(resp),
+                    Err(e) => last_err = e,
+                }
+            }
+        }
+        Err(format!("shard {shard} unavailable: {last_err}"))
+    }
+
+    /// Scatter `req` to every shard concurrently; shard `i`'s result
+    /// lands at index `i`.
+    fn scatter(&self, req: &Request, timeout: Duration) -> Vec<Result<Response, String>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.shards.len())
+                .map(|s| scope.spawn(move || self.call_shard(s, req, timeout)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scatter thread panicked")).collect()
+        })
+    }
+
+    /// Resolve a client-supplied node key to `(global id, row)`,
+    /// preserving the standalone resolution order: name-map lookup first
+    /// (scattered, since any shard may own the name), then the decimal
+    /// global-id fallback against the key's owner shard.
+    fn resolve_global(&self, key: &str) -> Result<(u32, Vec<f32>), String> {
+        let results =
+            self.scatter(&Request::Resolve { key: key.to_string() }, self.config.shard_timeout);
+        let mut shard_err = None;
+        for (s, result) in results.iter().enumerate() {
+            match result {
+                Ok(Response::Resolved { hit: Some((local, _label, row)) }) => {
+                    return Ok((
+                        global_of(s as u32, *local, self.manifest.num_shards),
+                        row.clone(),
+                    ));
+                }
+                Ok(_) => {}
+                Err(e) => shard_err = Some(e.clone()),
+            }
+        }
+        if let Some(e) = shard_err {
+            // An unreachable shard might own this name; guessing "not
+            // found" would silently change answers.
+            return Err(e);
+        }
+        if let Ok(global) = key.parse::<u32>() {
+            if (global as u64) < self.manifest.total_nodes {
+                let (shard, local) = owner_of(global, self.manifest.num_shards);
+                return match self.call_shard(
+                    shard as usize,
+                    &Request::GetRow { local },
+                    self.config.shard_timeout,
+                )? {
+                    Response::Row { row, .. } => Ok((global, row)),
+                    other => Err(format!("shard {shard}: unexpected response {other:?}")),
+                };
+            }
+        }
+        Err(format!("unknown node '{key}'"))
+    }
+
+    fn knn_op(&self, request: &Json) -> Result<Json, String> {
+        let num_nodes = self.manifest.total_nodes as usize;
+        // Validation mirrors the standalone server word for word.
+        let k = match request.get("k") {
+            Some(v) => {
+                let k = v.as_usize().ok_or("bad request: bad 'k'")?;
+                if k == 0 || k > num_nodes {
+                    return Err(format!(
+                        "bad request: 'k' must be between 1 and {num_nodes} (got {k})"
+                    ));
+                }
+                if k > self.limits.max_k {
+                    return Err(format!(
+                        "bad request: 'k' exceeds the server limit of {} (got {k})",
+                        self.limits.max_k
+                    ));
+                }
+                k
+            }
+            None => 10.min(self.limits.max_k).min(num_nodes).max(1),
+        };
+        let explain = request.get("explain").and_then(Json::as_bool).unwrap_or(false);
+        let (vector, exclude) = match (request.get("node"), request.get("vector")) {
+            (Some(node), None) => {
+                let key = node
+                    .as_str()
+                    .map(str::to_string)
+                    .or_else(|| node.as_usize().map(|i| i.to_string()))
+                    .ok_or("bad request: bad 'node'")?;
+                let (global, row) = self.resolve_global(&key)?;
+                (row, Some(global))
+            }
+            (None, Some(vector)) => {
+                let items = vector.as_arr().ok_or("bad request: 'vector' must be an array")?;
+                let q: Vec<f32> = items
+                    .iter()
+                    .map(|v| v.as_f64().map(|x| x as f32))
+                    .collect::<Option<_>>()
+                    .ok_or("bad request: non-numeric vector entry")?;
+                (q, None)
+            }
+            _ => return Err("bad request: need exactly one of 'node' or 'vector'".into()),
+        };
+        // Over-fetch one extra when the query node will be dropped, so
+        // every per-shard candidate list stays sufficient for a global
+        // top-k (the excluded node lives in exactly one shard's list).
+        let fetch = k + usize::from(exclude.is_some());
+        let req = Request::Knn { k: fetch as u32, explain, vector };
+        let results = self.scatter(&req, self.config.shard_timeout);
+        let mut candidates: Vec<(f64, u32, String)> = Vec::new();
+        let mut shard_infos = Vec::with_capacity(self.shards.len());
+        for (s, result) in results.into_iter().enumerate() {
+            match result? {
+                Response::Knn { neighbors, info } => {
+                    for (local, dist, label) in neighbors {
+                        candidates.push((
+                            dist,
+                            global_of(s as u32, local, self.manifest.num_shards),
+                            label,
+                        ));
+                    }
+                    shard_infos.push(info);
+                }
+                other => return Err(format!("shard {s}: unexpected response {other:?}")),
+            }
+        }
+        // The single-node tie-break, globally: ascending (dist, id).
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let neighbors: Vec<Json> = candidates
+            .into_iter()
+            .filter(|&(_, id, _)| Some(id) != exclude)
+            .take(k)
+            .map(|(dist, id, label)| {
+                Json::obj([
+                    ("node", Json::Str(label)),
+                    ("id", Json::Num(id as f64)),
+                    ("dist", Json::Num(dist)),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("k".to_string(), Json::Num(k as f64)),
+            ("neighbors".to_string(), Json::Arr(neighbors)),
+            ("cached".to_string(), Json::Bool(false)),
+        ];
+        if explain {
+            let mut scanned_total = 0u64;
+            let shards_json: Vec<Json> = shard_infos
+                .iter()
+                .enumerate()
+                .map(|(s, info)| {
+                    let (probed, scanned) = match info {
+                        Some((p, n)) => (p.clone(), *n),
+                        None => (Vec::new(), 0),
+                    };
+                    scanned_total += scanned;
+                    Json::obj([
+                        ("shard", Json::Num(s as f64)),
+                        (
+                            "probed_centroids",
+                            Json::Arr(probed.iter().map(|&c| Json::Num(c as f64)).collect()),
+                        ),
+                        ("scanned", Json::Num(scanned as f64)),
+                    ])
+                })
+                .collect();
+            fields.push((
+                "explain".to_string(),
+                Json::obj([
+                    ("scanned", Json::Num(scanned_total as f64)),
+                    ("rank_agreement", Json::Null),
+                    ("shards", Json::Arr(shards_json)),
+                ]),
+            ));
+        }
+        Ok(Json::Obj(fields))
+    }
+
+    fn score_op(&self, request: &Json) -> Result<Json, String> {
+        let pairs_json = request
+            .get("pairs")
+            .and_then(Json::as_arr)
+            .ok_or("bad request: 'pairs' must be an array")?;
+        if pairs_json.len() > self.limits.max_pairs {
+            return Err(format!(
+                "bad request: 'pairs' exceeds the server limit of {} (got {})",
+                self.limits.max_pairs,
+                pairs_json.len()
+            ));
+        }
+        // Resolve each distinct key once per request; a scatter per
+        // endpoint would turn one score call into 2·pairs fan-outs.
+        let mut rows: std::collections::HashMap<String, Vec<f32>> =
+            std::collections::HashMap::new();
+        let mut resolve = |this: &Inner, key: String| -> Result<Vec<f32>, String> {
+            if let Some(row) = rows.get(&key) {
+                return Ok(row.clone());
+            }
+            let (_, row) = this.resolve_global(&key)?;
+            rows.insert(key, row.clone());
+            Ok(row)
+        };
+        let mut scores = Vec::with_capacity(pairs_json.len());
+        for p in pairs_json {
+            let items = p
+                .as_arr()
+                .filter(|items| items.len() == 2)
+                .ok_or("bad request: each pair must be [src, dst]")?;
+            let key = |v: &Json| -> Result<String, String> {
+                v.as_str()
+                    .map(str::to_string)
+                    .or_else(|| v.as_usize().map(|i| i.to_string()))
+                    .ok_or_else(|| "bad request: bad pair endpoint".to_string())
+            };
+            let a = resolve(self, key(&items[0])?)?;
+            let b = resolve(self, key(&items[1])?)?;
+            scores.push(sq_dist(&a, &b));
+        }
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("scores", Json::Arr(scores.into_iter().map(Json::Num).collect())),
+        ]))
+    }
+
+    fn batch_op(&self, request: &Json) -> Result<Json, String> {
+        let requests = request
+            .get("requests")
+            .and_then(Json::as_arr)
+            .ok_or("bad request: 'requests' must be an array")?;
+        if requests.len() > self.limits.max_batch {
+            return Err(format!(
+                "bad request: 'requests' exceeds the server limit of {} (got {})",
+                self.limits.max_batch,
+                requests.len()
+            ));
+        }
+        let mut responses = Vec::with_capacity(requests.len());
+        for sub in requests {
+            // Control ops are filtered before dispatch, exactly like the
+            // standalone batch: a batch is a read-path convenience, not a
+            // control plane (and the refused op is not counted).
+            let resp = match sub.get("op").and_then(Json::as_str) {
+                Some("batch") | Some("reload") => {
+                    self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    error_json("op not allowed inside a batch")
+                }
+                _ => match self.dispatch(sub) {
+                    Ok(resp) => resp,
+                    Err(msg) => {
+                        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        error_json(&msg)
+                    }
+                },
+            };
+            responses.push(resp);
+        }
+        Ok(Json::obj([("ok", Json::Bool(true)), ("responses", Json::Arr(responses))]))
+    }
+
+    /// Rolling reload: shard by shard, replica by replica, strictly
+    /// sequential — at any instant at most one replica is busy loading,
+    /// so every shard keeps at least one replica serving (with ≥2
+    /// replicas per shard) and the cluster never goes dark.
+    fn reload_op(&self) -> Result<Json, String> {
+        let mut all_ok = true;
+        let mut shards_json = Vec::with_capacity(self.shards.len());
+        for (s, set) in self.shards.iter().enumerate() {
+            let mut replicas_json = Vec::with_capacity(set.replicas.len());
+            for replica in &set.replicas {
+                let entry = match replica.call(
+                    &Request::Reload,
+                    self.config.reload_timeout,
+                    &self.config,
+                ) {
+                    Ok(Response::Reloaded { version, nodes }) => Json::obj([
+                        ("addr", Json::Str(replica.addr.to_string())),
+                        ("ok", Json::Bool(true)),
+                        ("version", Json::Num(version as f64)),
+                        ("nodes", Json::Num(nodes as f64)),
+                    ]),
+                    Ok(Response::Error(msg)) => {
+                        all_ok = false;
+                        Json::obj([
+                            ("addr", Json::Str(replica.addr.to_string())),
+                            ("ok", Json::Bool(false)),
+                            ("error", Json::Str(msg)),
+                        ])
+                    }
+                    Ok(other) => {
+                        all_ok = false;
+                        Json::obj([
+                            ("addr", Json::Str(replica.addr.to_string())),
+                            ("ok", Json::Bool(false)),
+                            ("error", Json::Str(format!("unexpected response {other:?}"))),
+                        ])
+                    }
+                    Err(e) => {
+                        all_ok = false;
+                        Json::obj([
+                            ("addr", Json::Str(replica.addr.to_string())),
+                            ("ok", Json::Bool(false)),
+                            ("error", Json::Str(e)),
+                        ])
+                    }
+                };
+                replicas_json.push(entry);
+            }
+            shards_json.push(Json::obj([
+                ("shard", Json::Num(s as f64)),
+                ("replicas", Json::Arr(replicas_json)),
+            ]));
+        }
+        // Partial success is reported, not hidden: a version-skewed
+        // cluster is an operational problem the caller must see.
+        Ok(Json::obj([("ok", Json::Bool(all_ok)), ("rolled", Json::Arr(shards_json))]))
+    }
+
+    fn stats_op(&self) -> Json {
+        let snap = self.stats.snapshot();
+        let shards_json: Vec<Json> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, set)| {
+                let replicas: Vec<Json> = set
+                    .replicas
+                    .iter()
+                    .map(|r| {
+                        let st = r.status();
+                        Json::obj([
+                            ("addr", Json::Str(st.addr.to_string())),
+                            ("healthy", Json::Bool(st.healthy)),
+                            ("breaker_open", Json::Bool(st.breaker_open)),
+                            ("consecutive_failures", Json::Num(st.consecutive_failures as f64)),
+                            ("connected", Json::Bool(st.connected)),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("shard", Json::Num(s as f64)),
+                    ("nodes", Json::Num(self.manifest.shards[s].nodes as f64)),
+                    ("replicas", Json::Arr(replicas)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("role", Json::Str(snap.role.as_str().to_string())),
+            ("shard_id", Json::Null),
+            ("index", Json::Str("router".to_string())),
+            ("nodes", Json::Num(self.manifest.total_nodes as f64)),
+            ("dim", Json::Num(self.manifest.dim as f64)),
+            ("num_shards", Json::Num(self.manifest.num_shards as f64)),
+            ("requests", Json::Num(snap.requests as f64)),
+            ("rejected", Json::Num(snap.rejected as f64)),
+            ("timeouts", Json::Num(snap.timeouts as f64)),
+            ("overloads", Json::Num(snap.overloads as f64)),
+            ("mean_us", Json::Num(snap.mean_us)),
+            ("p50_us", Json::Num(snap.p50_us as f64)),
+            ("p95_us", Json::Num(snap.p95_us as f64)),
+            ("p99_us", Json::Num(snap.p99_us as f64)),
+            ("ops", op_counts_json(&snap.ops)),
+            ("shards", Json::Arr(shards_json)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_shards;
+    use crate::shard::{ShardConfig, ShardHandle, ShardServer};
+    use ehna_serve::{handle_line, BruteForceIndex, EmbeddingStore, EngineConfig, QueryEngine};
+    use ehna_tgraph::NodeEmbeddings;
+
+    fn table(n: usize, dim: usize) -> NodeEmbeddings {
+        // Deliberately tie-heavy: values repeat mod 5 so distance ties
+        // exercise the (dist, id) tie-break across shard boundaries.
+        let data: Vec<f32> = (0..n * dim).map(|i| ((i * 7) % 5) as f32).collect();
+        NodeEmbeddings::from_vec(dim, data)
+    }
+
+    fn standalone(emb: &NodeEmbeddings) -> Arc<QueryEngine> {
+        let store = Arc::new(EmbeddingStore::new(emb.clone(), None).unwrap());
+        let index = Box::new(BruteForceIndex::new(Arc::clone(&store)));
+        Arc::new(QueryEngine::new(store, index, EngineConfig::default()))
+    }
+
+    struct TestCluster {
+        dir: std::path::PathBuf,
+        handles: Vec<ShardHandle>,
+        router: Router,
+    }
+
+    impl TestCluster {
+        fn start(emb: &NodeEmbeddings, num_shards: u32, name: &str) -> TestCluster {
+            let dir = std::env::temp_dir().join(format!("ehna_router_test_{name}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let manifest = plan_shards(emb, None, num_shards, &dir).unwrap();
+            let mut handles = Vec::new();
+            let mut addrs = Vec::new();
+            for entry in &manifest.shards {
+                let store = Arc::new(
+                    EmbeddingStore::open(dir.join(&entry.snapshot), Some(dir.join(&entry.names)))
+                        .unwrap(),
+                );
+                let index = Box::new(BruteForceIndex::new(Arc::clone(&store)));
+                let engine = Arc::new(QueryEngine::new(store, index, EngineConfig::default()));
+                let config = ShardConfig {
+                    shard_id: handles.len() as u32,
+                    poll: Duration::from_millis(10),
+                    ..Default::default()
+                };
+                let handle = ShardServer::bind(
+                    "127.0.0.1:0",
+                    engine,
+                    RequestLimits::default(),
+                    None,
+                    config,
+                )
+                .unwrap()
+                .spawn()
+                .unwrap();
+                addrs.push(vec![handle.addr()]);
+                handles.push(handle);
+            }
+            let config = RouterConfig {
+                probe_interval: Duration::ZERO, // deterministic tests
+                ..Default::default()
+            };
+            let router = Router::new(manifest, addrs, RequestLimits::default(), config).unwrap();
+            TestCluster { dir, handles, router }
+        }
+
+        fn stop(self) {
+            drop(self.router);
+            for h in self.handles {
+                h.shutdown();
+            }
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    fn neighbors_of(resp: &Json) -> String {
+        format!("{}", resp.get("neighbors").expect("neighbors field"))
+    }
+
+    #[test]
+    fn sharded_knn_matches_standalone_exactly() {
+        let emb = table(23, 4);
+        let single = standalone(&emb);
+        let limits = RequestLimits::default();
+        for shards in [1u32, 2, 4] {
+            let cluster = TestCluster::start(&emb, shards, &format!("eq{shards}"));
+            for line in [
+                "{\"op\":\"knn\",\"node\":0,\"k\":5}",
+                "{\"op\":\"knn\",\"node\":\"22\",\"k\":23}",
+                "{\"op\":\"knn\",\"node\":7,\"k\":1}",
+                "{\"op\":\"knn\",\"vector\":[1,2,3,4],\"k\":6}",
+                "{\"op\":\"knn\",\"node\":3}",
+            ] {
+                let want = handle_line(&single, &limits, line);
+                let got = cluster.router.handle_line(line);
+                assert_eq!(neighbors_of(&got), neighbors_of(&want), "shards={shards} line={line}");
+                assert_eq!(got.get("k").unwrap().to_string(), want.get("k").unwrap().to_string());
+            }
+            // Error surfaces line up too.
+            for line in [
+                "{\"op\":\"knn\",\"node\":99}",
+                "{\"op\":\"knn\",\"node\":0,\"k\":0}",
+                "{\"op\":\"knn\"}",
+                "{\"op\":\"nope\"}",
+            ] {
+                let want = handle_line(&single, &limits, line);
+                let got = cluster.router.handle_line(line);
+                assert_eq!(got.to_string(), want.to_string(), "shards={shards} line={line}");
+            }
+            cluster.stop();
+        }
+    }
+
+    #[test]
+    fn sharded_score_matches_standalone_exactly() {
+        let emb = table(12, 3);
+        let single = standalone(&emb);
+        let limits = RequestLimits::default();
+        let cluster = TestCluster::start(&emb, 3, "score");
+        for line in [
+            "{\"op\":\"score\",\"pairs\":[[0,1],[5,11],[4,4]]}",
+            "{\"op\":\"score\",\"pairs\":[[\"2\",\"9\"]]}",
+            "{\"op\":\"score\",\"pairs\":[[0,99]]}",
+        ] {
+            let want = handle_line(&single, &limits, line);
+            let got = cluster.router.handle_line(line);
+            assert_eq!(got.to_string(), want.to_string(), "line={line}");
+        }
+        cluster.stop();
+    }
+
+    #[test]
+    fn batch_fans_out_and_refuses_control_ops() {
+        let emb = table(10, 2);
+        let single = standalone(&emb);
+        let limits = RequestLimits::default();
+        let cluster = TestCluster::start(&emb, 2, "batch");
+        let line = "{\"op\":\"batch\",\"requests\":[{\"op\":\"ping\"},{\"op\":\"knn\",\"node\":1,\"k\":3},{\"op\":\"reload\"},{\"op\":\"score\",\"pairs\":[[0,9]]}]}";
+        let want = handle_line(&single, &limits, line);
+        let got = cluster.router.handle_line(line);
+        let want_resps = want.get("responses").unwrap().as_arr().unwrap();
+        let got_resps = got.get("responses").unwrap().as_arr().unwrap();
+        assert_eq!(got_resps.len(), want_resps.len());
+        assert_eq!(got_resps[0].to_string(), want_resps[0].to_string(), "ping");
+        assert_eq!(neighbors_of(&got_resps[1]), neighbors_of(&want_resps[1]), "knn inside batch");
+        assert_eq!(got_resps[2].to_string(), want_resps[2].to_string(), "refused reload");
+        assert_eq!(got_resps[3].to_string(), want_resps[3].to_string(), "score inside batch");
+        cluster.stop();
+    }
+
+    #[test]
+    fn stats_reports_router_role_and_replica_health() {
+        let emb = table(8, 2);
+        let cluster = TestCluster::start(&emb, 2, "stats");
+        let _ = cluster.router.handle_line("{\"op\":\"knn\",\"node\":0,\"k\":2}");
+        let stats = cluster.router.handle_line("{\"op\":\"stats\"}");
+        let text = stats.to_string();
+        assert!(text.contains("\"role\":\"router\""), "stats: {text}");
+        assert!(text.contains("\"num_shards\":2"), "stats: {text}");
+        assert!(text.contains("\"healthy\":true"), "stats: {text}");
+        assert_eq!(stats.get("ops").unwrap().get("knn").unwrap().as_usize(), Some(1));
+        cluster.stop();
+    }
+
+    #[test]
+    fn failover_and_breaker_take_a_dead_replica_out() {
+        let emb = table(10, 2);
+        // 1 shard, 2 replicas over the same partition.
+        let dir = std::env::temp_dir().join("ehna_router_test_failover");
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = plan_shards(&emb, None, 1, &dir).unwrap();
+        let mk_handle = || {
+            let store = Arc::new(
+                EmbeddingStore::open(
+                    dir.join(&manifest.shards[0].snapshot),
+                    Some(dir.join(&manifest.shards[0].names)),
+                )
+                .unwrap(),
+            );
+            let index = Box::new(BruteForceIndex::new(Arc::clone(&store)));
+            let engine = Arc::new(QueryEngine::new(store, index, EngineConfig::default()));
+            let config = ShardConfig { poll: Duration::from_millis(10), ..Default::default() };
+            ShardServer::bind("127.0.0.1:0", engine, RequestLimits::default(), None, config)
+                .unwrap()
+                .spawn()
+                .unwrap()
+        };
+        let a = mk_handle();
+        let b = mk_handle();
+        let config = RouterConfig {
+            // Probes are what accumulate failures on a demoted replica
+            // (queries stop visiting it after the first failure), so the
+            // breaker only opens with probing on.
+            probe_interval: Duration::from_millis(100),
+            shard_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_millis(500),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(30),
+            ..Default::default()
+        };
+        let router = Router::new(
+            manifest.clone(),
+            vec![vec![a.addr(), b.addr()]],
+            RequestLimits::default(),
+            config,
+        )
+        .unwrap();
+
+        let line = "{\"op\":\"knn\",\"node\":0,\"k\":3}";
+        let baseline = router.handle_line(line).to_string();
+        assert!(baseline.contains("\"ok\":true"), "baseline: {baseline}");
+
+        // Kill replica A; every query must keep succeeding via B.
+        let a_addr = a.addr();
+        a.shutdown();
+        for i in 0..6 {
+            let resp = router.handle_line(line).to_string();
+            assert_eq!(resp, baseline, "query {i} after replica kill");
+        }
+        // Repeated probe failures open A's breaker; B stays healthy.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let status = router.replica_status();
+            let a_status = status[0].iter().find(|r| r.addr == a_addr).unwrap();
+            let b_status = status[0].iter().find(|r| r.addr != a_addr).unwrap();
+            assert!(b_status.healthy, "surviving replica demoted: {b_status:?}");
+            if !a_status.healthy && a_status.breaker_open {
+                break;
+            }
+            assert!(Instant::now() < deadline, "breaker never opened: {a_status:?}");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        // With A's breaker open, queries still succeed (and never try A
+        // on the preferred pass).
+        assert_eq!(router.handle_line(line).to_string(), baseline);
+
+        drop(router);
+        b.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn router_rejects_mismatched_replica_maps() {
+        let emb = table(6, 2);
+        let dir = std::env::temp_dir().join("ehna_router_test_badmap");
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = plan_shards(&emb, None, 2, &dir).unwrap();
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        assert!(Router::new(
+            manifest.clone(),
+            vec![vec![addr]],
+            RequestLimits::default(),
+            RouterConfig::default()
+        )
+        .is_err());
+        assert!(Router::new(
+            manifest,
+            vec![vec![addr], vec![]],
+            RequestLimits::default(),
+            RouterConfig::default()
+        )
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the EHNP v1 frame codec: random messages must
+//! survive a round trip bit-exactly, every strict truncation of a valid
+//! frame must be rejected (never mis-parsed, never panic), a corrupted
+//! byte anywhere in the frame must trip the checksum, and a hostile
+//! length prefix must be refused *before* any allocation happens.
+
+use ehna_cluster::proto::{
+    decode_frame, encode_frame, read_msg, write_msg, Request, Response, MAX_FRAME_LEN,
+};
+use ehna_cluster::ProtoError;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Arbitrary short strings, including NUL and multi-byte code points —
+/// labels and error messages cross the wire verbatim.
+fn wire_string() -> impl Strategy<Value = String> {
+    vec(0u32..0xD7FF, 0..12).prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Finite f32s (NaN would break the `PartialEq` round-trip oracle, and
+/// the protocol never produces NaN distances).
+fn rows() -> impl Strategy<Value = Vec<f32>> {
+    vec(-1e6f32..1e6f32, 0..24)
+}
+
+/// Every [`Request`] variant with arbitrary contents.
+fn request() -> impl Strategy<Value = Request> {
+    (0u8..6, (0u32..5000, proptest::bool::ANY, rows()), wire_string(), 0u32..100_000).prop_map(
+        |(variant, (k, explain, vector), key, local)| match variant {
+            0 => Request::Ping,
+            1 => Request::Knn { k, explain, vector },
+            2 => Request::Resolve { key },
+            3 => Request::GetRow { local },
+            4 => Request::Stats,
+            _ => Request::Reload,
+        },
+    )
+}
+
+/// Every [`Response`] variant with arbitrary contents.
+fn response() -> impl Strategy<Value = Response> {
+    (
+        0u8..7,
+        vec((0u32..100_000, -1e9f64..1e9f64, wire_string()), 0..8),
+        (proptest::bool::ANY, vec(0u32..64, 0..6), 0u64..1 << 40),
+        (wire_string(), rows(), 0u32..100_000),
+        (0u64..1 << 40, 0u64..1 << 40, proptest::bool::ANY),
+    )
+        .prop_map(
+            |(
+                variant,
+                neighbors,
+                (with_info, probed, scanned),
+                (label, row, local),
+                (a, b, with_hit),
+            )| {
+                match variant {
+                    0 => Response::Error(label),
+                    1 => Response::Pong,
+                    2 => Response::Knn {
+                        neighbors,
+                        info: if with_info { Some((probed, scanned)) } else { None },
+                    },
+                    3 => Response::Resolved {
+                        hit: if with_hit { Some((local, label, row)) } else { None },
+                    },
+                    4 => Response::Row { local, label, row },
+                    5 => Response::StatsText(label),
+                    _ => Response::Reloaded { version: a, nodes: b },
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip_bit_exactly(req_id in 0u64..u64::MAX, req in request()) {
+        let frame = encode_frame(req_id, &req);
+        let ((got_id, got), consumed) = decode_frame::<Request>(&frame)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(got_id, req_id);
+        prop_assert_eq!(got, req);
+        prop_assert_eq!(consumed, frame.len(), "decode must consume the whole frame");
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly(req_id in 0u64..u64::MAX, resp in response()) {
+        let frame = encode_frame(req_id, &resp);
+        let ((got_id, got), consumed) = decode_frame::<Response>(&frame)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(got_id, req_id);
+        prop_assert_eq!(got, resp);
+        prop_assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn every_strict_truncation_is_rejected(req in request()) {
+        let frame = encode_frame(7, &req);
+        for cut in 0..frame.len() {
+            prop_assert!(
+                decode_frame::<Request>(&frame[..cut]).is_err(),
+                "a {}-byte prefix of a {}-byte frame decoded", cut, frame.len()
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_rejected(
+        resp in response(),
+        pos_seed in 0usize..1 << 20,
+        flip in 1u8..=255,
+    ) {
+        let mut frame = encode_frame(42, &resp);
+        let pos = pos_seed % frame.len();
+        frame[pos] ^= flip; // xor with a nonzero byte guarantees a change
+        prop_assert!(
+            decode_frame::<Response>(&frame).is_err(),
+            "flipping byte {} of {} went unnoticed", pos, frame.len()
+        );
+    }
+
+    #[test]
+    fn back_to_back_frames_stream_in_order(reqs in vec((0u64..1 << 40, request()), 1..8)) {
+        let mut wire = Vec::new();
+        for (id, req) in &reqs {
+            write_msg(&mut wire, *id, req)
+                .map_err(|e| TestCaseError::fail(format!("write failed: {e}")))?;
+        }
+        let mut r = Cursor::new(wire);
+        for (id, req) in &reqs {
+            let (got_id, got) = read_msg::<_, Request>(&mut r)
+                .map_err(|e| TestCaseError::fail(format!("read failed: {e}")))?;
+            prop_assert_eq!(got_id, *id);
+            prop_assert_eq!(&got, req);
+        }
+    }
+
+    #[test]
+    fn oversized_lengths_are_refused_before_allocation(
+        over in 1u32..u32::MAX - MAX_FRAME_LEN,
+        junk in vec(0u8..=255, 0..16),
+    ) {
+        // A hostile length prefix with (far) fewer bytes behind it: the
+        // cap check must fire on the prefix alone. If the length were
+        // trusted, read_msg would try to allocate up to 4 GiB here.
+        let mut frame = (MAX_FRAME_LEN + over).to_le_bytes().to_vec();
+        frame.extend_from_slice(&junk);
+        match decode_frame::<Request>(&frame) {
+            Err(ProtoError::Corrupt(msg)) => {
+                prop_assert!(msg.contains("exceeds cap"), "unexpected error: {}", msg)
+            }
+            other => return Err(TestCaseError::fail(format!("expected cap error, got {other:?}"))),
+        }
+        let mut r = Cursor::new(frame);
+        match read_msg::<_, Request>(&mut r) {
+            Err(ProtoError::Corrupt(msg)) => {
+                prop_assert!(msg.contains("exceeds cap"), "unexpected error: {}", msg)
+            }
+            other => return Err(TestCaseError::fail(format!("expected cap error, got {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics_the_decoder(bytes in vec(0u8..=255, 0..200)) {
+        // Decoding random bytes may fail any way it likes, but must
+        // return an error rather than panic or loop.
+        let _ = decode_frame::<Request>(&bytes);
+        let _ = decode_frame::<Response>(&bytes);
+    }
+}

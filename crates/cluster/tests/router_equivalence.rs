@@ -1,0 +1,253 @@
+//! The cluster's core guarantee, checked end-to-end over real sockets:
+//! a router fronting N shards answers the JSON line protocol
+//! **byte-identically** to a standalone server over the unsplit table —
+//! same neighbor ids, same ordering (ties broken by global node id),
+//! same error strings — for N ∈ {1, 2, 4}, including `batch` envelopes.
+//!
+//! CI runs this suite as the router gate (scripts/ci.sh).
+
+use ehna_cluster::{plan_shards, Router, RouterConfig, ShardConfig, ShardServer};
+use ehna_serve::{
+    query_lines, BruteForceIndex, EmbeddingStore, EngineConfig, KnnIndex, QueryEngine,
+    RequestLimits, Server, ServerConfig,
+};
+use ehna_tgraph::{NameMap, NodeEmbeddings};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A tie-heavy table: values cycle through 5 levels so many rows are
+/// equidistant and the (dist, id) tie-break actually decides orderings.
+fn table(n: usize, dim: usize) -> NodeEmbeddings {
+    let data: Vec<f32> = (0..n * dim).map(|i| ((i * 7) % 5) as f32).collect();
+    NodeEmbeddings::from_vec(dim, data)
+}
+
+fn names(n: usize) -> NameMap {
+    let mut map = NameMap::new();
+    for i in 0..n {
+        map.intern(&format!("node{i}"));
+    }
+    map
+}
+
+/// Write the unsplit snapshot + names under `dir`, returning the paths.
+fn write_full(dir: &Path, emb: &NodeEmbeddings, n: usize) -> (PathBuf, PathBuf) {
+    std::fs::create_dir_all(dir).unwrap();
+    let snap = dir.join("full.bin");
+    emb.save_path(&snap).unwrap();
+    let names_path = dir.join("full.names");
+    let lines: Vec<String> = (0..n).map(|i| format!("node{i}")).collect();
+    std::fs::write(&names_path, lines.join("\n") + "\n").unwrap();
+    (snap, names_path)
+}
+
+fn engine_for(snap: &Path, names: &Path) -> Arc<QueryEngine> {
+    let store = Arc::new(
+        EmbeddingStore::open(snap.to_str().unwrap(), Some(names.to_str().unwrap())).unwrap(),
+    );
+    let index: Box<dyn KnnIndex> = Box::new(BruteForceIndex::new(Arc::clone(&store)));
+    // cache 0: a cache hit flips `"cached":true` in the response, which
+    // would break byte-level comparison on repeated queries.
+    Arc::new(QueryEngine::new(
+        store,
+        index,
+        EngineConfig { workers: 1, cache_capacity: 0, ..Default::default() },
+    ))
+}
+
+/// Everything a running cluster needs torn down at the end.
+struct LiveCluster {
+    router: ehna_serve::ServerHandle,
+    shards: Vec<ehna_cluster::ShardHandle>,
+}
+
+impl LiveCluster {
+    fn shutdown(self) {
+        self.router.shutdown();
+        for s in self.shards {
+            s.shutdown();
+        }
+    }
+}
+
+/// Shard the table into `dir`, serve every shard over EHNP, and front
+/// them with a router speaking JSON on an ephemeral port.
+fn start_cluster(
+    dir: &Path,
+    emb: &NodeEmbeddings,
+    name_map: &NameMap,
+    n_shards: u32,
+) -> LiveCluster {
+    std::fs::create_dir_all(dir).unwrap();
+    let manifest = plan_shards(emb, Some(name_map), n_shards, dir).unwrap();
+    let mut shard_handles = Vec::new();
+    let mut replica_addrs: Vec<Vec<SocketAddr>> = Vec::new();
+    for (i, entry) in manifest.shards.iter().enumerate() {
+        let engine = engine_for(&dir.join(&entry.snapshot), &dir.join(&entry.names));
+        let shard = ShardServer::bind(
+            "127.0.0.1:0",
+            engine,
+            RequestLimits::default(),
+            None,
+            ShardConfig { shard_id: i as u32, ..Default::default() },
+        )
+        .unwrap();
+        replica_addrs.push(vec![shard.local_addr().unwrap()]);
+        shard_handles.push(shard.spawn().unwrap());
+    }
+    let router = Router::new(
+        manifest,
+        replica_addrs,
+        RequestLimits::default(),
+        RouterConfig { probe_interval: Duration::ZERO, ..Default::default() },
+    )
+    .unwrap();
+    let server =
+        Server::bind_handler("127.0.0.1:0", Arc::new(router) as _, ServerConfig::default())
+            .unwrap();
+    LiveCluster { router: server.spawn().unwrap(), shards: shard_handles }
+}
+
+/// The request battery: happy paths, tie-heavy top-k, numeric and named
+/// keys, scores, batches, and the full error surface. Every response
+/// must match byte-for-byte.
+fn battery(n: usize) -> Vec<String> {
+    vec![
+        r#"{"op":"ping"}"#.to_string(),
+        r#"{"op":"knn","node":"node3","k":1}"#.to_string(),
+        r#"{"op":"knn","node":"node3","k":5}"#.to_string(),
+        format!(r#"{{"op":"knn","node":"node0","k":{}}}"#, n - 1),
+        r#"{"op":"knn","node":"7","k":4}"#.to_string(),
+        r#"{"op":"knn","node":"node11"}"#.to_string(),
+        r#"{"op":"knn","vector":[1,0,2,4,0,3,1,2],"k":6}"#.to_string(),
+        r#"{"op":"score","pairs":[["node1","node2"],["3","node4"],["node5","node5"]]}"#
+            .to_string(),
+        r#"{"op":"batch","requests":[{"op":"knn","node":"node2","k":3},{"op":"ping"},{"op":"score","pairs":[["0","1"]]}]}"#
+            .to_string(),
+        r#"{"op":"batch","requests":[{"op":"reload"},{"op":"knn","node":"ghost","k":2},{"op":"knn","node":"node1","k":2}]}"#
+            .to_string(),
+        // Error surface: identical strings required.
+        r#"{"op":"knn","node":"ghost","k":3}"#.to_string(),
+        r#"{"op":"knn","node":"node1","k":0}"#.to_string(),
+        r#"{"op":"knn","node":"node1","k":999999}"#.to_string(),
+        r#"{"op":"knn","k":3}"#.to_string(),
+        r#"{"op":"score","pairs":[["node1","ghost"]]}"#.to_string(),
+        r#"{"op":"frobnicate"}"#.to_string(),
+        r#"{"nop":true}"#.to_string(),
+        "not json at all".to_string(),
+        r#"{"op":"batch","requests":"nope"}"#.to_string(),
+    ]
+}
+
+#[test]
+fn sharded_answers_are_byte_identical_to_standalone() {
+    const N: usize = 60;
+    const DIM: usize = 8;
+    let dir = std::env::temp_dir().join("ehna_router_equivalence");
+    let _ = std::fs::remove_dir_all(&dir);
+    let emb = table(N, DIM);
+    let name_map = names(N);
+    let (snap, names_path) = write_full(&dir, &emb, N);
+
+    // Oracle: a standalone brute-force server over the unsplit table.
+    let standalone =
+        Server::bind_with("127.0.0.1:0", engine_for(&snap, &names_path), ServerConfig::default())
+            .unwrap();
+    let standalone = standalone.spawn().unwrap();
+    let requests = battery(N);
+    let expected = query_lines(standalone.addr(), &requests).unwrap();
+
+    for n_shards in [1u32, 2, 4] {
+        let shard_dir = dir.join(format!("shards_{n_shards}"));
+        let cluster = start_cluster(&shard_dir, &emb, &name_map, n_shards);
+        let got = query_lines(cluster.router.addr(), &requests).unwrap();
+        for (i, (want, have)) in expected.iter().zip(&got).enumerate() {
+            assert_eq!(
+                want, have,
+                "response {i} diverged at {n_shards} shards\nrequest: {}",
+                requests[i]
+            );
+        }
+        assert_eq!(expected.len(), got.len());
+        cluster.shutdown();
+    }
+    standalone.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_answers_match_on_an_anonymous_table() {
+    // No name map: every key is a decimal global id, exercising the
+    // owner-arithmetic GetRow path rather than scatter-resolve hits.
+    const N: usize = 33;
+    const DIM: usize = 4;
+    let dir = std::env::temp_dir().join("ehna_router_equivalence_anon");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let emb = table(N, DIM);
+    let snap = dir.join("full.bin");
+    emb.save_path(&snap).unwrap();
+
+    let store = Arc::new(EmbeddingStore::open(snap.to_str().unwrap(), None).unwrap());
+    let index: Box<dyn KnnIndex> = Box::new(BruteForceIndex::new(Arc::clone(&store)));
+    let engine = Arc::new(QueryEngine::new(
+        store,
+        index,
+        EngineConfig { workers: 1, cache_capacity: 0, ..Default::default() },
+    ));
+    let standalone =
+        Server::bind_with("127.0.0.1:0", engine, ServerConfig::default()).unwrap().spawn().unwrap();
+
+    let requests = vec![
+        r#"{"op":"knn","node":"0","k":3}"#.to_string(),
+        r#"{"op":"knn","node":"32","k":7}"#.to_string(),
+        r#"{"op":"knn","node":"33","k":2}"#.to_string(),
+        r#"{"op":"score","pairs":[["0","32"],["5","5"]]}"#.to_string(),
+        r#"{"op":"batch","requests":[{"op":"knn","node":"16","k":4}]}"#.to_string(),
+    ];
+    let expected = query_lines(standalone.addr(), &requests).unwrap();
+
+    for n_shards in [2u32, 4] {
+        let shard_dir = dir.join(format!("shards_{n_shards}"));
+        std::fs::create_dir_all(&shard_dir).unwrap();
+        let manifest = plan_shards(&emb, None, n_shards, &shard_dir).unwrap();
+        let mut shard_handles = Vec::new();
+        let mut replicas = Vec::new();
+        for (i, entry) in manifest.shards.iter().enumerate() {
+            let engine =
+                engine_for(&shard_dir.join(&entry.snapshot), &shard_dir.join(&entry.names));
+            let shard = ShardServer::bind(
+                "127.0.0.1:0",
+                engine,
+                RequestLimits::default(),
+                None,
+                ShardConfig { shard_id: i as u32, ..Default::default() },
+            )
+            .unwrap();
+            replicas.push(vec![shard.local_addr().unwrap()]);
+            shard_handles.push(shard.spawn().unwrap());
+        }
+        let router = Router::new(
+            manifest,
+            replicas,
+            RequestLimits::default(),
+            RouterConfig { probe_interval: Duration::ZERO, ..Default::default() },
+        )
+        .unwrap();
+        let handle =
+            Server::bind_handler("127.0.0.1:0", Arc::new(router) as _, ServerConfig::default())
+                .unwrap()
+                .spawn()
+                .unwrap();
+        let got = query_lines(handle.addr(), &requests).unwrap();
+        assert_eq!(expected, got, "anonymous-table divergence at {n_shards} shards");
+        handle.shutdown();
+        for s in shard_handles {
+            s.shutdown();
+        }
+    }
+    standalone.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

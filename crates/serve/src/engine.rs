@@ -237,8 +237,9 @@ impl QueryEngine {
     }
 
     /// The live counters, for the serving layer to record rejections,
-    /// timeouts, and load-shedding against.
-    pub(crate) fn stats_raw(&self) -> &EngineStats {
+    /// timeouts, and load-shedding against, and for cluster processes to
+    /// declare their identity on ([`EngineStats::set_identity`]).
+    pub fn stats_raw(&self) -> &EngineStats {
         &self.shared.stats
     }
 

@@ -45,10 +45,10 @@ pub use index::{BruteForceIndex, IvfConfig, IvfIndex, KnnIndex, Neighbor, Search
 pub use json::Json;
 pub use server::Reloader;
 pub use server::{
-    handle_line, query_lines, query_lines_timeout, RequestLimits, Server, ServerConfig,
-    ServerHandle,
+    handle_line, op_counts_json, query_lines, query_lines_detailed, query_lines_timeout,
+    EngineHandler, LineHandler, QueryError, RequestLimits, Server, ServerConfig, ServerHandle,
 };
-pub use stats::{EngineStats, LatencyHistogram, StatsSnapshot};
+pub use stats::{EngineStats, LatencyHistogram, OpCounters, OpCounts, Role, StatsSnapshot};
 pub use store::EmbeddingStore;
 
 use std::fmt;

@@ -52,6 +52,7 @@
 use crate::engine::QueryEngine;
 use crate::index::KnnIndex;
 use crate::json::Json;
+use crate::stats::EngineStats;
 use crate::store::EmbeddingStore;
 use crate::ServeError;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
@@ -79,11 +80,13 @@ pub struct RequestLimits {
     pub max_k: usize,
     /// Largest number of pairs a `score` request may submit.
     pub max_pairs: usize,
+    /// Largest number of sub-requests a `batch` envelope may carry.
+    pub max_batch: usize,
 }
 
 impl Default for RequestLimits {
     fn default() -> Self {
-        RequestLimits { max_k: 1024, max_pairs: 4096 }
+        RequestLimits { max_k: 1024, max_pairs: 4096, max_batch: 256 }
     }
 }
 
@@ -132,11 +135,73 @@ impl Default for ServerConfig {
 pub type Reloader =
     Arc<dyn Fn() -> Result<(Arc<EmbeddingStore>, Box<dyn KnnIndex>), ServeError> + Send + Sync>;
 
+/// A protocol backend: turns one request line into one response document.
+///
+/// [`Server`] owns everything about sockets — admission control, the
+/// bounded worker pool, read/write timeouts, line caps, and deterministic
+/// shutdown — while the handler decides what the lines *mean*. The
+/// standard engine-backed server ([`EngineHandler`]) and the cluster
+/// router are both `LineHandler`s, so the router inherits the whole
+/// hardened front end for free.
+pub trait LineHandler: Send + Sync {
+    /// Answer one request line with one response document. Must not
+    /// panic on malformed input — answer with `"ok":false` instead.
+    fn handle_line(&self, line: &str) -> Json;
+
+    /// The counters the socket layer records shed connections, socket
+    /// timeouts, and oversized lines against.
+    fn stats(&self) -> &EngineStats;
+}
+
+/// The standard [`LineHandler`]: requests answered by a [`QueryEngine`],
+/// with an optional [`Reloader`] behind the `reload` op.
+pub struct EngineHandler {
+    engine: Arc<QueryEngine>,
+    limits: RequestLimits,
+    reloader: Option<Reloader>,
+}
+
+impl EngineHandler {
+    /// Handler over `engine`, enforcing `limits` per request.
+    pub fn new(
+        engine: Arc<QueryEngine>,
+        limits: RequestLimits,
+        reloader: Option<Reloader>,
+    ) -> Self {
+        EngineHandler { engine, limits, reloader }
+    }
+}
+
+impl LineHandler for EngineHandler {
+    fn handle_line(&self, line: &str) -> Json {
+        handle_line_with(&self.engine, &self.limits, self.reloader.as_ref(), line)
+    }
+
+    fn stats(&self) -> &EngineStats {
+        self.engine.stats_raw()
+    }
+}
+
+impl std::fmt::Debug for EngineHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineHandler")
+            .field("engine", &self.engine)
+            .field("reload", &self.reloader.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What answers requests: either a [`QueryEngine`] wrapped at spawn time,
+/// or an arbitrary [`LineHandler`] (the cluster router).
+enum Backend {
+    Engine { engine: Arc<QueryEngine>, reloader: Option<Reloader> },
+    Handler(Arc<dyn LineHandler>),
+}
+
 /// State shared between the accept loop, the worker pool, and the
 /// shutdown path.
 struct ServerShared {
-    engine: Arc<QueryEngine>,
-    reloader: Option<Reloader>,
+    handler: Arc<dyn LineHandler>,
     config: ServerConfig,
     stop: AtomicBool,
     /// Admitted connections not yet closed (queued + being served).
@@ -150,17 +215,17 @@ struct ServerShared {
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
-    engine: Arc<QueryEngine>,
-    reloader: Option<Reloader>,
+    backend: Backend,
     config: ServerConfig,
 }
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Server")
-            .field("engine", &self.engine)
-            .field("reload", &self.reloader.is_some())
-            .finish_non_exhaustive()
+        let backend = match &self.backend {
+            Backend::Engine { .. } => "engine",
+            Backend::Handler(_) => "handler",
+        };
+        f.debug_struct("Server").field("backend", &backend).finish_non_exhaustive()
     }
 }
 
@@ -183,15 +248,44 @@ impl Server {
         engine: Arc<QueryEngine>,
         config: ServerConfig,
     ) -> io::Result<Server> {
-        Ok(Server { listener: TcpListener::bind(addr)?, engine, reloader: None, config })
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            backend: Backend::Engine { engine, reloader: None },
+            config,
+        })
+    }
+
+    /// Bind `addr` with an arbitrary [`LineHandler`] backend (the cluster
+    /// router uses this to sit behind the same hardened socket layer as
+    /// an engine-backed server).
+    ///
+    /// # Errors
+    /// Socket errors.
+    pub fn bind_handler<A: ToSocketAddrs>(
+        addr: A,
+        handler: Arc<dyn LineHandler>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            backend: Backend::Handler(handler),
+            config,
+        })
     }
 
     /// Enable the `reload` op: each request runs `reloader` and hot-swaps
     /// the returned snapshot into the engine. Without this, `reload`
     /// requests get a structured `"reload not configured"` error.
+    ///
+    /// # Panics
+    /// Panics on a [`bind_handler`](Server::bind_handler) server — a
+    /// custom handler owns its own reload semantics.
     #[must_use]
     pub fn with_reloader(mut self, reloader: Reloader) -> Self {
-        self.reloader = Some(reloader);
+        match &mut self.backend {
+            Backend::Engine { reloader: slot, .. } => *slot = Some(reloader),
+            Backend::Handler(_) => panic!("with_reloader requires an engine-backed server"),
+        }
         self
     }
 
@@ -228,9 +322,14 @@ impl Server {
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         self.listener.set_nonblocking(true)?;
+        let handler: Arc<dyn LineHandler> = match self.backend {
+            Backend::Engine { engine, reloader } => {
+                Arc::new(EngineHandler::new(engine, self.config.limits.clone(), reloader))
+            }
+            Backend::Handler(handler) => handler,
+        };
         let shared = Arc::new(ServerShared {
-            engine: self.engine,
-            reloader: self.reloader,
+            handler,
             config: self.config,
             stop: AtomicBool::new(false),
             active: AtomicUsize::new(0),
@@ -375,7 +474,7 @@ fn admit(shared: &ServerShared, tx: &Sender<TcpStream>, stream: TcpStream) {
 
 /// Tell an un-admittable client it is being load-shed, then drop it.
 fn shed(shared: &ServerShared, stream: &TcpStream) {
-    shared.engine.stats_raw().overloads.fetch_add(1, Ordering::Relaxed);
+    shared.handler.stats().overloads.fetch_add(1, Ordering::Relaxed);
     let resp = error_response("overloaded");
     let mut writer = BufWriter::new(stream);
     let _ = writeln!(writer, "{resp}").and_then(|()| writer.flush());
@@ -481,7 +580,7 @@ fn serve_connection(shared: &ServerShared, stream: &TcpStream) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let stats = shared.engine.stats_raw();
+    let stats = shared.handler.stats();
     loop {
         match read_line_capped(&mut reader, shared.config.max_line_bytes) {
             Ok(LineRead::Eof) => break,
@@ -501,12 +600,7 @@ fn serve_connection(shared: &ServerShared, stream: &TcpStream) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let response = handle_line_with(
-                    &shared.engine,
-                    &shared.config.limits,
-                    shared.reloader.as_ref(),
-                    &line,
-                );
+                let response = shared.handler.handle_line(&line);
                 if let Err(e) = writeln!(writer, "{response}").and_then(|()| writer.flush()) {
                     if is_timeout(&e) {
                         stats.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -572,14 +666,58 @@ fn dispatch(
         .get("op")
         .and_then(Json::as_str)
         .ok_or_else(|| ServeError::BadRequest("missing 'op'".into()))?;
+    // Dispatched == counted (success or not), so per-op totals reconcile
+    // with `requests` across a cluster; unknown ops never reach a handler
+    // and are only counted in `rejected`.
+    engine.stats_raw().ops.record(op);
     match op {
         "ping" => Ok(Json::obj([("ok", Json::Bool(true)), ("pong", Json::Bool(true))])),
         "knn" => knn_op(engine, limits, request),
         "score" => score_op(engine, limits, request),
         "stats" => Ok(stats_op(engine)),
         "reload" => reload_op(engine, reloader),
+        "batch" => batch_op(engine, limits, request),
         other => Err(ServeError::BadRequest(format!("unknown op '{other}'"))),
     }
+}
+
+/// Run a bounded list of sub-requests in order and return their responses
+/// in one envelope. Sub-request failures are reported in place (and
+/// counted in `rejected`) without failing the envelope; `reload` and
+/// nested `batch` are refused — a batch is a read-path convenience, not a
+/// control plane.
+fn batch_op(
+    engine: &QueryEngine,
+    limits: &RequestLimits,
+    request: &Json,
+) -> Result<Json, ServeError> {
+    let requests = request
+        .get("requests")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::BadRequest("'requests' must be an array".into()))?;
+    if requests.len() > limits.max_batch {
+        return Err(ServeError::BadRequest(format!(
+            "'requests' exceeds the server limit of {} (got {})",
+            limits.max_batch,
+            requests.len()
+        )));
+    }
+    let mut responses = Vec::with_capacity(requests.len());
+    for sub in requests {
+        let sub_reject = |msg: &str| {
+            engine.stats_raw().rejected.fetch_add(1, Ordering::Relaxed);
+            error_response(msg)
+        };
+        let resp = match sub.get("op").and_then(Json::as_str) {
+            Some("batch") | Some("reload") => sub_reject("op not allowed inside a batch"),
+            _ => match dispatch(engine, limits, None, sub) {
+                Ok(resp) => resp,
+                Err(e) => sub_reject(&e.to_string()),
+            },
+        };
+        responses.push(resp);
+    }
+    Ok(Json::obj([("ok", Json::Bool(true)), ("responses", Json::Arr(responses))]))
 }
 
 /// Run the configured [`Reloader`] and hot-swap its snapshot into the
@@ -729,6 +867,8 @@ fn stats_op(engine: &QueryEngine) -> Json {
     let snap = engine.stats();
     Json::obj([
         ("ok", Json::Bool(true)),
+        ("role", Json::Str(snap.role.as_str().to_string())),
+        ("shard_id", snap.shard_id.map_or(Json::Null, |s| Json::Num(s as f64))),
         ("index", Json::Str(engine.index_kind().to_string())),
         ("nodes", Json::Num(engine.store().num_nodes() as f64)),
         ("dim", Json::Num(engine.store().dim() as f64)),
@@ -746,6 +886,21 @@ fn stats_op(engine: &QueryEngine) -> Json {
         ("p50_us", Json::Num(snap.p50_us as f64)),
         ("p95_us", Json::Num(snap.p95_us as f64)),
         ("p99_us", Json::Num(snap.p99_us as f64)),
+        ("ops", op_counts_json(&snap.ops)),
+    ])
+}
+
+/// Per-op counters as a JSON object (shared by the engine's `stats` op
+/// and the cluster router's).
+pub fn op_counts_json(ops: &crate::stats::OpCounts) -> Json {
+    Json::obj([
+        ("ping", Json::Num(ops.ping as f64)),
+        ("knn", Json::Num(ops.knn as f64)),
+        ("score", Json::Num(ops.score as f64)),
+        ("stats", Json::Num(ops.stats as f64)),
+        ("reload", Json::Num(ops.reload as f64)),
+        ("batch", Json::Num(ops.batch as f64)),
+        ("resolve", Json::Num(ops.resolve as f64)),
     ])
 }
 
@@ -771,10 +926,88 @@ pub fn query_lines_timeout<A: ToSocketAddrs>(
     requests: &[String],
     timeout: Duration,
 ) -> io::Result<Vec<String>> {
+    query_lines_detailed(addr, requests, timeout).map_err(io::Error::from)
+}
+
+/// How a [`query_lines_detailed`] call failed — and, crucially, *when*.
+///
+/// A replica that refuses the TCP handshake is **dead** (restart it, or
+/// route around it permanently); one that accepts the connection and then
+/// stalls is **slow** (maybe transiently overloaded — back off, retry
+/// later). The cluster router's failover and circuit-breaking logic keys
+/// off exactly this distinction, and `ehna query` reports it to humans.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The TCP connection could not be established at all: the server is
+    /// unreachable (down, wrong address, refused).
+    Connect(io::Error),
+    /// The server accepted the connection but a request could not be
+    /// written or answered within the timeout: the server is up but slow
+    /// or wedged. `during` says which side stalled (`"accept the
+    /// request"` for writes, `"respond"` for reads).
+    Timeout {
+        /// What the server failed to do in time.
+        during: &'static str,
+        /// The per-operation deadline that expired.
+        timeout: Duration,
+    },
+    /// The server closed the connection before answering every request.
+    Closed,
+    /// Any other mid-stream IO failure (reset, broken pipe, ...).
+    Io(io::Error),
+}
+
+impl QueryError {
+    /// Whether the failure happened before the connection existed —
+    /// i.e. the server looks dead rather than slow.
+    pub fn is_connect(&self) -> bool {
+        matches!(self, QueryError::Connect(_))
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Connect(e) => write!(f, "could not connect: {e}"),
+            QueryError::Timeout { during, timeout } => {
+                write!(f, "server did not {during} within {timeout:?} — is it stuck or overloaded?")
+            }
+            QueryError::Closed => write!(f, "server closed the connection"),
+            QueryError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<QueryError> for io::Error {
+    /// Collapse back to the untyped `io::Error` surface (kinds and
+    /// messages unchanged from the pre-typed API, so existing callers
+    /// and tests see identical behavior).
+    fn from(e: QueryError) -> io::Error {
+        match e {
+            QueryError::Connect(inner) | QueryError::Io(inner) => inner,
+            QueryError::Timeout { .. } => io::Error::new(io::ErrorKind::TimedOut, e.to_string()),
+            QueryError::Closed => io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string()),
+        }
+    }
+}
+
+/// [`query_lines_timeout`] with a typed error that distinguishes a dead
+/// server (connect failure) from a slow one (mid-stream timeout) — the
+/// signal the router's failover needs, conflated by `io::Error` alone.
+///
+/// # Errors
+/// See [`QueryError`].
+pub fn query_lines_detailed<A: ToSocketAddrs>(
+    addr: A,
+    requests: &[String],
+    timeout: Duration,
+) -> Result<Vec<String>, QueryError> {
     let timeout = timeout.max(Duration::from_millis(1));
     let mut last_err: Option<io::Error> = None;
     let mut stream: Option<TcpStream> = None;
-    for candidate in addr.to_socket_addrs()? {
+    for candidate in addr.to_socket_addrs().map_err(QueryError::Connect)? {
         match TcpStream::connect_timeout(&candidate, timeout) {
             Ok(s) => {
                 stream = Some(s);
@@ -784,42 +1017,33 @@ pub fn query_lines_timeout<A: ToSocketAddrs>(
         }
     }
     let stream = stream.ok_or_else(|| {
-        last_err.unwrap_or_else(|| {
+        QueryError::Connect(last_err.unwrap_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, "address resolved to no candidates")
-        })
+        }))
     })?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
-    let mut writer = BufWriter::new(stream.try_clone()?);
+    stream.set_read_timeout(Some(timeout)).map_err(QueryError::Io)?;
+    stream.set_write_timeout(Some(timeout)).map_err(QueryError::Io)?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(QueryError::Io)?);
     let mut reader = BufReader::new(stream);
     let mut responses = Vec::with_capacity(requests.len());
-    let timed_out = |what: &str| {
-        io::Error::new(
-            io::ErrorKind::TimedOut,
-            format!("server did not {what} within {timeout:?} — is it stuck or overloaded?"),
-        )
-    };
     for req in requests {
         writeln!(writer, "{req}").and_then(|()| writer.flush()).map_err(|e| {
             if is_timeout(&e) {
-                timed_out("accept the request")
+                QueryError::Timeout { during: "accept the request", timeout }
             } else {
-                e
+                QueryError::Io(e)
             }
         })?;
         let mut line = String::new();
         let n = reader.read_line(&mut line).map_err(|e| {
             if is_timeout(&e) {
-                timed_out("respond")
+                QueryError::Timeout { during: "respond", timeout }
             } else {
-                e
+                QueryError::Io(e)
             }
         })?;
         if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+            return Err(QueryError::Closed);
         }
         responses.push(line.trim_end().to_string());
     }
@@ -886,7 +1110,7 @@ mod tests {
             assert!(msg.contains("'k'"), "unhelpful error: {msg}");
         }
         // A tight max_k limit rejects an otherwise-valid k.
-        let tight = RequestLimits { max_k: 1, max_pairs: 4096 };
+        let tight = RequestLimits { max_k: 1, ..RequestLimits::default() };
         let resp = handle_line(&e, &tight, r#"{"op":"knn","node":"a","k":2}"#);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
         assert!(resp.get("error").and_then(Json::as_str).unwrap().contains("limit"));
@@ -898,7 +1122,7 @@ mod tests {
     #[test]
     fn score_respects_max_pairs() {
         let e = engine();
-        let tight = RequestLimits { max_k: 1024, max_pairs: 1 };
+        let tight = RequestLimits { max_pairs: 1, ..RequestLimits::default() };
         let resp = handle_line(&e, &tight, r#"{"op":"score","pairs":[["a","b"],["a","c"]]}"#);
         assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
         assert!(resp.get("error").and_then(Json::as_str).unwrap().contains("limit"));
@@ -949,6 +1173,71 @@ mod tests {
         assert_eq!(resp.get("rejected").and_then(Json::as_usize), Some(0));
         assert_eq!(resp.get("overloads").and_then(Json::as_usize), Some(0));
         assert_eq!(resp.get("timeouts").and_then(Json::as_usize), Some(0));
+    }
+
+    #[test]
+    fn stats_op_reports_role_and_per_op_counts() {
+        let e = engine();
+        handle_line(&e, &limits(), r#"{"op":"ping"}"#);
+        handle_line(&e, &limits(), r#"{"op":"knn","node":"a","k":1}"#);
+        let resp = handle_line(&e, &limits(), r#"{"op":"stats"}"#);
+        // Identity defaults: a plain engine is a standalone node.
+        assert_eq!(resp.get("role").and_then(Json::as_str), Some("standalone"));
+        assert_eq!(resp.get("shard_id"), Some(&Json::Null));
+        let ops = resp.get("ops").expect("stats carries per-op counters");
+        assert_eq!(ops.get("ping").and_then(Json::as_usize), Some(1));
+        assert_eq!(ops.get("knn").and_then(Json::as_usize), Some(1));
+        assert_eq!(ops.get("stats").and_then(Json::as_usize), Some(1));
+        assert_eq!(ops.get("score").and_then(Json::as_usize), Some(0));
+        // Declared identity shows up on the wire.
+        e.stats_raw().set_identity(crate::stats::Role::Shard, Some(1));
+        let resp = handle_line(&e, &limits(), r#"{"op":"stats"}"#);
+        assert_eq!(resp.get("role").and_then(Json::as_str), Some("shard"));
+        assert_eq!(resp.get("shard_id").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn batch_op_runs_sub_requests_in_order() {
+        let e = engine();
+        let resp = handle_line(
+            &e,
+            &limits(),
+            r#"{"op":"batch","requests":[{"op":"ping"},{"op":"knn","node":"a","k":2},{"op":"score","pairs":[["a","b"]]}]}"#,
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let subs = resp.get("responses").and_then(Json::as_arr).unwrap();
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[0].get("pong"), Some(&Json::Bool(true)));
+        let neighbors = subs[1].get("neighbors").and_then(Json::as_arr).unwrap();
+        assert_eq!(neighbors[0].get("node").and_then(Json::as_str), Some("b"));
+        let scores = subs[2].get("scores").and_then(Json::as_arr).unwrap();
+        assert_eq!(scores[0].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn batch_op_reports_sub_failures_in_place() {
+        let e = engine();
+        let resp = handle_line(
+            &e,
+            &limits(),
+            r#"{"op":"batch","requests":[{"op":"knn","node":"nobody"},{"op":"ping"},{"op":"reload"},{"op":"batch","requests":[]}]}"#,
+        );
+        // The envelope succeeds; the bad sub-requests fail individually.
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let subs = resp.get("responses").and_then(Json::as_arr).unwrap();
+        assert_eq!(subs[0].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(subs[1].get("ok"), Some(&Json::Bool(true)));
+        for nested in [&subs[2], &subs[3]] {
+            assert_eq!(nested.get("ok"), Some(&Json::Bool(false)));
+            let msg = nested.get("error").and_then(Json::as_str).unwrap();
+            assert!(msg.contains("batch"), "unhelpful error: {msg}");
+        }
+        // Over-limit envelopes are refused outright.
+        let tight = RequestLimits { max_batch: 1, ..RequestLimits::default() };
+        let resp =
+            handle_line(&e, &tight, r#"{"op":"batch","requests":[{"op":"ping"},{"op":"ping"}]}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert!(resp.get("error").and_then(Json::as_str).unwrap().contains("limit"));
     }
 
     #[test]
@@ -1006,5 +1295,65 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
         assert!(err.to_string().contains("respond"), "unclear error: {err}");
         sink.join().unwrap();
+    }
+
+    #[test]
+    fn detailed_client_errors_distinguish_dead_from_slow() {
+        // Dead server: nothing is listening, so the failure is Connect.
+        let unused = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = unused.local_addr().unwrap();
+        drop(unused);
+        let err = query_lines_detailed(
+            dead_addr,
+            &[r#"{"op":"ping"}"#.to_string()],
+            Duration::from_millis(200),
+        )
+        .unwrap_err();
+        assert!(err.is_connect(), "expected Connect, got {err:?}");
+        assert!(err.to_string().contains("connect"), "unclear error: {err}");
+
+        // Slow server: accepts, never answers — a mid-stream Timeout.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sink = std::thread::spawn(move || {
+            let _conn = listener.accept();
+            std::thread::sleep(Duration::from_millis(400));
+        });
+        let err = query_lines_detailed(
+            addr,
+            &[r#"{"op":"ping"}"#.to_string()],
+            Duration::from_millis(100),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, QueryError::Timeout { during: "respond", .. }),
+            "expected a respond timeout, got {err:?}"
+        );
+        assert!(!err.is_connect());
+        sink.join().unwrap();
+    }
+
+    #[test]
+    fn handler_backed_server_serves_and_counts() {
+        struct Echo {
+            stats: EngineStats,
+        }
+        impl LineHandler for Echo {
+            fn handle_line(&self, line: &str) -> Json {
+                Json::obj([("ok", Json::Bool(true)), ("echo", Json::Str(line.to_string()))])
+            }
+            fn stats(&self) -> &EngineStats {
+                &self.stats
+            }
+        }
+        let handler = Arc::new(Echo { stats: EngineStats::default() });
+        let server =
+            Server::bind_handler("127.0.0.1:0", Arc::clone(&handler) as _, ServerConfig::default())
+                .unwrap();
+        let handle = server.spawn().unwrap();
+        let responses = query_lines(handle.addr(), &["hello".to_string()]).unwrap();
+        let resp = Json::parse(&responses[0]).unwrap();
+        assert_eq!(resp.get("echo").and_then(Json::as_str), Some("hello"));
+        handle.shutdown();
     }
 }

@@ -1,7 +1,7 @@
 //! Lock-free serving telemetry: request counters plus a log-bucketed
 //! latency histogram answering p50/p95/p99 queries.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::Duration;
 
 /// Number of power-of-two latency buckets: bucket `i` holds samples in
@@ -72,9 +72,133 @@ impl LatencyHistogram {
     }
 }
 
+/// Add 1 to a counter without ever wrapping: cluster dashboards diff
+/// these values, and a silent wrap to 0 would read as a huge negative
+/// rate. Saturation at `u64::MAX` is the honest failure mode.
+pub fn saturating_inc(counter: &AtomicU64) {
+    // `fetch_update` with Relaxed/Relaxed never fails spuriously; the
+    // loop only retries on genuine contention.
+    let _ =
+        counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_add(1)));
+}
+
+/// What a serving process is, from the cluster's point of view. Surfaced
+/// through the `stats` op so dashboards can tell nodes apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// A single-process server over the whole table (the pre-cluster
+    /// deployment shape).
+    #[default]
+    Standalone,
+    /// One partition of a sharded table, serving EHNP shard traffic.
+    Shard,
+    /// The scatter-gather front door of a sharded cluster.
+    Router,
+}
+
+impl Role {
+    /// Wire label of the role (`"standalone"` / `"shard"` / `"router"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Standalone => "standalone",
+            Role::Shard => "shard",
+            Role::Router => "router",
+        }
+    }
+
+    fn from_u8(raw: u8) -> Role {
+        match raw {
+            1 => Role::Shard,
+            2 => Role::Router,
+            _ => Role::Standalone,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Role::Standalone => 0,
+            Role::Shard => 1,
+            Role::Router => 2,
+        }
+    }
+}
+
+/// Sentinel for "no shard id assigned" in the atomic identity fields.
+const NO_SHARD: u64 = u64::MAX;
+
+/// Per-op request counters (saturating, never wrapping). An op is
+/// counted when it is dispatched, whether or not it succeeds, so the
+/// totals reconcile with `requests` per node and across a cluster.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    /// `ping` requests.
+    pub ping: AtomicU64,
+    /// `knn` requests (by node or by vector).
+    pub knn: AtomicU64,
+    /// `score` requests.
+    pub score: AtomicU64,
+    /// `stats` requests.
+    pub stats: AtomicU64,
+    /// `reload` requests.
+    pub reload: AtomicU64,
+    /// `batch` envelopes (sub-requests count toward their own ops too).
+    pub batch: AtomicU64,
+    /// EHNP `resolve` / row-fetch requests (shards only).
+    pub resolve: AtomicU64,
+}
+
+impl OpCounters {
+    /// Count one dispatched request of op `name` (unknown ops are not
+    /// counted — they never reach a handler).
+    pub fn record(&self, name: &str) {
+        let counter = match name {
+            "ping" => &self.ping,
+            "knn" => &self.knn,
+            "score" => &self.score,
+            "stats" => &self.stats,
+            "reload" => &self.reload,
+            "batch" => &self.batch,
+            "resolve" => &self.resolve,
+            _ => return,
+        };
+        saturating_inc(counter);
+    }
+
+    fn snapshot(&self) -> OpCounts {
+        OpCounts {
+            ping: self.ping.load(Ordering::Relaxed),
+            knn: self.knn.load(Ordering::Relaxed),
+            score: self.score.load(Ordering::Relaxed),
+            stats: self.stats.load(Ordering::Relaxed),
+            reload: self.reload.load(Ordering::Relaxed),
+            batch: self.batch.load(Ordering::Relaxed),
+            resolve: self.resolve.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`OpCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// `ping` requests.
+    pub ping: u64,
+    /// `knn` requests.
+    pub knn: u64,
+    /// `score` requests.
+    pub score: u64,
+    /// `stats` requests.
+    pub stats: u64,
+    /// `reload` requests.
+    pub reload: u64,
+    /// `batch` envelopes.
+    pub batch: u64,
+    /// `resolve` requests.
+    pub resolve: u64,
+}
+
 /// Counters for the query engine and the serving layer above it, all
 /// relaxed atomics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EngineStats {
     /// Per-request latency (submit → reply).
     pub latency: LatencyHistogram,
@@ -101,6 +225,33 @@ pub struct EngineStats {
     /// Unix timestamp (seconds) of the last completed hot swap; 0 when
     /// the engine has never swapped.
     pub last_reload_unix: AtomicU64,
+    /// Per-op request counters (saturating).
+    pub ops: OpCounters,
+    /// Cluster role of this process (see [`Role`]), stored as its wire
+    /// discriminant so it can be set after the engine is shared.
+    role: AtomicU8,
+    /// Shard id when `role == Shard`; [`NO_SHARD`] otherwise.
+    shard_id: AtomicU64,
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        EngineStats {
+            latency: LatencyHistogram::default(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            overloads: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            snapshot_version: AtomicU64::new(0),
+            last_reload_unix: AtomicU64::new(0),
+            ops: OpCounters::default(),
+            role: AtomicU8::new(Role::Standalone.as_u8()),
+            shard_id: AtomicU64::new(NO_SHARD),
+        }
+    }
 }
 
 /// A point-in-time copy of [`EngineStats`], safe to serialize.
@@ -130,6 +281,12 @@ pub struct StatsSnapshot {
     pub snapshot_version: u64,
     /// Unix timestamp (seconds) of the last hot swap; 0 = never.
     pub last_reload_unix: u64,
+    /// Cluster role of this process.
+    pub role: Role,
+    /// Shard id (only `Some` for shard processes).
+    pub shard_id: Option<u32>,
+    /// Per-op request counts.
+    pub ops: OpCounts,
     /// Mean latency, microseconds.
     pub mean_us: f64,
     /// Approximate latency quantiles, microseconds.
@@ -141,6 +298,27 @@ pub struct StatsSnapshot {
 }
 
 impl EngineStats {
+    /// Declare what this process is: a role, plus the shard id for shard
+    /// processes. Called once at startup, after the engine is built.
+    pub fn set_identity(&self, role: Role, shard_id: Option<u32>) {
+        self.role.store(role.as_u8(), Ordering::Relaxed);
+        let raw = shard_id.map(|s| s as u64).unwrap_or(NO_SHARD);
+        self.shard_id.store(raw, Ordering::Relaxed);
+    }
+
+    /// Cluster role of this process.
+    pub fn role(&self) -> Role {
+        Role::from_u8(self.role.load(Ordering::Relaxed))
+    }
+
+    /// Shard id, when this process serves one shard of a cluster.
+    pub fn shard_id(&self) -> Option<u32> {
+        match self.shard_id.load(Ordering::Relaxed) {
+            NO_SHARD => None,
+            raw => Some(raw as u32),
+        }
+    }
+
     /// Snapshot every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         let rejected = self.rejected.load(Ordering::Relaxed);
@@ -159,6 +337,9 @@ impl EngineStats {
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),
             p99_us: self.latency.quantile_us(0.99),
+            role: self.role(),
+            shard_id: self.shard_id(),
+            ops: self.ops.snapshot(),
         }
     }
 }
@@ -213,6 +394,47 @@ mod tests {
         assert_eq!(snap.cache_hits, 2);
         assert_eq!(snap.batches, 1);
         assert!(snap.p50_us > 0);
+    }
+
+    #[test]
+    fn saturating_inc_never_wraps() {
+        let c = AtomicU64::new(u64::MAX - 1);
+        saturating_inc(&c);
+        assert_eq!(c.load(Ordering::Relaxed), u64::MAX);
+        saturating_inc(&c);
+        assert_eq!(c.load(Ordering::Relaxed), u64::MAX, "saturates, never wraps");
+    }
+
+    #[test]
+    fn op_counters_record_known_ops_only() {
+        let ops = OpCounters::default();
+        for op in ["ping", "knn", "knn", "score", "stats", "reload", "batch", "resolve"] {
+            ops.record(op);
+        }
+        ops.record("no-such-op");
+        let snap = ops.snapshot();
+        assert_eq!(snap.ping, 1);
+        assert_eq!(snap.knn, 2);
+        assert_eq!(snap.score, 1);
+        assert_eq!(snap.stats, 1);
+        assert_eq!(snap.reload, 1);
+        assert_eq!(snap.batch, 1);
+        assert_eq!(snap.resolve, 1);
+    }
+
+    #[test]
+    fn identity_defaults_and_round_trips() {
+        let s = EngineStats::default();
+        assert_eq!(s.role(), Role::Standalone);
+        assert_eq!(s.shard_id(), None);
+        s.set_identity(Role::Shard, Some(3));
+        let snap = s.snapshot();
+        assert_eq!(snap.role, Role::Shard);
+        assert_eq!(snap.shard_id, Some(3));
+        s.set_identity(Role::Router, None);
+        assert_eq!(s.role(), Role::Router);
+        assert_eq!(s.shard_id(), None);
+        assert_eq!(Role::Router.as_str(), "router");
     }
 
     #[test]

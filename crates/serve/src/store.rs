@@ -85,6 +85,17 @@ impl EmbeddingStore {
         Err(ServeError::UnknownNode(key.to_string()))
     }
 
+    /// Resolve a key through the name map only — no decimal-id fallback.
+    ///
+    /// Shard stores need this: their rows are locally indexed, so a
+    /// *global* decimal key must never be misread as a local row number.
+    /// The shard planner writes every shard a names file of global
+    /// labels, and the router resolves numeric keys by ownership
+    /// arithmetic instead.
+    pub fn resolve_name(&self, key: &str) -> Option<NodeId> {
+        self.names.as_ref().and_then(|names| names.get(key))
+    }
+
     /// Display label for a node: its interned name when known, else the
     /// decimal id.
     pub fn label(&self, id: NodeId) -> String {
