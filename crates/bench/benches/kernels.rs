@@ -1,0 +1,139 @@
+//! Micro-benchmarks of the fused training kernels at EHNA-typical
+//! shapes: the three GEMM variants the tape emits (forward, dX, dW), the
+//! fused LSTM gate block, softmax rows, and batch-norm. The vendored
+//! criterion harness has no `Throughput` support, so a manual GFLOP/s
+//! table is printed alongside the criterion timings.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ehna_nn::kernels::{
+    batchnorm_train_forward, gemm_acc, gemm_nt_acc, gemm_tn_acc, lstm_step_backward,
+    lstm_step_forward, softmax_rows_forward,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn rand_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Time `f` over enough iterations to fill ~0.2s and return seconds/iter.
+fn secs_per_iter(mut f: impl FnMut()) -> f64 {
+    // Warm up and estimate.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.2 / once) as usize).clamp(1, 10_000);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+/// GEMM shapes the EHNA forward/backward actually runs: (batch·window)
+/// rows through d=64 LSTM gates, plus a long-batch gradient accumulation
+/// that crosses the TN chunking threshold.
+const GEMM_SHAPES: [(usize, usize, usize); 3] = [(256, 64, 256), (64, 256, 64), (512, 64, 256)];
+
+fn flops_table() {
+    let mut rng = StdRng::seed_from_u64(7);
+    println!("kernel GFLOP/s (single thread unless noted):");
+    for (m, k, n) in GEMM_SHAPES {
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let bt = rand_vec(n * k, &mut rng);
+        let at = rand_vec(k * m, &mut rng);
+        let mut c = vec![0.0f32; m * n];
+        let flop = (2 * m * k * n) as f64;
+        let s = secs_per_iter(|| gemm_acc(m, k, n, &a, &b, &mut c));
+        println!("  gemm_acc    {m}x{k}x{n}: {:8.2} GFLOP/s", flop / s / 1e9);
+        let s = secs_per_iter(|| gemm_nt_acc(m, k, n, &a, &bt, &mut c));
+        println!("  gemm_nt_acc {m}x{k}x{n}: {:8.2} GFLOP/s", flop / s / 1e9);
+        let s = secs_per_iter(|| gemm_tn_acc(m, k, n, &at, &b, &mut c));
+        println!("  gemm_tn_acc {m}x{k}x{n}: {:8.2} GFLOP/s", flop / s / 1e9);
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("kernels");
+
+    for (m, k, n) in GEMM_SHAPES {
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let bt = rand_vec(n * k, &mut rng);
+        let at = rand_vec(k * m, &mut rng);
+        let mut cbuf = vec![0.0f32; m * n];
+        group.bench_function(format!("gemm_acc_{m}x{k}x{n}"), |bch| {
+            bch.iter(|| {
+                gemm_acc(m, k, n, &a, &b, &mut cbuf);
+                black_box(cbuf[0])
+            })
+        });
+        let mut cbuf2 = vec![0.0f32; m * n];
+        group.bench_function(format!("gemm_nt_acc_{m}x{k}x{n}"), |bch| {
+            bch.iter(|| {
+                gemm_nt_acc(m, k, n, &a, &bt, &mut cbuf2);
+                black_box(cbuf2[0])
+            })
+        });
+        let mut cbuf3 = vec![0.0f32; m * n];
+        group.bench_function(format!("gemm_tn_acc_{m}x{k}x{n}"), |bch| {
+            bch.iter(|| {
+                gemm_tn_acc(m, k, n, &at, &b, &mut cbuf3);
+                black_box(cbuf3[0])
+            })
+        });
+    }
+
+    // Fused LSTM gate block, forward + backward, b=256 h=64.
+    let (b, h) = (256usize, 64usize);
+    let pre = rand_vec(b * 4 * h, &mut rng);
+    let c_prev = rand_vec(b * h, &mut rng);
+    let mut hc = vec![0.0f32; b * 2 * h];
+    let mut aux = vec![0.0f32; b * 5 * h];
+    group.bench_function("lstm_step_fwd_b256_h64", |bch| {
+        bch.iter(|| {
+            lstm_step_forward(b, h, &pre, &c_prev, &mut hc, &mut aux);
+            black_box(hc[0])
+        })
+    });
+    lstm_step_forward(b, h, &pre, &c_prev, &mut hc, &mut aux);
+    let g_out = rand_vec(b * 2 * h, &mut rng);
+    let mut dpre = vec![0.0f32; b * 4 * h];
+    let mut dcp = vec![0.0f32; b * h];
+    group.bench_function("lstm_step_bwd_b256_h64", |bch| {
+        bch.iter(|| {
+            lstm_step_backward(b, h, &aux, &c_prev, &g_out, &mut dpre, &mut dcp);
+            black_box(dpre[0])
+        })
+    });
+
+    // Fused softmax and batch-norm rows at attention-pool width.
+    let (m, n) = (256usize, 64usize);
+    let x = rand_vec(m * n, &mut rng);
+    let mut y = vec![0.0f32; m * n];
+    group.bench_function("softmax_rows_256x64", |bch| {
+        bch.iter(|| {
+            softmax_rows_forward(m, n, &x, &mut y);
+            black_box(y[0])
+        })
+    });
+    let gamma = rand_vec(n, &mut rng);
+    let beta = rand_vec(n, &mut rng);
+    let mut bn_out = vec![0.0f32; m * n];
+    let mut bn_aux = vec![0.0f32; m * n + 3 * n];
+    group.bench_function("batchnorm_train_fwd_256x64", |bch| {
+        bch.iter(|| {
+            batchnorm_train_forward(m, n, 1e-5, &x, &gamma, &beta, &mut bn_out, &mut bn_aux);
+            black_box(bn_out[0])
+        })
+    });
+
+    group.finish();
+    flops_table();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ad-hoc kernel timing at the shapes the EHNA aggregation actually runs
+//! (`cargo run --release -p ehna-bench --bin profile_kernels`). The
+//! criterion bench (`benches/kernels.rs`) covers fixed headline shapes;
+//! this bin sweeps the long-thin LSTM/attention shapes where per-tile
+//! overhead, not FLOPs, can dominate.
+
+use ehna_nn::kernels;
+use std::time::Instant;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        })
+        .collect()
+}
+
+fn time_it(label: &str, flops: usize, mut f: impl FnMut()) {
+    // Warm up, then run enough iterations to fill ~0.3 s.
+    f();
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.3 / once) as usize).clamp(1, 10_000);
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t.elapsed().as_secs_f64() / iters as f64;
+    println!("{label:<44} {:>9.3} ms  {:>7.2} GFLOP/s", per * 1e3, flops as f64 / per / 1e9);
+}
+
+fn main() {
+    for &(m, k, n) in
+        &[(3030usize, 32usize, 128usize), (3030, 64, 256), (256, 64, 256), (640, 32, 128)]
+    {
+        let a = rand_vec(m * k, 1);
+        let b = rand_vec(k * n, 2);
+        let mut c = vec![0.0f32; m * n];
+        time_it(&format!("gemm_acc    m={m} k={k} n={n}"), 2 * m * k * n, || {
+            kernels::gemm_acc(m, k, n, &a, &b, &mut c)
+        });
+        let bt = rand_vec(n * k, 3);
+        time_it(&format!("gemm_nt_acc m={m} k={k} n={n}"), 2 * m * k * n, || {
+            kernels::gemm_nt_acc(m, k, n, &a, &bt, &mut c)
+        });
+        // Weight-grad shape: c (k×n) += aᵀ (m×k)ᵀ · b (m×n), reduction over m.
+        let bn = rand_vec(m * n, 5);
+        let mut cn = vec![0.0f32; k * n];
+        time_it(&format!("gemm_tn_acc m={k} k={m} n={n}"), 2 * m * k * n, || {
+            kernels::gemm_tn_acc(k, m, n, &a, &bn, &mut cn)
+        });
+    }
+    for &(bsz, h) in &[(3030usize, 32usize), (256, 64)] {
+        let pre = rand_vec(bsz * 4 * h, 6);
+        let cp = rand_vec(bsz * h, 7);
+        let mut hc = vec![0.0f32; bsz * 2 * h];
+        let mut aux = vec![0.0f32; bsz * 5 * h];
+        // ~25 flops per (row, unit): 3 sigmoids + 2 tanh + muls.
+        time_it(&format!("lstm_step_forward b={bsz} h={h}"), 25 * bsz * h, || {
+            kernels::lstm_step_forward(bsz, h, &pre, &cp, &mut hc, &mut aux)
+        });
+    }
+    let (m, n) = (3030usize, 32usize);
+    let x = rand_vec(m * n, 8);
+    let mut y = vec![0.0f32; m * n];
+    time_it(&format!("softmax_rows_forward m={m} n={n}"), 5 * m * n, || {
+        kernels::softmax_rows_forward(m, n, &x, &mut y)
+    });
+}

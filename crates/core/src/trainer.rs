@@ -86,6 +86,9 @@ pub struct Trainer<'g> {
     rng: StdRng,
     epoch_counter: u64,
     checkpoint_hook: Option<CheckpointHook<'g>>,
+    /// Reusable autodiff tape: recycled after every batch so steady-state
+    /// training allocates no per-batch buffers.
+    tape: Graph,
 }
 
 impl<'g> Trainer<'g> {
@@ -100,6 +103,7 @@ impl<'g> Trainer<'g> {
         let rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5EED));
         let optimizer = Adam::new(config.lr);
         let model = EhnaModel::new(graph, config)?;
+        ehna_nn::kernels::set_threads(ehna_nn::kernels::resolve_threads(model.config.threads));
         Ok(Trainer {
             graph,
             negative: NegativeSampler::new(graph).map_err(|e| e.to_string())?,
@@ -108,6 +112,7 @@ impl<'g> Trainer<'g> {
             rng,
             epoch_counter: 0,
             checkpoint_hook: None,
+            tape: Graph::new(),
         })
     }
 
@@ -141,6 +146,7 @@ impl<'g> Trainer<'g> {
         let rng = StdRng::seed_from_u64(rng_seed);
         let optimizer = Adam::new(model.config.lr);
         let epoch_counter = model.epochs_trained;
+        ehna_nn::kernels::set_threads(ehna_nn::kernels::resolve_threads(model.config.threads));
         Ok(Trainer {
             graph,
             negative: NegativeSampler::new(graph).map_err(|e| e.to_string())?,
@@ -149,6 +155,7 @@ impl<'g> Trainer<'g> {
             rng,
             epoch_counter,
             checkpoint_hook: None,
+            tape: Graph::new(),
         })
     }
 
@@ -365,8 +372,10 @@ impl<'g> Trainer<'g> {
         let num_agg_negs = neg_hns.len();
 
         // Forward. Targets and aggregatable negatives share one
-        // aggregation batch (and thus batch-norm statistics).
-        let mut g = Graph::new();
+        // aggregation batch (and thus batch-norm statistics). The tape is
+        // taken from (and recycled back to) the trainer so successive
+        // batches reuse its buffers instead of reallocating.
+        let mut g = std::mem::take(&mut self.tape);
         let mut all_hns = hns;
         all_hns.extend(neg_hns);
         let z_all = aggregate_batch(&mut self.model, &mut g, &all_hns, true);
@@ -428,6 +437,8 @@ impl<'g> Trainer<'g> {
         // Backward + update.
         g.backward(loss);
         g.write_grads(&mut self.model.store);
+        g.recycle();
+        self.tape = g;
         clip_grad_norm(&mut self.model.store, self.model.config.grad_clip);
         self.optimizer.step(&mut self.model.store);
         loss_value

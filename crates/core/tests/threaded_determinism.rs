@@ -1,0 +1,78 @@
+//! Thread-count invariance of the full training loop: losses and
+//! embeddings must be **bit-identical** whether the kernels run on 1 or 4
+//! worker threads. The kernels guarantee this by construction (fixed
+//! per-element operation order, fixed-order tree reductions); this test
+//! gates the property end-to-end through sampling, forward, backward, and
+//! optimizer updates.
+
+use ehna_core::{EhnaConfig, Trainer};
+use ehna_nn::kernels::set_threads;
+use ehna_tgraph::{GraphBuilder, TemporalGraph};
+use std::sync::Mutex;
+
+/// Serializes tests that toggle the process-global kernel thread budget.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+fn graph() -> TemporalGraph {
+    let mut b = GraphBuilder::with_num_nodes(12);
+    let mut t = 0i64;
+    for round in 0..5 {
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                if (i + 2 * j + round) % 3 != 1 {
+                    t += 1;
+                    b.add_edge(i, j, t, 1.0).unwrap();
+                    b.add_edge(i + 6, j + 6, t, 1.0).unwrap();
+                }
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+fn cfg(pipeline_depth: usize) -> EhnaConfig {
+    EhnaConfig {
+        dim: 8,
+        num_walks: 3,
+        walk_length: 3,
+        batch_size: 16,
+        epochs: 3,
+        negatives: 3,
+        lr: 5e-3,
+        pipeline_depth,
+        ..EhnaConfig::tiny()
+    }
+}
+
+/// Train with the kernel thread budget forced to `threads` (bypassing the
+/// host-core clamp the trainer applies, so the multi-threaded code paths
+/// run even on a single-core CI host) and return loss bits + embeddings.
+fn run(threads: usize, pipeline_depth: usize) -> (Vec<u64>, Vec<u32>) {
+    let g = graph();
+    let mut t = Trainer::new(&g, cfg(pipeline_depth)).unwrap();
+    set_threads(threads);
+    let report = t.train();
+    set_threads(1);
+    let emb = t.into_embeddings();
+    let bits = report.epoch_losses.iter().map(|l| l.to_bits()).collect();
+    let rows = emb.as_slice().iter().map(|v| v.to_bits()).collect();
+    (bits, rows)
+}
+
+#[test]
+fn losses_and_embeddings_bit_identical_at_1_and_4_threads() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let (loss1, emb1) = run(1, 0);
+    let (loss4, emb4) = run(4, 0);
+    assert_eq!(loss1, loss4, "epoch losses changed with kernel thread count");
+    assert_eq!(emb1, emb4, "embeddings changed with kernel thread count");
+}
+
+#[test]
+fn thread_invariance_holds_under_pipelining() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let (loss1, emb1) = run(1, 3);
+    let (loss4, emb4) = run(4, 3);
+    assert_eq!(loss1, loss4, "pipelined losses changed with kernel thread count");
+    assert_eq!(emb1, emb4, "pipelined embeddings changed with kernel thread count");
+}

@@ -360,4 +360,157 @@ mod tests {
             g.sum_all(p)
         });
     }
+
+    // --- Fused-kernel ops, checked directly (not through layers) ---
+
+    #[test]
+    fn fused_affine_grads() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut store = ParamStore::new();
+        let x = rand_param(&mut store, "x", 3, 5, &mut rng);
+        let w = rand_param(&mut store, "w", 5, 4, &mut rng);
+        let b = rand_param(&mut store, "b", 1, 4, &mut rng);
+        expect_ok(&mut store, |g, s| {
+            let xv = g.param(s, x);
+            let wv = g.param(s, w);
+            let bv = g.param(s, b);
+            let y = g.affine(xv, wv, bv);
+            let y2 = g.square(y);
+            g.sum_all(y2)
+        });
+    }
+
+    #[test]
+    fn fused_affine2_grads() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut store = ParamStore::new();
+        let x = rand_param(&mut store, "x", 2, 3, &mut rng);
+        let wx = rand_param(&mut store, "wx", 3, 4, &mut rng);
+        let h = rand_param(&mut store, "h", 2, 5, &mut rng);
+        let wh = rand_param(&mut store, "wh", 5, 4, &mut rng);
+        let b = rand_param(&mut store, "b", 1, 4, &mut rng);
+        expect_ok(&mut store, |g, s| {
+            let xv = g.param(s, x);
+            let wxv = g.param(s, wx);
+            let hv = g.param(s, h);
+            let whv = g.param(s, wh);
+            let bv = g.param(s, b);
+            let y = g.affine2(xv, wxv, hv, whv, bv);
+            let t = g.tanh(y);
+            let t2 = g.square(t);
+            g.sum_all(t2)
+        });
+    }
+
+    #[test]
+    fn fused_lstm_step_grads() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut store = ParamStore::new();
+        // pre-activations [b, 4h] and previous cell [b, h] with h = 3.
+        let pre = rand_param(&mut store, "pre", 2, 12, &mut rng);
+        let cp = rand_param(&mut store, "cp", 2, 3, &mut rng);
+        expect_ok(&mut store, |g, s| {
+            let pv = g.param(s, pre);
+            let cv = g.param(s, cp);
+            let hc = g.lstm_step(pv, cv);
+            let sq = g.square(hc);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn fused_batchnorm_train_grads() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut store = ParamStore::new();
+        let x = rand_param(&mut store, "x", 6, 3, &mut rng);
+        let gamma = rand_param(&mut store, "gamma", 1, 3, &mut rng);
+        let beta = rand_param(&mut store, "beta", 1, 3, &mut rng);
+        for v in store.value_mut(gamma) {
+            *v = v.abs() + 0.5;
+        }
+        expect_ok(&mut store, |g, s| {
+            let xv = g.param(s, x);
+            let gv = g.param(s, gamma);
+            let bv = g.param(s, beta);
+            let y = g.batchnorm_train(xv, gv, bv, 1e-5);
+            let y2 = g.square(y);
+            g.sum_all(y2)
+        });
+    }
+
+    #[test]
+    fn fused_batchnorm_eval_grads() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut store = ParamStore::new();
+        let x = rand_param(&mut store, "x", 4, 3, &mut rng);
+        let gamma = rand_param(&mut store, "gamma", 1, 3, &mut rng);
+        let beta = rand_param(&mut store, "beta", 1, 3, &mut rng);
+        let mean = vec![0.2, -0.1, 0.05];
+        let var = vec![0.9, 1.3, 0.7];
+        expect_ok(&mut store, move |g, s| {
+            let xv = g.param(s, x);
+            let gv = g.param(s, gamma);
+            let bv = g.param(s, beta);
+            let y = g.batchnorm_eval(xv, gv, bv, &mean, &var, 1e-5);
+            let y2 = g.square(y);
+            g.sum_all(y2)
+        });
+    }
+
+    #[test]
+    fn fused_softmax_rows_grads() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut store = ParamStore::new();
+        let x = rand_param(&mut store, "x", 3, 6, &mut rng);
+        let w = rand_param(&mut store, "w", 3, 6, &mut rng);
+        expect_ok(&mut store, |g, s| {
+            let xv = g.param(s, x);
+            let wv = g.param(s, w);
+            let sm = g.softmax_rows(xv);
+            let p = g.mul(sm, wv);
+            g.sum_all(p)
+        });
+    }
+
+    #[test]
+    fn threaded_reduction_grads_match_at_one_and_four_threads() {
+        // The batch dimension (140 > TN_CHUNK = 128) forces the chunked
+        // tree reduction in the weight-gradient GEMM; gradients must both
+        // pass finite differences and be bit-identical across thread
+        // counts.
+        let _guard = crate::kernels::TEST_THREAD_LOCK.lock().unwrap();
+        let mut rng = StdRng::seed_from_u64(26);
+        let mut store = ParamStore::new();
+        let x = rand_param(&mut store, "x", 140, 3, &mut rng);
+        let w = rand_param(&mut store, "w", 3, 2, &mut rng);
+        let b = rand_param(&mut store, "b", 1, 2, &mut rng);
+        let build = |g: &mut Graph, s: &ParamStore| {
+            let xv = g.param(s, x);
+            let wv = g.param(s, w);
+            let bv = g.param(s, b);
+            let y = g.affine(xv, wv, bv);
+            let y2 = g.square(y);
+            g.sum_all(y2)
+        };
+        let mut grads_per_threads = Vec::new();
+        for t in [1usize, 4] {
+            crate::kernels::set_threads(t);
+            check_grads(&mut store, build, 1e-2, 3e-2).unwrap();
+            let mut g = Graph::new();
+            let loss = build(&mut g, &store);
+            g.backward(loss);
+            store.zero_grads();
+            g.write_grads(&mut store);
+            let snap: Vec<Vec<u32>> = store
+                .ids()
+                .map(|id| store.grad(id).iter().map(|v| v.to_bits()).collect())
+                .collect();
+            grads_per_threads.push(snap);
+        }
+        crate::kernels::set_threads(1);
+        assert_eq!(
+            grads_per_threads[0], grads_per_threads[1],
+            "gradients must be bit-identical at 1 vs 4 threads"
+        );
+    }
 }

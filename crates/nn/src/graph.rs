@@ -1,6 +1,8 @@
 //! The define-by-run autodiff tape.
 
-use crate::kernels::{fma_acc, gemm_acc, gemm_nt_acc, gemm_tn_acc};
+use crate::kernels::{
+    self, bias_rows_fill, col_sum_acc, fma_acc, gemm_acc, gemm_nt_acc, gemm_tn_acc,
+};
 use crate::store::{ParamId, ParamStore};
 
 /// Handle to one node of a [`Graph`] tape. Cheap to copy; carries its shape
@@ -35,8 +37,43 @@ impl Var {
 enum Op {
     Constant,
     Param(ParamId),
-    Gather { id: ParamId, indices: Vec<u32> },
+    Gather {
+        id: ParamId,
+        indices: Vec<u32>,
+    },
     MatMul(u32, u32),
+    /// Fused `x·W + bias` (bias row-broadcast): one kernel, one node.
+    Affine {
+        x: u32,
+        w: u32,
+        b: u32,
+    },
+    /// Fused `x·Wx + h·Wh + bias` — the LSTM gate preactivation block.
+    Affine2 {
+        x: u32,
+        wx: u32,
+        h: u32,
+        wh: u32,
+        b: u32,
+    },
+    /// Fused LSTM cell: value is `[h_new | c_new]`, aux carries the
+    /// activated gates for the backward pass.
+    LstmStep {
+        pre: u32,
+        c_prev: u32,
+    },
+    /// Fused training-mode batch-norm; aux carries `[x̂|inv_std|mean|var]`.
+    BatchNormTrain {
+        x: u32,
+        gamma: u32,
+        beta: u32,
+    },
+    /// Fused eval-mode batch-norm; aux carries `[mean|inv_std]`.
+    BatchNormEval {
+        x: u32,
+        gamma: u32,
+        beta: u32,
+    },
     Add(u32, u32),
     Sub(u32, u32),
     Mul(u32, u32),
@@ -66,9 +103,19 @@ enum Op {
     SoftmaxRows(u32),
     ConcatCols(u32, u32),
     ConcatRows(Vec<u32>),
-    SliceCols { x: u32, c0: usize, c1: usize },
-    SliceRows { x: u32, r0: usize },
-    SelectRows { x: u32, rows: Vec<u32> },
+    SliceCols {
+        x: u32,
+        c0: usize,
+        c1: usize,
+    },
+    SliceRows {
+        x: u32,
+        r0: usize,
+    },
+    SelectRows {
+        x: u32,
+        rows: Vec<u32>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -77,16 +124,88 @@ struct Node {
     rows: usize,
     cols: usize,
     value: Vec<f32>,
+    /// Fused-op scratch saved by the forward pass for the backward pass
+    /// (LSTM gates, batch-norm statistics). Empty for simple ops.
+    aux: Vec<f32>,
+}
+
+/// Size-classed free list of `Vec<f32>` buffers.
+///
+/// Bucket `c` holds buffers whose capacity lies in `[2^c, 2^(c+1))`. A
+/// request for `len` elements is served from the smallest bucket whose
+/// buffers are guaranteed to fit it, looking at most [`Pool::SLACK`]
+/// classes further up (bounded waste) before giving up and allocating
+/// fresh — the fresh buffer joins its proper class on recycle, so the
+/// pool converges to a right-sized working set after the first batch.
+#[derive(Debug, Default)]
+struct Pool {
+    classes: Vec<Vec<Vec<f32>>>,
+}
+
+impl Pool {
+    /// How many classes above the exact fit we are willing to draw from
+    /// (≤ `2^SLACK`× capacity waste on a hit).
+    const SLACK: usize = 2;
+
+    fn class_of(cap: usize) -> usize {
+        // floor(log2(cap)) for cap >= 1.
+        (usize::BITS - 1 - cap.leading_zeros()) as usize
+    }
+
+    /// Return a buffer with `capacity >= len` when a suitably sized one is
+    /// pooled; otherwise a fresh allocation of exactly `len`.
+    fn take(&mut self, len: usize) -> Vec<f32> {
+        let first = Self::class_of(len.max(1).next_power_of_two());
+        let last = (first + Self::SLACK).min(self.classes.len().saturating_sub(1));
+        for c in first..=last {
+            if let Some(bucket) = self.classes.get_mut(c) {
+                if let Some(buf) = bucket.pop() {
+                    return buf;
+                }
+            }
+        }
+        Vec::with_capacity(len)
+    }
+
+    /// Recycle `buf` into the bucket matching its capacity.
+    fn put(&mut self, buf: Vec<f32>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        let c = Self::class_of(cap);
+        if self.classes.len() <= c {
+            self.classes.resize_with(c + 1, Vec::new);
+        }
+        self.classes[c].push(buf);
+    }
 }
 
 /// A single-use tape: build the forward computation with the op methods
 /// (values are computed eagerly), call [`Graph::backward`] once on a scalar
 /// loss, then [`Graph::write_grads`] to accumulate leaf gradients into the
 /// [`ParamStore`].
+///
+/// Tapes are cheap to reuse: [`Graph::recycle`] returns every value,
+/// gradient, and aux buffer to an internal pool, so a long-lived `Graph`
+/// builds successive batches without per-batch heap allocation.
 #[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
     grads: Vec<Vec<f32>>,
+    /// Recycled buffers, reused by [`Graph::alloc_zeroed`]/[`Graph::alloc_empty`].
+    /// Bucketed by power-of-two capacity class so a request is always served
+    /// by a buffer whose capacity already fits it: handing a small buffer to a
+    /// large request forces a reallocation (an mmap/munmap round-trip plus
+    /// page zero-faults for multi-megabyte tensors), and handing a large
+    /// buffer to a small request strands its capacity for the rest of the
+    /// batch, forcing the real large request to allocate fresh. With ~10^3
+    /// live buffers per batch that churn dominated the epoch wall-clock.
+    pool: Pool,
+    /// `param()` memo: one tape node per distinct parameter, so layers
+    /// that reference the same weights many times (an LSTM unrolled over
+    /// time) neither re-copy the weight matrix nor split its gradient.
+    param_cache: Vec<(ParamId, Var)>,
 }
 
 impl Graph {
@@ -100,11 +219,67 @@ impl Graph {
         self.nodes.len()
     }
 
+    /// Clear the tape for reuse, returning all node/grad buffers to the
+    /// internal pool. The next forward pass draws from the pool instead
+    /// of the allocator.
+    pub fn recycle(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.pool.put(node.value);
+            if node.aux.capacity() > 0 {
+                self.pool.put(node.aux);
+            }
+        }
+        for g in self.grads.drain(..) {
+            self.pool.put(g);
+        }
+        self.param_cache.clear();
+    }
+
+    /// A pooled buffer of exactly `len` zeros.
+    fn alloc_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.pool.take(len);
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// A pooled empty buffer with room for `cap` elements.
+    fn alloc_empty(&mut self, cap: usize) -> Vec<f32> {
+        let mut buf = self.pool.take(cap);
+        buf.clear();
+        buf.reserve(cap);
+        buf
+    }
+
+    /// A pooled buffer of exactly `len` elements with *unspecified*
+    /// (stale but initialized) contents — for outputs a kernel fully
+    /// overwrites before anyone reads them. Skips the `alloc_zeroed`
+    /// memset, which otherwise costs a full pass over every large tensor
+    /// in the tape each batch.
+    fn alloc_scratch(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.pool.take(len);
+        // No `clear()`: shrinking is free and keeps the old contents;
+        // growing writes only the missing tail.
+        buf.resize(len, 0.0);
+        buf
+    }
+
     fn push(&mut self, op: Op, rows: usize, cols: usize, value: Vec<f32>) -> Var {
+        self.push_aux(op, rows, cols, value, Vec::new())
+    }
+
+    fn push_aux(
+        &mut self,
+        op: Op,
+        rows: usize,
+        cols: usize,
+        value: Vec<f32>,
+        aux: Vec<f32>,
+    ) -> Var {
         debug_assert_eq!(value.len(), rows * cols);
         debug_assert!(rows > 0 && cols > 0, "zero-sized tensor");
         let idx = self.nodes.len() as u32;
-        self.nodes.push(Node { op, rows, cols, value });
+        self.nodes.push(Node { op, rows, cols, value, aux });
         Var { idx, rows: rows as u32, cols: cols as u32 }
     }
 
@@ -144,9 +319,19 @@ impl Graph {
     }
 
     /// A differentiable leaf referencing the full value of parameter `id`.
+    /// Memoized per tape: repeated calls with the same `id` return the
+    /// same node, so gradients accumulate in one place and the value is
+    /// copied once.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        if let Some(&(_, v)) = self.param_cache.iter().find(|(pid, _)| *pid == id) {
+            return v;
+        }
         let (rows, cols) = store.shape(id);
-        self.push(Op::Param(id), rows, cols, store.value(id).to_vec())
+        let mut value = self.alloc_empty(rows * cols);
+        value.extend_from_slice(store.value(id));
+        let v = self.push(Op::Param(id), rows, cols, value);
+        self.param_cache.push((id, v));
+        v
     }
 
     /// Gather rows of parameter `id`: output row `r` is the parameter row
@@ -159,7 +344,7 @@ impl Graph {
         let (prows, cols) = store.shape(id);
         assert!(!indices.is_empty(), "empty gather");
         let src = store.value(id);
-        let mut value = Vec::with_capacity(indices.len() * cols);
+        let mut value = self.alloc_empty(indices.len() * cols);
         for &i in indices {
             let i = i as usize;
             assert!(i < prows, "gather index {i} out of bounds ({prows} rows)");
@@ -174,14 +359,147 @@ impl Graph {
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         assert_eq!(a.cols(), b.rows(), "matmul inner dims {} vs {}", a.cols(), b.rows());
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
-        let mut value = vec![0.0; m * n];
+        let mut value = self.alloc_zeroed(m * n);
         gemm_acc(m, k, n, self.val(a), self.val(b), &mut value);
         self.push(Op::MatMul(a.idx, b.idx), m, n, value)
     }
 
+    /// Fused affine map `x·W + bias` (`[m,k]·[k,n] + [1,n] -> [m,n]`):
+    /// the bias fill seeds the GEMM accumulator, replacing a
+    /// matmul + add_rowb pair with one node.
+    pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
+        assert_eq!(x.cols(), w.rows(), "affine inner dims {} vs {}", x.cols(), w.rows());
+        assert_eq!((b.rows(), b.cols()), (1, w.cols()), "affine bias must be [1,n]");
+        let (m, k, n) = (x.rows(), x.cols(), w.cols());
+        let mut value = self.alloc_scratch(m * n);
+        bias_rows_fill(m, n, self.val(b), &mut value);
+        gemm_acc(m, k, n, self.val(x), self.val(w), &mut value);
+        self.push(Op::Affine { x: x.idx, w: w.idx, b: b.idx }, m, n, value)
+    }
+
+    /// Fused two-input affine map `x·Wx + h·Wh + bias -> [m,n]` — the
+    /// LSTM gate preactivation in a single node (two GEMMs into a
+    /// bias-seeded accumulator).
+    pub fn affine2(&mut self, x: Var, wx: Var, h: Var, wh: Var, b: Var) -> Var {
+        assert_eq!(x.cols(), wx.rows(), "affine2 x·Wx inner dims");
+        assert_eq!(h.cols(), wh.rows(), "affine2 h·Wh inner dims");
+        assert_eq!(x.rows(), h.rows(), "affine2 batch mismatch");
+        assert_eq!(wx.cols(), wh.cols(), "affine2 output width mismatch");
+        assert_eq!((b.rows(), b.cols()), (1, wx.cols()), "affine2 bias must be [1,n]");
+        let (m, n) = (x.rows(), wx.cols());
+        let mut value = self.alloc_scratch(m * n);
+        bias_rows_fill(m, n, self.val(b), &mut value);
+        gemm_acc(m, x.cols(), n, self.val(x), self.val(wx), &mut value);
+        gemm_acc(m, h.cols(), n, self.val(h), self.val(wh), &mut value);
+        self.push(Op::Affine2 { x: x.idx, wx: wx.idx, h: h.idx, wh: wh.idx, b: b.idx }, m, n, value)
+    }
+
+    /// Fused LSTM cell: `pre` is the `[batch, 4h]` gate preactivation
+    /// block (`[i|f|g|o]`), `c_prev` the `[batch, h]` previous cell
+    /// state. Returns `[batch, 2h] = [h_new | c_new]`; slice columns
+    /// `0..h` and `h..2h` to recover the states. One node replaces the
+    /// ~11 elementwise/slice nodes of the unfused cell.
+    pub fn lstm_step(&mut self, pre: Var, c_prev: Var) -> Var {
+        assert_eq!(pre.cols() % 4, 0, "lstm_step pre width must be 4h");
+        let (b, h) = (pre.rows(), pre.cols() / 4);
+        assert_eq!((c_prev.rows(), c_prev.cols()), (b, h), "lstm_step c_prev must be [batch, h]");
+        let mut value = self.alloc_scratch(b * 2 * h);
+        let mut aux = self.alloc_scratch(b * 5 * h);
+        kernels::lstm_step_forward(b, h, self.val(pre), self.val(c_prev), &mut value, &mut aux);
+        self.push_aux(Op::LstmStep { pre: pre.idx, c_prev: c_prev.idx }, b, 2 * h, value, aux)
+    }
+
+    /// Fused training-mode batch normalization over `[m,n]` with `[1,n]`
+    /// gain/shift. Batch statistics are retrievable via
+    /// [`Graph::bn_stats`] for running-average updates.
+    pub fn batchnorm_train(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let (m, n) = (x.rows(), x.cols());
+        assert_eq!((gamma.rows(), gamma.cols()), (1, n), "batchnorm gamma must be [1,n]");
+        assert_eq!((beta.rows(), beta.cols()), (1, n), "batchnorm beta must be [1,n]");
+        let mut value = self.alloc_scratch(m * n);
+        let mut aux = self.alloc_scratch(m * n + 3 * n);
+        kernels::batchnorm_train_forward(
+            m,
+            n,
+            eps,
+            self.val(x),
+            self.val(gamma),
+            self.val(beta),
+            &mut value,
+            &mut aux,
+        );
+        self.push_aux(
+            Op::BatchNormTrain { x: x.idx, gamma: gamma.idx, beta: beta.idx },
+            m,
+            n,
+            value,
+            aux,
+        )
+    }
+
+    /// The `(mean, var)` batch statistics computed by a
+    /// [`Graph::batchnorm_train`] node (each `[n]`), for running-stat
+    /// updates.
+    ///
+    /// # Panics
+    /// Panics if `v` is not a `batchnorm_train` node.
+    pub fn bn_stats(&self, v: Var) -> (&[f32], &[f32]) {
+        let node = &self.nodes[v.idx as usize];
+        match node.op {
+            Op::BatchNormTrain { .. } => {
+                let (m, n) = (node.rows, node.cols);
+                let mean = &node.aux[m * n + n..m * n + 2 * n];
+                let var = &node.aux[m * n + 2 * n..m * n + 3 * n];
+                (mean, var)
+            }
+            _ => panic!("bn_stats on a non-batchnorm_train node"),
+        }
+    }
+
+    /// Fused eval-mode batch normalization: whitens with the fixed
+    /// `mean`/`var` running statistics (plain slices, not tape nodes —
+    /// they are constants w.r.t. the loss) and applies `gamma`/`beta`.
+    pub fn batchnorm_eval(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        mean: &[f32],
+        var: &[f32],
+        eps: f32,
+    ) -> Var {
+        let (m, n) = (x.rows(), x.cols());
+        assert_eq!((gamma.rows(), gamma.cols()), (1, n), "batchnorm gamma must be [1,n]");
+        assert_eq!((beta.rows(), beta.cols()), (1, n), "batchnorm beta must be [1,n]");
+        assert_eq!(mean.len(), n, "batchnorm mean must be [n]");
+        assert_eq!(var.len(), n, "batchnorm var must be [n]");
+        let mut aux = self.alloc_empty(2 * n);
+        aux.extend_from_slice(mean);
+        aux.extend(var.iter().map(|&v| 1.0 / (v + eps).sqrt()));
+        let mut value = self.alloc_scratch(m * n);
+        kernels::batchnorm_eval_forward(
+            m,
+            n,
+            self.val(x),
+            &aux[..n],
+            &aux[n..],
+            self.val(gamma),
+            self.val(beta),
+            &mut value,
+        );
+        self.push_aux(
+            Op::BatchNormEval { x: x.idx, gamma: gamma.idx, beta: beta.idx },
+            m,
+            n,
+            value,
+            aux,
+        )
+    }
+
     fn elementwise(&mut self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32, op: Op) -> Var {
         assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "elementwise shape mismatch");
-        let value = self.val(a).iter().zip(self.val(b)).map(|(&x, &y)| f(x, y)).collect();
+        let mut value = self.alloc_empty(a.len());
+        value.extend(self.val(a).iter().zip(self.val(b)).map(|(&x, &y)| f(x, y)));
         self.push(op, a.rows(), a.cols(), value)
     }
 
@@ -209,12 +527,14 @@ impl Graph {
         assert_eq!(b.rows(), 1, "row-broadcast rhs must be [1,n]");
         assert_eq!(a.cols(), b.cols(), "row-broadcast width mismatch");
         let (m, n) = (a.rows(), a.cols());
-        let av = self.val(a);
-        let bv = self.val(b);
-        let mut value = Vec::with_capacity(m * n);
-        for i in 0..m {
-            for j in 0..n {
-                value.push(f(av[i * n + j], bv[j]));
+        let mut value = self.alloc_empty(m * n);
+        {
+            let av = self.val(a);
+            let bv = self.val(b);
+            for i in 0..m {
+                for j in 0..n {
+                    value.push(f(av[i * n + j], bv[j]));
+                }
             }
         }
         self.push(op, m, n, value)
@@ -244,12 +564,14 @@ impl Graph {
         assert_eq!(c.cols(), 1, "col-broadcast rhs must be [m,1]");
         assert_eq!(a.rows(), c.rows(), "col-broadcast height mismatch");
         let (m, n) = (a.rows(), a.cols());
-        let av = self.val(a);
-        let cv = self.val(c);
-        let mut value = Vec::with_capacity(m * n);
-        for i in 0..m {
-            for j in 0..n {
-                value.push(f(av[i * n + j], cv[i]));
+        let mut value = self.alloc_empty(m * n);
+        {
+            let av = self.val(a);
+            let cv = self.val(c);
+            for i in 0..m {
+                for j in 0..n {
+                    value.push(f(av[i * n + j], cv[i]));
+                }
             }
         }
         self.push(op, m, n, value)
@@ -268,7 +590,8 @@ impl Graph {
     // -------------------------------------------------------------- unary ops
 
     fn unary(&mut self, a: Var, f: impl Fn(f32) -> f32, op: Op) -> Var {
-        let value = self.val(a).iter().map(|&x| f(x)).collect();
+        let mut value = self.alloc_empty(a.len());
+        value.extend(self.val(a).iter().map(|&x| f(x)));
         self.push(op, a.rows(), a.cols(), value)
     }
 
@@ -339,19 +662,23 @@ impl Graph {
 
     fn reduce_rows(&mut self, a: Var, scale: f32, op: Op) -> Var {
         let (m, n) = (a.rows(), a.cols());
-        let av = self.val(a);
-        let value: Vec<f32> =
-            (0..m).map(|i| av[i * n..(i + 1) * n].iter().sum::<f32>() * scale).collect();
+        let mut value = self.alloc_empty(m);
+        {
+            let av = self.val(a);
+            value.extend((0..m).map(|i| av[i * n..(i + 1) * n].iter().sum::<f32>() * scale));
+        }
         self.push(op, m, 1, value)
     }
 
     fn reduce_cols(&mut self, a: Var, scale: f32, op: Op) -> Var {
         let (m, n) = (a.rows(), a.cols());
-        let av = self.val(a);
-        let mut value = vec![0.0f32; n];
-        for i in 0..m {
-            for j in 0..n {
-                value[j] += av[i * n + j];
+        let mut value = self.alloc_zeroed(n);
+        {
+            let av = self.val(a);
+            for i in 0..m {
+                for j in 0..n {
+                    value[j] += av[i * n + j];
+                }
             }
         }
         value.iter_mut().for_each(|v| *v *= scale);
@@ -380,18 +707,14 @@ impl Graph {
         self.reduce_cols(a, scale, Op::MeanCols(a.idx))
     }
 
-    /// Numerically-stable softmax along each row.
+    /// Numerically-stable softmax along each row. A degenerate all-`-inf`
+    /// row yields the uniform distribution instead of `0/0 = NaN`; rows
+    /// containing NaN propagate NaN (see
+    /// [`kernels::softmax_rows_forward`]).
     pub fn softmax_rows(&mut self, a: Var) -> Var {
         let (m, n) = (a.rows(), a.cols());
-        let av = self.val(a);
-        let mut value = Vec::with_capacity(m * n);
-        for i in 0..m {
-            let row = &av[i * n..(i + 1) * n];
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
-            let total: f32 = exps.iter().sum();
-            value.extend(exps.iter().map(|&e| e / total));
-        }
+        let mut value = self.alloc_scratch(m * n);
+        kernels::softmax_rows_forward(m, n, self.val(a), &mut value);
         self.push(Op::SoftmaxRows(a.idx), m, n, value)
     }
 
@@ -401,12 +724,14 @@ impl Graph {
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
         assert_eq!(a.rows(), b.rows(), "concat_cols height mismatch");
         let (m, p, q) = (a.rows(), a.cols(), b.cols());
-        let av = self.val(a);
-        let bv = self.val(b);
-        let mut value = Vec::with_capacity(m * (p + q));
-        for i in 0..m {
-            value.extend_from_slice(&av[i * p..(i + 1) * p]);
-            value.extend_from_slice(&bv[i * q..(i + 1) * q]);
+        let mut value = self.alloc_empty(m * (p + q));
+        {
+            let av = self.val(a);
+            let bv = self.val(b);
+            for i in 0..m {
+                value.extend_from_slice(&av[i * p..(i + 1) * p]);
+                value.extend_from_slice(&bv[i * q..(i + 1) * q]);
+            }
         }
         self.push(Op::ConcatCols(a.idx, b.idx), m, p + q, value)
     }
@@ -420,7 +745,7 @@ impl Graph {
         let n = parts[0].cols();
         assert!(parts.iter().all(|p| p.cols() == n), "concat_rows width mismatch");
         let m: usize = parts.iter().map(|p| p.rows()).sum();
-        let mut value = Vec::with_capacity(m * n);
+        let mut value = self.alloc_empty(m * n);
         for p in parts {
             value.extend_from_slice(self.val(*p));
         }
@@ -432,10 +757,12 @@ impl Graph {
     pub fn slice_cols(&mut self, x: Var, c0: usize, c1: usize) -> Var {
         assert!(c0 < c1 && c1 <= x.cols(), "bad column slice {c0}..{c1} of {}", x.cols());
         let (m, n) = (x.rows(), x.cols());
-        let xv = self.val(x);
-        let mut value = Vec::with_capacity(m * (c1 - c0));
-        for i in 0..m {
-            value.extend_from_slice(&xv[i * n + c0..i * n + c1]);
+        let mut value = self.alloc_empty(m * (c1 - c0));
+        {
+            let xv = self.val(x);
+            for i in 0..m {
+                value.extend_from_slice(&xv[i * n + c0..i * n + c1]);
+            }
         }
         self.push(Op::SliceCols { x: x.idx, c0, c1 }, m, c1 - c0, value)
     }
@@ -449,12 +776,14 @@ impl Graph {
     pub fn select_rows(&mut self, x: Var, rows: &[u32]) -> Var {
         assert!(!rows.is_empty(), "empty row selection");
         let n = x.cols();
-        let xv = self.val(x);
-        let mut value = Vec::with_capacity(rows.len() * n);
-        for &r in rows {
-            let r = r as usize;
-            assert!(r < x.rows(), "row {r} out of bounds ({} rows)", x.rows());
-            value.extend_from_slice(&xv[r * n..(r + 1) * n]);
+        let mut value = self.alloc_empty(rows.len() * n);
+        {
+            let xv = self.val(x);
+            for &r in rows {
+                let r = r as usize;
+                assert!(r < x.rows(), "row {r} out of bounds ({} rows)", x.rows());
+                value.extend_from_slice(&xv[r * n..(r + 1) * n]);
+            }
         }
         self.push(Op::SelectRows { x: x.idx, rows: rows.to_vec() }, rows.len(), n, value)
     }
@@ -463,7 +792,8 @@ impl Graph {
     pub fn slice_rows(&mut self, x: Var, r0: usize, r1: usize) -> Var {
         assert!(r0 < r1 && r1 <= x.rows(), "bad row slice {r0}..{r1} of {}", x.rows());
         let n = x.cols();
-        let value = self.val(x)[r0 * n..r1 * n].to_vec();
+        let mut value = self.alloc_empty((r1 - r0) * n);
+        value.extend_from_slice(&self.nodes[x.idx as usize].value[r0 * n..r1 * n]);
         self.push(Op::SliceRows { x: x.idx, r0 }, r1 - r0, n, value)
     }
 
@@ -494,169 +824,327 @@ impl Graph {
     pub fn backward(&mut self, loss: Var) {
         assert_eq!((loss.rows(), loss.cols()), (1, 1), "loss must be scalar");
         assert!(self.grads.is_empty(), "backward may run only once per tape");
-        self.grads = self.nodes.iter().map(|n| vec![0.0f32; n.value.len()]).collect();
+        let mut grads = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            let len = self.nodes[i].value.len();
+            let buf = self.alloc_zeroed(len);
+            grads.push(buf);
+        }
+        self.grads = grads;
         self.grads[loss.idx as usize][0] = 1.0;
 
         for i in (0..self.nodes.len()).rev() {
             // Split borrows: gradient of node i is read-only while parents'
-            // gradients are written.
-            let (op, rows, cols) = {
-                let n = &self.nodes[i];
-                (n.op.clone(), n.rows, n.cols)
-            };
+            // gradients are written. The op is temporarily moved out (and
+            // restored below) so variants carrying `Vec`s are not cloned.
+            let (rows, cols) = (self.nodes[i].rows, self.nodes[i].cols);
+            let op = std::mem::replace(&mut self.nodes[i].op, Op::Constant);
             let g = std::mem::take(&mut self.grads[i]);
             if g.iter().all(|&x| x == 0.0) {
                 self.grads[i] = g;
+                self.nodes[i].op = op;
                 continue;
             }
-            match op {
+            match &op {
                 Op::Constant | Op::Param(_) | Op::Gather { .. } => {}
-                Op::MatMul(a, b) => {
+                &Op::MatMul(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
                     let (m, n) = (rows, cols);
-                    let k = self.nodes[a as usize].cols;
+                    let k = self.nodes[a].cols;
                     // dA += g · Bᵀ  (B stored k×n ⇒ use NT kernel)
-                    let bval = std::mem::take(&mut self.nodes[b as usize].value);
-                    {
-                        let ga = &mut self.grads[a as usize];
-                        // g is m×n, bval is k×n; dA[i][p] += Σ_j g[i][j] B[p][j]
-                        gemm_nt_acc(m, n, k, &g, &bval, ga);
-                    }
-                    self.nodes[b as usize].value = bval;
+                    let bval = std::mem::take(&mut self.nodes[b].value);
+                    gemm_nt_acc(m, n, k, &g, &bval, &mut self.grads[a]);
+                    self.nodes[b].value = bval;
                     // dB += Aᵀ · g  (A stored m×k ⇒ use TN kernel)
-                    let aval = std::mem::take(&mut self.nodes[a as usize].value);
-                    {
-                        let gb = &mut self.grads[b as usize];
-                        gemm_tn_acc(k, m, n, &aval, &g, gb);
-                    }
-                    self.nodes[a as usize].value = aval;
+                    let aval = std::mem::take(&mut self.nodes[a].value);
+                    gemm_tn_acc(k, m, n, &aval, &g, &mut self.grads[b]);
+                    self.nodes[a].value = aval;
                 }
-                Op::Add(a, b) => {
+                &Op::Affine { x, w, b } => {
+                    let (x, w, b) = (x as usize, w as usize, b as usize);
+                    let (m, n) = (rows, cols);
+                    let k = self.nodes[x].cols;
+                    let wval = std::mem::take(&mut self.nodes[w].value);
+                    gemm_nt_acc(m, n, k, &g, &wval, &mut self.grads[x]);
+                    self.nodes[w].value = wval;
+                    let xval = std::mem::take(&mut self.nodes[x].value);
+                    gemm_tn_acc(k, m, n, &xval, &g, &mut self.grads[w]);
+                    self.nodes[x].value = xval;
+                    col_sum_acc(m, n, &g, &mut self.grads[b]);
+                }
+                &Op::Affine2 { x, wx, h, wh, b } => {
+                    let (x, wx, h, wh, b) =
+                        (x as usize, wx as usize, h as usize, wh as usize, b as usize);
+                    let (m, n) = (rows, cols);
+                    let kx = self.nodes[x].cols;
+                    let kh = self.nodes[h].cols;
+                    let wv = std::mem::take(&mut self.nodes[wx].value);
+                    gemm_nt_acc(m, n, kx, &g, &wv, &mut self.grads[x]);
+                    self.nodes[wx].value = wv;
+                    let xv = std::mem::take(&mut self.nodes[x].value);
+                    gemm_tn_acc(kx, m, n, &xv, &g, &mut self.grads[wx]);
+                    self.nodes[x].value = xv;
+                    let wv = std::mem::take(&mut self.nodes[wh].value);
+                    gemm_nt_acc(m, n, kh, &g, &wv, &mut self.grads[h]);
+                    self.nodes[wh].value = wv;
+                    let hv = std::mem::take(&mut self.nodes[h].value);
+                    gemm_tn_acc(kh, m, n, &hv, &g, &mut self.grads[wh]);
+                    self.nodes[h].value = hv;
+                    col_sum_acc(m, n, &g, &mut self.grads[b]);
+                }
+                &Op::LstmStep { pre, c_prev } => {
+                    let (pre, cp) = (pre as usize, c_prev as usize);
+                    let (b, hdim) = (rows, cols / 2);
+                    let (dpre, dcp) = two_muts(&mut self.grads, pre, cp);
+                    kernels::lstm_step_backward(
+                        b,
+                        hdim,
+                        &self.nodes[i].aux,
+                        &self.nodes[cp].value,
+                        &g,
+                        dpre,
+                        dcp,
+                    );
+                }
+                &Op::BatchNormTrain { x, gamma, beta } => {
+                    let (x, ga, be) = (x as usize, gamma as usize, beta as usize);
+                    let (m, n) = (rows, cols);
+                    let (dx, dgamma, dbeta) = three_muts(&mut self.grads, x, ga, be);
+                    kernels::batchnorm_train_backward(
+                        m,
+                        n,
+                        &self.nodes[i].aux,
+                        &self.nodes[ga].value,
+                        &g,
+                        dx,
+                        dgamma,
+                        dbeta,
+                    );
+                }
+                &Op::BatchNormEval { x, gamma, beta } => {
+                    let (x, ga, be) = (x as usize, gamma as usize, beta as usize);
+                    let (m, n) = (rows, cols);
+                    let aux = &self.nodes[i].aux;
+                    let (dx, dgamma, dbeta) = three_muts(&mut self.grads, x, ga, be);
+                    kernels::batchnorm_eval_backward(
+                        m,
+                        n,
+                        &self.nodes[x].value,
+                        &aux[..n],
+                        &aux[n..],
+                        &self.nodes[ga].value,
+                        &g,
+                        dx,
+                        dgamma,
+                        dbeta,
+                    );
+                }
+                &Op::Add(a, b) => {
                     acc(&mut self.grads[a as usize], &g, 1.0);
                     acc(&mut self.grads[b as usize], &g, 1.0);
                 }
-                Op::Sub(a, b) => {
+                &Op::Sub(a, b) => {
                     acc(&mut self.grads[a as usize], &g, 1.0);
                     acc(&mut self.grads[b as usize], &g, -1.0);
                 }
-                Op::Mul(a, b) => {
-                    let bv = std::mem::take(&mut self.nodes[b as usize].value);
-                    fma_acc(&g, &bv, &mut self.grads[a as usize]);
-                    self.nodes[b as usize].value = bv;
-                    let av = std::mem::take(&mut self.nodes[a as usize].value);
-                    fma_acc(&g, &av, &mut self.grads[b as usize]);
-                    self.nodes[a as usize].value = av;
+                &Op::Mul(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    let bv = std::mem::take(&mut self.nodes[b].value);
+                    fma_acc(&g, &bv, &mut self.grads[a]);
+                    self.nodes[b].value = bv;
+                    let av = std::mem::take(&mut self.nodes[a].value);
+                    fma_acc(&g, &av, &mut self.grads[b]);
+                    self.nodes[a].value = av;
                 }
-                Op::Div(a, b) => {
-                    let av = self.nodes[a as usize].value.clone();
-                    let bv = self.nodes[b as usize].value.clone();
+                &Op::Div(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    let bv = std::mem::take(&mut self.nodes[b].value);
                     for (j, &gj) in g.iter().enumerate() {
-                        self.grads[a as usize][j] += gj / bv[j];
-                        self.grads[b as usize][j] -= gj * av[j] / (bv[j] * bv[j]);
+                        self.grads[a][j] += gj / bv[j];
+                    }
+                    self.nodes[b].value = bv;
+                    // d/db (a/b) = -a/b² — reread both values immutably.
+                    for (j, &gj) in g.iter().enumerate() {
+                        let av = self.nodes[a].value[j];
+                        let bvj = self.nodes[b].value[j];
+                        self.grads[b][j] -= gj * av / (bvj * bvj);
                     }
                 }
-                Op::AddRowB(a, b) => {
+                &Op::AddRowB(a, b) => {
                     acc(&mut self.grads[a as usize], &g, 1.0);
                     row_reduce_acc(&g, rows, cols, &mut self.grads[b as usize], 1.0);
                 }
-                Op::SubRowB(a, b) => {
+                &Op::SubRowB(a, b) => {
                     acc(&mut self.grads[a as usize], &g, 1.0);
                     row_reduce_acc(&g, rows, cols, &mut self.grads[b as usize], -1.0);
                 }
-                Op::MulRowB(a, b) => {
-                    let av = self.nodes[a as usize].value.clone();
-                    let bv = self.nodes[b as usize].value.clone();
-                    for i in 0..rows {
+                &Op::MulRowB(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    let bv = std::mem::take(&mut self.nodes[b].value);
+                    for i2 in 0..rows {
                         for j in 0..cols {
-                            let gij = g[i * cols + j];
-                            self.grads[a as usize][i * cols + j] += gij * bv[j];
-                            self.grads[b as usize][j] += gij * av[i * cols + j];
+                            self.grads[a][i2 * cols + j] += g[i2 * cols + j] * bv[j];
                         }
                     }
-                }
-                Op::DivRowB(a, b) => {
-                    let av = self.nodes[a as usize].value.clone();
-                    let bv = self.nodes[b as usize].value.clone();
-                    for i in 0..rows {
+                    self.nodes[b].value = bv;
+                    let av = std::mem::take(&mut self.nodes[a].value);
+                    for i2 in 0..rows {
                         for j in 0..cols {
-                            let gij = g[i * cols + j];
-                            self.grads[a as usize][i * cols + j] += gij / bv[j];
-                            self.grads[b as usize][j] -= gij * av[i * cols + j] / (bv[j] * bv[j]);
+                            self.grads[b][j] += g[i2 * cols + j] * av[i2 * cols + j];
                         }
                     }
+                    self.nodes[a].value = av;
                 }
-                Op::MulColB(a, c) => {
-                    let av = self.nodes[a as usize].value.clone();
-                    let cv = self.nodes[c as usize].value.clone();
-                    for i in 0..rows {
+                &Op::DivRowB(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    let bv = std::mem::take(&mut self.nodes[b].value);
+                    for i2 in 0..rows {
                         for j in 0..cols {
-                            let gij = g[i * cols + j];
-                            self.grads[a as usize][i * cols + j] += gij * cv[i];
-                            self.grads[c as usize][i] += gij * av[i * cols + j];
+                            self.grads[a][i2 * cols + j] += g[i2 * cols + j] / bv[j];
                         }
                     }
-                }
-                Op::DivColB(a, c) => {
-                    let av = self.nodes[a as usize].value.clone();
-                    let cv = self.nodes[c as usize].value.clone();
-                    for i in 0..rows {
-                        for j in 0..cols {
-                            let gij = g[i * cols + j];
-                            self.grads[a as usize][i * cols + j] += gij / cv[i];
-                            self.grads[c as usize][i] -= gij * av[i * cols + j] / (cv[i] * cv[i]);
+                    self.nodes[b].value = bv;
+                    let av = std::mem::take(&mut self.nodes[a].value);
+                    {
+                        let bv = &self.nodes[b].value;
+                        for i2 in 0..rows {
+                            for j in 0..cols {
+                                self.grads[b][j] -=
+                                    g[i2 * cols + j] * av[i2 * cols + j] / (bv[j] * bv[j]);
+                            }
                         }
                     }
+                    self.nodes[a].value = av;
                 }
-                Op::Relu(a) => {
-                    let av = &self.nodes[a as usize].value;
-                    let mask: Vec<f32> =
-                        av.iter().map(|&x| if x > 0.0 { 1.0 } else { 0.0 }).collect();
-                    fma_acc(&g, &mask, &mut self.grads[a as usize]);
+                &Op::MulColB(a, c) => {
+                    let (a, c) = (a as usize, c as usize);
+                    let cv = std::mem::take(&mut self.nodes[c].value);
+                    for i2 in 0..rows {
+                        let ga = &mut self.grads[a][i2 * cols..(i2 + 1) * cols];
+                        let gr = &g[i2 * cols..(i2 + 1) * cols];
+                        let ci = cv[i2];
+                        for (d, &gv) in ga.iter_mut().zip(gr) {
+                            *d += gv * ci;
+                        }
+                    }
+                    self.nodes[c].value = cv;
+                    let av = std::mem::take(&mut self.nodes[a].value);
+                    for i2 in 0..rows {
+                        let ar = &av[i2 * cols..(i2 + 1) * cols];
+                        let gr = &g[i2 * cols..(i2 + 1) * cols];
+                        let mut s = 0.0f32;
+                        for (&gv, &x) in gr.iter().zip(ar) {
+                            s += gv * x;
+                        }
+                        self.grads[c][i2] += s;
+                    }
+                    self.nodes[a].value = av;
                 }
-                Op::Sigmoid(a) => {
+                &Op::DivColB(a, c) => {
+                    let (a, c) = (a as usize, c as usize);
+                    let cv = std::mem::take(&mut self.nodes[c].value);
+                    for i2 in 0..rows {
+                        let ga = &mut self.grads[a][i2 * cols..(i2 + 1) * cols];
+                        let gr = &g[i2 * cols..(i2 + 1) * cols];
+                        let inv = 1.0 / cv[i2];
+                        for (d, &gv) in ga.iter_mut().zip(gr) {
+                            *d += gv * inv;
+                        }
+                    }
+                    self.nodes[c].value = cv;
+                    let av = std::mem::take(&mut self.nodes[a].value);
+                    {
+                        let cv = &self.nodes[c].value;
+                        for i2 in 0..rows {
+                            let ar = &av[i2 * cols..(i2 + 1) * cols];
+                            let gr = &g[i2 * cols..(i2 + 1) * cols];
+                            let mut s = 0.0f32;
+                            for (&gv, &x) in gr.iter().zip(ar) {
+                                s += gv * x;
+                            }
+                            self.grads[c][i2] -= s / (cv[i2] * cv[i2]);
+                        }
+                    }
+                    self.nodes[a].value = av;
+                }
+                &Op::Relu(a) => {
+                    let a = a as usize;
+                    let av = std::mem::take(&mut self.nodes[a].value);
+                    {
+                        let ga = &mut self.grads[a];
+                        for (j, &gj) in g.iter().enumerate() {
+                            if av[j] > 0.0 {
+                                ga[j] += gj;
+                            }
+                        }
+                    }
+                    self.nodes[a].value = av;
+                }
+                &Op::Sigmoid(a) => {
                     let out = &self.nodes[i].value;
-                    let d: Vec<f32> = out.iter().map(|&s| s * (1.0 - s)).collect();
-                    fma_acc(&g, &d, &mut self.grads[a as usize]);
+                    let ga = &mut self.grads[a as usize];
+                    for (j, &gj) in g.iter().enumerate() {
+                        let s = out[j];
+                        ga[j] += gj * s * (1.0 - s);
+                    }
                 }
-                Op::Tanh(a) => {
+                &Op::Tanh(a) => {
                     let out = &self.nodes[i].value;
-                    let d: Vec<f32> = out.iter().map(|&t| 1.0 - t * t).collect();
-                    fma_acc(&g, &d, &mut self.grads[a as usize]);
-                }
-                Op::Exp(a) => {
-                    let out = self.nodes[i].value.clone();
-                    fma_acc(&g, &out, &mut self.grads[a as usize]);
-                }
-                Op::Log(a) => {
-                    let av = self.nodes[a as usize].value.clone();
+                    let ga = &mut self.grads[a as usize];
                     for (j, &gj) in g.iter().enumerate() {
-                        self.grads[a as usize][j] += gj / av[j];
+                        let t = out[j];
+                        ga[j] += gj * (1.0 - t * t);
                     }
                 }
-                Op::Sqrt(a) => {
-                    let out = self.nodes[i].value.clone();
+                &Op::Exp(a) => {
+                    let out = &self.nodes[i].value;
+                    let ga = &mut self.grads[a as usize];
                     for (j, &gj) in g.iter().enumerate() {
-                        self.grads[a as usize][j] += gj * 0.5 / out[j];
+                        ga[j] += gj * out[j];
                     }
                 }
-                Op::Square(a) => {
-                    let av = self.nodes[a as usize].value.clone();
+                &Op::Log(a) => {
+                    let a = a as usize;
+                    let av = std::mem::take(&mut self.nodes[a].value);
+                    {
+                        let ga = &mut self.grads[a];
+                        for (j, &gj) in g.iter().enumerate() {
+                            ga[j] += gj / av[j];
+                        }
+                    }
+                    self.nodes[a].value = av;
+                }
+                &Op::Sqrt(a) => {
+                    let out = &self.nodes[i].value;
+                    let ga = &mut self.grads[a as usize];
                     for (j, &gj) in g.iter().enumerate() {
-                        self.grads[a as usize][j] += gj * 2.0 * av[j];
+                        ga[j] += gj * 0.5 / out[j];
                     }
                 }
-                Op::Neg(a) => acc(&mut self.grads[a as usize], &g, -1.0),
-                Op::Scale(a, k) => acc(&mut self.grads[a as usize], &g, k),
-                Op::AddScalar(a) => acc(&mut self.grads[a as usize], &g, 1.0),
-                Op::SumAll(a) => {
+                &Op::Square(a) => {
+                    let a = a as usize;
+                    let av = std::mem::take(&mut self.nodes[a].value);
+                    {
+                        let ga = &mut self.grads[a];
+                        for (j, &gj) in g.iter().enumerate() {
+                            ga[j] += gj * 2.0 * av[j];
+                        }
+                    }
+                    self.nodes[a].value = av;
+                }
+                &Op::Neg(a) => acc(&mut self.grads[a as usize], &g, -1.0),
+                &Op::Scale(a, k) => acc(&mut self.grads[a as usize], &g, k),
+                &Op::AddScalar(a) => acc(&mut self.grads[a as usize], &g, 1.0),
+                &Op::SumAll(a) => {
                     let ga = &mut self.grads[a as usize];
                     ga.iter_mut().for_each(|x| *x += g[0]);
                 }
-                Op::MeanAll(a) => {
+                &Op::MeanAll(a) => {
                     let ga = &mut self.grads[a as usize];
                     let k = g[0] / ga.len() as f32;
                     ga.iter_mut().for_each(|x| *x += k);
                 }
-                Op::SumRows(a) | Op::MeanRows(a) => {
+                &Op::SumRows(a) | &Op::MeanRows(a) => {
                     let scale = if matches!(op, Op::MeanRows(_)) {
                         1.0 / self.nodes[a as usize].cols as f32
                     } else {
@@ -664,67 +1152,67 @@ impl Graph {
                     };
                     let n = self.nodes[a as usize].cols;
                     let ga = &mut self.grads[a as usize];
-                    for (i, &gi) in g.iter().enumerate() {
-                        for x in &mut ga[i * n..(i + 1) * n] {
+                    for (i2, &gi) in g.iter().enumerate() {
+                        for x in &mut ga[i2 * n..(i2 + 1) * n] {
                             *x += gi * scale;
                         }
                     }
                 }
-                Op::SumCols(a) | Op::MeanCols(a) => {
+                &Op::SumCols(a) | &Op::MeanCols(a) => {
                     let m = self.nodes[a as usize].rows;
                     let scale = if matches!(op, Op::MeanCols(_)) { 1.0 / m as f32 } else { 1.0 };
                     let n = self.nodes[a as usize].cols;
                     let ga = &mut self.grads[a as usize];
-                    for i in 0..m {
+                    for i2 in 0..m {
                         for j in 0..n {
-                            ga[i * n + j] += g[j] * scale;
+                            ga[i2 * n + j] += g[j] * scale;
                         }
                     }
                 }
-                Op::SoftmaxRows(a) => {
+                &Op::SoftmaxRows(a) => {
                     let out = &self.nodes[i].value;
-                    let ga = &mut self.grads[a as usize];
-                    for r in 0..rows {
-                        let s = &out[r * cols..(r + 1) * cols];
-                        let gr = &g[r * cols..(r + 1) * cols];
-                        let dot: f32 = s.iter().zip(gr).map(|(&si, &gi)| si * gi).sum();
-                        for j in 0..cols {
-                            ga[r * cols + j] += s[j] * (gr[j] - dot);
-                        }
-                    }
+                    kernels::softmax_rows_backward(
+                        rows,
+                        cols,
+                        out,
+                        &g,
+                        &mut self.grads[a as usize],
+                    );
                 }
-                Op::ConcatCols(a, b) => {
-                    let p = self.nodes[a as usize].cols;
-                    let q = self.nodes[b as usize].cols;
-                    for i in 0..rows {
-                        let row = &g[i * (p + q)..(i + 1) * (p + q)];
+                &Op::ConcatCols(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    let p = self.nodes[a].cols;
+                    let q = self.nodes[b].cols;
+                    for i2 in 0..rows {
+                        let row = &g[i2 * (p + q)..(i2 + 1) * (p + q)];
                         for (j, &gv) in row[..p].iter().enumerate() {
-                            self.grads[a as usize][i * p + j] += gv;
+                            self.grads[a][i2 * p + j] += gv;
                         }
                         for (j, &gv) in row[p..].iter().enumerate() {
-                            self.grads[b as usize][i * q + j] += gv;
+                            self.grads[b][i2 * q + j] += gv;
                         }
                     }
                 }
                 Op::ConcatRows(parts) => {
                     let mut r = 0usize;
-                    for pidx in parts {
+                    for &pidx in parts {
                         let pr = self.nodes[pidx as usize].rows;
                         let chunk = &g[r * cols..(r + pr) * cols];
                         acc(&mut self.grads[pidx as usize], chunk, 1.0);
                         r += pr;
                     }
                 }
-                Op::SliceCols { x, c0, c1 } => {
+                &Op::SliceCols { x, c0, c1 } => {
                     let n = self.nodes[x as usize].cols;
                     let w = c1 - c0;
-                    for i in 0..rows {
+                    let gx = &mut self.grads[x as usize];
+                    for i2 in 0..rows {
                         for j in 0..w {
-                            self.grads[x as usize][i * n + c0 + j] += g[i * w + j];
+                            gx[i2 * n + c0 + j] += g[i2 * w + j];
                         }
                     }
                 }
-                Op::SliceRows { x, r0 } => {
+                &Op::SliceRows { x, r0 } => {
                     let n = cols;
                     let gx = &mut self.grads[x as usize];
                     for (j, &gv) in g.iter().enumerate() {
@@ -733,16 +1221,17 @@ impl Graph {
                 }
                 Op::SelectRows { x, rows: sel } => {
                     let n = cols;
-                    let gx = &mut self.grads[x as usize];
-                    for (i, &r) in sel.iter().enumerate() {
+                    let gx = &mut self.grads[*x as usize];
+                    for (i2, &r) in sel.iter().enumerate() {
                         let dst = &mut gx[r as usize * n..(r as usize + 1) * n];
-                        for (d, &gv) in dst.iter_mut().zip(&g[i * n..(i + 1) * n]) {
+                        for (d, &gv) in dst.iter_mut().zip(&g[i2 * n..(i2 + 1) * n]) {
                             *d += gv;
                         }
                     }
                 }
             }
             self.grads[i] = g;
+            self.nodes[i].op = op;
         }
     }
 
@@ -793,6 +1282,36 @@ fn row_reduce_acc(g: &[f32], rows: usize, cols: usize, dst: &mut [f32], k: f32) 
             dst[j] += k * g[i * cols + j];
         }
     }
+}
+
+/// Two simultaneous mutable borrows of distinct slice elements.
+fn two_muts<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b, "aliasing gradient borrow");
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        let (x, y) = (&mut hi[0], &mut lo[b]);
+        (x, y)
+    }
+}
+
+/// Three simultaneous mutable borrows of distinct slice elements,
+/// returned in argument order.
+fn three_muts<T>(v: &mut [T], a: usize, b: usize, c: usize) -> (&mut T, &mut T, &mut T) {
+    assert!(a != b && b != c && a != c, "aliasing gradient borrow");
+    let mut order = [(a, 0usize), (b, 1), (c, 2)];
+    order.sort_unstable_by_key(|&(i, _)| i);
+    let (lo, rest) = v.split_at_mut(order[1].0);
+    let (mid, hi) = rest.split_at_mut(order[2].0 - order[1].0);
+    let mut slots = [Some(&mut lo[order[0].0]), Some(&mut mid[0]), Some(&mut hi[0])];
+    let mut out: [Option<&mut T>; 3] = [None, None, None];
+    for k in 0..3 {
+        out[order[k].1] = slots[k].take();
+    }
+    let [x, y, z] = out;
+    (x.unwrap(), y.unwrap(), z.unwrap())
 }
 
 #[cfg(test)]
@@ -898,5 +1417,138 @@ mod tests {
         assert_eq!(stacked.rows(), 4);
         let r = g.slice_rows(stacked, 2, 4);
         assert_eq!(g.value(r), g.value(a));
+    }
+
+    #[test]
+    fn affine_matches_matmul_add_rowb() {
+        let x = vec![1.0, -2.0, 0.5, 3.0, 0.25, -1.0];
+        let w = vec![0.5, 1.0, -1.0, 2.0, 0.75, -0.25];
+        let b = vec![0.1, -0.2];
+        let mut g = Graph::new();
+        let xv = g.constant(2, 3, x.clone());
+        let wv = g.constant(3, 2, w.clone());
+        let bv = g.constant(1, 2, b.clone());
+        let fused = g.affine(xv, wv, bv);
+        let mm = g.matmul(xv, wv);
+        let unfused = g.add_rowb(mm, bv);
+        for (a, e) in g.value(fused).iter().zip(g.value(unfused)) {
+            assert!((a - e).abs() < 1e-5, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn affine2_matches_two_matmuls() {
+        let mut g = Graph::new();
+        let x = g.constant(2, 2, vec![1.0, 2.0, -1.0, 0.5]);
+        let wx = g.constant(2, 3, vec![0.1, 0.2, 0.3, -0.1, 0.4, 0.0]);
+        let h = g.constant(2, 2, vec![0.5, -0.5, 1.5, 2.0]);
+        let wh = g.constant(2, 3, vec![1.0, 0.0, -1.0, 0.5, 0.25, 0.75]);
+        let b = g.constant(1, 3, vec![0.01, -0.02, 0.03]);
+        let fused = g.affine2(x, wx, h, wh, b);
+        let m1 = g.matmul(x, wx);
+        let m2 = g.matmul(h, wh);
+        let s = g.add(m1, m2);
+        let unfused = g.add_rowb(s, b);
+        for (a, e) in g.value(fused).iter().zip(g.value(unfused)) {
+            assert!((a - e).abs() < 1e-5, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn lstm_step_splits_into_h_and_c() {
+        let mut g = Graph::new();
+        let pre = g.constant(1, 8, vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.8, 0.2, -0.6]);
+        let cp = g.constant(1, 2, vec![0.25, -0.75]);
+        let hc = g.lstm_step(pre, cp);
+        assert_eq!((hc.rows(), hc.cols()), (1, 4));
+        let h = g.slice_cols(hc, 0, 2);
+        let c = g.slice_cols(hc, 2, 4);
+        // Reference: unfused gate math.
+        let prev = g.value(pre).to_vec();
+        let cpv = g.value(cp).to_vec();
+        for j in 0..2 {
+            let i = 1.0 / (1.0 + (-prev[j]).exp());
+            let f = 1.0 / (1.0 + (-prev[2 + j]).exp());
+            let gg = prev[4 + j].tanh();
+            let o = 1.0 / (1.0 + (-prev[6 + j]).exp());
+            let cval = f * cpv[j] + i * gg;
+            assert!((g.value(c)[j] - cval).abs() < 1e-4);
+            assert!((g.value(h)[j] - o * cval.tanh()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_degenerate_row_uniform_and_backward_finite() {
+        let mut store = ParamStore::new();
+        let p = store.add_param("p", 1, 3, vec![1.0, 2.0, 3.0]);
+        let mut g = Graph::new();
+        let pv = g.param(&store, p);
+        let ninf = g.constant(1, 3, vec![f32::NEG_INFINITY; 3]);
+        let both = g.concat_rows(&[pv, ninf]);
+        let sm = g.softmax_rows(both);
+        let v = g.value(sm).to_vec();
+        for &u in &v[3..] {
+            assert!((u - 1.0 / 3.0).abs() < 1e-6, "degenerate row must be uniform: {v:?}");
+        }
+        let loss = g.sum_all(sm);
+        g.backward(loss);
+        g.write_grads(&mut store);
+        for &gr in store.grad(p) {
+            assert!(gr.is_finite(), "degenerate softmax poisoned the backward pass");
+        }
+    }
+
+    #[test]
+    fn param_is_memoized_per_tape() {
+        let mut store = ParamStore::new();
+        let p = store.add_param("w", 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut g = Graph::new();
+        let a = g.param(&store, p);
+        let b = g.param(&store, p);
+        assert_eq!(a, b, "same param must map to the same tape node");
+        // Gradient accumulates once per use even though the node is shared.
+        let s1 = g.sum_all(a);
+        let s2 = g.sum_all(b);
+        let tot = g.add(s1, s2);
+        g.backward(tot);
+        g.write_grads(&mut store);
+        assert_eq!(store.grad(p), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn recycle_reuses_buffers_and_resets_tape() {
+        let mut store = ParamStore::new();
+        let p = store.add_param("x", 1, 2, vec![1.0, 2.0]);
+        let mut g = Graph::new();
+        let run = |g: &mut Graph, store: &mut ParamStore| {
+            let x = g.param(store, p);
+            let y = g.square(x);
+            let loss = g.sum_all(y);
+            g.backward(loss);
+            g.write_grads(store);
+            g.value(y).to_vec()
+        };
+        let v1 = run(&mut g, &mut store);
+        let grads1 = store.grad(p).to_vec();
+        store.zero_grads();
+        g.recycle();
+        assert_eq!(g.num_nodes(), 0);
+        let v2 = run(&mut g, &mut store);
+        assert_eq!(v1, v2, "recycled tape must recompute identical values");
+        assert_eq!(grads1, store.grad(p), "recycled tape must recompute identical grads");
+    }
+
+    #[test]
+    fn batchnorm_train_node_exposes_stats() {
+        let mut g = Graph::new();
+        let x = g.constant(4, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+        let gamma = g.constant(1, 2, vec![1.0, 1.0]);
+        let beta = g.constant(1, 2, vec![0.0, 0.0]);
+        let y = g.batchnorm_train(x, gamma, beta, 1e-5);
+        let (mean, var) = g.bn_stats(y);
+        assert!((mean[0] - 2.5).abs() < 1e-5);
+        assert!((mean[1] - 25.0).abs() < 1e-4);
+        assert!((var[0] - 1.25).abs() < 1e-4);
+        assert!((var[1] - 125.0).abs() < 1e-2);
     }
 }

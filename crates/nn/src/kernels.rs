@@ -1,81 +1,445 @@
 //! Dense `f32` math kernels shared by forward and backward passes.
 //!
-//! All matrices are row-major. The GEMM uses the cache-friendly i-k-j loop
-//! order; at EHNA's model sizes (hidden dims 32–256, batches ≤ a few
-//! thousand rows) this is within a small factor of a tuned BLAS and keeps
-//! the crate dependency-free.
+//! All matrices are row-major. The layer beneath the autodiff tape:
+//!
+//! * **Blocked GEMM microkernels** — register-tiled (`MR`×`NR`) inner
+//!   loops with optional panel packing for the shared `b` operand, in the
+//!   three orientations the tape needs (`A·B`, `A·Bᵀ`, `Aᵀ·B`).
+//! * **Fused elementwise passes** — the whole LSTM gate block, softmax
+//!   rows, and batch-norm forward/backward each run in a single traversal
+//!   instead of a dozen tape ops.
+//! * **Deterministic multi-threading** — [`set_threads`] installs a
+//!   worker budget; every kernel partitions work by *problem shape only*
+//!   (never by thread count), and the one true reduction
+//!   ([`gemm_tn_acc`]'s sum over `k`) uses fixed-size chunks combined in
+//!   a fixed-order pairwise tree, so results are bit-identical at any
+//!   thread count.
+//!
+//! ## NaN policy
+//!
+//! Kernels never take data-dependent shortcuts: a historical bug skipped
+//! multiplication when the `a` element was `0.0`, which silently turned
+//! `0 · NaN` into "no contribution" and hid diverging gradients flowing
+//! through zero activations. Every kernel here computes the full product
+//! so NaN/Inf propagate as IEEE arithmetic dictates. The fast
+//! transcendentals ([`fast_exp`], [`fast_sigmoid`], [`fast_tanh`]) are
+//! branchless polynomial approximations that likewise propagate NaN.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// --------------------------------------------------------------- threading
+
+static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the kernel worker budget. Thread count never changes results (see
+/// module docs); it only changes how many cores chew on large kernels.
+pub fn set_threads(n: usize) {
+    KERNEL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Current kernel worker budget.
+pub fn threads() -> usize {
+    KERNEL_THREADS.load(Ordering::Relaxed)
+}
+
+/// Resolve the kernel thread budget from the environment
+/// (`EHNA_KERNEL_THREADS`), falling back to `min(requested,
+/// available_parallelism)`. Returns the resolved count without
+/// installing it.
+pub fn resolve_threads(requested: usize) -> usize {
+    if let Ok(v) = std::env::var("EHNA_KERNEL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    requested.clamp(1, host).max(1)
+}
+
+/// Split `rows` into at most `threads()` contiguous parts of at least
+/// `min_rows` each and run `f(first_row, c_part)` on every part, in
+/// parallel when more than one part exists. Partitioning cannot change
+/// results: every kernel computes each output element with a
+/// partition-independent operation order.
+fn par_row_parts<F>(c: &mut [f32], rows: usize, row_len: usize, min_rows: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(c.len(), rows * row_len);
+    let t = threads();
+    let parts = if t <= 1 || min_rows == 0 { 1 } else { t.min(rows / min_rows).max(1) };
+    if parts <= 1 {
+        f(0, c);
+        return;
+    }
+    let base = rows / parts;
+    let extra = rows % parts;
+    std::thread::scope(|s| {
+        let mut rest = c;
+        let mut row0 = 0usize;
+        let mut handles = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let nrows = base + usize::from(p < extra);
+            let (part, tail) = rest.split_at_mut(nrows * row_len);
+            rest = tail;
+            let start = row0;
+            row0 += nrows;
+            let fr = &f;
+            handles.push(s.spawn(move || fr(start, part)));
+        }
+        for h in handles {
+            h.join().expect("kernel worker panicked");
+        }
+    });
+}
+
+// ------------------------------------------------------------------- GEMM
+
+/// Register-tile height (rows of `c` per microkernel invocation).
+const MR: usize = 8;
+/// Register-tile width (columns of `c` per microkernel invocation).
+const NR: usize = 32;
+/// Pack the `b` panel into contiguous `k × NR` strips when the whole `b`
+/// operand exceeds this many `f32`s (≈ half an L1 cache).
+const PACK_ELEMS: usize = 2048;
+/// `gemm_tn_acc` always splits its `k` reduction into chunks of this many
+/// rows (when `k` exceeds it) — chunking is keyed on the problem shape,
+/// not the thread count, so the fixed-order tree reduction over the
+/// partial products is bit-identical at any parallelism.
+const TN_CHUNK: usize = 128;
+/// Minimum `m · k · n` before a GEMM fans out to worker threads.
+const PAR_FLOP_FLOOR: usize = 1 << 15;
 
 /// `c += a (m×k) · b (k×n)`.
+///
+/// Each `c[i][j]` is computed as a fresh accumulator summed over `p`
+/// ascending via `mul_add` (one IEEE fused multiply-add per term), then
+/// added to `c[i][j]` once — the same per-element chain in the tiled
+/// body, the edge tails, and every thread partition.
 pub fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    if m == 0 || n == 0 {
+        return;
+    }
+    let packed: Option<Vec<f32>> = if k * n > PACK_ELEMS && k > 0 {
+        // Pack b into j-major panels of NR columns (zero-padded), so the
+        // microkernel streams contiguous memory even for wide b.
+        let panels = n.div_ceil(NR);
+        let mut buf = vec![0.0f32; panels * k * NR];
+        for jp in 0..panels {
+            let j0 = jp * NR;
+            let w = NR.min(n - j0);
+            let dst = &mut buf[jp * k * NR..(jp + 1) * k * NR];
+            for p in 0..k {
+                dst[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
             }
-            let brow = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
+        }
+        Some(buf)
+    } else {
+        None
+    };
+    let min_rows = if m * k * n >= PAR_FLOP_FLOOR { MR } else { 0 };
+    par_row_parts(c, m, n, min_rows, |row0, cpart| {
+        let rows = cpart.len() / n;
+        match &packed {
+            Some(pb) => gemm_block_packed(rows, k, n, &a[row0 * k..], pb, cpart),
+            None => gemm_block(rows, k, n, &a[row0 * k..], b, cpart),
+        }
+    });
+}
+
+/// Unpacked microkernel: `c (rows×n) += a (rows×k) · b (k×n)`.
+fn gemm_block(rows: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut i = 0;
+    while i < rows {
+        let mr = MR.min(rows - i);
+        let mut j = 0;
+        while j < n {
+            let nr = NR.min(n - j);
+            if mr == MR && nr == NR {
+                let mut acc = [[0.0f32; NR]; MR];
+                for p in 0..k {
+                    let bp = &b[p * n + j..p * n + j + NR];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = a[(i + r) * k + p];
+                        for (av_acc, &bv) in accr.iter_mut().zip(bp) {
+                            *av_acc = av.mul_add(bv, *av_acc);
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    let crow = &mut c[(i + r) * n + j..(i + r) * n + j + NR];
+                    for (cv, &s) in crow.iter_mut().zip(accr) {
+                        *cv += s;
+                    }
+                }
+            } else {
+                gemm_tail(i, mr, j, nr, k, n, a, |p, jj| b[p * n + jj], c);
             }
+            j += nr;
+        }
+        i += mr;
+    }
+}
+
+/// Packed-panel microkernel: identical math, `b` pre-packed `NR`-wide.
+fn gemm_block_packed(rows: usize, k: usize, n: usize, a: &[f32], pb: &[f32], c: &mut [f32]) {
+    let mut i = 0;
+    while i < rows {
+        let mr = MR.min(rows - i);
+        let mut j = 0;
+        let mut jp = 0;
+        while j < n {
+            let nr = NR.min(n - j);
+            let panel = &pb[jp * k * NR..(jp + 1) * k * NR];
+            if mr == MR && nr == NR {
+                let mut acc = [[0.0f32; NR]; MR];
+                for p in 0..k {
+                    let bp = &panel[p * NR..(p + 1) * NR];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = a[(i + r) * k + p];
+                        for (av_acc, &bv) in accr.iter_mut().zip(bp) {
+                            *av_acc = av.mul_add(bv, *av_acc);
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    let crow = &mut c[(i + r) * n + j..(i + r) * n + j + NR];
+                    for (cv, &s) in crow.iter_mut().zip(accr) {
+                        *cv += s;
+                    }
+                }
+            } else {
+                gemm_tail(i, mr, j, nr, k, n, a, |p, jj| panel[p * NR + (jj - j)], c);
+            }
+            j += nr;
+            jp += 1;
+        }
+        i += mr;
+    }
+}
+
+/// Edge-tile fallback with the same per-element accumulation chain as the
+/// register tile (fresh accumulator, `p` ascending, one add into `c`).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn gemm_tail(
+    i: usize,
+    mr: usize,
+    j: usize,
+    nr: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b_at: impl Fn(usize, usize) -> f32,
+    c: &mut [f32],
+) {
+    for r in 0..mr {
+        let arow = &a[(i + r) * k..(i + r) * k + k];
+        for jj in j..j + nr {
+            let mut s = 0.0f32;
+            for (p, &av) in arow.iter().enumerate() {
+                s = av.mul_add(b_at(p, jj), s);
+            }
+            c[(i + r) * n + jj] += s;
         }
     }
 }
 
-/// `c += aᵀ (k×m)ᵀ=(m×k) · b (k×n)` where `a` is stored as `k×m`.
-///
-/// Equivalently: `c[i][j] += Σ_p a[p][i] * b[p][j]`.
-pub fn gemm_tn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    for p in 0..k {
-        let arow = &a[p * m..(p + 1) * m];
-        let brow = &b[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
-        }
-    }
-}
+/// Dot-product accumulator lanes for [`gemm_nt_acc`]: each `c[i][j]` sums
+/// `LANES` interleaved partial sums combined in a fixed pairwise tree.
+const LANES: usize = 8;
 
 /// `c += a (m×k) · bᵀ (n×k)ᵀ=(k×n)` where `b` is stored as `n×k`.
 ///
-/// Equivalently: `c[i][j] += Σ_p a[i][p] * b[j][p]` — a dot product of
-/// rows, which vectorizes well.
+/// Equivalently: `c[i][j] += Σ_p a[i][p] * b[j][p]`. When `m` is large
+/// enough to amortize it, `b` is transpose-packed into the same k-major
+/// `NR`-wide panels [`gemm_acc`] uses, so both kernels share the
+/// register-tiled microkernel and the same per-element accumulation chain
+/// (fresh accumulator, `p` ascending, one add into `c`). Small problems
+/// fall back to a row-dot loop.
 pub fn gemm_nt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (j, cv) in crow.iter_mut().enumerate() {
-            let brow = &b[j * k..(j + 1) * k];
-            // Four independent accumulators let LLVM vectorize the
-            // reduction without float-reassociation flags.
-            let mut acc = [0.0f32; 4];
-            let chunks = k / 4;
-            for p in 0..chunks {
-                let base = p * 4;
-                acc[0] += arow[base] * brow[base];
-                acc[1] += arow[base + 1] * brow[base + 1];
-                acc[2] += arow[base + 2] * brow[base + 2];
-                acc[3] += arow[base + 3] * brow[base + 3];
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m >= 2 * MR && k > 0 {
+        // Transpose-pack bᵀ into j-major panels of NR columns
+        // (zero-padded), identical layout to gemm_acc's packed path.
+        let panels = n.div_ceil(NR);
+        let mut buf = vec![0.0f32; panels * k * NR];
+        for jp in 0..panels {
+            let j0 = jp * NR;
+            let w = NR.min(n - j0);
+            let dst = &mut buf[jp * k * NR..(jp + 1) * k * NR];
+            for jj in 0..w {
+                let bcol = &b[(j0 + jj) * k..(j0 + jj) * k + k];
+                for (p, &v) in bcol.iter().enumerate() {
+                    dst[p * NR + jj] = v;
+                }
             }
-            let mut tail = 0.0f32;
-            for p in chunks * 4..k {
-                tail += arow[p] * brow[p];
+        }
+        let min_rows = if m * k * n >= PAR_FLOP_FLOOR { MR } else { 0 };
+        par_row_parts(c, m, n, min_rows, |row0, cpart| {
+            let rows = cpart.len() / n;
+            gemm_block_packed(rows, k, n, &a[row0 * k..], &buf, cpart);
+        });
+        return;
+    }
+    let min_rows = if m * k * n >= PAR_FLOP_FLOOR { 1 } else { 0 };
+    par_row_parts(c, m, n, min_rows, |row0, cpart| {
+        let rows = cpart.len() / n;
+        for i in 0..rows {
+            let arow = &a[(row0 + i) * k..(row0 + i) * k + k];
+            let crow = &mut cpart[i * n..(i + 1) * n];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                *cv += dot_lanes(arow, brow);
             }
-            *cv += acc[0] + acc[1] + acc[2] + acc[3] + tail;
+        }
+    });
+}
+
+/// Fixed-shape dot product: `LANES` interleaved accumulators over the
+/// aligned body, a scalar tail, then a fixed pairwise-tree combine. The
+/// reduction order depends only on `k`.
+#[inline]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let k = a.len();
+    let body = k - k % LANES;
+    let mut acc = [0.0f32; LANES];
+    // `chunks_exact` hands the optimizer fixed-width slices (no bounds
+    // checks), which is what lets this loop vectorize; the operation
+    // order per accumulator lane is unchanged.
+    for (ca, cb) in a[..body].chunks_exact(LANES).zip(b[..body].chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] = ca[l].mul_add(cb[l], acc[l]);
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&av, &bv) in a[body..].iter().zip(&b[body..]) {
+        tail = av.mul_add(bv, tail);
+    }
+    // Pairwise tree: ((0+1)+(2+3)) + ((4+5)+(6+7)), then the tail.
+    let mut gap = 1;
+    while gap < LANES {
+        let mut l = 0;
+        while l + gap < LANES {
+            acc[l] += acc[l + gap];
+            l += 2 * gap;
+        }
+        gap *= 2;
+    }
+    acc[0] + tail
+}
+
+/// `c += aᵀ (k×m)ᵀ=(m×k) · b (k×n)` where `a` is stored as `k×m`.
+///
+/// Equivalently: `c[i][j] += Σ_p a[p][i] * b[p][j]` — the
+/// gradient-accumulation GEMM (`dW += Xᵀ·G`), whose reduction runs over
+/// the batch dimension `k`. The sum is split into fixed [`TN_CHUNK`]-row
+/// chunks whenever `k > TN_CHUNK` (regardless of thread count); chunk
+/// partials are computed independently (in parallel when threads are
+/// available) and combined by a fixed-order pairwise tree, so the result
+/// is bit-identical at any thread count.
+pub fn gemm_tn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k <= TN_CHUNK {
+        tn_chunk(m, k, n, a, b, c);
+        return;
+    }
+    let chunks = k.div_ceil(TN_CHUNK);
+    let mut partials = vec![0.0f32; chunks * m * n];
+    let t = threads();
+    let run = |ci: usize, part: &mut [f32]| {
+        let p0 = ci * TN_CHUNK;
+        let rows = TN_CHUNK.min(k - p0);
+        tn_chunk(m, rows, n, &a[p0 * m..(p0 + rows) * m], &b[p0 * n..(p0 + rows) * n], part);
+    };
+    if t <= 1 {
+        for (ci, part) in partials.chunks_mut(m * n).enumerate() {
+            run(ci, part);
+        }
+    } else {
+        std::thread::scope(|s| {
+            let run = &run;
+            let mut handles = Vec::with_capacity(chunks);
+            for (ci, part) in partials.chunks_mut(m * n).enumerate() {
+                handles.push(s.spawn(move || run(ci, part)));
+            }
+            for h in handles {
+                h.join().expect("kernel worker panicked");
+            }
+        });
+    }
+    // Fixed-order pairwise tree over chunk partials: partial[i] +=
+    // partial[i+gap] for gap = 1, 2, 4, ... — the combine order depends
+    // only on the chunk count (a function of k), never on threads.
+    let mut gap = 1;
+    while gap < chunks {
+        let mut i = 0;
+        while i + gap < chunks {
+            let (lo, hi) = partials.split_at_mut((i + gap) * m * n);
+            let dst = &mut lo[i * m * n..i * m * n + m * n];
+            let src = &hi[..m * n];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+            i += 2 * gap;
+        }
+        gap *= 2;
+    }
+    for (cv, &p) in c.iter_mut().zip(&partials[..m * n]) {
+        *cv += p;
+    }
+}
+
+/// One reduction chunk of [`gemm_tn_acc`]: `c += aᵀ·b` by `p`-ascending
+/// outer products (rows of `b` scaled into rows of `c`), vectorizing over
+/// `n`. `p` advances four rows at a time (`c[i][j] +=
+/// ((a₀b₀ + a₁b₁) + a₂b₂) + a₃b₃`, then a single-row tail) so each `c`
+/// row is loaded and stored once per four reduction rows; the blocking is
+/// keyed on `k` alone, never on threads. No data-dependent skips:
+/// `0 · NaN` must stay NaN.
+fn tn_chunk(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let body = k - k % 4;
+    let mut p = 0;
+    while p < body {
+        let a0 = &a[p * m..(p + 1) * m];
+        let a1 = &a[(p + 1) * m..(p + 2) * m];
+        let a2 = &a[(p + 2) * m..(p + 3) * m];
+        let a3 = &a[(p + 3) * m..(p + 4) * m];
+        let b0 = &b[p * n..(p + 1) * n];
+        let b1 = &b[(p + 1) * n..(p + 2) * n];
+        let b2 = &b[(p + 2) * n..(p + 3) * n];
+        let b3 = &b[(p + 3) * n..(p + 4) * n];
+        for i in 0..m {
+            let (v0, v1, v2, v3) = (a0[i], a1[i], a2[i], a3[i]);
+            let crow = &mut c[i * n..(i + 1) * n];
+            for ((((cv, &w0), &w1), &w2), &w3) in crow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                *cv = v3.mul_add(w3, v2.mul_add(w2, v1.mul_add(w1, v0.mul_add(w0, *cv))));
+            }
+        }
+        p += 4;
+    }
+    for p in body..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv = av.mul_add(bv, *cv);
+            }
         }
     }
 }
@@ -89,9 +453,401 @@ pub fn fma_acc(x: &[f32], y: &[f32], out: &mut [f32]) {
     }
 }
 
+/// Fill each of `m` rows of `out` with `bias` (the `x·W + b` initializer:
+/// GEMM then accumulates on top, fusing the bias add for free).
+pub fn bias_rows_fill(m: usize, n: usize, bias: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(bias.len(), n);
+    debug_assert_eq!(out.len(), m * n);
+    for row in out.chunks_exact_mut(n) {
+        row.copy_from_slice(bias);
+    }
+}
+
+/// `dst[j] += Σ_i g[i][j]` — the bias gradient (column sums).
+pub fn col_sum_acc(m: usize, n: usize, g: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(g.len(), m * n);
+    debug_assert_eq!(dst.len(), n);
+    for row in g.chunks_exact(n) {
+        for (d, &v) in dst.iter_mut().zip(row) {
+            *d += v;
+        }
+    }
+}
+
+// -------------------------------------------------- fast transcendentals
+
+const LOG2_E: f32 = std::f32::consts::LOG2_E;
+
+/// Branchless polynomial `exp` (≈2e-5 relative error): `2^(x·log₂e)`
+/// split into an exponent-bits scale and a degree-6 polynomial for the
+/// fraction. NaN propagates (through `clamp`/`floor`/the polynomial);
+/// extreme finite inputs saturate near `2^±126` instead of overflowing.
+#[inline(always)]
+pub fn fast_exp(x: f32) -> f32 {
+    let z = (x * LOG2_E).clamp(-126.0, 126.0); // NaN stays NaN
+    let zf = z.floor();
+    let f = z - zf; // in [0, 1); NaN stays NaN
+                    // exp(f·ln2) Taylor through degree 6 (Horner via fused multiply-add;
+                    // the linear coefficient is ln 2).
+    let p = f.mul_add(
+        f.mul_add(
+            f.mul_add(
+                f.mul_add(
+                    f.mul_add(f.mul_add(1.540_353e-4, 0.001_333_355_8), 0.009_618_129),
+                    0.055_504_11,
+                ),
+                0.240_226_5,
+            ),
+            std::f32::consts::LN_2,
+        ),
+        1.0,
+    );
+    // NaN casts to 0 ⇒ scale 1.0, and `p` carries the NaN through.
+    let scale = f32::from_bits((((zf as i32) + 127) << 23) as u32);
+    p * scale
+}
+
+/// Branchless logistic sigmoid built on [`fast_exp`]; NaN propagates,
+/// saturates to (0, 1) exclusive at the extremes.
+#[inline(always)]
+pub fn fast_sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + fast_exp(-x))
+}
+
+/// Branchless tanh built on [`fast_exp`]; NaN propagates, output stays
+/// strictly inside (-1, 1).
+#[inline(always)]
+pub fn fast_tanh(x: f32) -> f32 {
+    1.0 - 2.0 / (1.0 + fast_exp(2.0 * x))
+}
+
+// ------------------------------------------------------- fused LSTM cell
+
+/// Fused LSTM cell forward over a batch of `b` rows with hidden width
+/// `h`. `pre` is the gate preactivation block `[i|f|g|o]` (`b × 4h`),
+/// `c_prev` the previous cell state (`b × h`). Writes the combined state
+/// `hc = [h_new | c_new]` (`b × 2h`) and the activated gates
+/// `aux = [i|f|g|o|tanh(c_new)]` (`b × 5h`) for the backward pass.
+pub fn lstm_step_forward(
+    b: usize,
+    h: usize,
+    pre: &[f32],
+    c_prev: &[f32],
+    hc: &mut [f32],
+    aux: &mut [f32],
+) {
+    debug_assert_eq!(pre.len(), b * 4 * h);
+    debug_assert_eq!(c_prev.len(), b * h);
+    debug_assert_eq!(hc.len(), b * 2 * h);
+    debug_assert_eq!(aux.len(), b * 5 * h);
+    // Narrow per-gate passes (one activation kind, two streams each)
+    // vectorize where the fused 7-stream loop did not; the per-element
+    // math is identical, so the results are bit-for-bit the same.
+    for r in 0..b {
+        let pre_r = &pre[r * 4 * h..(r + 1) * 4 * h];
+        let cp = &c_prev[r * h..(r + 1) * h];
+        let (hc_h, hc_c) = hc[r * 2 * h..(r + 1) * 2 * h].split_at_mut(h);
+        let aux_r = &mut aux[r * 5 * h..(r + 1) * 5 * h];
+        let (gi, rest) = aux_r.split_at_mut(h);
+        let (gf, rest) = rest.split_at_mut(h);
+        let (gg, rest) = rest.split_at_mut(h);
+        let (go, gtc) = rest.split_at_mut(h);
+        for (d, &p) in gi.iter_mut().zip(&pre_r[..h]) {
+            *d = fast_sigmoid(p);
+        }
+        for (d, &p) in gf.iter_mut().zip(&pre_r[h..2 * h]) {
+            *d = fast_sigmoid(p);
+        }
+        for (d, &p) in gg.iter_mut().zip(&pre_r[2 * h..3 * h]) {
+            *d = fast_tanh(p);
+        }
+        for (d, &p) in go.iter_mut().zip(&pre_r[3 * h..4 * h]) {
+            *d = fast_sigmoid(p);
+        }
+        for j in 0..h {
+            let c = gf[j] * cp[j] + gi[j] * gg[j];
+            let tc = fast_tanh(c);
+            gtc[j] = tc;
+            hc_h[j] = go[j] * tc;
+            hc_c[j] = c;
+        }
+    }
+}
+
+/// Fused LSTM cell backward. `g_hc` is the upstream gradient of the
+/// combined `[h_new | c_new]` output; accumulates into the preactivation
+/// gradient `d_pre` (`b × 4h`, `+=`) and the previous-cell gradient
+/// `d_cprev` (`b × h`, `+=`).
+pub fn lstm_step_backward(
+    b: usize,
+    h: usize,
+    aux: &[f32],
+    c_prev: &[f32],
+    g_hc: &[f32],
+    d_pre: &mut [f32],
+    d_cprev: &mut [f32],
+) {
+    debug_assert_eq!(aux.len(), b * 5 * h);
+    debug_assert_eq!(c_prev.len(), b * h);
+    debug_assert_eq!(g_hc.len(), b * 2 * h);
+    debug_assert_eq!(d_pre.len(), b * 4 * h);
+    debug_assert_eq!(d_cprev.len(), b * h);
+    for r in 0..b {
+        let aux_r = &aux[r * 5 * h..(r + 1) * 5 * h];
+        let (gi, rest) = aux_r.split_at(h);
+        let (gf, rest) = rest.split_at(h);
+        let (gg, rest) = rest.split_at(h);
+        let (go, gtc) = rest.split_at(h);
+        let cp = &c_prev[r * h..(r + 1) * h];
+        let (gh, gc_in) = g_hc[r * 2 * h..(r + 1) * 2 * h].split_at(h);
+        let dpre_r = &mut d_pre[r * 4 * h..(r + 1) * 4 * h];
+        let dcp = &mut d_cprev[r * h..(r + 1) * h];
+        for j in 0..h {
+            let (i, f, g, o, tc) = (gi[j], gf[j], gg[j], go[j], gtc[j]);
+            let d_o = gh[j] * tc;
+            let d_c = gc_in[j] + gh[j] * o * (1.0 - tc * tc);
+            dcp[j] += d_c * f;
+            let d_i = d_c * g;
+            let d_g = d_c * i;
+            let d_f = d_c * cp[j];
+            dpre_r[j] += d_i * i * (1.0 - i);
+            dpre_r[h + j] += d_f * f * (1.0 - f);
+            dpre_r[2 * h + j] += d_g * (1.0 - g * g);
+            dpre_r[3 * h + j] += d_o * o * (1.0 - o);
+        }
+    }
+}
+
+// ----------------------------------------------------------- fused softmax
+
+/// Numerically-stable row softmax with defined degenerate behavior: a row
+/// whose finite maximum does not exist (all `-inf`) yields the uniform
+/// distribution `1/n` — the natural "no preference" limit — instead of
+/// the `0/0 = NaN` the naive formula produces. Rows containing NaN
+/// propagate NaN (they are *not* treated as degenerate).
+///
+/// # Panics
+/// Panics on zero-width rows (`n == 0`): there is no distribution over
+/// nothing.
+pub fn softmax_rows_forward(m: usize, n: usize, x: &[f32], out: &mut [f32]) {
+    assert!(n > 0, "softmax over zero-width rows");
+    debug_assert_eq!(x.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    for r in 0..m {
+        let row = &x[r * n..(r + 1) * n];
+        let orow = &mut out[r * n..(r + 1) * n];
+        // `f32::max` ignores NaN, so `max` ranges over the non-NaN
+        // elements; a NaN element still poisons the sum below.
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let has_nan = row.iter().any(|v| v.is_nan());
+        if max == f32::NEG_INFINITY && !has_nan {
+            // All -inf: defined uniform fallback.
+            let u = 1.0 / n as f32;
+            orow.iter_mut().for_each(|o| *o = u);
+            continue;
+        }
+        let mut total = 0.0f32;
+        for (o, &v) in orow.iter_mut().zip(row) {
+            let e = fast_exp(v - max);
+            *o = e;
+            total += e;
+        }
+        let inv = 1.0 / total;
+        orow.iter_mut().for_each(|o| *o *= inv);
+    }
+}
+
+/// Softmax backward: `gx[r][j] += y[r][j] * (g[r][j] - Σ_j y·g)`. The
+/// uniform-fallback rows of [`softmax_rows_forward`] go through the same
+/// Jacobian (their true gradient w.r.t. an all-`-inf` input is zero in
+/// every direction that matters; the formula stays finite).
+pub fn softmax_rows_backward(m: usize, n: usize, y: &[f32], g: &[f32], gx: &mut [f32]) {
+    debug_assert_eq!(y.len(), m * n);
+    debug_assert_eq!(g.len(), m * n);
+    debug_assert_eq!(gx.len(), m * n);
+    for r in 0..m {
+        let yr = &y[r * n..(r + 1) * n];
+        let gr = &g[r * n..(r + 1) * n];
+        let dot: f32 = yr.iter().zip(gr).map(|(&s, &gv)| s * gv).sum();
+        let gxr = &mut gx[r * n..(r + 1) * n];
+        for ((gxv, &s), &gv) in gxr.iter_mut().zip(yr).zip(gr) {
+            *gxv += s * (gv - dot);
+        }
+    }
+}
+
+// --------------------------------------------------------- fused batchnorm
+
+/// Fused training-mode batch-norm forward over `m` rows × `n` features:
+/// `y = γ·x̂ + β` with `x̂ = (x - μ)·rsqrt(σ² + eps)` from batch
+/// statistics. `aux` must be `m·n + 3n` long and receives
+/// `[x̂ | inv_std | mean | var]` for the backward pass and running-stat
+/// updates.
+#[allow(clippy::too_many_arguments)]
+pub fn batchnorm_train_forward(
+    m: usize,
+    n: usize,
+    eps: f32,
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    y: &mut [f32],
+    aux: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), m * n);
+    debug_assert_eq!(y.len(), m * n);
+    debug_assert_eq!(aux.len(), m * n + 3 * n);
+    debug_assert!(m > 0);
+    let (xhat, rest) = aux.split_at_mut(m * n);
+    let (inv_std, rest) = rest.split_at_mut(n);
+    let (mean, var) = rest.split_at_mut(n);
+    mean.iter_mut().for_each(|v| *v = 0.0);
+    for row in x.chunks_exact(n) {
+        for (mv, &v) in mean.iter_mut().zip(row) {
+            *mv += v;
+        }
+    }
+    let inv_m = 1.0 / m as f32;
+    mean.iter_mut().for_each(|v| *v *= inv_m);
+    var.iter_mut().for_each(|v| *v = 0.0);
+    for row in x.chunks_exact(n) {
+        for ((vv, &v), &mu) in var.iter_mut().zip(row).zip(&*mean) {
+            let d = v - mu;
+            *vv += d * d;
+        }
+    }
+    var.iter_mut().for_each(|v| *v *= inv_m);
+    for (is, &v) in inv_std.iter_mut().zip(&*var) {
+        *is = 1.0 / (v + eps).sqrt();
+    }
+    for r in 0..m {
+        let xr = &x[r * n..(r + 1) * n];
+        let xhr = &mut xhat[r * n..(r + 1) * n];
+        let yr = &mut y[r * n..(r + 1) * n];
+        for j in 0..n {
+            let xh = (xr[j] - mean[j]) * inv_std[j];
+            xhr[j] = xh;
+            yr[j] = gamma[j] * xh + beta[j];
+        }
+    }
+}
+
+/// Fused training-mode batch-norm backward (gradients flow through the
+/// batch statistics):
+/// `dx = γ·inv_std/m · (m·g − Σ_i g − x̂·Σ_i g·x̂)`,
+/// `dγ += Σ_i g·x̂`, `dβ += Σ_i g`. `aux` is the buffer written by
+/// [`batchnorm_train_forward`].
+#[allow(clippy::too_many_arguments)]
+pub fn batchnorm_train_backward(
+    m: usize,
+    n: usize,
+    aux: &[f32],
+    gamma: &[f32],
+    g: &[f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    debug_assert_eq!(aux.len(), m * n + 3 * n);
+    debug_assert_eq!(g.len(), m * n);
+    debug_assert_eq!(dx.len(), m * n);
+    let (xhat, rest) = aux.split_at(m * n);
+    let (inv_std, _) = rest.split_at(n);
+    let mut sum_g = vec![0.0f32; n];
+    let mut sum_gx = vec![0.0f32; n];
+    for r in 0..m {
+        let gr = &g[r * n..(r + 1) * n];
+        let xhr = &xhat[r * n..(r + 1) * n];
+        for j in 0..n {
+            sum_g[j] += gr[j];
+            sum_gx[j] += gr[j] * xhr[j];
+        }
+    }
+    for (d, &s) in dbeta.iter_mut().zip(&sum_g) {
+        *d += s;
+    }
+    for (d, &s) in dgamma.iter_mut().zip(&sum_gx) {
+        *d += s;
+    }
+    let fm = m as f32;
+    for r in 0..m {
+        let gr = &g[r * n..(r + 1) * n];
+        let xhr = &xhat[r * n..(r + 1) * n];
+        let dxr = &mut dx[r * n..(r + 1) * n];
+        for j in 0..n {
+            let scale = gamma[j] * inv_std[j] / fm;
+            dxr[j] += scale * (fm * gr[j] - sum_g[j] - xhr[j] * sum_gx[j]);
+        }
+    }
+}
+
+/// Fused eval-mode batch-norm forward: whiten with the fixed running
+/// statistics (`aux = [mean | inv_std]`, each `n` long) and apply the
+/// affine parameters in one pass.
+#[allow(clippy::too_many_arguments)]
+pub fn batchnorm_eval_forward(
+    m: usize,
+    n: usize,
+    x: &[f32],
+    mean: &[f32],
+    inv_std: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    y: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), m * n);
+    debug_assert_eq!(y.len(), m * n);
+    for r in 0..m {
+        let xr = &x[r * n..(r + 1) * n];
+        let yr = &mut y[r * n..(r + 1) * n];
+        for j in 0..n {
+            yr[j] = gamma[j] * (xr[j] - mean[j]) * inv_std[j] + beta[j];
+        }
+    }
+}
+
+/// Fused eval-mode batch-norm backward: running statistics are constants,
+/// so `dx += g·γ·inv_std`, `dγ += Σ g·x̂`, `dβ += Σ g`.
+#[allow(clippy::too_many_arguments)]
+pub fn batchnorm_eval_backward(
+    m: usize,
+    n: usize,
+    x: &[f32],
+    mean: &[f32],
+    inv_std: &[f32],
+    gamma: &[f32],
+    g: &[f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), m * n);
+    debug_assert_eq!(g.len(), m * n);
+    debug_assert_eq!(dx.len(), m * n);
+    for r in 0..m {
+        let xr = &x[r * n..(r + 1) * n];
+        let gr = &g[r * n..(r + 1) * n];
+        let dxr = &mut dx[r * n..(r + 1) * n];
+        for j in 0..n {
+            let xh = (xr[j] - mean[j]) * inv_std[j];
+            dxr[j] += gr[j] * gamma[j] * inv_std[j];
+            dgamma[j] += gr[j] * xh;
+            dbeta[j] += gr[j];
+        }
+    }
+}
+
+/// Serializes tests that toggle the global thread budget. Shared across
+/// every in-crate test module so concurrent tests never observe a
+/// half-toggled [`set_threads`] value.
+#[cfg(test)]
+pub(crate) static TEST_THREAD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use super::TEST_THREAD_LOCK as THREAD_LOCK;
 
     fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
         let mut c = vec![0.0; m * n];
@@ -129,6 +885,21 @@ mod tests {
     }
 
     #[test]
+    fn gemm_matches_naive_odd_shapes() {
+        // Shapes straddling every tile boundary, including the packed path.
+        for &(m, k, n) in &[(1, 1, 1), (5, 3, 17), (4, 16, 16), (7, 33, 19), (9, 40, 64)] {
+            let a: Vec<f32> = (0..m * k).map(|i| ((i * 31 % 17) as f32) * 0.21 - 1.5).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| ((i * 13 % 23) as f32) * 0.17 - 1.9).collect();
+            let expect = naive(m, k, n, &a, &b);
+            let mut c = vec![0.0; m * n];
+            gemm_acc(m, k, n, &a, &b, &mut c);
+            for (x, y) in c.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-3, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
     fn gemm_tn_matches_naive() {
         let (m, k, n) = (3, 4, 2);
         let at: Vec<f32> = (0..k * m).map(|i| i as f32 * 0.2).collect(); // stored k×m
@@ -139,6 +910,21 @@ mod tests {
         gemm_tn_acc(m, k, n, &at, &b, &mut c);
         for (x, y) in c.iter().zip(&expect) {
             assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_tn_chunked_matches_naive() {
+        // k far beyond TN_CHUNK exercises the chunk + tree-reduce path.
+        let (m, k, n) = (3, 2 * TN_CHUNK + 37, 5);
+        let at: Vec<f32> = (0..k * m).map(|i| ((i % 29) as f32) * 0.11 - 1.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 31) as f32) * 0.07 - 0.9).collect();
+        let a = transpose(k, m, &at);
+        let expect = naive(m, k, n, &a, &b);
+        let mut c = vec![0.0; m * n];
+        gemm_tn_acc(m, k, n, &at, &b, &mut c);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-2, "{x} vs {y}");
         }
     }
 
@@ -168,5 +954,198 @@ mod tests {
         let mut out = vec![1.0, 1.0];
         fma_acc(&[2.0, 3.0], &[4.0, 5.0], &mut out);
         assert_eq!(out, vec![9.0, 16.0]);
+    }
+
+    // ------------------------------------------------- NaN regression
+    // The old kernels skipped `a == 0.0` elements, so a NaN flowing
+    // through a zero activation was silently swallowed. These must fail
+    // against the old kernels.
+
+    #[test]
+    fn nan_in_b_propagates_through_zero_row_of_a() {
+        // a's row is all zeros; b carries a NaN. 0 · NaN = NaN.
+        let a = vec![0.0f32; 3];
+        let b = vec![1.0, f32::NAN, 2.0];
+        let mut c = vec![0.0f32; 3];
+        gemm_acc(1, 3, 3, &a, &[b.clone(), vec![0.0; 3], vec![0.0; 3]].concat(), &mut c);
+        // Row 0 of b is hit by a[0][0] = 0.0: NaN must reach c.
+        assert!(c[1].is_nan(), "gemm_acc swallowed 0·NaN: {c:?}");
+    }
+
+    #[test]
+    fn nan_in_b_propagates_through_zero_a_tn() {
+        // gemm_tn_acc: a stored k×m, all zeros; NaN in b must poison c.
+        let a = vec![0.0f32; 2 * 2]; // k=2, m=2
+        let b = vec![f32::NAN, 1.0, 0.5, -0.5]; // k=2, n=2
+        let mut c = vec![0.0f32; 4];
+        gemm_tn_acc(2, 2, 2, &a, &b, &mut c);
+        assert!(c[0].is_nan(), "gemm_tn_acc swallowed 0·NaN: {c:?}");
+    }
+
+    #[test]
+    fn inf_times_zero_is_nan_everywhere() {
+        let a = vec![0.0f32, 1.0];
+        let b = vec![f32::INFINITY, 2.0];
+        let mut c = vec![0.0f32; 1];
+        gemm_acc(1, 2, 1, &a, &b, &mut c);
+        assert!(c[0].is_nan(), "0·inf must be NaN, got {}", c[0]);
+    }
+
+    // ------------------------------------------------- determinism
+
+    #[test]
+    fn thread_count_never_changes_bits() {
+        let _guard = THREAD_LOCK.lock().unwrap();
+        let (m, k, n) = (37, 3 * TN_CHUNK + 11, 29);
+        let a: Vec<f32> =
+            (0..m * k).map(|i| ((i * 2654435761 % 1000) as f32) * 1e-3 - 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 40503 % 997) as f32) * 1e-3 - 0.4).collect();
+        let at = transpose(m, k, &a);
+        let run = |t: usize| {
+            set_threads(t);
+            let mut c1 = vec![0.1f32; m * n];
+            gemm_acc(m, k, n, &a, &b, &mut c1);
+            // gemm_nt wants b stored n×k; `a` (m×k) doubles as an n=m operand.
+            let mut cnt = vec![0.2f32; m * m];
+            gemm_nt_acc(m, k, m, &a, &a, &mut cnt);
+            let mut c3 = vec![0.3f32; m * n];
+            gemm_tn_acc(m, k, n, &at, &b, &mut c3);
+            set_threads(1);
+            (bits(&c1), bits(&cnt), bits(&c3))
+        };
+        let single = run(1);
+        for t in [2, 4, 7] {
+            assert_eq!(single, run(t), "thread count {t} changed results");
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    // ------------------------------------------------- fused ops
+
+    #[test]
+    fn fast_transcendentals_accurate_and_nan_safe() {
+        for i in -800..=800 {
+            let x = i as f32 * 0.01;
+            let e = fast_exp(x);
+            let r = x.exp();
+            assert!((e - r).abs() <= 1e-4 * r.max(1e-6), "exp({x}): {e} vs {r}");
+            let s = fast_sigmoid(x);
+            let sr = 1.0 / (1.0 + (-x).exp());
+            assert!((s - sr).abs() < 1e-5, "sigmoid({x}): {s} vs {sr}");
+            let t = fast_tanh(x);
+            let tr = x.tanh();
+            assert!((t - tr).abs() < 2e-5, "tanh({x}): {t} vs {tr}");
+            assert!(t > -1.0 && t < 1.0);
+            assert!(s > 0.0 && s < 1.0);
+        }
+        assert!(fast_exp(f32::NAN).is_nan());
+        assert!(fast_sigmoid(f32::NAN).is_nan());
+        assert!(fast_tanh(f32::NAN).is_nan());
+        assert!((fast_sigmoid(f32::INFINITY) - 1.0).abs() < 1e-6);
+        assert!(fast_sigmoid(f32::NEG_INFINITY) < 1e-30);
+        assert!((fast_tanh(f32::INFINITY) - 1.0).abs() < 1e-6);
+        assert!((fast_tanh(f32::NEG_INFINITY) + 1.0).abs() < 1e-6);
+        assert!(fast_exp(100.0).is_finite(), "fast_exp saturates, never overflows");
+    }
+
+    #[test]
+    fn lstm_step_matches_unfused_math() {
+        let (b, h) = (2, 3);
+        let pre: Vec<f32> = (0..b * 4 * h).map(|i| (i as f32) * 0.13 - 1.4).collect();
+        let cp: Vec<f32> = (0..b * h).map(|i| (i as f32) * 0.21 - 0.5).collect();
+        let mut hc = vec![0.0; b * 2 * h];
+        let mut aux = vec![0.0; b * 5 * h];
+        lstm_step_forward(b, h, &pre, &cp, &mut hc, &mut aux);
+        for r in 0..b {
+            for j in 0..h {
+                let i = 1.0 / (1.0 + (-pre[r * 4 * h + j]).exp());
+                let f = 1.0 / (1.0 + (-pre[r * 4 * h + h + j]).exp());
+                let g = pre[r * 4 * h + 2 * h + j].tanh();
+                let o = 1.0 / (1.0 + (-pre[r * 4 * h + 3 * h + j]).exp());
+                let c = f * cp[r * h + j] + i * g;
+                let hh = o * c.tanh();
+                assert!((hc[r * 2 * h + j] - hh).abs() < 1e-4);
+                assert!((hc[r * 2 * h + h + j] - c).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_step_propagates_nan() {
+        let (b, h) = (1, 2);
+        let mut pre = vec![0.0f32; 4 * h];
+        pre[1] = f32::NAN; // NaN in the input gate block, lane 1
+        let cp = vec![0.0f32; h];
+        let mut hc = vec![0.0; 2 * h];
+        let mut aux = vec![0.0; 5 * h];
+        lstm_step_forward(b, h, &pre, &cp, &mut hc, &mut aux);
+        assert!(hc[1].is_nan() && hc[h + 1].is_nan(), "fused LSTM masked a NaN: {hc:?}");
+        assert!(!hc[0].is_nan(), "NaN leaked across lanes");
+    }
+
+    #[test]
+    fn softmax_rows_and_degenerate_fallback() {
+        let x = vec![1.0, 2.0, 3.0, f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY];
+        let mut y = vec![0.0; 6];
+        softmax_rows_forward(2, 3, &x, &mut y);
+        let s: f32 = y[..3].iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(y[2] > y[1] && y[1] > y[0]);
+        // Degenerate row: uniform, not NaN.
+        for &v in &y[3..] {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6, "degenerate row not uniform: {y:?}");
+        }
+    }
+
+    #[test]
+    fn softmax_propagates_nan_rows() {
+        let x = vec![f32::NAN, 1.0, 2.0];
+        let mut y = vec![0.0; 3];
+        softmax_rows_forward(1, 3, &x, &mut y);
+        assert!(y.iter().all(|v| v.is_nan()), "NaN row must stay NaN: {y:?}");
+        let x = vec![f32::NAN, f32::NEG_INFINITY];
+        let mut y = vec![0.0; 2];
+        softmax_rows_forward(1, 2, &x, &mut y);
+        assert!(y.iter().any(|v| v.is_nan()), "NaN+(-inf) row masked: {y:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn softmax_zero_width_panics() {
+        softmax_rows_forward(1, 0, &[], &mut []);
+    }
+
+    #[test]
+    fn batchnorm_train_whitens_and_roundtrips() {
+        let (m, n) = (4, 2);
+        let x = vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0];
+        let gamma = vec![1.0, 1.0];
+        let beta = vec![0.0, 0.0];
+        let mut y = vec![0.0; m * n];
+        let mut aux = vec![0.0; m * n + 3 * n];
+        batchnorm_train_forward(m, n, 1e-5, &x, &gamma, &beta, &mut y, &mut aux);
+        for j in 0..n {
+            let col: Vec<f32> = (0..m).map(|i| y[i * n + j]).collect();
+            let mean: f32 = col.iter().sum::<f32>() / m as f32;
+            let var: f32 = col.iter().map(|c| (c - mean).powi(2)).sum::<f32>() / m as f32;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+        let (mean, var) = (&aux[m * n + n..m * n + 2 * n], &aux[m * n + 2 * n..]);
+        assert!((mean[0] - 2.5).abs() < 1e-5 && (mean[1] - 25.0).abs() < 1e-4);
+        assert!((var[0] - 1.25).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bias_fill_and_col_sum() {
+        let mut out = vec![0.0; 6];
+        bias_rows_fill(2, 3, &[1.0, 2.0, 3.0], &mut out);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let mut sums = vec![1.0, 0.0, 0.0];
+        col_sum_acc(2, 3, &out, &mut sums);
+        assert_eq!(sums, vec![3.0, 4.0, 6.0]);
     }
 }

@@ -37,13 +37,13 @@ impl Linear {
         Linear { w, b, in_dim, out_dim }
     }
 
-    /// Forward `x [batch, in_dim] -> [batch, out_dim]`.
+    /// Forward `x [batch, in_dim] -> [batch, out_dim]` (fused
+    /// bias-seeded GEMM).
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
         assert_eq!(x.cols(), self.in_dim, "linear input width");
         let w = g.param(store, self.w);
         let b = g.param(store, self.b);
-        let xw = g.matmul(x, w);
-        g.add_rowb(xw, b)
+        g.affine(x, w, b)
     }
 }
 
@@ -93,31 +93,19 @@ impl LstmCell {
     }
 
     /// One step: `(x [batch,in], h [batch,hidden], c [batch,hidden])`
-    /// → `(h', c')`.
+    /// → `(h', c')`. Four tape nodes: one fused gate preactivation
+    /// (`x·W_ih + h·W_hh + b`), one fused cell kernel, two state slices.
     pub fn step(&self, g: &mut Graph, store: &ParamStore, x: Var, h: Var, c: Var) -> (Var, Var) {
         assert_eq!(x.cols(), self.in_dim, "lstm input width");
         assert_eq!(h.cols(), self.hidden, "lstm hidden width");
         let w_ih = g.param(store, self.w_ih);
         let w_hh = g.param(store, self.w_hh);
         let b = g.param(store, self.bias);
-        let xi = g.matmul(x, w_ih);
-        let hh = g.matmul(h, w_hh);
-        let pre = g.add(xi, hh);
-        let pre = g.add_rowb(pre, b);
+        let pre = g.affine2(x, w_ih, h, w_hh, b);
+        let hc = g.lstm_step(pre, c);
         let hd = self.hidden;
-        let i_g = g.slice_cols(pre, 0, hd);
-        let f_g = g.slice_cols(pre, hd, 2 * hd);
-        let g_g = g.slice_cols(pre, 2 * hd, 3 * hd);
-        let o_g = g.slice_cols(pre, 3 * hd, 4 * hd);
-        let i_g = g.sigmoid(i_g);
-        let f_g = g.sigmoid(f_g);
-        let g_g = g.tanh(g_g);
-        let o_g = g.sigmoid(o_g);
-        let fc = g.mul(f_g, c);
-        let ig = g.mul(i_g, g_g);
-        let c_new = g.add(fc, ig);
-        let tc = g.tanh(c_new);
-        let h_new = g.mul(o_g, tc);
+        let h_new = g.slice_cols(hc, 0, hd);
+        let c_new = g.slice_cols(hc, hd, 2 * hd);
         (h_new, c_new)
     }
 
@@ -242,18 +230,14 @@ impl BatchNorm1d {
     }
 
     /// Training-mode forward: whitens with batch statistics (gradients flow
-    /// through mean and variance) and updates the running statistics.
+    /// through mean and variance) and updates the running statistics. One
+    /// fused tape node replaces the 9-op composite.
     pub fn forward_train(&mut self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
         assert_eq!(x.cols(), self.dim, "batchnorm width");
-        let mean = g.mean_cols(x);
-        let centered = g.sub_rowb(x, mean);
-        let sq = g.square(centered);
-        let var = g.mean_cols(sq);
-        let var_eps = g.add_scalar(var, self.eps);
-        let std = g.sqrt(var_eps);
-        let xhat = g.div_rowb(centered, std);
-        // Track running stats from the realized values.
-        let (bm, bv) = (g.value(mean).to_vec(), g.value(var).to_vec());
+        let gamma = g.param(store, self.gamma);
+        let beta = g.param(store, self.beta);
+        let y = g.batchnorm_train(x, gamma, beta, self.eps);
+        let (bm, bv) = g.bn_stats(y);
         if self.initialized {
             for j in 0..self.dim {
                 self.running_mean[j] =
@@ -262,22 +246,20 @@ impl BatchNorm1d {
                     (1.0 - self.momentum) * self.running_var[j] + self.momentum * bv[j];
             }
         } else {
-            self.running_mean.copy_from_slice(&bm);
-            self.running_var.copy_from_slice(&bv);
+            self.running_mean.copy_from_slice(bm);
+            self.running_var.copy_from_slice(bv);
             self.initialized = true;
         }
-        self.affine(g, store, xhat)
+        y
     }
 
-    /// Inference-mode forward: whitens with the running statistics.
+    /// Inference-mode forward: whitens with the running statistics
+    /// (fused; the running stats enter as constants, not tape nodes).
     pub fn forward_eval(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
         assert_eq!(x.cols(), self.dim, "batchnorm width");
-        let mean = g.constant(1, self.dim, self.running_mean.clone());
-        let std: Vec<f32> = self.running_var.iter().map(|&v| (v + self.eps).sqrt()).collect();
-        let std = g.constant(1, self.dim, std);
-        let centered = g.sub_rowb(x, mean);
-        let xhat = g.div_rowb(centered, std);
-        self.affine(g, store, xhat)
+        let gamma = g.param(store, self.gamma);
+        let beta = g.param(store, self.beta);
+        g.batchnorm_eval(x, gamma, beta, &self.running_mean, &self.running_var, self.eps)
     }
 
     /// Snapshot the running statistics `(mean, var, initialized)` for
@@ -296,13 +278,6 @@ impl BatchNorm1d {
         self.running_mean.copy_from_slice(mean);
         self.running_var.copy_from_slice(var);
         self.initialized = initialized;
-    }
-
-    fn affine(&self, g: &mut Graph, store: &ParamStore, xhat: Var) -> Var {
-        let gamma = g.param(store, self.gamma);
-        let beta = g.param(store, self.beta);
-        let scaled = g.mul_rowb(xhat, gamma);
-        g.add_rowb(scaled, beta)
     }
 }
 

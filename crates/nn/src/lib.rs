@@ -45,7 +45,7 @@ pub mod gradcheck;
 mod graph;
 pub mod init;
 pub mod ioutil;
-mod kernels;
+pub mod kernels;
 pub mod layers;
 pub mod optim;
 mod store;

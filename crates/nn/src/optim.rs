@@ -44,22 +44,16 @@ impl Sgd {
         }
         for id in store.ids().collect::<Vec<_>>() {
             let i = id.index();
+            let (params, grads) = store.value_and_grad_mut(id);
             if self.momentum > 0.0 {
-                let grads = store.grad(id).to_vec();
                 let vel = &mut self.velocity[i];
-                for (v, g) in vel.iter_mut().zip(&grads) {
+                for ((v, &g), p) in vel.iter_mut().zip(grads).zip(params) {
                     *v = self.momentum * *v + g;
-                }
-                let lr = self.lr;
-                let vel = self.velocity[i].clone();
-                for (p, v) in store.value_mut(id).iter_mut().zip(vel) {
-                    *p -= lr * v;
+                    *p -= self.lr * *v;
                 }
             } else {
-                let grads = store.grad(id).to_vec();
-                let lr = self.lr;
-                for (p, g) in store.value_mut(id).iter_mut().zip(grads) {
-                    *p -= lr * g;
+                for (p, &g) in params.iter_mut().zip(grads) {
+                    *p -= self.lr * g;
                 }
             }
         }
@@ -106,9 +100,8 @@ impl Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for id in store.ids().collect::<Vec<_>>() {
             let i = id.index();
-            let grads = store.grad(id).to_vec();
             let (m, v) = (&mut self.m[i], &mut self.v[i]);
-            let params = store.value_mut(id);
+            let (params, grads) = store.value_and_grad_mut(id);
             for j in 0..params.len() {
                 let g = grads[j];
                 // Skip untouched scalars (sparse embedding updates): both

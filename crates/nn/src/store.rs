@@ -111,6 +111,14 @@ impl ParamStore {
         &mut self.params[id.index()].grad
     }
 
+    /// Split borrow of one parameter: mutable value alongside its
+    /// (read-only) gradient. Lets optimizers update in place without
+    /// copying the gradient buffer first.
+    pub fn value_and_grad_mut(&mut self, id: ParamId) -> (&mut [f32], &[f32]) {
+        let p = &mut self.params[id.index()];
+        (&mut p.value, &p.grad)
+    }
+
     /// Reset all gradient accumulators to zero.
     pub fn zero_grads(&mut self) {
         for p in &mut self.params {

@@ -1,0 +1,207 @@
+//! Property-based validation of the blocked GEMM kernels against a naive
+//! triple-loop oracle: randomized shapes with non-zero accumulation
+//! targets, NaN/Inf propagation (the bug class the blocked kernels must
+//! not reintroduce), and bit-identity across thread counts.
+
+use ehna_nn::kernels::{gemm_acc, gemm_nt_acc, gemm_tn_acc, set_threads};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// Serializes tests that toggle the process-global kernel thread budget.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+fn rand_vec(n: usize, seed: u64, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `c += a (m×k) · b (k×n)`, naive triple loop (direct accumulation).
+fn naive_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            for p in 0..k {
+                c[i * n + j] += a[i * k + p] * b[p * n + j];
+            }
+        }
+    }
+}
+
+/// `c += a (m×k) · bᵀ` with `b` stored `n×k`.
+fn naive_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            for p in 0..k {
+                c[i * n + j] += a[i * k + p] * b[j * k + p];
+            }
+        }
+    }
+}
+
+/// `c += aᵀ · b` with `a` stored `k×m`, `b` stored `k×n`.
+fn naive_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            for p in 0..k {
+                c[i * n + j] += a[p * m + i] * b[p * n + j];
+            }
+        }
+    }
+}
+
+/// Blocked kernels reassociate the reduction (register tiles, lane trees,
+/// chunk partials), so they round differently from the naive oracle; the
+/// comparison is tolerance-based, scaled by the reduction depth.
+fn assert_close(got: &[f32], want: &[f32], k: usize) -> Result<(), TestCaseError> {
+    let tol = 1e-5 * (k as f32).sqrt().max(1.0);
+    for (idx, (&g, &w)) in got.iter().zip(want).enumerate() {
+        let denom = 1.0f32.max(g.abs()).max(w.abs());
+        prop_assert!(
+            (g - w).abs() <= tol * denom,
+            "mismatch at {idx}: blocked {g} vs naive {w} (k = {k})"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_acc_matches_oracle(
+        m in 1usize..64, k in 1usize..64, n in 1usize..64, seed in 0u64..10_000
+    ) {
+        let a = rand_vec(m * k, seed, -2.0, 2.0);
+        let b = rand_vec(k * n, seed + 1, -2.0, 2.0);
+        // Non-zero accumulation target: `+=` semantics must hold exactly.
+        let c0 = rand_vec(m * n, seed + 2, -1.0, 1.0);
+        let mut got = c0.clone();
+        let mut want = c0;
+        gemm_acc(m, k, n, &a, &b, &mut got);
+        naive_nn(m, k, n, &a, &b, &mut want);
+        assert_close(&got, &want, k)?;
+    }
+
+    #[test]
+    fn gemm_nt_acc_matches_oracle(
+        m in 1usize..64, k in 1usize..64, n in 1usize..64, seed in 0u64..10_000
+    ) {
+        let a = rand_vec(m * k, seed, -2.0, 2.0);
+        let b = rand_vec(n * k, seed + 1, -2.0, 2.0);
+        let c0 = rand_vec(m * n, seed + 2, -1.0, 1.0);
+        let mut got = c0.clone();
+        let mut want = c0;
+        gemm_nt_acc(m, k, n, &a, &b, &mut got);
+        naive_nt(m, k, n, &a, &b, &mut want);
+        assert_close(&got, &want, k)?;
+    }
+
+    #[test]
+    fn gemm_tn_acc_matches_oracle(
+        m in 1usize..64, k in 1usize..64, n in 1usize..64, seed in 0u64..10_000
+    ) {
+        let a = rand_vec(k * m, seed, -2.0, 2.0);
+        let b = rand_vec(k * n, seed + 1, -2.0, 2.0);
+        let c0 = rand_vec(m * n, seed + 2, -1.0, 1.0);
+        let mut got = c0.clone();
+        let mut want = c0;
+        gemm_tn_acc(m, k, n, &a, &b, &mut got);
+        naive_tn(m, k, n, &a, &b, &mut want);
+        assert_close(&got, &want, k)?;
+    }
+
+    #[test]
+    fn gemm_tn_acc_chunked_matches_oracle(
+        m in 1usize..8, extra in 0usize..192, n in 1usize..8, seed in 0u64..10_000
+    ) {
+        // Batch dim past TN_CHUNK (128) exercises the chunked tree path.
+        let k = 129 + extra;
+        let a = rand_vec(k * m, seed, -1.0, 1.0);
+        let b = rand_vec(k * n, seed + 1, -1.0, 1.0);
+        let c0 = rand_vec(m * n, seed + 2, -1.0, 1.0);
+        let mut got = c0.clone();
+        let mut want = c0;
+        gemm_tn_acc(m, k, n, &a, &b, &mut got);
+        naive_tn(m, k, n, &a, &b, &mut want);
+        assert_close(&got, &want, k)?;
+    }
+
+    #[test]
+    fn nan_in_b_reaches_output_through_zero_a(
+        m in 1usize..32, k in 1usize..32, n in 1usize..32,
+        p_seed in 0u64..10_000, nonfinite in proptest::bool::ANY
+    ) {
+        // The old kernels skipped `a == 0.0` rows entirely, silently
+        // masking NaN/Inf in `b`. With a zero `a`, every output element in
+        // the NaN's column must still become NaN (0 * NaN = NaN, and
+        // 0 * Inf = NaN).
+        let mut rng = StdRng::seed_from_u64(p_seed);
+        let a = vec![0.0f32; m * k];
+        let mut b = rand_vec(k * n, p_seed, -1.0, 1.0);
+        let p = rng.gen_range(0..k);
+        let j = rng.gen_range(0..n);
+        b[p * n + j] = if nonfinite { f32::INFINITY } else { f32::NAN };
+        let mut c = vec![0.0f32; m * n];
+        gemm_acc(m, k, n, &a, &b, &mut c);
+        for i in 0..m {
+            prop_assert!(
+                c[i * n + j].is_nan(),
+                "c[{i}][{j}] = {} should be NaN", c[i * n + j]
+            );
+            for jj in 0..n {
+                if jj != j {
+                    prop_assert!(c[i * n + jj].is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_in_a_poisons_its_row(
+        m in 1usize..16, k in 1usize..16, n in 1usize..16, p_seed in 0u64..10_000
+    ) {
+        let mut rng = StdRng::seed_from_u64(p_seed);
+        let mut a = rand_vec(m * k, p_seed, -1.0, 1.0);
+        let b = rand_vec(k * n, p_seed + 1, -1.0, 1.0);
+        let i = rng.gen_range(0..m);
+        let p = rng.gen_range(0..k);
+        a[i * k + p] = f32::NAN;
+        let mut c = vec![0.0f32; m * n];
+        gemm_acc(m, k, n, &a, &b, &mut c);
+        for j in 0..n {
+            prop_assert!(c[i * n + j].is_nan(), "row {i} col {j} escaped the NaN");
+        }
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_the_bits(
+        m in 1usize..48, k in 1usize..200, n in 1usize..48, seed in 0u64..10_000
+    ) {
+        let _guard = THREAD_LOCK.lock().unwrap();
+        let a = rand_vec(m * k, seed, -2.0, 2.0);
+        let b_nn = rand_vec(k * n, seed + 1, -2.0, 2.0);
+        let b_nt = rand_vec(n * k, seed + 2, -2.0, 2.0);
+        let a_tn = rand_vec(k * m, seed + 3, -2.0, 2.0);
+        let c0 = rand_vec(m * n, seed + 4, -1.0, 1.0);
+        let mut reference: Option<Vec<Vec<u32>>> = None;
+        for t in [1usize, 2, 4, 7] {
+            set_threads(t);
+            let mut c1 = c0.clone();
+            let mut c2 = c0.clone();
+            let mut c3 = c0.clone();
+            gemm_acc(m, k, n, &a, &b_nn, &mut c1);
+            gemm_nt_acc(m, k, n, &a, &b_nt, &mut c2);
+            gemm_tn_acc(m, k, n, &a_tn, &b_nn, &mut c3);
+            let bits: Vec<Vec<u32>> = [&c1, &c2, &c3]
+                .iter()
+                .map(|c| c.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => prop_assert_eq!(r, &bits, "bits changed at {} threads", t),
+            }
+        }
+        set_threads(1);
+    }
+}

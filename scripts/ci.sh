@@ -75,6 +75,22 @@ timeout --kill-after=10 120 \
 timeout --kill-after=10 180 \
     cargo test -p ehna-cluster --test cluster_faults -q
 
+echo "== kernel gates (wall-clock bounded)"
+# The fused-kernel layer's contracts: blocked GEMMs match a naive oracle
+# on randomized shapes with NaN/Inf propagation (the bug class that
+# motivated the rewrite — zero-skip shortcuts silently masking NaN), and
+# training is bit-identical at 1 vs 4 kernel threads, end-to-end through
+# sampling, backprop, and optimizer updates. The kernels microbench is
+# built (--no-run) so perf regressions stay one command away. Hard
+# timeouts so a deadlocked thread-scope fails fast.
+cargo bench -p ehna-bench --bench kernels --no-run
+cargo test -p ehna-nn --test kernel_proptests --no-run -q
+cargo test -p ehna-core --test threaded_determinism --no-run -q
+timeout --kill-after=10 120 \
+    cargo test -p ehna-nn --test kernel_proptests -q
+timeout --kill-after=10 180 \
+    cargo test -p ehna-core --test threaded_determinism -q
+
 echo "== cargo test (workspace, pipelined: EHNA_PIPELINE_DEPTH=3)"
 # Re-run the suite with a non-default prefetch depth so the pipelined
 # training path is exercised suite-wide; results must be identical to

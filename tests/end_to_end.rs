@@ -59,13 +59,17 @@ fn ehna_separates_recent_edges_on_social_network() {
     use rand::Rng;
     let graph = generate(Dataset::DiggLike, Scale::Tiny, 42);
     // The verified configuration (see EXPERIMENTS.md): short-budget runs
-    // can pass through an inverted transient before separating.
+    // can pass through an inverted transient before separating. The
+    // budget was re-calibrated from 12 to 16 epochs when the GEMM
+    // kernels switched to fused multiply-add chains — same math, new
+    // rounding, so this seed's trajectory shifted (ratio 0.82 at 12
+    // epochs, 0.55 at 16).
     let cfg = EhnaConfig {
         dim: 32,
         num_walks: 4,
         walk_length: 4,
         batch_size: 64,
-        epochs: 12,
+        epochs: 16,
         lr: 2e-3,
         seed: 42,
         ..Default::default()
