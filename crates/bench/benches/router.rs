@@ -1,14 +1,15 @@
 //! Router scatter-gather overhead on a 100k-node table: queries/s and
 //! p50/p99 latency for a standalone server vs 2-shard and 4-shard
-//! clusters, all answering the same JSON knn requests over TCP. Writes
-//! `results/BENCH_router.json` (methodology in the sibling
-//! `BENCH_router.md`).
+//! clusters (brute-force and shard-local IVF), plus the router's
+//! version-keyed answer cache cold vs warm — all answering the same
+//! JSON knn requests over TCP. Writes `results/BENCH_router.json`
+//! (methodology in the sibling `BENCH_router.md`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ehna_cluster::{plan_shards, Router, RouterConfig, ShardConfig, ShardServer};
 use ehna_serve::{
-    BruteForceIndex, EmbeddingStore, EngineConfig, KnnIndex, QueryEngine, RequestLimits, Server,
-    ServerConfig,
+    BruteForceIndex, EmbeddingStore, EngineConfig, IvfConfig, IvfIndex, KnnIndex, QueryEngine,
+    RequestLimits, Server, ServerConfig,
 };
 use ehna_tgraph::NodeEmbeddings;
 use rand::rngs::StdRng;
@@ -41,12 +42,16 @@ fn engine_mem(emb: NodeEmbeddings) -> Arc<QueryEngine> {
     ))
 }
 
-fn engine_file(snap: &Path, names: &Path) -> Arc<QueryEngine> {
+fn engine_file(snap: &Path, names: &Path, ivf: bool) -> Arc<QueryEngine> {
     let store = Arc::new(
         EmbeddingStore::open(snap.to_str().unwrap(), Some(names.to_str().unwrap()))
             .expect("shard store"),
     );
-    let index: Box<dyn KnnIndex> = Box::new(BruteForceIndex::new(Arc::clone(&store)));
+    let index: Box<dyn KnnIndex> = if ivf {
+        Box::new(IvfIndex::build(Arc::clone(&store), IvfConfig::default()))
+    } else {
+        Box::new(BruteForceIndex::new(Arc::clone(&store)))
+    };
     Arc::new(QueryEngine::new(
         store,
         index,
@@ -62,7 +67,11 @@ struct Measured {
 
 /// One persistent connection, sequential request/response; per-request
 /// wall-clock gives the latency distribution, total time gives qps.
-fn measure(addr: SocketAddr) -> Measured {
+/// Node keys draw uniformly from `0..pool`: `pool == N` makes repeats
+/// vanishingly rare (a cache-cold workload), a small pool makes the
+/// warmup phase populate the router's answer cache so the timed phase
+/// measures warm hits.
+fn measure(addr: SocketAddr, pool: usize) -> Measured {
     let stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).expect("nodelay");
     let mut w = BufWriter::new(stream.try_clone().expect("clone"));
@@ -77,13 +86,15 @@ fn measure(addr: SocketAddr) -> Measured {
         assert!(line.contains(r#""ok":true"#), "bad response: {line}");
         start.elapsed()
     };
-    for _ in 0..WARMUP {
-        ask(rng.gen_range(0..N));
+    // Warm every node in a small pool at least once so a cache-backed
+    // target answers the timed phase entirely from its cache.
+    for i in 0..WARMUP.max(pool.min(N)) {
+        ask(if pool < N { i % pool } else { rng.gen_range(0..N) });
     }
     let mut lat = Vec::with_capacity(QUERIES);
     let begin = Instant::now();
     for _ in 0..QUERIES {
-        lat.push(ask(rng.gen_range(0..N)));
+        lat.push(ask(rng.gen_range(0..pool)));
     }
     let total = begin.elapsed();
     lat.sort();
@@ -111,23 +122,37 @@ fn bench_router(c: &mut Criterion) {
             .spawn()
             .expect("spawn standalone");
     println!("router bench: measuring standalone ({N} nodes, dim {DIM})");
-    let base = measure(standalone.addr());
+    let base = measure(standalone.addr(), N);
     println!(
         "  standalone: {:.1} q/s, p50 {:.3} ms, p99 {:.3} ms",
         base.qps, base.p50_ms, base.p99_ms
     );
 
     let mut entries = vec![json_entry("standalone", &base)];
-    let mut teardown = Vec::new();
-    for shards in [2u32, 4] {
+    // (label, shards, ivf shards, router cache entries, node pool).
+    // pool == N is cache-cold (repeats are vanishingly rare in 100k);
+    // the small pool makes every timed query a warm cache hit.
+    let configs: [(&str, u32, bool, usize, usize); 5] = [
+        ("shards_2", 2, false, 0, N),
+        ("shards_4", 4, false, 0, N),
+        ("shards_4_ivf", 4, true, 0, N),
+        ("shards_2_cache_cold", 2, false, 1024, N),
+        ("shards_2_cache_warm", 2, false, 1024, 64),
+    ];
+    for (label, shards, ivf, cache, pool) in configs {
         let shard_dir = dir.join(format!("s{shards}"));
-        std::fs::create_dir_all(&shard_dir).expect("shard dir");
-        let manifest = plan_shards(&emb, None, shards, &shard_dir).expect("plan");
+        let manifest = if shard_dir.exists() {
+            ehna_cluster::ClusterManifest::load(&shard_dir).expect("manifest")
+        } else {
+            std::fs::create_dir_all(&shard_dir).expect("shard dir");
+            plan_shards(&emb, None, shards, &shard_dir).expect("plan")
+        };
         let mut replicas = Vec::new();
+        let mut teardown = Vec::new();
         for (i, entry) in manifest.shards.iter().enumerate() {
             let shard = ShardServer::bind(
                 "127.0.0.1:0",
-                engine_file(&shard_dir.join(&entry.snapshot), &shard_dir.join(&entry.names)),
+                engine_file(&shard_dir.join(&entry.snapshot), &shard_dir.join(&entry.names), ivf),
                 RequestLimits::default(),
                 None,
                 ShardConfig { shard_id: i as u32, ..Default::default() },
@@ -140,7 +165,11 @@ fn bench_router(c: &mut Criterion) {
             manifest,
             replicas,
             RequestLimits::default(),
-            RouterConfig { probe_interval: Duration::ZERO, ..Default::default() },
+            RouterConfig {
+                probe_interval: Duration::ZERO,
+                cache_capacity: cache,
+                ..Default::default()
+            },
         )
         .expect("router");
         let front =
@@ -148,17 +177,14 @@ fn bench_router(c: &mut Criterion) {
                 .expect("bind router")
                 .spawn()
                 .expect("spawn router");
-        println!("router bench: measuring {shards}-shard cluster");
-        let m = measure(front.addr());
-        println!(
-            "  {shards}-shard: {:.1} q/s, p50 {:.3} ms, p99 {:.3} ms",
-            m.qps, m.p50_ms, m.p99_ms
-        );
-        entries.push(json_entry(&format!("shards_{shards}"), &m));
+        println!("router bench: measuring {label}");
+        let m = measure(front.addr(), pool);
+        println!("  {label}: {:.1} q/s, p50 {:.3} ms, p99 {:.3} ms", m.qps, m.p50_ms, m.p99_ms);
+        entries.push(json_entry(label, &m));
         front.shutdown();
-    }
-    for h in teardown {
-        h.shutdown();
+        for h in teardown {
+            h.shutdown();
+        }
     }
     standalone.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

@@ -17,8 +17,9 @@ const HELP: &str = "ehna router — scatter-gather front end for a shard cluster
 usage: ehna router --manifest DIR --shard ADDR[,ADDR] [--shard ...]
                    [--addr HOST:PORT] [--no-verify]
                    [--shard-timeout-ms N] [--connect-timeout-ms N]
-                   [--probe-interval-ms N] [--breaker-threshold N]
-                   [--breaker-cooldown-ms N] [--reload-timeout-ms N]
+                   [--probe-interval-ms N] [--probe-timeout-ms N]
+                   [--breaker-threshold N] [--breaker-cooldown-ms N]
+                   [--reload-timeout-ms N] [--cache-capacity N]
                    [--conn-workers N] [--max-conns N]
                    [--read-timeout-ms N] [--write-timeout-ms N]
                    [--max-line-bytes N] [--max-k N] [--max-pairs N]
@@ -26,12 +27,16 @@ usage: ehna router --manifest DIR --shard ADDR[,ADDR] [--shard ...]
 
 Clients speak the same JSON line protocol as a standalone `ehna serve`;
 the router scatter-gathers each knn/score/batch across every shard over
-EHNP v1 (the binary shard protocol) and merges per-shard top-k lists by
+EHNP v2 (the binary shard protocol) and merges per-shard top-k lists by
 (distance, global id) — answers are byte-identical to an unsharded
-server. Give one --shard flag per shard, in shard order; each value is
-a comma-separated replica list. Replicas are health-probed, failed over
-on error, and circuit-broken after repeated failures. `reload` rolls
-the cluster shard-by-shard, replica-by-replica.
+server. Scatter is pipelined: every shard's request is on the wire
+before any reply is read. Give one --shard flag per shard, in shard
+order; each value is a comma-separated replica list. Replicas are
+health-probed, load-balanced (power of two choices by in-flight count),
+failed over on error, and circuit-broken after repeated failures.
+Node-keyed knn answers are cached, keyed by the cluster-wide snapshot
+version vector; `reload` rolls the cluster shard-by-shard,
+replica-by-replica and invalidates the cache by construction.
 
 flags:
   --manifest DIR          directory holding cluster.manifest (from
@@ -44,12 +49,18 @@ flags:
   --shard-timeout-ms N    per-shard call budget (default 5000)
   --connect-timeout-ms N  replica dial budget (default 2000)
   --probe-interval-ms N   health-probe period; 0 disables (default 2000)
+  --probe-timeout-ms N    per-probe budget, kept short so one tar-pit
+                          replica cannot stall the probe round and
+                          delay another replica's recovery
+                          (default 1000)
   --breaker-threshold N   consecutive failures that open a replica's
                           circuit breaker (default 3)
   --breaker-cooldown-ms N how long an open breaker skips its replica
                           (default 5000)
   --reload-timeout-ms N   per-replica rolling-reload budget
                           (default 60000)
+  --cache-capacity N      router answer-cache entries; 0 disables
+                          (default 1024)
 
 hardening (same client-facing front end as `ehna serve`):
   --conn-workers N --max-conns N --read-timeout-ms N
@@ -88,9 +99,11 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError>
         "shard-timeout-ms",
         "connect-timeout-ms",
         "probe-interval-ms",
+        "probe-timeout-ms",
         "breaker-threshold",
         "breaker-cooldown-ms",
         "reload-timeout-ms",
+        "cache-capacity",
         "conn-workers",
         "max-conns",
         "read-timeout-ms",
@@ -149,6 +162,11 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError>
         probe_interval: Duration::from_millis(
             flags.get_or("probe-interval-ms", router_defaults.probe_interval.as_millis() as u64)?,
         ),
+        probe_timeout: Duration::from_millis(
+            flags
+                .get_or("probe-timeout-ms", router_defaults.probe_timeout.as_millis() as u64)?
+                .max(1),
+        ),
         breaker_threshold: flags
             .get_or("breaker-threshold", router_defaults.breaker_threshold)?
             .max(1),
@@ -162,6 +180,7 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<Server, CliError>
                 .get_or("reload-timeout-ms", router_defaults.reload_timeout.as_millis() as u64)?
                 .max(1),
         ),
+        cache_capacity: flags.get_or("cache-capacity", router_defaults.cache_capacity)?,
     };
 
     writeln!(
@@ -276,6 +295,10 @@ mod tests {
                 "127.0.0.1:0",
                 "--probe-interval-ms",
                 "0",
+                "--probe-timeout-ms",
+                "500",
+                "--cache-capacity",
+                "64",
             ]),
             &mut buf,
         )
@@ -285,13 +308,21 @@ mod tests {
         let handle = server.spawn().unwrap();
         let responses = query_lines(
             handle.addr(),
-            &[r#"{"op":"knn","node":"3","k":2}"#.to_string(), r#"{"op":"stats"}"#.to_string()],
+            &[
+                r#"{"op":"knn","node":"3","k":2}"#.to_string(),
+                r#"{"op":"knn","node":"3","k":2}"#.to_string(),
+                r#"{"op":"stats"}"#.to_string(),
+            ],
         )
         .unwrap();
         let knn = Json::parse(&responses[0]).unwrap();
         assert_eq!(knn.get("ok"), Some(&Json::Bool(true)), "knn: {}", responses[0]);
-        let stats = Json::parse(&responses[1]).unwrap();
+        assert_eq!(knn.get("cached"), Some(&Json::Bool(false)), "cold: {}", responses[0]);
+        let warm = Json::parse(&responses[1]).unwrap();
+        assert_eq!(warm.get("cached"), Some(&Json::Bool(true)), "warm: {}", responses[1]);
+        let stats = Json::parse(&responses[2]).unwrap();
         assert_eq!(stats.get("role").and_then(Json::as_str), Some("router"));
+        assert_eq!(stats.get("cache_hits").and_then(Json::as_usize), Some(1));
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

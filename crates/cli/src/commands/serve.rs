@@ -353,7 +353,7 @@ mod tests {
         let client =
             MuxClient::connect(ehnp_addr, Duration::from_secs(5), Duration::from_secs(5)).unwrap();
         let pong = client.call(&Request::Ping, Duration::from_secs(5)).unwrap();
-        assert_eq!(pong, Response::Pong);
+        assert_eq!(pong, Response::Pong { version: 1 });
         drop(client);
 
         // ...while the JSON port still works and reports the identity.

@@ -14,7 +14,7 @@
 //! arrives, is discarded by id).
 
 use crate::proto::{read_msg, write_msg, write_preamble, ProtoError, Request, Response};
-use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
@@ -65,7 +65,44 @@ impl ClientShared {
     }
 }
 
-/// A multiplexing EHNP v1 connection to one shard replica.
+/// A response not yet received — the write half of a call already went
+/// out via [`MuxClient::begin`]; `wait` collects the read half. Holding
+/// several of these and waiting them in turn is how the router pipelines
+/// a scatter: every shard's request is on the wire before any reply is
+/// read. Dropping one abandons the call (a late response is discarded by
+/// request id, exactly like a timeout).
+pub struct PendingReply {
+    shared: Arc<ClientShared>,
+    id: u64,
+    rx: Receiver<Response>,
+}
+
+impl PendingReply {
+    /// Wait up to `timeout` for the response.
+    ///
+    /// # Errors
+    /// [`CallError::Dead`] when the connection failed under the call,
+    /// [`CallError::Timeout`] when the replica does not answer in time.
+    pub fn wait(self, timeout: Duration) -> Result<Response, CallError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resp) => Ok(resp),
+            Err(RecvTimeoutError::Timeout) => Err(CallError::Timeout(timeout)),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(CallError::Dead(self.shared.dead_reason.lock().clone()))
+            }
+        }
+        // Drop removes the pending id: a no-op when the reader already
+        // routed the response, the forget-the-call cleanup on timeout.
+    }
+}
+
+impl Drop for PendingReply {
+    fn drop(&mut self) {
+        self.shared.pending.lock().remove(&self.id);
+    }
+}
+
+/// A multiplexing EHNP connection to one shard replica.
 pub struct MuxClient {
     stream: TcpStream,
     writer: Mutex<BufWriter<TcpStream>>,
@@ -126,12 +163,15 @@ impl MuxClient {
         self.shared.dead.load(Ordering::SeqCst)
     }
 
-    /// Send `req` and wait up to `timeout` for its response.
+    /// Put `req` on the wire and return a handle to its future response
+    /// without waiting for it. The scatter path begins every shard's
+    /// request first and only then starts waiting, so per-shard work
+    /// overlaps instead of serializing.
     ///
     /// # Errors
-    /// [`CallError::Dead`] when the connection is unusable,
-    /// [`CallError::Timeout`] when the replica does not answer in time.
-    pub fn call(&self, req: &Request, timeout: Duration) -> Result<Response, CallError> {
+    /// [`CallError::Dead`] when the connection is unusable (the write
+    /// failed or the reader died).
+    pub fn begin(&self, req: &Request) -> Result<PendingReply, CallError> {
         if self.is_dead() {
             return Err(CallError::Dead(self.shared.dead_reason.lock().clone()));
         }
@@ -149,23 +189,21 @@ impl MuxClient {
         }
         // The reader may have died (and drained `pending`) between the
         // liveness check above and our insert, leaving this call's entry
-        // orphaned — re-check before settling in to wait.
+        // orphaned — re-check before handing out a waitable handle.
         if self.is_dead() {
             self.shared.pending.lock().remove(&id);
             return Err(CallError::Dead(self.shared.dead_reason.lock().clone()));
         }
-        match rx.recv_timeout(timeout) {
-            Ok(resp) => Ok(resp),
-            Err(RecvTimeoutError::Timeout) => {
-                // Forget the call; the reader discards the unmatched id
-                // if the response ever lands.
-                self.shared.pending.lock().remove(&id);
-                Err(CallError::Timeout(timeout))
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                Err(CallError::Dead(self.shared.dead_reason.lock().clone()))
-            }
-        }
+        Ok(PendingReply { shared: Arc::clone(&self.shared), id, rx })
+    }
+
+    /// Send `req` and wait up to `timeout` for its response.
+    ///
+    /// # Errors
+    /// [`CallError::Dead`] when the connection is unusable,
+    /// [`CallError::Timeout`] when the replica does not answer in time.
+    pub fn call(&self, req: &Request, timeout: Duration) -> Result<Response, CallError> {
+        self.begin(req)?.wait(timeout)
     }
 }
 
@@ -231,7 +269,7 @@ mod tests {
                     }
                     for (id, req) in batch.drain(..).rev() {
                         let resp = match req {
-                            Request::Ping => Response::Pong,
+                            Request::Ping => Response::Pong { version: 1 },
                             other => Response::Error(format!("toy server: {other:?}")),
                         };
                         write_msg(&mut w, id, &resp).unwrap();
@@ -253,11 +291,46 @@ mod tests {
         let t =
             std::thread::spawn(move || c2.call(&Request::Stats, Duration::from_secs(5)).unwrap());
         let pong = client.call(&Request::Ping, Duration::from_secs(5)).unwrap();
-        assert_eq!(pong, Response::Pong);
+        assert_eq!(pong, Response::Pong { version: 1 });
         match t.join().unwrap() {
             Response::Error(msg) => assert!(msg.contains("Stats"), "msg: {msg}"),
             other => panic!("stats call got {other:?}"),
         }
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn begin_pipelines_without_extra_threads() {
+        // Both requests must be on the wire before either wait starts:
+        // the toy server answers nothing until it has read two frames,
+        // so a write-wait-write-wait client would deadlock here.
+        let (addr, server) = toy_server(None);
+        let client =
+            MuxClient::connect(addr, Duration::from_secs(2), Duration::from_secs(2)).unwrap();
+        let first = client.begin(&Request::Ping).unwrap();
+        let second = client.begin(&Request::Stats).unwrap();
+        assert_eq!(first.wait(Duration::from_secs(5)).unwrap(), Response::Pong { version: 1 });
+        match second.wait(Duration::from_secs(5)).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("Stats"), "msg: {msg}"),
+            other => panic!("stats call got {other:?}"),
+        }
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_a_pending_reply_abandons_the_call() {
+        let (addr, server) = toy_server(None);
+        let client =
+            MuxClient::connect(addr, Duration::from_secs(2), Duration::from_secs(2)).unwrap();
+        // Abandon the first call before the server answers the batch.
+        drop(client.begin(&Request::Ping).unwrap());
+        let second = client.begin(&Request::Ping).unwrap();
+        // The dropped call's late response is discarded by id; the live
+        // call still gets its own answer and the connection stays up.
+        assert_eq!(second.wait(Duration::from_secs(5)).unwrap(), Response::Pong { version: 1 });
+        assert!(!client.is_dead());
         drop(client);
         server.join().unwrap();
     }
@@ -278,7 +351,7 @@ mod tests {
         // Second call completes the batch; its (patient) wait succeeds
         // even though the first caller is gone.
         let pong = client.call(&Request::Ping, Duration::from_secs(5)).unwrap();
-        assert_eq!(pong, Response::Pong);
+        assert_eq!(pong, Response::Pong { version: 1 });
         drop(client);
         server.join().unwrap();
     }

@@ -38,9 +38,9 @@ pub fn shard_names_name(shard: u32) -> String {
 /// Returns the manifest.
 ///
 /// # Errors
-/// [`ClusterError::Plan`] on invalid inputs (zero shards, more shards
-/// than rows, a names file of the wrong length); IO failures writing
-/// the shard files.
+/// [`ClusterError::Plan`] on invalid inputs (zero shards, a names file
+/// of the wrong length); IO failures writing the shard files. More
+/// shards than rows is *valid*: the extra shards hold zero rows.
 pub fn plan_shards(
     emb: &NodeEmbeddings,
     names: Option<&NameMap>,
@@ -51,11 +51,10 @@ pub fn plan_shards(
     if num_shards == 0 {
         return Err(ClusterError::Plan("shard count must be at least 1".into()));
     }
-    if (num_shards as usize) > total {
-        return Err(ClusterError::Plan(format!(
-            "cannot split {total} rows into {num_shards} shards (a shard would be empty)"
-        )));
-    }
+    // Fewer rows than shards is allowed: some shards simply hold zero
+    // rows (their knn answer is an empty list and the router's merge
+    // ignores them). Refusing would make small or freshly-bootstrapped
+    // tables unservable on a fixed-size cluster.
     if let Some(map) = names {
         if map.len() != total {
             return Err(ClusterError::Plan(format!(
@@ -181,10 +180,30 @@ mod tests {
     fn invalid_plans_are_refused() {
         let dir = std::env::temp_dir().join("ehna_cluster_plan_bad");
         assert!(plan_shards(&emb(3, 2), None, 0, &dir).is_err(), "zero shards");
-        assert!(plan_shards(&emb(3, 2), None, 4, &dir).is_err(), "empty shard");
         let mut short = NameMap::new();
         short.intern("only");
         assert!(plan_shards(&emb(3, 2), Some(&short), 2, &dir).is_err(), "short names");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn more_shards_than_rows_leaves_trailing_shards_empty() {
+        let dir = std::env::temp_dir().join("ehna_cluster_plan_sparse");
+        let source = emb(3, 2);
+        let m = plan_shards(&source, None, 4, &dir).unwrap();
+        assert_eq!(m.shards.iter().map(|s| s.nodes).collect::<Vec<_>>(), vec![1, 1, 1, 0]);
+        m.verify(&dir).unwrap();
+        // The empty shard's files open into a zero-row store.
+        let store = EmbeddingStore::open(
+            dir.join(&m.shards[3].snapshot),
+            Some(dir.join(&m.shards[3].names)),
+        )
+        .unwrap();
+        assert_eq!(store.num_nodes(), 0);
+        // A fully empty table plans too (every shard empty).
+        let m0 = plan_shards(&emb(0, 2), None, 2, &dir).unwrap();
+        assert_eq!(m0.total_nodes, 0);
+        m0.verify(&dir).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,4 +1,4 @@
-//! EHNP v1 — the compact length-prefixed binary protocol for
+//! EHNP v2 — the compact length-prefixed binary protocol for
 //! router↔shard traffic.
 //!
 //! JSON-over-TCP stays as the debug surface (humans, `ehna query`,
@@ -37,8 +37,12 @@ use std::io::{self, Read, Write};
 
 /// Connection preamble magic.
 pub const EHNP_MAGIC: [u8; 4] = *b"EHNP";
-/// Protocol version spoken by this build.
-pub const EHNP_VERSION: u32 = 1;
+/// Protocol version spoken by this build. v2 extended `Pong` with the
+/// replica's snapshot version (the router's cache-invalidation signal)
+/// and `Knn` probe info with the index's `nprobe`; both ends of a
+/// cluster must be upgraded together — the preamble check rejects a
+/// version mismatch with a clear error instead of a misparse.
+pub const EHNP_VERSION: u32 = 2;
 /// Hard cap on one frame's payload, checked *before* allocating.
 pub const MAX_FRAME_LEN: u32 = 1 << 26;
 
@@ -123,14 +127,20 @@ pub enum Response {
     /// The request failed; the message says why.
     Error(String),
     /// Ping acknowledged.
-    Pong,
+    Pong {
+        /// The replica's current snapshot version — piggybacked on every
+        /// probe so the router's version-keyed response cache learns
+        /// about out-of-band reloads within one probe interval.
+        version: u64,
+    },
     /// Shard-local k-NN results, ascending by `(dist, local)`.
     Knn {
         /// `(local index, distance, global label)` per neighbor.
         neighbors: Vec<(u32, f64, String)>,
         /// Probe diagnostics when the request asked to explain:
-        /// `(probed centroids, rows scanned)`.
-        info: Option<(Vec<u32>, u64)>,
+        /// `(probed centroids, rows scanned, nprobe)` — `nprobe` is 0
+        /// for exact indexes (brute force probes nothing).
+        info: Option<(Vec<u32>, u64, u32)>,
     },
     /// Key resolution outcome: the row when this shard owns the key.
     Resolved {
@@ -306,7 +316,7 @@ impl Wire for Response {
     fn kind(&self) -> u8 {
         match self {
             Response::Error(_) => 0,
-            Response::Pong => 1,
+            Response::Pong { .. } => 1,
             Response::Knn { .. } => 2,
             Response::Resolved { .. } => 3,
             Response::Row { .. } => 4,
@@ -317,7 +327,7 @@ impl Wire for Response {
 
     fn encode_body(&self, out: &mut Vec<u8>) {
         match self {
-            Response::Pong => {}
+            Response::Pong { version } => out.extend_from_slice(&version.to_le_bytes()),
             Response::Error(msg) => put_string(out, msg),
             Response::Knn { neighbors, info } => {
                 out.extend_from_slice(&(neighbors.len() as u32).to_le_bytes());
@@ -328,13 +338,14 @@ impl Wire for Response {
                 }
                 match info {
                     None => out.push(0),
-                    Some((probed, scanned)) => {
+                    Some((probed, scanned, nprobe)) => {
                         out.push(1);
                         out.extend_from_slice(&(probed.len() as u32).to_le_bytes());
                         for &p in probed {
                             out.extend_from_slice(&p.to_le_bytes());
                         }
                         out.extend_from_slice(&scanned.to_le_bytes());
+                        out.extend_from_slice(&nprobe.to_le_bytes());
                     }
                 }
             }
@@ -366,7 +377,7 @@ impl Wire for Response {
         let mut c = Cursor::new(body);
         let resp = match kind {
             0 => Response::Error(c.string()?),
-            1 => Response::Pong,
+            1 => Response::Pong { version: c.u64()? },
             2 => {
                 let count = c.u32()? as usize;
                 let mut neighbors = Vec::with_capacity(count.min(body.len() / 12 + 1));
@@ -384,7 +395,9 @@ impl Wire for Response {
                         for _ in 0..n {
                             probed.push(c.u32()?);
                         }
-                        Some((probed, c.u64()?))
+                        let scanned = c.u64()?;
+                        let nprobe = c.u32()?;
+                        Some((probed, scanned, nprobe))
                     }
                     other => {
                         return Err(ProtoError::Corrupt(format!("bad info flag {other}")));
@@ -538,7 +551,8 @@ pub fn write_preamble<W: Write>(w: &mut W) -> io::Result<()> {
 /// Validate the connection preamble (server side).
 ///
 /// # Errors
-/// [`ProtoError::Corrupt`] when the peer does not speak EHNP v1.
+/// [`ProtoError::Corrupt`] when the peer does not speak this EHNP
+/// version.
 pub fn read_preamble<R: Read>(r: &mut R) -> Result<(), ProtoError> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
@@ -586,11 +600,16 @@ mod tests {
 
     #[test]
     fn responses_roundtrip() {
-        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::Pong { version: 0 });
+        roundtrip_resp(Response::Pong { version: u64::MAX });
         roundtrip_resp(Response::Error("shard on fire".into()));
         roundtrip_resp(Response::Knn {
             neighbors: vec![(0, 0.5, "a".into()), (9, 1.25, "b".into())],
-            info: Some((vec![1, 3], 100)),
+            info: Some((vec![1, 3], 100, 8)),
+        });
+        roundtrip_resp(Response::Knn {
+            neighbors: vec![(2, 0.0, "c".into())],
+            info: Some((vec![], 7, 0)),
         });
         roundtrip_resp(Response::Knn { neighbors: vec![], info: None });
         roundtrip_resp(Response::Resolved { hit: Some((3, "bob".into(), vec![0.25, -1.0])) });

@@ -303,7 +303,11 @@ fn answer(
     match req {
         Request::Ping => {
             stats.ops.record("ping");
-            Response::Pong
+            // Piggyback the snapshot version on every probe: the router
+            // keys its response cache on per-shard versions, so an
+            // out-of-band reload (operator hitting the shard directly)
+            // invalidates router entries within one probe interval.
+            Response::Pong { version: engine.snapshot_version().0 }
         }
         Request::Knn { k, explain, vector } => {
             stats.ops.record("knn");
@@ -378,8 +382,12 @@ fn knn(
     let store = engine.store();
     let neighbors =
         result.neighbors.iter().map(|nb| (nb.id.0, nb.dist, store.label(nb.id))).collect();
-    let info =
-        result.info.map(|i| (i.probed.iter().map(|&c| c as u32).collect(), i.scanned as u64));
+    // nprobe 0 means "exact index" on the wire (brute force probes
+    // nothing); the router renders that as `null` in explain output.
+    let nprobe = engine.index_nprobe().unwrap_or(0) as u32;
+    let info = result
+        .info
+        .map(|i| (i.probed.iter().map(|&c| c as u32).collect(), i.scanned as u64, nprobe));
     Ok(Response::Knn { neighbors, info })
 }
 
@@ -416,7 +424,7 @@ mod tests {
                 .unwrap();
         let t = Duration::from_secs(5);
 
-        assert_eq!(client.call(&Request::Ping, t).unwrap(), Response::Pong);
+        assert_eq!(client.call(&Request::Ping, t).unwrap(), Response::Pong { version: 1 });
 
         let query = engine.store().row(NodeId(0)).unwrap().to_vec();
         match client.call(&Request::Knn { k: 3, explain: false, vector: query }, t).unwrap() {
@@ -494,7 +502,10 @@ mod tests {
         let client =
             MuxClient::connect(handle.addr(), Duration::from_secs(2), Duration::from_secs(2))
                 .unwrap();
-        assert_eq!(client.call(&Request::Ping, Duration::from_secs(5)).unwrap(), Response::Pong);
+        assert_eq!(
+            client.call(&Request::Ping, Duration::from_secs(5)).unwrap(),
+            Response::Pong { version: 1 }
+        );
         // The connection now idles at a frame boundary; shutdown must
         // not wait on it.
         let start = Instant::now();

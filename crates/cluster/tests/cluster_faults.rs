@@ -6,9 +6,13 @@
 //!   back into rotation;
 //! * a replica that accepts connections but never answers gets circuit-
 //!   broken while queries keep flowing through its healthy peer;
+//! * that same tar-pit shape cannot delay a restarted peer's recovery:
+//!   probes fan out with their own short timeout, so recovery lands
+//!   within a couple of probe intervals;
 //! * a rolling reload under load hot-swaps every shard's snapshot
-//!   without a malformed response, and post-reload answers match a
-//!   standalone oracle over the new table.
+//!   without a malformed response, invalidates the router's
+//!   version-keyed answer cache by construction, and post-reload
+//!   answers match a standalone oracle over the new table.
 //!
 //! CI runs this suite as the fault gate (scripts/ci.sh).
 
@@ -364,6 +368,98 @@ fn slow_replica_is_circuit_broken_while_peer_serves() {
 }
 
 #[test]
+fn tarpit_replica_does_not_delay_peer_recovery() {
+    // The probe loop fans out with its own short timeout. A tar-pit
+    // replica (accepts, never answers) eats `probe_timeout` per round —
+    // but concurrently, so a killed-and-restarted peer on the same
+    // shard must be probed back to healthy within a couple of probe
+    // intervals, not after the tar-pit's timeout serializes in front of
+    // it. With `shard_timeout` at 5s, a probe round that budgeted the
+    // shard timeout per replica would blow the bound checked here.
+    const N: usize = 20;
+    let dir = std::env::temp_dir().join("ehna_cluster_fault_tarpit_recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let emb = table(N, 4, 2);
+    let manifest = plan_shards(&emb, None, 1, &dir).unwrap();
+
+    let tarpit = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let tarpit_addr = tarpit.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for conn in tarpit.incoming() {
+            let Ok(conn) = conn else { return };
+            std::thread::spawn(move || {
+                let mut conn = conn;
+                let mut sink = [0u8; 4096];
+                while let Ok(n) = std::io::Read::read(&mut conn, &mut sink) {
+                    if n == 0 {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    let snap = dir.join(&manifest.shards[0].snapshot);
+    let names = dir.join(&manifest.shards[0].names);
+    let peer = ShardServer::bind(
+        "127.0.0.1:0",
+        engine_for(&snap, &names),
+        RequestLimits::default(),
+        None,
+        ShardConfig::default(),
+    )
+    .unwrap();
+    let peer_addr = peer.local_addr().unwrap();
+    let peer_handle = peer.spawn().unwrap();
+
+    let probe_interval = Duration::from_millis(200);
+    let router = Arc::new(
+        Router::new(
+            manifest,
+            vec![vec![tarpit_addr, peer_addr]],
+            RequestLimits::default(),
+            RouterConfig {
+                probe_interval,
+                probe_timeout: Duration::from_millis(250),
+                shard_timeout: Duration::from_secs(5),
+                connect_timeout: Duration::from_millis(500),
+                breaker_threshold: 2,
+                breaker_cooldown: Duration::from_secs(60),
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    // Kill the healthy peer and let the probes notice.
+    peer_handle.shutdown();
+    wait_for("dead peer marked unhealthy", Duration::from_secs(20), || {
+        !router.replica_status()[0][1].healthy
+    });
+
+    // Restart it on the same address. Recovery must take ~2 probe
+    // intervals, not a tar-pit-serialized eternity. The bound is padded
+    // for CI noise but sits far below one 5s serialized probe round.
+    let restarted = bind_replica(&peer_addr.to_string(), engine_for(&snap, &names), 0, None);
+    let restarted_handle = restarted.spawn().unwrap();
+    let began = Instant::now();
+    wait_for("restarted peer probed back", Duration::from_secs(20), || {
+        router.replica_status()[0][1].healthy
+    });
+    let took = began.elapsed();
+    assert!(
+        took < probe_interval * 2 + Duration::from_secs(2),
+        "recovery took {took:?}; the tar-pit is serializing the probe loop"
+    );
+    // The restarted peer's snapshot version rode back on its Pong.
+    assert_eq!(router.replica_status()[0][1].snapshot_version, 1);
+
+    restarted_handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn rolling_reload_under_load_swaps_every_shard() {
     const N: usize = 30;
     const DIM: usize = 4;
@@ -407,6 +503,23 @@ fn rolling_reload_under_load_swaps_every_shard() {
     let load = start_load(front.addr(), 4);
     std::thread::sleep(Duration::from_millis(200));
 
+    // Warm the router's answer cache against the OLD table: a repeat of
+    // the same node-keyed query must come back `"cached":true`.
+    let probe_req = r#"{"op":"knn","node":"4","k":6}"#.to_string();
+    let cold =
+        Json::parse(&query_lines(front.addr(), std::slice::from_ref(&probe_req)).unwrap()[0])
+            .unwrap();
+    assert_eq!(cold.get("cached"), Some(&Json::Bool(false)), "cold: {cold}");
+    let warm =
+        Json::parse(&query_lines(front.addr(), std::slice::from_ref(&probe_req)).unwrap()[0])
+            .unwrap();
+    assert_eq!(warm.get("cached"), Some(&Json::Bool(true)), "warm: {warm}");
+    assert_eq!(
+        warm.get("neighbors").map(Json::to_string),
+        cold.get("neighbors").map(Json::to_string),
+        "cache changed the answer"
+    );
+
     // Rewrite every shard snapshot (same shape, new values), then roll.
     let after = table(N, DIM, 9);
     plan_shards(&after, None, 2, &dir).unwrap();
@@ -445,8 +558,14 @@ fn rolling_reload_under_load_swaps_every_shard() {
     for req in [r#"{"op":"knn","node":"4","k":6}"#, r#"{"op":"knn","node":"29","k":3}"#] {
         let want = handle_line(&oracle, &limits, req).to_string();
         let got = query_lines(front.addr(), &[req.to_string()]).unwrap().remove(0);
+        // Byte-identical to a cache-cold oracle: the reload bumped every
+        // replica's snapshot version, so the warm pre-reload entry is
+        // unreachable by construction — `"cached":false`, new answer.
         assert_eq!(want, got, "post-reload divergence on {req}");
     }
+    // And the cache works again under the new version vector.
+    let rewarm = Json::parse(&query_lines(front.addr(), &[probe_req]).unwrap()[0]).unwrap();
+    assert_eq!(rewarm.get("cached"), Some(&Json::Bool(true)), "re-warm: {rewarm}");
 
     front.shutdown();
     for h in handles {

@@ -1,4 +1,4 @@
-//! Property tests for the EHNP v1 frame codec: random messages must
+//! Property tests for the EHNP v2 frame codec: random messages must
 //! survive a round trip bit-exactly, every strict truncation of a valid
 //! frame must be rejected (never mis-parsed, never panic), a corrupted
 //! byte anywhere in the frame must trip the checksum, and a hostile
@@ -43,7 +43,7 @@ fn response() -> impl Strategy<Value = Response> {
     (
         0u8..7,
         vec((0u32..100_000, -1e9f64..1e9f64, wire_string()), 0..8),
-        (proptest::bool::ANY, vec(0u32..64, 0..6), 0u64..1 << 40),
+        (proptest::bool::ANY, vec(0u32..64, 0..6), 0u64..1 << 40, 0u32..256),
         (wire_string(), rows(), 0u32..100_000),
         (0u64..1 << 40, 0u64..1 << 40, proptest::bool::ANY),
     )
@@ -51,16 +51,16 @@ fn response() -> impl Strategy<Value = Response> {
             |(
                 variant,
                 neighbors,
-                (with_info, probed, scanned),
+                (with_info, probed, scanned, nprobe),
                 (label, row, local),
                 (a, b, with_hit),
             )| {
                 match variant {
                     0 => Response::Error(label),
-                    1 => Response::Pong,
+                    1 => Response::Pong { version: a },
                     2 => Response::Knn {
                         neighbors,
-                        info: if with_info { Some((probed, scanned)) } else { None },
+                        info: if with_info { Some((probed, scanned, nprobe)) } else { None },
                     },
                     3 => Response::Resolved {
                         hit: if with_hit { Some((local, label, row)) } else { None },

@@ -2,14 +2,16 @@
 //! a router fronting N shards answers the JSON line protocol
 //! **byte-identically** to a standalone server over the unsplit table —
 //! same neighbor ids, same ordering (ties broken by global node id),
-//! same error strings — for N ∈ {1, 2, 4}, including `batch` envelopes.
+//! same error strings, same `cached` flags — for N ∈ {1, 2, 4},
+//! including `batch` envelopes, with the answer cache both enabled and
+//! disabled, and down to degenerate single-node and empty tables.
 //!
 //! CI runs this suite as the router gate (scripts/ci.sh).
 
 use ehna_cluster::{plan_shards, Router, RouterConfig, ShardConfig, ShardServer};
 use ehna_serve::{
-    query_lines, BruteForceIndex, EmbeddingStore, EngineConfig, KnnIndex, QueryEngine,
-    RequestLimits, Server, ServerConfig,
+    query_lines, BruteForceIndex, EmbeddingStore, EngineConfig, IvfConfig, IvfIndex, Json,
+    KnnIndex, QueryEngine, RequestLimits, Server, ServerConfig,
 };
 use ehna_tgraph::{NameMap, NodeEmbeddings};
 use std::net::SocketAddr;
@@ -43,17 +45,19 @@ fn write_full(dir: &Path, emb: &NodeEmbeddings, n: usize) -> (PathBuf, PathBuf) 
     (snap, names_path)
 }
 
-fn engine_for(snap: &Path, names: &Path) -> Arc<QueryEngine> {
+fn engine_for(snap: &Path, names: Option<&Path>, cache_capacity: usize) -> Arc<QueryEngine> {
     let store = Arc::new(
-        EmbeddingStore::open(snap.to_str().unwrap(), Some(names.to_str().unwrap())).unwrap(),
+        EmbeddingStore::open(snap.to_str().unwrap(), names.map(|p| p.to_str().unwrap())).unwrap(),
     );
     let index: Box<dyn KnnIndex> = Box::new(BruteForceIndex::new(Arc::clone(&store)));
-    // cache 0: a cache hit flips `"cached":true` in the response, which
-    // would break byte-level comparison on repeated queries.
+    // The standalone oracle's cache capacity must mirror the router's: a
+    // hit flips `"cached":true` in the response, so the *hit patterns*
+    // have to line up for byte-level comparison — which is itself part
+    // of the guarantee under test.
     Arc::new(QueryEngine::new(
         store,
         index,
-        EngineConfig { workers: 1, cache_capacity: 0, ..Default::default() },
+        EngineConfig { workers: 1, cache_capacity, ..Default::default() },
     ))
 }
 
@@ -77,15 +81,19 @@ impl LiveCluster {
 fn start_cluster(
     dir: &Path,
     emb: &NodeEmbeddings,
-    name_map: &NameMap,
+    name_map: Option<&NameMap>,
     n_shards: u32,
+    cache_capacity: usize,
 ) -> LiveCluster {
     std::fs::create_dir_all(dir).unwrap();
-    let manifest = plan_shards(emb, Some(name_map), n_shards, dir).unwrap();
+    let manifest = plan_shards(emb, name_map, n_shards, dir).unwrap();
     let mut shard_handles = Vec::new();
     let mut replica_addrs: Vec<Vec<SocketAddr>> = Vec::new();
     for (i, entry) in manifest.shards.iter().enumerate() {
-        let engine = engine_for(&dir.join(&entry.snapshot), &dir.join(&entry.names));
+        // Shard engines never cache: the router sends vector queries,
+        // which the engine's hot-node cache does not cover. Caching
+        // lives on the router, keyed by the snapshot-version vector.
+        let engine = engine_for(&dir.join(&entry.snapshot), Some(&dir.join(&entry.names)), 0);
         let shard = ShardServer::bind(
             "127.0.0.1:0",
             engine,
@@ -101,7 +109,7 @@ fn start_cluster(
         manifest,
         replica_addrs,
         RequestLimits::default(),
-        RouterConfig { probe_interval: Duration::ZERO, ..Default::default() },
+        RouterConfig { probe_interval: Duration::ZERO, cache_capacity, ..Default::default() },
     )
     .unwrap();
     let server =
@@ -120,7 +128,14 @@ fn battery(n: usize) -> Vec<String> {
         r#"{"op":"knn","node":"node3","k":5}"#.to_string(),
         format!(r#"{{"op":"knn","node":"node0","k":{}}}"#, n - 1),
         r#"{"op":"knn","node":"7","k":4}"#.to_string(),
+        // Aliased spelling of the line above: a numeric key resolving to
+        // the same node must share its cache entry on both sides.
+        r#"{"op":"knn","node":7,"k":4}"#.to_string(),
         r#"{"op":"knn","node":"node11"}"#.to_string(),
+        r#"{"op":"knn","vector":[1,0,2,4,0,3,1,2],"k":6}"#.to_string(),
+        // Exact repeat of an earlier line: with caches on, both sides
+        // must flip to `"cached":true` in lockstep.
+        r#"{"op":"knn","node":"node3","k":5}"#.to_string(),
         r#"{"op":"knn","vector":[1,0,2,4,0,3,1,2],"k":6}"#.to_string(),
         r#"{"op":"score","pairs":[["node1","node2"],["3","node4"],["node5","node5"]]}"#
             .to_string(),
@@ -128,7 +143,10 @@ fn battery(n: usize) -> Vec<String> {
             .to_string(),
         r#"{"op":"batch","requests":[{"op":"reload"},{"op":"knn","node":"ghost","k":2},{"op":"knn","node":"node1","k":2}]}"#
             .to_string(),
-        // Error surface: identical strings required.
+        // Error surface: identical strings required — including
+        // shard-side validation (the wrong-dimension vector), which must
+        // come back verbatim, not prefixed with a shard id.
+        r#"{"op":"knn","vector":[1,2],"k":3}"#.to_string(),
         r#"{"op":"knn","node":"ghost","k":3}"#.to_string(),
         r#"{"op":"knn","node":"node1","k":0}"#.to_string(),
         r#"{"op":"knn","node":"node1","k":999999}"#.to_string(),
@@ -150,30 +168,38 @@ fn sharded_answers_are_byte_identical_to_standalone() {
     let emb = table(N, DIM);
     let name_map = names(N);
     let (snap, names_path) = write_full(&dir, &emb, N);
-
-    // Oracle: a standalone brute-force server over the unsplit table.
-    let standalone =
-        Server::bind_with("127.0.0.1:0", engine_for(&snap, &names_path), ServerConfig::default())
-            .unwrap();
-    let standalone = standalone.spawn().unwrap();
     let requests = battery(N);
-    let expected = query_lines(standalone.addr(), &requests).unwrap();
 
-    for n_shards in [1u32, 2, 4] {
-        let shard_dir = dir.join(format!("shards_{n_shards}"));
-        let cluster = start_cluster(&shard_dir, &emb, &name_map, n_shards);
-        let got = query_lines(cluster.router.addr(), &requests).unwrap();
-        for (i, (want, have)) in expected.iter().zip(&got).enumerate() {
-            assert_eq!(
-                want, have,
-                "response {i} diverged at {n_shards} shards\nrequest: {}",
-                requests[i]
-            );
+    // Once with the answer cache off and once with it on: the battery
+    // repeats lines and aliases keys, so the cache-on run checks that
+    // hit patterns (the `cached` flag) line up too, not just answers.
+    for cache in [0usize, 256] {
+        // Oracle: a standalone brute-force server over the unsplit table.
+        let standalone = Server::bind_with(
+            "127.0.0.1:0",
+            engine_for(&snap, Some(&names_path), cache),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let standalone = standalone.spawn().unwrap();
+        let expected = query_lines(standalone.addr(), &requests).unwrap();
+
+        for n_shards in [1u32, 2, 4] {
+            let shard_dir = dir.join(format!("shards_{n_shards}_c{cache}"));
+            let cluster = start_cluster(&shard_dir, &emb, Some(&name_map), n_shards, cache);
+            let got = query_lines(cluster.router.addr(), &requests).unwrap();
+            for (i, (want, have)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    want, have,
+                    "response {i} diverged at {n_shards} shards (cache {cache})\nrequest: {}",
+                    requests[i]
+                );
+            }
+            assert_eq!(expected.len(), got.len());
+            cluster.shutdown();
         }
-        assert_eq!(expected.len(), got.len());
-        cluster.shutdown();
+        standalone.shutdown();
     }
-    standalone.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -190,15 +216,11 @@ fn sharded_answers_match_on_an_anonymous_table() {
     let snap = dir.join("full.bin");
     emb.save_path(&snap).unwrap();
 
-    let store = Arc::new(EmbeddingStore::open(snap.to_str().unwrap(), None).unwrap());
-    let index: Box<dyn KnnIndex> = Box::new(BruteForceIndex::new(Arc::clone(&store)));
-    let engine = Arc::new(QueryEngine::new(
-        store,
-        index,
-        EngineConfig { workers: 1, cache_capacity: 0, ..Default::default() },
-    ));
     let standalone =
-        Server::bind_with("127.0.0.1:0", engine, ServerConfig::default()).unwrap().spawn().unwrap();
+        Server::bind_with("127.0.0.1:0", engine_for(&snap, None, 0), ServerConfig::default())
+            .unwrap()
+            .spawn()
+            .unwrap();
 
     let requests = vec![
         r#"{"op":"knn","node":"0","k":3}"#.to_string(),
@@ -211,43 +233,201 @@ fn sharded_answers_match_on_an_anonymous_table() {
 
     for n_shards in [2u32, 4] {
         let shard_dir = dir.join(format!("shards_{n_shards}"));
-        std::fs::create_dir_all(&shard_dir).unwrap();
-        let manifest = plan_shards(&emb, None, n_shards, &shard_dir).unwrap();
-        let mut shard_handles = Vec::new();
-        let mut replicas = Vec::new();
-        for (i, entry) in manifest.shards.iter().enumerate() {
-            let engine =
-                engine_for(&shard_dir.join(&entry.snapshot), &shard_dir.join(&entry.names));
-            let shard = ShardServer::bind(
-                "127.0.0.1:0",
-                engine,
-                RequestLimits::default(),
-                None,
-                ShardConfig { shard_id: i as u32, ..Default::default() },
-            )
-            .unwrap();
-            replicas.push(vec![shard.local_addr().unwrap()]);
-            shard_handles.push(shard.spawn().unwrap());
-        }
-        let router = Router::new(
-            manifest,
-            replicas,
-            RequestLimits::default(),
-            RouterConfig { probe_interval: Duration::ZERO, ..Default::default() },
-        )
-        .unwrap();
-        let handle =
-            Server::bind_handler("127.0.0.1:0", Arc::new(router) as _, ServerConfig::default())
+        let cluster = start_cluster(&shard_dir, &emb, None, n_shards, 0);
+        let got = query_lines(cluster.router.addr(), &requests).unwrap();
+        assert_eq!(expected, got, "anonymous-table divergence at {n_shards} shards");
+        cluster.shutdown();
+    }
+    standalone.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn degenerate_tables_match_standalone() {
+    // The hard edges: an empty table (every op must reject identically,
+    // *before* default-k is derived) and a single-node table (whose only
+    // node-keyed answer is an empty neighbor list after self-exclusion).
+    // Sharding either table leaves most shards empty, so this also pins
+    // the router's merge over zero-row shards.
+    const DIM: usize = 3;
+    let dir = std::env::temp_dir().join("ehna_router_equivalence_degenerate");
+    let _ = std::fs::remove_dir_all(&dir);
+    for n in [0usize, 1] {
+        let sub = dir.join(format!("n{n}"));
+        std::fs::create_dir_all(&sub).unwrap();
+        let emb = table(n, DIM);
+        let snap = sub.join("full.bin");
+        emb.save_path(&snap).unwrap();
+        let standalone =
+            Server::bind_with("127.0.0.1:0", engine_for(&snap, None, 256), ServerConfig::default())
                 .unwrap()
                 .spawn()
                 .unwrap();
-        let got = query_lines(handle.addr(), &requests).unwrap();
-        assert_eq!(expected, got, "anonymous-table divergence at {n_shards} shards");
-        handle.shutdown();
-        for s in shard_handles {
-            s.shutdown();
+        let requests = vec![
+            r#"{"op":"knn","node":"0","k":1}"#.to_string(),
+            // Default k: on one node it clamps to 1 (not a rejection);
+            // on zero nodes the empty-table rejection fires first.
+            r#"{"op":"knn","node":"0"}"#.to_string(),
+            r#"{"op":"knn","node":"0"}"#.to_string(),
+            r#"{"op":"knn","vector":[1,0,2]}"#.to_string(),
+            r#"{"op":"knn","node":"1","k":1}"#.to_string(),
+            r#"{"op":"score","pairs":[["0","0"]]}"#.to_string(),
+            r#"{"op":"batch","requests":[{"op":"knn","node":"0"},{"op":"ping"}]}"#.to_string(),
+        ];
+        let expected = query_lines(standalone.addr(), &requests).unwrap();
+        for n_shards in [1u32, 2, 4] {
+            let shard_dir = sub.join(format!("shards_{n_shards}"));
+            let cluster = start_cluster(&shard_dir, &emb, None, n_shards, 256);
+            let got = query_lines(cluster.router.addr(), &requests).unwrap();
+            for (i, (want, have)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    want, have,
+                    "n={n} response {i} diverged at {n_shards} shards\nrequest: {}",
+                    requests[i]
+                );
+            }
+            cluster.shutdown();
+        }
+        standalone.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_local_ivf_recall_stays_above_095() {
+    // Shards running an approximate IVF index cannot be byte-identical
+    // to brute force, so the gate is recall@k against the brute-force
+    // oracle, plus structural checks: `explain` must surface each
+    // shard's nprobe, and merged answers must stay sorted by
+    // (dist, id).
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    const N: usize = 400;
+    const DIM: usize = 8;
+    const K: usize = 10;
+    let dir = std::env::temp_dir().join("ehna_router_equivalence_ivf");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A clustered table: 8 well-separated centers with small jitter, so
+    // IVF's coarse quantizer has real structure to exploit.
+    let mut rng = StdRng::seed_from_u64(0xEF7A);
+    let mut data = Vec::with_capacity(N * DIM);
+    for i in 0..N {
+        let c = i % 8;
+        for d in 0..DIM {
+            let center = if d == c { 10.0 } else { 0.0 };
+            data.push(center + rng.gen_range(-0.5..0.5f32));
         }
     }
+    let emb = NodeEmbeddings::from_vec(DIM, data);
+    let snap = dir.join("full.bin");
+    emb.save_path(&snap).unwrap();
+
+    // Brute-force oracle over the unsplit table.
+    let standalone =
+        Server::bind_with("127.0.0.1:0", engine_for(&snap, None, 0), ServerConfig::default())
+            .unwrap()
+            .spawn()
+            .unwrap();
+    let queries: Vec<String> = (0..40)
+        .map(|q| format!(r#"{{"op":"knn","node":"{}","k":{K},"explain":true}}"#, q * 9))
+        .collect();
+    let expected = query_lines(standalone.addr(), &queries).unwrap();
     standalone.shutdown();
+
+    let manifest = plan_shards(&emb, None, 2, &dir).unwrap();
+    let mut shard_handles = Vec::new();
+    let mut replicas = Vec::new();
+    for (i, entry) in manifest.shards.iter().enumerate() {
+        let store = Arc::new(
+            EmbeddingStore::open(
+                dir.join(&entry.snapshot).to_str().unwrap(),
+                Some(dir.join(&entry.names).to_str().unwrap()),
+            )
+            .unwrap(),
+        );
+        let index: Box<dyn KnnIndex> = Box::new(IvfIndex::build(
+            Arc::clone(&store),
+            IvfConfig { num_clusters: Some(8), nprobe: 4, ..Default::default() },
+        ));
+        let engine = Arc::new(QueryEngine::new(
+            store,
+            index,
+            EngineConfig { workers: 1, cache_capacity: 0, ..Default::default() },
+        ));
+        let shard = ShardServer::bind(
+            "127.0.0.1:0",
+            engine,
+            RequestLimits::default(),
+            None,
+            ShardConfig { shard_id: i as u32, ..Default::default() },
+        )
+        .unwrap();
+        replicas.push(vec![shard.local_addr().unwrap()]);
+        shard_handles.push(shard.spawn().unwrap());
+    }
+    let router = Router::new(
+        manifest,
+        replicas,
+        RequestLimits::default(),
+        RouterConfig { probe_interval: Duration::ZERO, ..Default::default() },
+    )
+    .unwrap();
+    let handle =
+        Server::bind_handler("127.0.0.1:0", Arc::new(router) as _, ServerConfig::default())
+            .unwrap()
+            .spawn()
+            .unwrap();
+    let got = query_lines(handle.addr(), &queries).unwrap();
+
+    let ids = |resp: &Json| -> Vec<u32> {
+        resp.get("neighbors")
+            .and_then(Json::as_arr)
+            .expect("neighbors")
+            .iter()
+            .map(|n| n.get("id").and_then(Json::as_usize).unwrap() as u32)
+            .collect()
+    };
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (want_line, got_line) in expected.iter().zip(&got) {
+        let want = Json::parse(want_line).unwrap();
+        let have = Json::parse(got_line).unwrap();
+        assert_eq!(have.get("ok"), Some(&Json::Bool(true)), "{got_line}");
+        let want_ids = ids(&want);
+        let got_ids = ids(&have);
+        total += want_ids.len();
+        hit += got_ids.iter().filter(|id| want_ids.contains(id)).count();
+        // Merged approximate answers keep the exact contract's shape:
+        // ascending (dist, id), and every shard reports a real nprobe.
+        let dists: Vec<f64> = have
+            .get("neighbors")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|n| n.get("dist").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "unsorted: {got_line}");
+        for shard in have
+            .get("explain")
+            .and_then(|e| e.get("shards"))
+            .and_then(Json::as_arr)
+            .expect("explain.shards")
+        {
+            assert_eq!(
+                shard.get("nprobe").and_then(Json::as_usize),
+                Some(4),
+                "shard nprobe missing: {got_line}"
+            );
+        }
+    }
+    let recall = hit as f64 / total as f64;
+    assert!(recall >= 0.95, "shard-IVF recall@{K} = {recall:.3} < 0.95 ({hit}/{total})");
+
+    handle.shutdown();
+    for s in shard_handles {
+        s.shutdown();
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }

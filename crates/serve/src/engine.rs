@@ -182,6 +182,12 @@ impl QueryEngine {
         self.shared.snapshot().index.kind()
     }
 
+    /// Clusters probed per query, when the serving index is approximate
+    /// (`None` for exact indexes).
+    pub fn index_nprobe(&self) -> Option<usize> {
+        self.shared.snapshot().index.nprobe()
+    }
+
     /// Top-`k` neighbors of a stored node (the node itself is excluded).
     ///
     /// # Errors

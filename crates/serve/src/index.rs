@@ -50,6 +50,14 @@ pub trait KnnIndex: Send + Sync {
 
     /// Short label for logs and the stats endpoint.
     fn kind(&self) -> &'static str;
+
+    /// Clusters probed per query for approximate indexes; `None` for
+    /// exact ones (brute force probes nothing). Surfaced in stats and
+    /// per-shard `explain` so operators can see each shard's recall
+    /// knob without shelling into the shard host.
+    fn nprobe(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Keep the `k` smallest (dist, id) pairs seen so far.
@@ -302,6 +310,10 @@ impl KnnIndex for IvfIndex {
 
     fn kind(&self) -> &'static str {
         "ivf"
+    }
+
+    fn nprobe(&self) -> Option<usize> {
+        Some(self.nprobe)
     }
 }
 

@@ -745,6 +745,12 @@ fn knn_op(
     request: &Json,
 ) -> Result<Json, ServeError> {
     let num_nodes = engine.store().num_nodes();
+    // Reject before k parsing: no k is valid against zero rows, and the
+    // default-k path must not manufacture one (the router mirrors this
+    // check word-for-word — the byte-equivalence gate covers n = 0).
+    if num_nodes == 0 {
+        return Err(ServeError::BadRequest("knn on an empty table".into()));
+    }
     let k = match request.get("k") {
         Some(v) => {
             let k = v.as_usize().ok_or_else(|| ServeError::BadRequest("bad 'k'".into()))?;
@@ -761,7 +767,7 @@ fn knn_op(
             }
             k
         }
-        None => 10.min(limits.max_k).min(num_nodes).max(1),
+        None => 10.min(limits.max_k).min(num_nodes),
     };
     let explain = request.get("explain").and_then(Json::as_bool).unwrap_or(false);
     let result = match (request.get("node"), request.get("vector")) {
@@ -870,6 +876,7 @@ fn stats_op(engine: &QueryEngine) -> Json {
         ("role", Json::Str(snap.role.as_str().to_string())),
         ("shard_id", snap.shard_id.map_or(Json::Null, |s| Json::Num(s as f64))),
         ("index", Json::Str(engine.index_kind().to_string())),
+        ("nprobe", engine.index_nprobe().map_or(Json::Null, |n| Json::Num(n as f64))),
         ("nodes", Json::Num(engine.store().num_nodes() as f64)),
         ("dim", Json::Num(engine.store().dim() as f64)),
         ("requests", Json::Num(snap.requests as f64)),
@@ -1167,6 +1174,7 @@ mod tests {
         handle_line(&e, &limits(), r#"{"op":"knn","node":"a","k":1}"#);
         let resp = handle_line(&e, &limits(), r#"{"op":"stats"}"#);
         assert_eq!(resp.get("index").and_then(Json::as_str), Some("brute"));
+        assert_eq!(resp.get("nprobe"), Some(&Json::Null), "brute probes nothing");
         assert_eq!(resp.get("nodes").and_then(Json::as_usize), Some(4));
         assert_eq!(resp.get("requests").and_then(Json::as_usize), Some(2));
         assert_eq!(resp.get("cache_hits").and_then(Json::as_usize), Some(1));

@@ -56,21 +56,25 @@ timeout --kill-after=10 120 \
     cargo test -p ehna-cli --test streaming -q
 
 echo "== router gates (wall-clock bounded)"
-# The cluster tier's load-bearing guarantees: EHNP v1 frame codec
+# The cluster tier's load-bearing guarantees: EHNP v2 frame codec
 # robustness (proptest round-trip, every-byte truncation, single-byte
 # corruption, oversized lengths capped before allocation), the
 # equivalence gate (a router over N ∈ {1,2,4} shards answers knn AND
 # batch byte-identically to a standalone server — ids, ordering, tie
-# breaks, error strings), and fault injection (replica killed mid-load
-# under 16 clients, tar-pit replica circuit-broken, rolling reload under
-# load — zero malformed client responses throughout). Hard timeouts so
-# a wedged scatter or probe loop fails fast instead of hanging CI.
+# breaks, error strings, `cached` flags with the answer cache on and
+# off, down to empty and single-node tables; shard-local IVF holds
+# recall@10 ≥ 0.95 against the brute-force oracle), and fault injection
+# (replica killed mid-load under 16 clients, tar-pit replica
+# circuit-broken without delaying a restarted peer's probe recovery,
+# rolling reload under load with cache invalidation — zero malformed
+# client responses throughout). Hard timeouts so a wedged scatter or
+# probe loop fails fast instead of hanging CI.
 cargo test -p ehna-cluster --test proto_robustness --no-run -q
 cargo test -p ehna-cluster --test router_equivalence --no-run -q
 cargo test -p ehna-cluster --test cluster_faults --no-run -q
 timeout --kill-after=10 120 \
     cargo test -p ehna-cluster --test proto_robustness -q
-timeout --kill-after=10 120 \
+timeout --kill-after=10 180 \
     cargo test -p ehna-cluster --test router_equivalence -q
 timeout --kill-after=10 180 \
     cargo test -p ehna-cluster --test cluster_faults -q
