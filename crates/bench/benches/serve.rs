@@ -38,14 +38,14 @@ fn bench_knn(c: &mut Criterion) {
             b.iter(|| {
                 probe = (probe + 7919) % n as u32;
                 let q = store.row(NodeId(probe)).unwrap();
-                black_box(brute.search(q, K))
+                black_box(brute.search(&q, K))
             })
         });
         group.bench_function("ivf", |b| {
             b.iter(|| {
                 probe = (probe + 7919) % n as u32;
                 let q = store.row(NodeId(probe)).unwrap();
-                black_box(ivf.search(q, K))
+                black_box(ivf.search(&q, K))
             })
         });
         group.finish();

@@ -5,6 +5,7 @@ pub mod generate;
 pub mod ingest;
 pub mod linkpred;
 pub mod nodeclass;
+pub mod quantize;
 pub mod query;
 pub mod reconstruct;
 pub mod router;

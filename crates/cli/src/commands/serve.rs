@@ -15,7 +15,7 @@ use std::time::Duration;
 
 const HELP: &str = "ehna serve — serve an embedding snapshot over TCP
 
-usage: ehna serve SNAPSHOT [--names FILE] [--addr HOST:PORT]
+usage: ehna serve SNAPSHOT [--names FILE] [--addr HOST:PORT] [--mmap]
                   [--index ivf|brute] [--clusters N] [--nprobe N]
                   [--workers N] [--batch N] [--cache N]
                   [--role standalone|shard] [--shard-id N]
@@ -42,6 +42,11 @@ flags:
                   line, line i names node i); queries may then use names
   --addr ADDR     listen address (default 127.0.0.1:7878; port 0 picks
                   an ephemeral port)
+  --mmap          memory-map EHNQ artifacts (see `ehna quantize`)
+                  instead of reading them onto the heap: open and
+                  reload time become O(1) in table size and a reload
+                  never doubles resident memory; ignored for legacy
+                  dense snapshots (and on non-unix platforms)
   --index KIND    ivf (cluster-pruned, default for >= 4096 nodes) or
                   brute (exact, default below that)
   --clusters N    IVF cluster count (default sqrt(n))
@@ -99,10 +104,11 @@ impl std::fmt::Debug for PreparedServe {
 /// socket(s). Split from [`run`] — and public — so tests and embedders
 /// can drive a bound server without blocking on the accept loop.
 pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<PreparedServe, CliError> {
-    let flags = Flags::parse(args, HELP)?;
+    let flags = Flags::parse_with_switches(args, HELP, &["mmap"])?;
     flags.expect_known(&[
         "names",
         "addr",
+        "mmap",
         "index",
         "clusters",
         "nprobe",
@@ -124,12 +130,20 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<PreparedServe, Cl
         "drain-ms",
     ])?;
     let snapshot = flags.one_positional("snapshot file")?;
+    let mmap = flags.has("mmap");
     let store = Arc::new(
-        EmbeddingStore::open(snapshot, flags.get("names"))
+        EmbeddingStore::open_with(snapshot, flags.get("names"), mmap)
             .map_err(|e| CliError::runtime(e.to_string()))?,
     );
-    writeln!(out, "loaded {} x {} snapshot from {snapshot}", store.num_nodes(), store.dim())
-        .map_err(io_err)?;
+    writeln!(
+        out,
+        "loaded {} x {} snapshot from {snapshot} ({}, {})",
+        store.num_nodes(),
+        store.dim(),
+        store.format_label(),
+        if store.is_mmap() { "mmap" } else { "heap" }
+    )
+    .map_err(io_err)?;
 
     let kind = match flags.get("index") {
         Some(k) => k.to_string(),
@@ -193,7 +207,11 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> Result<PreparedServe, Cl
     let names_path = flags.get("names").map(str::to_string);
     let reload_kind = kind.clone();
     let reloader: Reloader = Arc::new(move || {
-        let store = Arc::new(EmbeddingStore::open(snapshot_path.as_str(), names_path.as_deref())?);
+        let store = Arc::new(EmbeddingStore::open_with(
+            snapshot_path.as_str(),
+            names_path.as_deref(),
+            mmap,
+        )?);
         let index: Box<dyn KnnIndex> = match reload_kind.as_str() {
             "brute" => Box::new(BruteForceIndex::new(Arc::clone(&store))),
             _ => Box::new(IvfIndex::build(
@@ -365,6 +383,50 @@ mod tests {
         handle.shutdown();
         shard_handle.shutdown();
         let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
+    fn mmap_serves_a_quantized_snapshot() {
+        use ehna_tgraph::{QuantFormat, QuantSpec, QuantizedEmbeddings};
+        let dir = std::env::temp_dir().join("ehna_cli_serve_mmap");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data: Vec<f32> = (0..30 * 4).map(|i| (i % 17) as f32 * 0.25).collect();
+        let emb = NodeEmbeddings::from_vec(4, data);
+        let snap = dir.join("emb.f16.ehnq");
+        QuantizedEmbeddings::encode(&emb, &QuantSpec::new(QuantFormat::F16))
+            .unwrap()
+            .save_path(&snap)
+            .unwrap();
+
+        let mut buf = Vec::new();
+        let prepared = prepare(
+            &args(&[snap.to_str().unwrap(), "--mmap", "--addr", "127.0.0.1:0", "--workers", "1"]),
+            &mut buf,
+        )
+        .unwrap();
+        let banner = String::from_utf8(buf).unwrap();
+        let mode = if cfg!(unix) { "mmap" } else { "heap" };
+        assert!(banner.contains(&format!("(f16, {mode})")), "banner: {banner}");
+        let handle = prepared.server.spawn().unwrap();
+
+        // Queries answer, and `reload` re-maps the same artifact.
+        let responses = query_lines(
+            handle.addr(),
+            &[
+                r#"{"op":"knn","node":"3","k":2}"#.to_string(),
+                r#"{"op":"reload"}"#.to_string(),
+                r#"{"op":"knn","node":"3","k":2}"#.to_string(),
+            ],
+        )
+        .unwrap();
+        for (i, line) in responses.iter().enumerate() {
+            let resp = Json::parse(line).unwrap();
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "response {i}: {line}");
+        }
+        assert_eq!(responses[0], responses[2].replace(",\"cached\":true", ",\"cached\":false"));
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

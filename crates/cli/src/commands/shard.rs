@@ -3,9 +3,9 @@
 use crate::commands::io_err;
 use crate::flags::Flags;
 use crate::CliError;
-use ehna_cluster::{plan_shards, MANIFEST_NAME};
-use ehna_tgraph::{NameMap, NodeEmbeddings};
-use std::io::{BufReader, Write};
+use ehna_cluster::{plan_shards, plan_shards_quant, MANIFEST_NAME};
+use ehna_tgraph::{NameMap, NodeEmbeddings, QuantizedEmbeddings};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 
 const HELP: &str = "ehna shard — partition a snapshot into cluster shards
@@ -19,6 +19,12 @@ layout. Serve each shard with `ehna serve shard_I.bin --names
 shard_I.names --role shard --shard-id I --ehnp-addr ...`, then front
 them with `ehna router --manifest DIR --shard ADDR ...`; the routed
 answers are byte-identical to serving the unsplit SNAPSHOT.
+
+SNAPSHOT may be a dense (EHNA) snapshot or a quantized EHNQ artifact
+from `ehna quantize`. Quantized tables shard by slicing each node's
+code row verbatim — never re-encoding — and copying the source's
+codebooks/scales into every shard, so quantized clusters keep the
+byte-identical guarantee (serve the shards with --mmap if desired).
 
 flags:
   --shards N    number of shards to produce (at least 1, at most the
@@ -41,8 +47,27 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Err(CliError::usage(format!("--out is required\n{HELP}")));
     };
 
-    let emb = NodeEmbeddings::load_path(snapshot)
-        .map_err(|e| CliError::runtime(format!("cannot load {snapshot}: {e}")))?;
+    // Auto-detect the snapshot family from its magic bytes, the same
+    // way `ehna serve` does.
+    let mut magic = [0u8; 4];
+    let got = std::fs::File::open(snapshot)
+        .and_then(|mut f| f.read(&mut magic))
+        .map_err(|e| CliError::runtime(format!("cannot open {snapshot}: {e}")))?;
+    let quant = if got == 4 && &magic == b"EHNQ" {
+        Some(
+            QuantizedEmbeddings::open_path(snapshot, false)
+                .map_err(|e| CliError::runtime(format!("cannot load {snapshot}: {e}")))?,
+        )
+    } else {
+        None
+    };
+    let emb = match quant {
+        Some(_) => None,
+        None => Some(
+            NodeEmbeddings::load_path(snapshot)
+                .map_err(|e| CliError::runtime(format!("cannot load {snapshot}: {e}")))?,
+        ),
+    };
     let names = flags
         .get("names")
         .map(|path| {
@@ -54,14 +79,22 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 })
         })
         .transpose()?;
-    writeln!(out, "loaded {} x {} snapshot from {snapshot}", emb.num_nodes(), emb.dim())
-        .map_err(io_err)?;
+    let (n, dim, kind) = match (&quant, &emb) {
+        (Some(q), _) => (q.num_nodes(), q.dim(), q.format().label()),
+        (None, Some(e)) => (e.num_nodes(), e.dim(), "dense"),
+        (None, None) => unreachable!("one of quant/emb is always loaded"),
+    };
+    writeln!(out, "loaded {n} x {dim} {kind} snapshot from {snapshot}").map_err(io_err)?;
 
     let dir = Path::new(out_dir);
     std::fs::create_dir_all(dir)
         .map_err(|e| CliError::runtime(format!("cannot create {out_dir}: {e}")))?;
-    let manifest = plan_shards(&emb, names.as_ref(), num_shards, dir)
-        .map_err(|e| CliError::runtime(e.to_string()))?;
+    let manifest = match (&quant, &emb) {
+        (Some(q), _) => plan_shards_quant(q, names.as_ref(), num_shards, dir),
+        (None, Some(e)) => plan_shards(e, names.as_ref(), num_shards, dir),
+        (None, None) => unreachable!(),
+    }
+    .map_err(|e| CliError::runtime(e.to_string()))?;
     for (i, entry) in manifest.shards.iter().enumerate() {
         writeln!(out, "shard {i}: {} nodes -> {}/{}", entry.nodes, out_dir, entry.snapshot)
             .map_err(io_err)?;
@@ -106,6 +139,39 @@ mod tests {
         let manifest = ClusterManifest::load(&out_dir).unwrap();
         assert_eq!(manifest.num_shards, 3);
         manifest.verify(&out_dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shards_a_quantized_artifact_by_slicing_codes() {
+        use ehna_tgraph::{QuantFormat, QuantSpec};
+        let dir = std::env::temp_dir().join("ehna_cli_shard_quant_cmd");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data: Vec<f32> = (0..12 * 4).map(|i| i as f32 * 0.5).collect();
+        let emb = NodeEmbeddings::from_vec(4, data);
+        let q = QuantizedEmbeddings::encode(&emb, &QuantSpec::new(QuantFormat::Int8)).unwrap();
+        let snap = dir.join("full.ehnq");
+        q.save_path(&snap).unwrap();
+
+        let out_dir = dir.join("cluster");
+        let mut buf = Vec::new();
+        run(
+            &args(&[snap.to_str().unwrap(), "--shards", "2", "--out", out_dir.to_str().unwrap()]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("12 x 4 int8 snapshot"), "output: {text}");
+
+        let manifest = ClusterManifest::load(&out_dir).unwrap();
+        manifest.verify(&out_dir).unwrap();
+        // Shard files are EHNQ in the source format with verbatim rows.
+        let shard0 =
+            QuantizedEmbeddings::open_path(out_dir.join(&manifest.shards[0].snapshot), false)
+                .unwrap();
+        assert_eq!(shard0.format(), QuantFormat::Int8);
+        assert_eq!(&*shard0.row(1), &*q.row(2), "global 2 -> shard 0 local 1");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -68,6 +68,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "linkpred" => commands::linkpred::run(rest, out),
         "nodeclass" => commands::nodeclass::run(rest, out),
         "reconstruct" => commands::reconstruct::run(rest, out),
+        "quantize" => commands::quantize::run(rest, out),
         "serve" => commands::serve::run(rest, out),
         "query" => commands::query::run(rest, out),
         "shard" => commands::shard::run(rest, out),
@@ -94,8 +95,11 @@ commands:
   linkpred     run the future-link-prediction evaluation
   reconstruct  run the network-reconstruction evaluation
   nodeclass    node classification on a temporal SBM (extension)
+  quantize     re-encode a snapshot as an EHNQ artifact
+               (f32 | f16 | int8 | pq) for compact mmap-able serving
   serve        serve an embedding snapshot over JSON-on-TCP
-               (--role shard adds the EHNP binary port for routers)
+               (--role shard adds the EHNP binary port for routers;
+               --mmap maps EHNQ artifacts zero-copy)
   query        query a running serve instance (knn / score / stats)
   shard        partition a snapshot into cluster shards + manifest
   router       scatter-gather front end over a shard cluster; same

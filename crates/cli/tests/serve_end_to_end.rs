@@ -180,7 +180,7 @@ fn ivf_recall_meets_bar_on_10k_nodes() {
         assert_eq!(approx.len(), K);
         // Exact ground truth (self excluded, like the engine does).
         let exact: Vec<u32> = brute
-            .search(store.row(NodeId(*v)).unwrap(), K + 1)
+            .search(&store.row(NodeId(*v)).unwrap(), K + 1)
             .into_iter()
             .filter(|n| n.id.0 != *v)
             .take(K)

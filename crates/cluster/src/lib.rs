@@ -36,7 +36,7 @@ pub mod shard;
 
 pub use client::{CallError, MuxClient};
 pub use manifest::{global_of, owner_of, ClusterManifest, ShardEntry, MANIFEST_NAME};
-pub use plan::plan_shards;
+pub use plan::{plan_shards, plan_shards_quant};
 pub use proto::{ProtoError, Request, Response, EHNP_VERSION, MAX_FRAME_LEN};
 pub use router::{ReplicaStatus, Router, RouterConfig};
 pub use shard::{ShardConfig, ShardHandle, ShardServer};

@@ -19,7 +19,7 @@ use crate::manifest::{owner_of, ClusterManifest, ShardEntry};
 use crate::proto::fnv1a64;
 use crate::ClusterError;
 use ehna_nn::ioutil::atomic_write_path;
-use ehna_tgraph::{NameMap, NodeEmbeddings, NodeId};
+use ehna_tgraph::{NameMap, NodeEmbeddings, NodeId, QuantizedEmbeddings};
 use std::io::Write;
 use std::path::Path;
 
@@ -47,7 +47,46 @@ pub fn plan_shards(
     num_shards: u32,
     out_dir: &Path,
 ) -> Result<ClusterManifest, ClusterError> {
-    let total = emb.num_nodes();
+    plan_with(emb.num_nodes(), emb.dim(), names, num_shards, out_dir, |globals| {
+        let mut rows: Vec<f32> = Vec::with_capacity(globals.len() * emb.dim());
+        for &global in globals {
+            rows.extend_from_slice(emb.get(NodeId(global)));
+        }
+        Ok(NodeEmbeddings::from_vec(emb.dim(), rows).to_bytes())
+    })
+}
+
+/// [`plan_shards`] over a quantized EHNQ table: each shard snapshot is an
+/// EHNQ file in the *same* format as the source, with the source's
+/// codebooks/scales copied verbatim and the shard's row codes sliced out
+/// (never re-encoded). A shard row therefore scores bit-identically to
+/// the same row in the standalone table, which keeps the router's
+/// byte-identical equivalence gate intact for quantized clusters.
+///
+/// # Errors
+/// Same failure modes as [`plan_shards`].
+pub fn plan_shards_quant(
+    q: &QuantizedEmbeddings,
+    names: Option<&NameMap>,
+    num_shards: u32,
+    out_dir: &Path,
+) -> Result<ClusterManifest, ClusterError> {
+    plan_with(q.num_nodes(), q.dim(), names, num_shards, out_dir, |globals| {
+        let rows: Vec<usize> = globals.iter().map(|&g| g as usize).collect();
+        q.select_rows(&rows).map_err(|e| ClusterError::Plan(e.to_string()))
+    })
+}
+
+/// The shared partitioning loop: `snapshot_bytes` maps one shard's
+/// global row ids (ascending) to its serialized snapshot file.
+fn plan_with(
+    total: usize,
+    dim: usize,
+    names: Option<&NameMap>,
+    num_shards: u32,
+    out_dir: &Path,
+    mut snapshot_bytes: impl FnMut(&[u32]) -> Result<Vec<u8>, ClusterError>,
+) -> Result<ClusterManifest, ClusterError> {
     if num_shards == 0 {
         return Err(ClusterError::Plan("shard count must be at least 1".into()));
     }
@@ -65,28 +104,24 @@ pub fn plan_shards(
     }
     std::fs::create_dir_all(out_dir).map_err(ClusterError::Io)?;
 
-    let dim = emb.dim();
     let mut entries = Vec::with_capacity(num_shards as usize);
     for shard in 0..num_shards {
         // Walk globals in order; g % N == shard lands at local g / N, so
         // pushing in global order *is* pushing in local order.
-        let mut rows: Vec<f32> = Vec::new();
+        let globals: Vec<u32> = (shard..total as u32).step_by(num_shards as usize).collect();
         let mut shard_names = NameMap::new();
-        for global in (shard..total as u32).step_by(num_shards as usize) {
+        for &global in &globals {
             debug_assert_eq!(owner_of(global, num_shards).0, shard);
-            rows.extend_from_slice(emb.get(NodeId(global)));
             let label = match names.and_then(|m| m.name(NodeId(global))) {
                 Some(name) => name.to_string(),
                 None => global.to_string(),
             };
             shard_names.intern(&label);
         }
-        let nodes = rows.len() / dim;
-        let shard_emb = NodeEmbeddings::from_vec(dim, rows);
+        let snap_bytes = snapshot_bytes(&globals)?;
 
         let snap_name = shard_snapshot_name(shard);
         let names_name = shard_names_name(shard);
-        let snap_bytes = shard_emb.to_bytes();
         atomic_write_path(&out_dir.join(&snap_name), |w| w.write_all(&snap_bytes))
             .map_err(ClusterError::Io)?;
         let mut names_bytes = Vec::new();
@@ -97,7 +132,7 @@ pub fn plan_shards(
         entries.push(ShardEntry {
             snapshot: snap_name,
             names: names_name,
-            nodes: nodes as u64,
+            nodes: globals.len() as u64,
             snapshot_fnv: fnv1a64(&snap_bytes),
             names_fnv: fnv1a64(&names_bytes),
         });
@@ -173,6 +208,42 @@ mod tests {
         let m = plan_shards(&source, None, 1, &dir).unwrap();
         let back = NodeEmbeddings::load_path(dir.join(&m.shards[0].snapshot)).unwrap();
         assert_eq!(back, source);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quant_plan_slices_codes_verbatim() {
+        use ehna_tgraph::quant::{QuantFormat, QuantSpec};
+        let dir = std::env::temp_dir().join("ehna_cluster_plan_quant");
+        let source = emb(10, 4);
+        for format in [QuantFormat::F32, QuantFormat::F16, QuantFormat::Int8] {
+            let q = QuantizedEmbeddings::encode(&source, &QuantSpec::new(format)).unwrap();
+            let m = plan_shards_quant(&q, None, 3, &dir).unwrap();
+            m.verify(&dir).unwrap();
+            assert_eq!(m.shards.iter().map(|s| s.nodes).sum::<u64>(), 10);
+            for global in 0..10u32 {
+                let (shard, local) = owner_of(global, 3);
+                let sq = QuantizedEmbeddings::open_path(
+                    dir.join(&m.shards[shard as usize].snapshot),
+                    false,
+                )
+                .unwrap();
+                assert_eq!(sq.format(), format);
+                // Decoded shard row == decoded global row, bit for bit.
+                assert_eq!(
+                    &*sq.row(local as usize),
+                    &*q.row(global as usize),
+                    "{format:?} global {global}"
+                );
+                // And the shard store resolves the global label.
+                let store = EmbeddingStore::open(
+                    dir.join(&m.shards[shard as usize].snapshot),
+                    Some(dir.join(&m.shards[shard as usize].names)),
+                )
+                .unwrap();
+                assert_eq!(store.resolve_name(&global.to_string()), Some(NodeId(local)));
+            }
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -797,7 +797,12 @@ impl Inner {
             // found" would silently change answers.
             return Err(e);
         }
-        if let Ok(global) = key.parse::<u32>() {
+        // Canonical decimal only — the same parser as the standalone
+        // store's fallback. Accepting "+3"/"007" here would let distinct
+        // key strings alias one node and seed duplicate entries in the
+        // version-keyed resolve/knn caches (and diverge from standalone
+        // answers, which reject those spellings).
+        if let Some(global) = ehna_serve::canonical_node_id(key) {
             if (global as u64) < self.manifest.total_nodes {
                 let (shard, local) = owner_of(global, self.manifest.num_shards);
                 return match self.call_shard(

@@ -448,7 +448,7 @@ mod tests {
             Response::Row { local, label, row } => {
                 assert_eq!(local, 7);
                 assert_eq!(label, "7");
-                assert_eq!(row, engine.store().row(NodeId(7)).unwrap());
+                assert_eq!(&row[..], &*engine.store().row(NodeId(7)).unwrap());
             }
             other => panic!("get_row got {other:?}"),
         }

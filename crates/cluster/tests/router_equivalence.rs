@@ -131,6 +131,15 @@ fn battery(n: usize) -> Vec<String> {
         // Aliased spelling of the line above: a numeric key resolving to
         // the same node must share its cache entry on both sides.
         r#"{"op":"knn","node":7,"k":4}"#.to_string(),
+        // Non-canonical decimal spellings of the same id: both sides
+        // must *reject* these identically. Accepting them (as
+        // `parse::<u32>` would) aliases one row under many keys and
+        // splits the answer cache, so canonical-form rejection is part
+        // of the equivalence contract.
+        r#"{"op":"knn","node":"007","k":4}"#.to_string(),
+        r#"{"op":"knn","node":"+7","k":4}"#.to_string(),
+        r#"{"op":"knn","node":" 7","k":4}"#.to_string(),
+        r#"{"op":"score","pairs":[["007","3"],["+1","2"]]}"#.to_string(),
         r#"{"op":"knn","node":"node11"}"#.to_string(),
         r#"{"op":"knn","vector":[1,0,2,4,0,3,1,2],"k":6}"#.to_string(),
         // Exact repeat of an earlier line: with caches on, both sides
@@ -226,6 +235,11 @@ fn sharded_answers_match_on_an_anonymous_table() {
         r#"{"op":"knn","node":"0","k":3}"#.to_string(),
         r#"{"op":"knn","node":"32","k":7}"#.to_string(),
         r#"{"op":"knn","node":"33","k":2}"#.to_string(),
+        // Non-canonical decimals on the anonymous path: this is where a
+        // lax `parse::<u32>` fallback would silently accept them, so
+        // the identical-rejection check matters most here.
+        r#"{"op":"knn","node":"007","k":3}"#.to_string(),
+        r#"{"op":"knn","node":"+3","k":3}"#.to_string(),
         r#"{"op":"score","pairs":[["0","32"],["5","5"]]}"#.to_string(),
         r#"{"op":"batch","requests":[{"op":"knn","node":"16","k":4}]}"#.to_string(),
     ];
@@ -289,6 +303,108 @@ fn degenerate_tables_match_standalone() {
             cluster.shutdown();
         }
         standalone.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quantized_shards_are_byte_identical_to_quantized_standalone() {
+    // The quantized analogue of the headline gate: shard snapshots made
+    // by `plan_shards_quant` slice code rows verbatim and share the
+    // source's codebooks/scales, so a router over quantized shards must
+    // answer byte-identically to a standalone server over the unsplit
+    // quantized table — per format, including PQ's asymmetric-distance
+    // path and the full error surface (non-canonical keys included).
+    use ehna_cluster::plan_shards_quant;
+    use ehna_tgraph::{QuantFormat, QuantSpec, QuantizedEmbeddings};
+    const N: usize = 48;
+    const DIM: usize = 8;
+    let dir = std::env::temp_dir().join("ehna_router_equivalence_quant");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let emb = table(N, DIM);
+    let name_map = names(N);
+    let requests = battery(N);
+
+    for format in [QuantFormat::F32, QuantFormat::F16, QuantFormat::Int8, QuantFormat::Pq] {
+        let sub = dir.join(format.label());
+        std::fs::create_dir_all(&sub).unwrap();
+        let q = QuantizedEmbeddings::encode(&emb, &QuantSpec::new(format)).unwrap();
+        let snap = sub.join("full.ehnq");
+        q.save_path(&snap).unwrap();
+        let names_path = sub.join("full.names");
+        let lines: Vec<String> = (0..N).map(|i| format!("node{i}")).collect();
+        std::fs::write(&names_path, lines.join("\n") + "\n").unwrap();
+
+        // Oracle: standalone brute force over the unsplit quantized table.
+        let standalone = Server::bind_with(
+            "127.0.0.1:0",
+            engine_for(&snap, Some(&names_path), 0),
+            ServerConfig::default(),
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let expected = query_lines(standalone.addr(), &requests).unwrap();
+        standalone.shutdown();
+
+        for n_shards in [2u32, 3] {
+            let shard_dir = sub.join(format!("shards_{n_shards}"));
+            std::fs::create_dir_all(&shard_dir).unwrap();
+            let manifest = plan_shards_quant(&q, Some(&name_map), n_shards, &shard_dir).unwrap();
+            let mut shard_handles = Vec::new();
+            let mut replicas = Vec::new();
+            for (i, entry) in manifest.shards.iter().enumerate() {
+                let engine = engine_for(
+                    &shard_dir.join(&entry.snapshot),
+                    Some(&shard_dir.join(&entry.names)),
+                    0,
+                );
+                let shard = ShardServer::bind(
+                    "127.0.0.1:0",
+                    engine,
+                    RequestLimits::default(),
+                    None,
+                    ShardConfig { shard_id: i as u32, ..Default::default() },
+                )
+                .unwrap();
+                replicas.push(vec![shard.local_addr().unwrap()]);
+                shard_handles.push(shard.spawn().unwrap());
+            }
+            // Cache off on both sides: quantized caching behavior is
+            // already covered by the dense battery's cache-on run.
+            let router = Router::new(
+                manifest,
+                replicas,
+                RequestLimits::default(),
+                RouterConfig {
+                    probe_interval: Duration::ZERO,
+                    cache_capacity: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let handle =
+                Server::bind_handler("127.0.0.1:0", Arc::new(router) as _, ServerConfig::default())
+                    .unwrap()
+                    .spawn()
+                    .unwrap();
+            let got = query_lines(handle.addr(), &requests).unwrap();
+            for (i, (want, have)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    want,
+                    have,
+                    "{} response {i} diverged at {n_shards} shards\nrequest: {}",
+                    format.label(),
+                    requests[i]
+                );
+            }
+            assert_eq!(expected.len(), got.len());
+            handle.shutdown();
+            for s in shard_handles {
+                s.shutdown();
+            }
+        }
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -140,10 +140,10 @@ impl KnnIndex for BruteForceIndex {
     fn search_explained(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, SearchInfo) {
         assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
         let n = self.store.num_nodes();
+        let scorer = self.store.scorer(query);
         let mut top = TopK::new(k);
         for v in 0..n {
-            let id = NodeId(v as u32);
-            top.push(id, self.store.sq_dist_to(query, id));
+            top.push(NodeId(v as u32), scorer.dist(v));
         }
         (top.into_sorted(), SearchInfo { probed: Vec::new(), scanned: n })
     }
@@ -203,24 +203,23 @@ impl IvfIndex {
         }
         let mut centroids = vec![0.0f32; c * dim];
         for (slot, &row) in order.iter().take(c).enumerate() {
-            centroids[slot * dim..(slot + 1) * dim]
-                .copy_from_slice(store.embeddings().get(NodeId(row as u32)));
+            centroids[slot * dim..(slot + 1) * dim].copy_from_slice(&store.rows().row(row));
         }
 
         let mut assign = vec![0usize; n];
         for _ in 0..config.kmeans_iters.max(1) {
             // Assignment step.
             for (v, a) in assign.iter_mut().enumerate() {
-                let row = store.embeddings().get(NodeId(v as u32));
-                *a = nearest_centroid(&centroids, dim, row).0;
+                let row = store.rows().row(v);
+                *a = nearest_centroid(&centroids, dim, &row).0;
             }
             // Update step.
             let mut sums = vec![0.0f64; c * dim];
             let mut counts = vec![0usize; c];
             for (v, &a) in assign.iter().enumerate() {
                 counts[a] += 1;
-                let row = store.embeddings().get(NodeId(v as u32));
-                for (s, &x) in sums[a * dim..(a + 1) * dim].iter_mut().zip(row) {
+                let row = store.rows().row(v);
+                for (s, &x) in sums[a * dim..(a + 1) * dim].iter_mut().zip(row.iter()) {
                     *s += x as f64;
                 }
             }
@@ -230,8 +229,7 @@ impl IvfIndex {
                     // centroid stays meaningful.
                     if n > 0 {
                         let row = rng.gen_range(0..n);
-                        centroids[cl * dim..(cl + 1) * dim]
-                            .copy_from_slice(store.embeddings().get(NodeId(row as u32)));
+                        centroids[cl * dim..(cl + 1) * dim].copy_from_slice(&store.rows().row(row));
                     }
                     continue;
                 }
@@ -292,14 +290,19 @@ impl KnnIndex for IvfIndex {
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         ranked.truncate(nprobe);
 
+        let scorer = self.store.scorer(query);
         let mut top = TopK::new(k);
         let mut scanned = 0usize;
         for &(_, cl) in &ranked {
             for &v in &self.lists[cl] {
                 let id = NodeId(v);
-                let d = self.store.sq_dist_to(query, id);
+                let d = scorer.dist(v as usize);
                 scanned += 1;
-                if top.bound().map_or(true, |b| d < b) {
+                // `<=`, not `<`: at d == bound the heap's (dist, id)
+                // tie-break must decide, or a tying candidate with a
+                // smaller id gets dropped here and full-probe IVF stops
+                // agreeing with brute force on tie-heavy tables.
+                if top.bound().map_or(true, |b| d <= b) {
                     top.push(id, d);
                 }
             }
@@ -348,7 +351,7 @@ mod tests {
     fn brute_force_finds_exact_neighbors() {
         let store = blobs(50, 5, 4, 1);
         let idx = BruteForceIndex::new(Arc::clone(&store));
-        let query = store.embeddings().get(NodeId(7)).to_vec();
+        let query = store.row(NodeId(7)).unwrap().to_vec();
         let hits = idx.search(&query, 3);
         assert_eq!(hits.len(), 3);
         assert_eq!(hits[0].id, NodeId(7), "self is nearest to itself");
@@ -372,7 +375,7 @@ mod tests {
         let cfg = IvfConfig { num_clusters: Some(10), nprobe: 10, ..Default::default() };
         let ivf = IvfIndex::build(Arc::clone(&store), cfg);
         for probe in [0usize, 13, 250] {
-            let q = store.embeddings().get(NodeId(probe as u32)).to_vec();
+            let q = store.row(NodeId(probe as u32)).unwrap().to_vec();
             let e = brute.search(&q, 5);
             let a = ivf.search(&q, 5);
             assert_eq!(e.len(), a.len());
@@ -392,7 +395,7 @@ mod tests {
         let mut total = 0.0;
         let probes = 50;
         for i in 0..probes {
-            let q = store.embeddings().get(NodeId((i * 37) as u32)).to_vec();
+            let q = store.row(NodeId((i * 37) as u32)).unwrap().to_vec();
             total += recall(&brute.search(&q, 10), &ivf.search(&q, 10));
         }
         let avg = total / probes as f64;
@@ -404,7 +407,7 @@ mod tests {
         let store = blobs(2000, 8, 16, 5);
         let cfg = IvfConfig { num_clusters: Some(40), nprobe: 4, ..Default::default() };
         let ivf = IvfIndex::build(Arc::clone(&store), cfg);
-        let q = store.embeddings().get(NodeId(11)).to_vec();
+        let q = store.row(NodeId(11)).unwrap().to_vec();
         let (hits, info) = ivf.search_explained(&q, 10);
         assert!(!hits.is_empty());
         assert_eq!(info.probed.len(), 4);

@@ -49,7 +49,7 @@ pub use server::{
     EngineHandler, LineHandler, QueryError, RequestLimits, Server, ServerConfig, ServerHandle,
 };
 pub use stats::{EngineStats, LatencyHistogram, OpCounters, OpCounts, Role, StatsSnapshot};
-pub use store::EmbeddingStore;
+pub use store::{canonical_node_id, EmbeddingStore, RowDistance, RowSource, MAX_NAME_LEN};
 
 use std::fmt;
 use std::io;

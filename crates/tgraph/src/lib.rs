@@ -39,8 +39,10 @@ mod error;
 mod graph;
 mod ids;
 mod io;
+pub mod mmapbuf;
 mod names;
 pub mod prep;
+pub mod quant;
 mod stats;
 mod view;
 
@@ -52,5 +54,6 @@ pub use graph::TemporalGraph;
 pub use ids::{NodeId, Timestamp};
 pub use io::{read_edge_list, read_edge_list_path, write_edge_list, write_edge_list_path};
 pub use names::{read_named_edge_list, NameMap};
+pub use quant::{QuantFormat, QuantSpec, QuantizedEmbeddings};
 pub use stats::GraphStats;
 pub use view::SnapshotView;

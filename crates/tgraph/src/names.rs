@@ -97,6 +97,60 @@ impl NameMap {
         }
         Ok(map)
     }
+
+    /// Load a map written by [`NameMap::save`], enforcing caps *while
+    /// streaming*: at most `max_names` lines and at most `max_name_len`
+    /// bytes per line. An oversized or over-long file fails as soon as
+    /// the cap is crossed — before the rest of the file is read or
+    /// interned — so a corrupt or hostile names file cannot trigger an
+    /// unbounded allocation.
+    ///
+    /// # Errors
+    /// `InvalidData` when a cap is exceeded, plus every failure mode of
+    /// [`NameMap::load`].
+    pub fn load_capped<R: BufRead>(
+        mut r: R,
+        max_names: usize,
+        max_name_len: usize,
+    ) -> io::Result<NameMap> {
+        let mut map = NameMap::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            // take() bounds how much one read_line may buffer, so a
+            // single monster line errors after max_name_len + 1 bytes
+            // instead of being slurped whole.
+            let n = io::Read::take(&mut r, max_name_len as u64 + 2).read_line(&mut line)?;
+            if n == 0 {
+                return Ok(map);
+            }
+            // Mirror BufRead::lines line-ending handling.
+            let name = line.strip_suffix('\n').unwrap_or(&line);
+            let name = name.strip_suffix('\r').unwrap_or(name);
+            if name.len() > max_name_len {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("name longer than {max_name_len} bytes"),
+                ));
+            }
+            if map.len() >= max_names {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("names file has more than {max_names} entries"),
+                ));
+            }
+            if name.is_empty() {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "empty name"));
+            }
+            if map.ids.contains_key(name) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("duplicate name {name:?}"),
+                ));
+            }
+            map.intern(name);
+        }
+    }
 }
 
 /// Read an edge list whose endpoints are arbitrary whitespace-free tokens:
@@ -202,6 +256,31 @@ mod tests {
         let mut m = NameMap::new();
         m.intern("line\nbreak");
         assert!(m.save(&mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn load_capped_enforces_caps_early() {
+        let ok = NameMap::load_capped(&b"alice\nbob\n"[..], 2, 16).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(NameMap::load_capped(&b"alice\nbob\ncarol\n"[..], 2, 16).is_err(), "too many");
+        assert!(NameMap::load_capped(&b"alice\nverylongname\n"[..], 8, 8).is_err(), "too long");
+        assert!(NameMap::load_capped(&b"alice\n\nbob\n"[..], 8, 16).is_err(), "empty name");
+        assert!(NameMap::load_capped(&b"alice\nalice\n"[..], 8, 16).is_err(), "duplicate");
+        // A monster line fails without being buffered whole: feed a reader
+        // that would panic if asked for more than ~cap bytes.
+        struct Bomb(usize);
+        impl io::Read for Bomb {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                assert!(self.0 < 1024, "reader drained past the cap");
+                for b in buf.iter_mut() {
+                    *b = b'x';
+                }
+                self.0 += buf.len();
+                Ok(buf.len())
+            }
+        }
+        let r = io::BufReader::with_capacity(64, Bomb(0));
+        assert!(NameMap::load_capped(r, 8, 100).is_err());
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Robustness gates for the EHNQ v1 quantized-artifact format:
+//! property-based round-trips per format, exhaustive truncation and
+//! single-byte-corruption rejection, the O(1)-open contract (mmap opens
+//! must not read the code section), and heap/mmap answer identity.
+//!
+//! CI runs this suite as the quant format gate (scripts/ci.sh).
+
+use ehna_tgraph::quant::{f16_to_f32, f32_to_f16, sq_dist_f64};
+use ehna_tgraph::{NodeEmbeddings, NodeId, QuantFormat, QuantSpec, QuantizedEmbeddings};
+use proptest::prelude::*;
+
+const ALL_FORMATS: [QuantFormat; 4] =
+    [QuantFormat::F32, QuantFormat::F16, QuantFormat::Int8, QuantFormat::Pq];
+
+fn spec_for(format: QuantFormat, dim: usize) -> QuantSpec {
+    let mut spec = QuantSpec::new(format);
+    // pq_m must divide dim; the smallest divisor > 1 keeps tests fast
+    // while still exercising multi-subspace LUTs.
+    spec.pq_m = if dim % 4 == 0 { 4 } else { dim };
+    spec
+}
+
+fn table(n: usize, dim: usize) -> NodeEmbeddings {
+    let data: Vec<f32> = (0..n * dim).map(|i| ((i * 31 % 97) as f32 - 48.0) * 0.125).collect();
+    NodeEmbeddings::from_vec(dim, data)
+}
+
+// ------------------------------------------------------------ round-trip
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Per-format serialization round-trip on random tables: the file
+    // image reparses, geometry survives, decoding is stable, and the
+    // decode error is bounded by the format's contract.
+    #[test]
+    fn round_trip_preserves_rows(
+        n in 0usize..24,
+        dim_quarters in 1usize..5,
+        values in proptest::collection::vec(-64.0f32..64.0, 0..24 * 16),
+    ) {
+        let dim = dim_quarters * 4;
+        let mut data = vec![0.0f32; n * dim];
+        for (i, slot) in data.iter_mut().enumerate() {
+            *slot = values.get(i % values.len().max(1)).copied().unwrap_or(0.0)
+                + (i % 7) as f32 * 0.25;
+        }
+        let emb = NodeEmbeddings::from_vec(dim, data);
+        for format in ALL_FORMATS {
+            let q = QuantizedEmbeddings::encode(&emb, &spec_for(format, dim)).unwrap();
+            let back = QuantizedEmbeddings::from_bytes(q.as_bytes()).unwrap();
+            prop_assert_eq!(back.num_nodes(), n);
+            prop_assert_eq!(back.dim(), dim);
+            prop_assert_eq!(back.format(), format);
+            for i in 0..n {
+                let src = emb.get(NodeId(i as u32));
+                let dec = back.row(i);
+                prop_assert_eq!(dec.len(), dim);
+                // The reparsed image must decode exactly like the
+                // original encoder output (byte-stable codes)...
+                prop_assert_eq!(&*q.row(i), &*dec);
+                for (d, s) in dec.iter().zip(src) {
+                    prop_assert!(d.is_finite());
+                    match format {
+                        // ...and per-format error bounds hold: f32 is
+                        // lossless, f16 is within half a ulp at 64
+                        // (2^-4 here), int8 within half a grid step.
+                        QuantFormat::F32 => prop_assert_eq!(*d, *s),
+                        QuantFormat::F16 => prop_assert!((d - s).abs() <= 0.0625),
+                        QuantFormat::Int8 => prop_assert!((d - s).abs() <= 130.0 / 255.0 / 2.0 + 1e-4),
+                        QuantFormat::Pq => {} // lossy by design; gated via recall in ehna-serve
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------- truncation and corruption
+
+#[test]
+fn every_truncation_is_rejected() {
+    let emb = table(6, 4);
+    for format in ALL_FORMATS {
+        let q = QuantizedEmbeddings::encode(&emb, &spec_for(format, 4)).unwrap();
+        let image = q.as_bytes();
+        for len in 0..image.len() {
+            assert!(
+                QuantizedEmbeddings::from_bytes(&image[..len]).is_err(),
+                "{format:?}: truncation to {len}/{} bytes accepted",
+                image.len()
+            );
+        }
+        // One byte appended is just as malformed as one byte missing.
+        let mut grown = image.to_vec();
+        grown.push(0);
+        assert!(QuantizedEmbeddings::from_bytes(&grown).is_err(), "{format:?}: trailing byte");
+    }
+}
+
+#[test]
+fn every_single_byte_corruption_is_rejected_on_heap_open() {
+    // Header, meta, and code sections each carry an FNV-1a checksum and
+    // together they cover every byte of the file, so no single-byte flip
+    // can slip through a fully-verified (heap) open.
+    let emb = table(5, 4);
+    for format in ALL_FORMATS {
+        let q = QuantizedEmbeddings::encode(&emb, &spec_for(format, 4)).unwrap();
+        let image = q.as_bytes();
+        for off in 0..image.len() {
+            let mut bad = image.to_vec();
+            bad[off] ^= 0x40;
+            assert!(
+                QuantizedEmbeddings::from_bytes(&bad).is_err(),
+                "{format:?}: flipped bit at byte {off}/{} accepted",
+                image.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn mmap_open_skips_the_code_section_until_audited() {
+    // The O(1)-open contract, stated as a falsifiable test: corrupting a
+    // payload byte must NOT fail an mmap open (it verifies only header +
+    // meta, O(dim) work), must fail the deferred audit, and must fail a
+    // heap open. If mmap open ever started reading the payload, the
+    // first assertion would flip.
+    let dir = std::env::temp_dir().join("ehna_quant_mmap_skip");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let emb = table(16, 8);
+    for format in ALL_FORMATS {
+        let q = QuantizedEmbeddings::encode(&emb, &spec_for(format, 8)).unwrap();
+        let path = dir.join(format!("{}.ehnq", format.label()));
+        let mut image = q.as_bytes().to_vec();
+        let last = image.len() - 1; // final code byte: covered by code_fnv only
+        image[last] ^= 0xFF;
+        std::fs::write(&path, &image).unwrap();
+
+        assert!(
+            QuantizedEmbeddings::open_path(&path, false).is_err(),
+            "{format:?}: heap open must verify the payload"
+        );
+        if cfg!(unix) {
+            let mapped = QuantizedEmbeddings::open_path(&path, true)
+                .unwrap_or_else(|e| panic!("{format:?}: mmap open read the payload: {e}"));
+            assert!(mapped.is_mmap());
+            assert!(mapped.verify_payload().is_err(), "{format:?}: audit missed corruption");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// --------------------------------------------------- f16 exhaustiveness
+
+#[test]
+fn f16_conversion_is_exhaustively_consistent() {
+    // All 65536 bit patterns: widening then re-narrowing is the
+    // identity on every non-NaN value (including both zeros, all
+    // subnormals, and both infinities); NaNs collapse to the canonical
+    // quiet NaN rather than escaping as garbage.
+    for bits in 0u16..=u16::MAX {
+        let wide = f16_to_f32(bits);
+        let back = f32_to_f16(wide);
+        let exp = (bits >> 10) & 0x1F;
+        let mantissa = bits & 0x3FF;
+        if exp == 0x1F && mantissa != 0 {
+            assert!(wide.is_nan(), "{bits:#06x} should widen to NaN");
+            // Payload collapses to the canonical quiet NaN; the sign
+            // bit may survive (both spellings are quiet NaNs).
+            assert_eq!(back & 0x7FFF, 0x7E00, "{bits:#06x} renarrowed to {back:#06x}");
+        } else {
+            assert_eq!(back, bits, "{bits:#06x} -> {wide} -> {back:#06x}");
+        }
+    }
+}
+
+// -------------------------------------------------- alignment and rows
+
+#[test]
+fn sections_are_64_byte_aligned() {
+    let emb = table(9, 8);
+    for format in ALL_FORMATS {
+        let q = QuantizedEmbeddings::encode(&emb, &spec_for(format, 8)).unwrap();
+        let image = q.as_bytes();
+        assert_eq!(image.as_ptr() as usize % 64, 0, "{format:?}: buffer not 64-aligned");
+        // The code section starts on a 64-byte boundary of the file, so
+        // an aligned buffer (or any mmap, page-aligned) yields aligned
+        // row pointers for the f32 zero-copy view.
+        let code_off = image.len() - 9 * q.code_bytes_per_node();
+        assert_eq!(code_off % 64, 0, "{format:?}: code section offset {code_off}");
+        if format == QuantFormat::F32 {
+            let view = q.row_f32_view(0).expect("f32 rows are zero-copy");
+            assert_eq!(view.as_ptr() as usize % 4, 0);
+            assert_eq!(view, emb.get(NodeId(0)));
+        } else {
+            assert!(q.row_f32_view(0).is_none(), "{format:?} must not alias rows as f32");
+        }
+    }
+}
+
+#[test]
+fn select_rows_round_trips_and_bounds_checks() {
+    let emb = table(10, 4);
+    for format in ALL_FORMATS {
+        let q = QuantizedEmbeddings::encode(&emb, &spec_for(format, 4)).unwrap();
+        let sub = QuantizedEmbeddings::from_bytes(&q.select_rows(&[7, 0, 3]).unwrap()).unwrap();
+        assert_eq!(sub.num_nodes(), 3);
+        for (local, global) in [(0usize, 7usize), (1, 0), (2, 3)] {
+            assert_eq!(&*sub.row(local), &*q.row(global), "{format:?} row {global}");
+        }
+        let empty = QuantizedEmbeddings::from_bytes(&q.select_rows(&[]).unwrap()).unwrap();
+        assert_eq!(empty.num_nodes(), 0);
+        assert!(q.select_rows(&[10]).is_err(), "{format:?}: out-of-range accepted");
+    }
+}
+
+// ------------------------------------------------- heap/mmap identity
+
+#[test]
+fn mmap_and_heap_scorers_agree_bit_for_bit() {
+    let dir = std::env::temp_dir().join("ehna_quant_mmap_identity");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let emb = table(40, 8);
+    for format in ALL_FORMATS {
+        let q = QuantizedEmbeddings::encode(&emb, &spec_for(format, 8)).unwrap();
+        let path = dir.join(format!("{}.ehnq", format.label()));
+        q.save_path(&path).unwrap();
+        let heap = QuantizedEmbeddings::open_path(&path, false).unwrap();
+        let mapped = QuantizedEmbeddings::open_path(&path, true).unwrap();
+        assert_eq!(mapped.is_mmap(), cfg!(unix));
+        for probe in [0usize, 7, 39] {
+            let query = heap.row(probe).into_owned();
+            let hs = heap.scorer(&query);
+            let ms = mapped.scorer(&query);
+            for i in 0..heap.num_nodes() {
+                assert_eq!(
+                    hs.dist(i).to_bits(),
+                    ms.dist(i).to_bits(),
+                    "{format:?}: dist({probe}, {i}) diverged between heap and mmap"
+                );
+                assert_eq!(&*heap.row(i), &*mapped.row(i));
+            }
+            // The symmetric decoded-row distance pins the same f64
+            // accumulation contract both scorers are built on.
+            let d = sq_dist_f64(&heap.row(probe), &mapped.row(probe));
+            assert_eq!(d, 0.0);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -79,6 +79,30 @@ timeout --kill-after=10 180 \
 timeout --kill-after=10 180 \
     cargo test -p ehna-cluster --test cluster_faults -q
 
+echo "== quant gates (wall-clock bounded)"
+# The EHNQ artifact family's load-bearing guarantees: format robustness
+# (proptest round-trip per format within documented error bounds,
+# every-byte truncation and single-byte corruption rejected on heap
+# open, mmap open defers only the code-section audit, 64-byte section
+# alignment, mmap-vs-heap scorers bit-identical), serving quality
+# (recall@10 >= 0.95 for every quantized format against the f32 oracle,
+# int8/PQ >= 4x code-byte compression, tie-heavy brute-vs-full-probe-IVF
+# bit identity under the pinned f64 distance contract, heap/mmap answer
+# identity under concurrent reload churn, canonical node-key
+# resolution), and the quantize/serve/shard CLI path end to end. The
+# router equivalence gate above already covers quantized shards being
+# byte-identical to a quantized standalone server. Hard timeouts so a
+# wedged churn thread fails fast.
+cargo test -p ehna-tgraph --test quant_robustness --no-run -q
+cargo test -p ehna-serve --test quant_serving --no-run -q
+cargo test -p ehna-cli quantize --no-run -q
+timeout --kill-after=10 180 \
+    cargo test -p ehna-tgraph --test quant_robustness -q
+timeout --kill-after=10 180 \
+    cargo test -p ehna-serve --test quant_serving -q
+timeout --kill-after=10 120 \
+    cargo test -p ehna-cli quantize -q
+
 echo "== kernel gates (wall-clock bounded)"
 # The fused-kernel layer's contracts: blocked GEMMs match a naive oracle
 # on randomized shapes with NaN/Inf propagation (the bug class that
