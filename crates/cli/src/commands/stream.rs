@@ -17,7 +17,7 @@ const HELP: &str = "ehna stream — incremental embedding refresh from an edge l
 usage: ehna stream LOG --base EDGELIST --checkpoint CKPT --out SNAPSHOT
                    [--method NAME] [--dim N] [--walks N] [--walk-length N]
                    [--p F] [--q F] [--seed N] [--bidirectional true]
-                   [--nodes N]
+                   [--aggregator lstm|attn] [--heads N] [--nodes N]
                    [--finetune-steps N] [--finetune-lr F]
                    [--full-rebuild-every K]
                    [--reload ADDR] [--poll-ms N] [--once] [--max-batches N]
@@ -30,8 +30,8 @@ embedding rows are re-aggregated and --out is rewritten atomically; with
 hot-swap it in (`{\"op\":\"reload\"}`) with zero downtime.
 
 The architecture flags (--method, --dim, --walks, --walk-length, --p,
---q, --bidirectional) must match the `ehna train` run that produced
---checkpoint; mismatches are rejected at load. --nodes pads the base
+--q, --bidirectional, --aggregator, --heads) must match the `ehna train`
+run that produced --checkpoint; mismatches are rejected at load. --nodes pads the base
 graph with isolated trailing ids when the checkpoint was trained with
 node headroom.
 
@@ -68,6 +68,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "q",
         "seed",
         "bidirectional",
+        "aggregator",
+        "heads",
         "nodes",
         "finetune-steps",
         "finetune-lr",
@@ -99,6 +101,16 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         q: flags.get_or("q", 1.0f64)?,
         seed: flags.get_or("seed", 42u64)?,
         bidirectional: flags.get_or("bidirectional", false)?,
+        aggregator: flags
+            .get("aggregator")
+            .map(str::parse)
+            .transpose()
+            .map_err(|e: String| CliError::usage(format!("--aggregator: {e}")))?,
+        heads: flags
+            .get("heads")
+            .map(str::parse)
+            .transpose()
+            .map_err(|e: std::num::ParseIntError| CliError::usage(format!("--heads: {e}")))?,
         ..TrainOptions::default()
     };
     let config = ehna_config(variant, &train_opts);
@@ -133,6 +145,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if used_backup {
         writeln!(out, "warning: checkpoint {ckpt} was unreadable; loaded its .bak backup")
             .map_err(io_err)?;
+    }
+    for w in &ckpt_loaded.warnings {
+        writeln!(out, "warning: {w}").map_err(io_err)?;
     }
     writeln!(
         out,

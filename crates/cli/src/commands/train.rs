@@ -12,14 +12,20 @@ const HELP: &str = "ehna train — train node embeddings
 usage: ehna train FILE --method NAME [--dim N] [--epochs N] [--walks N]
                   [--walk-length N] [--p F] [--q F] [--seed N]
                   [--bidirectional true] [--threads N] [--pipeline-depth N]
+                  [--aggregator lstm|attn] [--heads N]
                   [--checkpoint FILE] [--checkpoint-every N] [--resume]
                   --out SNAPSHOT
 
-methods: ehna, ehna-na, ehna-rw, ehna-sl, node2vec, ctdne, line, htne
+methods: ehna, ehna-na, ehna-rw, ehna-sl, ehna-attn, node2vec, ctdne,
+line, htne
 --threads sets the walk-sampling workers and --pipeline-depth how many
 sampled batches the prefetcher may run ahead of the optimizer (0 =
 synchronous; results are identical at any depth). EHNA methods print a
 sample/compute/stall phase-timing summary after training.
+--aggregator (EHNA only) selects the node-level stage: lstm (the paper's
+stacked LSTM, default) or attn (Time2Vec + multi-head attention; --heads
+sets the head count, which must divide --dim). The ehna-attn method is
+shorthand for --method ehna --aggregator attn.
 --checkpoint (EHNA only) writes full trainer state (model + optimizer +
 RNG) atomically after training; --checkpoint-every N also writes it every
 N epochs, rotating the previous file to FILE.bak. --resume continues
@@ -43,6 +49,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "bidirectional",
         "threads",
         "pipeline-depth",
+        "aggregator",
+        "heads",
         "checkpoint",
         "checkpoint-every",
         "resume",
@@ -69,6 +77,16 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         checkpoint: flags.get("checkpoint").map(std::path::PathBuf::from),
         checkpoint_every: flags.get_or("checkpoint-every", 0usize)?,
         resume: flags.has("resume"),
+        aggregator: flags
+            .get("aggregator")
+            .map(str::parse)
+            .transpose()
+            .map_err(|e: String| CliError::usage(format!("--aggregator: {e}")))?,
+        heads: flags
+            .get("heads")
+            .map(str::parse)
+            .transpose()
+            .map_err(|e: std::num::ParseIntError| CliError::usage(format!("--heads: {e}")))?,
     };
 
     let graph = read_edge_list_path(input)?;
@@ -168,6 +186,61 @@ mod tests {
         assert_eq!(emb.num_nodes(), 13);
         let _ = std::fs::remove_file(input);
         let _ = std::fs::remove_file(snap);
+    }
+
+    #[test]
+    fn trains_with_attn_aggregator_flags() {
+        let input = tiny_file("ehna_cli_train_attn_in.txt");
+        let snap = std::env::temp_dir().join("ehna_cli_train_attn_out.bin");
+        let args: Vec<String> = [
+            input.to_str().unwrap(),
+            "--method",
+            "ehna",
+            "--aggregator",
+            "attn",
+            "--heads",
+            "2",
+            "--dim",
+            "8",
+            "--epochs",
+            "1",
+            "--walks",
+            "2",
+            "--walk-length",
+            "3",
+            "--out",
+            snap.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        let emb = NodeEmbeddings::load(std::fs::File::open(&snap).unwrap()).unwrap();
+        assert_eq!(emb.dim(), 8);
+        let _ = std::fs::remove_file(input);
+        let _ = std::fs::remove_file(snap);
+
+        // Invalid head count surfaces as a usage-style config error.
+        let input = tiny_file("ehna_cli_train_attn_bad_in.txt");
+        let args: Vec<String> = [
+            input.to_str().unwrap(),
+            "--method",
+            "ehna-attn",
+            "--heads",
+            "3",
+            "--dim",
+            "8",
+            "--out",
+            "/tmp/ehna_cli_train_attn_bad.bin",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut buf = Vec::new();
+        let err = run(&args, &mut buf).unwrap_err();
+        assert!(err.message.contains("heads"), "{}", err.message);
+        let _ = std::fs::remove_file(input);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use crate::CliError;
 use ehna_baselines::{Ctdne, EmbeddingMethod, Htne, Line, Node2Vec, SkipGramConfig};
-use ehna_core::{load_checkpoint_path, EhnaConfig, EhnaVariant, Trainer, TrainingReport};
+use ehna_core::{
+    load_checkpoint_path, AggregatorKind, EhnaConfig, EhnaVariant, Trainer, TrainingReport,
+};
 use ehna_nn::ioutil::backup_path;
 use ehna_tgraph::{NodeEmbeddings, TemporalGraph};
 use ehna_walks::{CtdneConfig, Node2VecConfig};
@@ -42,6 +44,12 @@ pub struct TrainOptions {
     /// Resume from [`TrainOptions::checkpoint`] instead of starting
     /// fresh (EHNA).
     pub resume: bool,
+    /// Node-level aggregator (EHNA); `None` keeps the [`EhnaConfig`]
+    /// default (`lstm`). The `ehna-attn` method name forces `attn`.
+    pub aggregator: Option<AggregatorKind>,
+    /// Attention heads for the `attn` aggregator (EHNA); `None` keeps
+    /// the [`EhnaConfig`] default.
+    pub heads: Option<usize>,
 }
 
 impl Default for TrainOptions {
@@ -60,6 +68,8 @@ impl Default for TrainOptions {
             checkpoint: None,
             checkpoint_every: 0,
             resume: false,
+            aggregator: None,
+            heads: None,
         }
     }
 }
@@ -86,6 +96,8 @@ pub fn ehna_config(variant: EhnaVariant, opts: &TrainOptions) -> EhnaConfig {
         threads: opts.threads,
         pipeline_depth: opts.pipeline_depth.unwrap_or(defaults.pipeline_depth),
         checkpoint_every: opts.checkpoint_every,
+        aggregator: opts.aggregator.unwrap_or(defaults.aggregator),
+        heads: opts.heads.unwrap_or(defaults.heads),
         ..defaults
     })
 }
@@ -120,8 +132,8 @@ pub enum MethodName {
 }
 
 /// Every accepted method name, for help text.
-pub const METHOD_NAMES: [&str; 8] =
-    ["ehna", "ehna-na", "ehna-rw", "ehna-sl", "node2vec", "ctdne", "line", "htne"];
+pub const METHOD_NAMES: [&str; 9] =
+    ["ehna", "ehna-na", "ehna-rw", "ehna-sl", "ehna-attn", "node2vec", "ctdne", "line", "htne"];
 
 impl MethodName {
     /// Parse a CLI method name.
@@ -131,6 +143,7 @@ impl MethodName {
             "ehna-na" => Ok(MethodName::Ehna(EhnaVariant::NoAttention)),
             "ehna-rw" => Ok(MethodName::Ehna(EhnaVariant::StaticWalks)),
             "ehna-sl" => Ok(MethodName::Ehna(EhnaVariant::SingleLevel)),
+            "ehna-attn" => Ok(MethodName::Ehna(EhnaVariant::Attention)),
             "node2vec" => Ok(MethodName::Node2Vec),
             "ctdne" => Ok(MethodName::Ctdne),
             "line" => Ok(MethodName::Line),
@@ -202,6 +215,7 @@ impl MethodName {
                     if let Some(w) = ckpt.resume_warning() {
                         warnings.push(w);
                     }
+                    warnings.extend(ckpt.warnings.iter().cloned());
                     Trainer::from_checkpoint(graph, ckpt).map_err(CliError::usage)?
                 } else {
                     Trainer::new(graph, config).map_err(CliError::usage)?
@@ -285,6 +299,25 @@ mod tests {
     fn variant_names_roundtrip() {
         assert_eq!(MethodName::parse("ehna-rw").unwrap().name(), "EHNA-RW");
         assert_eq!(MethodName::parse("EHNA").unwrap().name(), "EHNA");
+        assert_eq!(MethodName::parse("ehna-attn").unwrap().name(), "EHNA-ATTN");
+    }
+
+    #[test]
+    fn aggregator_flags_reach_the_config() {
+        let opts = TrainOptions {
+            aggregator: Some(AggregatorKind::Attn),
+            heads: Some(8),
+            ..Default::default()
+        };
+        let cfg = ehna_config(EhnaVariant::Full, &opts);
+        assert_eq!(cfg.aggregator, AggregatorKind::Attn);
+        assert_eq!(cfg.heads, 8);
+        // The ehna-attn method name forces attn regardless of the flag.
+        let cfg = ehna_config(EhnaVariant::Attention, &TrainOptions::default());
+        assert_eq!(cfg.aggregator, AggregatorKind::Attn);
+        // And plain ehna defaults to the paper's LSTM.
+        let cfg = ehna_config(EhnaVariant::Full, &TrainOptions::default());
+        assert_eq!(cfg.aggregator, AggregatorKind::Lstm);
     }
 
     #[test]

@@ -127,6 +127,75 @@ fn train_export_serve_query_round_trip() {
     }
 }
 
+/// The same journey under the attention aggregator: `--aggregator attn`
+/// must train, export, and serve through the identical pipeline — the
+/// aggregator is a training-time choice that leaves no trace in the
+/// snapshot format.
+#[test]
+fn train_attn_aggregator_round_trip() {
+    let net = temp_path("attn_net.txt");
+    let emb = temp_path("attn_emb.bin");
+
+    ehna(&[
+        "generate",
+        "--dataset",
+        "dblp",
+        "--scale",
+        "tiny",
+        "--seed",
+        "7",
+        "--out",
+        net.to_str().unwrap(),
+    ]);
+    let train_out = ehna(&[
+        "train",
+        net.to_str().unwrap(),
+        "--method",
+        "ehna",
+        "--aggregator",
+        "attn",
+        "--heads",
+        "2",
+        "--dim",
+        "8",
+        "--epochs",
+        "1",
+        "--walks",
+        "2",
+        "--walk-length",
+        "4",
+        "--out",
+        emb.to_str().unwrap(),
+    ]);
+    assert!(train_out.contains("wrote"), "train output: {train_out}");
+
+    let snapshot = NodeEmbeddings::load_path(&emb).expect("trained snapshot loads");
+    assert_eq!(snapshot.dim(), 8);
+    assert!(
+        snapshot.as_slice().iter().all(|v| v.is_finite()),
+        "attn-trained snapshot contains non-finite values"
+    );
+
+    // Serve + query over the wire, same path as the LSTM journey.
+    let mut banner = Vec::new();
+    let server = ehna_cli::commands::serve::prepare(
+        &[emb.to_str().unwrap().to_string(), "--addr".into(), "127.0.0.1:0".into()],
+        &mut banner,
+    )
+    .expect("serve prepares");
+    let handle = server.server.spawn().expect("serve spawns");
+    let responses = query_lines(handle.addr(), &[r#"{"op":"knn","node":"3","k":5}"#.to_string()])
+        .expect("wire round trip");
+    let knn = Json::parse(&responses[0]).expect("knn response is json");
+    assert_eq!(knn.get("ok"), Some(&Json::Bool(true)), "knn failed: {}", responses[0]);
+    assert_eq!(knn.get("neighbors").and_then(Json::as_arr).map(|n| n.len()), Some(5));
+
+    handle.shutdown();
+    for p in [net, emb] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 /// Draw a clustered 10k-node snapshot: points around random blob centers,
 /// the regime IVF is built for (and the shape real embeddings take).
 fn clustered_embeddings(n: usize, dim: usize, blobs: usize, seed: u64) -> NodeEmbeddings {

@@ -1,40 +1,45 @@
-//! Batched implementation of Algorithm 1 — the two-level attention +
-//! stacked-LSTM aggregation over historical neighborhoods.
+//! Batched aggregation over historical neighborhoods: trait dispatch to
+//! the node-level stage (see [`crate::aggregator`]) plus the machinery
+//! both aggregators share — unit construction, the single-level early
+//! exit, the walk-level attention + LSTM stage, the GraphSAGE-style
+//! fallback, and the readout.
 //!
-//! Walks of different (early-terminated) lengths cannot share one LSTM
-//! unrolling, so the batch is partitioned into *length groups*: every
-//! `(target, walk)` unit of the same length runs through the node-level
-//! LSTM together, then all unit representations are reassembled into the
-//! original `(target, walk-slot)` layout for batch-norm and the walk-level
-//! stage. Batch statistics (BN) are computed over the whole mini-batch, as
-//! the paper's mini-batch training does.
+//! Batch statistics (BN) are computed over the whole mini-batch, as the
+//! paper's mini-batch training does.
 
-use crate::attention::{node_time_coefficients, walk_time_coefficient};
+use crate::aggregator::{Aggregator, AttnAggregator, LstmAggregator};
+use crate::attention::walk_time_coefficient;
+use crate::config::AggregatorKind;
 use crate::model::EhnaModel;
 use ehna_nn::{Graph, Var};
 use ehna_tgraph::{NodeId, TemporalGraph, Timestamp};
 use ehna_walks::{HistoricalNeighborhood, TemporalWalk};
 use rand::Rng;
-use std::collections::BTreeMap;
 
 /// Aggregate a batch of historical neighborhoods into `Z [B, d]`
 /// (Algorithm 1 applied to every target in the batch, sharing batch-norm
 /// statistics). `train` selects batch vs running BN statistics.
+/// Dispatches the node-level stage on `model.config.aggregator`.
 pub(crate) fn aggregate_batch(
     model: &mut EhnaModel,
     g: &mut Graph,
     hns: &[HistoricalNeighborhood],
     train: bool,
 ) -> Var {
-    assert!(!hns.is_empty(), "empty aggregation batch");
-    let d = model.config.dim;
-    let batch = hns.len();
-    let target_ids: Vec<u32> = hns.iter().map(|hn| hn.target.0).collect();
-    let e_targets = g.gather(&model.store, model.embeddings, &target_ids);
+    match model.config.aggregator {
+        AggregatorKind::Lstm => LstmAggregator.aggregate(model, g, hns, train),
+        AggregatorKind::Attn => AttnAggregator.aggregate(model, g, hns, train),
+    }
+}
 
-    // ------------------------------------------------------------- units
-    // two-level: one unit per (target, walk); single-level (EHNA-SL): one
-    // unit per target — all walk nodes flattened into one sequence.
+/// The `(target index, walk)` units the node-level stage runs over.
+/// Two-level: one unit per `(target, walk)`, in `(b, slot)` order — unit
+/// `b * num_walks + j` is target `b`'s walk `j`. Single-level (EHNA-SL):
+/// one unit per target, all walk nodes flattened into one sequence.
+pub(crate) fn build_units(
+    model: &EhnaModel,
+    hns: &[HistoricalNeighborhood],
+) -> Vec<(usize, TemporalWalk)> {
     let mut units: Vec<(usize, TemporalWalk)> = Vec::new();
     if model.config.two_level {
         for (b, hn) in hns.iter().enumerate() {
@@ -54,62 +59,25 @@ pub(crate) fn aggregate_batch(
             units.push((b, TemporalWalk { nodes, times }));
         }
     }
+    units
+}
 
-    // ------------------------------------------------- node-level stage
-    // Group units by walk length for shared LSTM unrolling.
-    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for (u, (_, w)) in units.iter().enumerate() {
-        groups.entry(w.nodes.len()).or_default().push(u);
-    }
-    let mut unit_row = vec![usize::MAX; units.len()];
-    let mut group_outputs: Vec<Var> = Vec::with_capacity(groups.len());
-    let mut next_row = 0usize;
-    for (&len, members) in &groups {
-        let gsize = members.len();
-        for (pos, &u) in members.iter().enumerate() {
-            unit_row[u] = next_row + pos;
-        }
-        next_row += gsize;
-
-        // Per-step embedding lookups.
-        let mut steps: Vec<Var> = Vec::with_capacity(len);
-        for t in 0..len {
-            let ids: Vec<u32> = members.iter().map(|&u| units[u].1.nodes[t].0).collect();
-            steps.push(g.gather(&model.store, model.embeddings, &ids));
-        }
-
-        // Node-level attention (Eq. 3): softmax over walk positions of
-        // -(1/S_v) * ||e_x - e_v||^2, then scale each step's embeddings.
-        if model.config.attention && len > 1 {
-            let grp_targets: Vec<u32> = members.iter().map(|&u| target_ids[units[u].0]).collect();
-            let e_grp = g.gather(&model.store, model.embeddings, &grp_targets);
-            let mut dist_cols: Vec<Var> = Vec::with_capacity(len);
-            for &x_t in &steps {
-                let diff = g.sub(x_t, e_grp);
-                dist_cols.push(g.row_sq_norms(diff));
-            }
-            let dists = concat_cols_all(g, &dist_cols);
-            // Constant -(1/S_v) coefficients.
-            let mut coeff = Vec::with_capacity(gsize * len);
-            for &u in members {
-                let c = node_time_coefficients(&units[u].1, &model.time_norm);
-                coeff.extend(c.into_iter().map(|x| -x));
-            }
-            let coeff = g.constant(gsize, len, coeff);
-            let logits = g.mul(dists, coeff);
-            let alpha = g.softmax_rows(logits);
-            for (t, x_t) in steps.iter_mut().enumerate() {
-                let a_t = g.slice_cols(alpha, t, t + 1);
-                *x_t = g.mul_colb(*x_t, a_t);
-            }
-        }
-
-        group_outputs.push(model.node_lstm.forward_sequence(g, &model.store, &steps));
-    }
-
-    // BN + ReLU over every unit representation at once (Algorithm 1 line 4).
-    let all_reps =
-        if group_outputs.len() == 1 { group_outputs[0] } else { g.concat_rows(&group_outputs) };
+/// Everything downstream of the node-level stage, shared by both
+/// aggregators: BN + ReLU over all unit representations (Algorithm 1
+/// line 4's tail), the EHNA-SL early exit, walk-level attention (Eq. 4),
+/// the walk LSTM + BN, and the readout. `all_reps` holds one row per
+/// unit; `unit_row[b * k + j]` maps target `b`'s slot `j` to its row.
+pub(crate) fn finish_from_unit_reps(
+    model: &mut EhnaModel,
+    g: &mut Graph,
+    hns: &[HistoricalNeighborhood],
+    all_reps: Var,
+    unit_row: &[usize],
+    e_targets: Var,
+    train: bool,
+) -> Var {
+    let d = model.config.dim;
+    let batch = hns.len();
     let all_reps = if train {
         model.bn_node.forward_train(g, &model.store, all_reps)
     } else {
@@ -119,14 +87,14 @@ pub(crate) fn aggregate_batch(
 
     if !model.config.two_level {
         // EHNA-SL: the single flattened representation *is* H.
-        let h = reassemble_rows(g, all_reps, &unit_row, batch, 1, 0);
+        let h = reassemble_rows(g, all_reps, unit_row, batch, 1, 0);
         return readout(model, g, h, e_targets, d);
     }
 
     // ------------------------------------------------- walk-level stage
     let k = model.config.num_walks;
     let mut slot_reps: Vec<Var> =
-        (0..k).map(|j| reassemble_rows(g, all_reps, &unit_row, batch, k, j)).collect();
+        (0..k).map(|j| reassemble_rows(g, all_reps, unit_row, batch, k, j)).collect();
 
     if model.config.attention && k > 1 {
         // Walk-level attention (Eq. 4): softmax over the k walks of
@@ -207,7 +175,7 @@ pub(crate) fn aggregate_fallback<R: Rng + ?Sized>(
 }
 
 /// `z = l2_normalize(W · [H || e])` — Algorithm 1 lines 7–8.
-fn readout(model: &EhnaModel, g: &mut Graph, h: Var, e_targets: Var, _d: usize) -> Var {
+pub(crate) fn readout(model: &EhnaModel, g: &mut Graph, h: Var, e_targets: Var, _d: usize) -> Var {
     let cat = g.concat_cols(h, e_targets);
     let z = model.readout.forward(g, &model.store, cat);
     g.l2_normalize_rows(z, 1e-6)
@@ -215,7 +183,7 @@ fn readout(model: &EhnaModel, g: &mut Graph, h: Var, e_targets: Var, _d: usize) 
 
 /// Stack rows `unit_row[b * k + j]` of `reps` for `b in 0..batch` into a
 /// `[batch, d]` matrix (slot `j` of every target).
-fn reassemble_rows(
+pub(crate) fn reassemble_rows(
     g: &mut Graph,
     reps: Var,
     unit_row: &[usize],
@@ -228,7 +196,7 @@ fn reassemble_rows(
 }
 
 /// Concatenate single-column vars into a `[m, n]` matrix.
-fn concat_cols_all(g: &mut Graph, cols: &[Var]) -> Var {
+pub(crate) fn concat_cols_all(g: &mut Graph, cols: &[Var]) -> Var {
     let mut acc = cols[0];
     for &c in &cols[1..] {
         acc = g.concat_cols(acc, c);
@@ -348,6 +316,109 @@ mod tests {
         let with_attn = hns_fixture(EhnaConfig::tiny());
         let without = hns_fixture(EhnaConfig { attention: false, ..EhnaConfig::tiny() });
         assert_ne!(with_attn, without, "attention had no effect");
+    }
+
+    fn tiny_attn() -> EhnaConfig {
+        EhnaConfig { aggregator: AggregatorKind::Attn, ..EhnaConfig::tiny() }
+    }
+
+    #[test]
+    fn attn_aggregation_outputs_unit_rows() {
+        let graph = toy();
+        let mut model = EhnaModel::new(&graph, tiny_attn()).unwrap();
+        let hns = sample_hns(&model, &graph, &[(0, 7), (3, 6), (4, 8), (1, 3)]);
+        let mut g = Graph::new();
+        let z = aggregate_batch(&mut model, &mut g, &hns, true);
+        assert_eq!((z.rows(), z.cols()), (4, 16));
+        check_unit_rows(g.value(z), 4, 16);
+    }
+
+    #[test]
+    fn attn_gradients_reach_all_parameter_groups() {
+        let graph = toy();
+        let mut model = EhnaModel::new(&graph, tiny_attn()).unwrap();
+        let hns = sample_hns(&model, &graph, &[(0, 7), (3, 6), (4, 8)]);
+        let mut g = Graph::new();
+        let z = aggregate_batch(&mut model, &mut g, &hns, true);
+        let sq = g.square(z);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.write_grads(&mut model.store);
+        let mut touched = 0;
+        for id in model.store.ids().collect::<Vec<_>>() {
+            if model.store.grad(id).iter().any(|&x| x != 0.0) {
+                touched += 1;
+            }
+        }
+        assert!(
+            touched >= model.store.len() - 2,
+            "only {touched}/{} params touched",
+            model.store.len()
+        );
+    }
+
+    #[test]
+    fn attn_no_history_targets_are_handled() {
+        let graph = toy();
+        let mut model = EhnaModel::new(&graph, tiny_attn()).unwrap();
+        let hns = sample_hns(&model, &graph, &[(0, 1), (1, 1)]);
+        assert!(hns.iter().all(|h| !h.has_history()));
+        let mut g = Graph::new();
+        let z = aggregate_batch(&mut model, &mut g, &hns, true);
+        assert_eq!(z.rows(), 2);
+        assert!(g.value(z).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn attn_single_level_variant_runs() {
+        let graph = toy();
+        let cfg = EhnaConfig { two_level: false, ..tiny_attn() };
+        let mut model = EhnaModel::new(&graph, cfg).unwrap();
+        let hns = sample_hns(&model, &graph, &[(0, 7), (4, 8)]);
+        let mut g = Graph::new();
+        let z = aggregate_batch(&mut model, &mut g, &hns, true);
+        assert_eq!((z.rows(), z.cols()), (2, 16));
+        check_unit_rows(g.value(z), 2, 16);
+    }
+
+    #[test]
+    fn attn_eval_mode_is_deterministic_and_padding_inert() {
+        let graph = toy();
+        let mut model = EhnaModel::new(&graph, tiny_attn()).unwrap();
+        let hns = sample_hns(&model, &graph, &[(0, 7), (3, 6), (4, 8), (1, 3)]);
+        {
+            let mut g = Graph::new();
+            aggregate_batch(&mut model, &mut g, &hns, true);
+        }
+        // Batched alone, lmax is the target's own longest walk; batched
+        // jointly, its units are padded to the batch-wide maximum. The
+        // rows must agree anyway — padding is masked out of the softmax.
+        let solo = {
+            let mut g = Graph::new();
+            let z = aggregate_batch(&mut model, &mut g, &hns[..1], false);
+            g.value(z).to_vec()
+        };
+        let joint = {
+            let mut g = Graph::new();
+            let z = aggregate_batch(&mut model, &mut g, &hns, false);
+            g.value(z)[..16].to_vec()
+        };
+        for (a, b) in solo.iter().zip(&joint) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lstm_and_attn_produce_different_embeddings() {
+        let graph = toy();
+        let run = |cfg: EhnaConfig| {
+            let mut model = EhnaModel::new(&graph, cfg).unwrap();
+            let hns = sample_hns(&model, &graph, &[(0, 7), (3, 6)]);
+            let mut g = Graph::new();
+            let z = aggregate_batch(&mut model, &mut g, &hns, true);
+            g.value(z).to_vec()
+        };
+        assert_ne!(run(EhnaConfig::tiny()), run(tiny_attn()));
     }
 
     #[test]

@@ -43,6 +43,15 @@ impl TimeNormalizer {
         let x = (t.raw().saturating_sub(self.min)) as f64 * self.inv_span;
         TIME_EPS + (1.0 - TIME_EPS) * x.clamp(0.0, 1.0)
     }
+
+    /// Span-normalized elapsed time `(t_ref − t) / span`, clamped to
+    /// `[0, 1]` — the Δt fed to the attention aggregator's Time2Vec
+    /// encoding. Walks only visit interactions at `t ≤ t_ref`, so the
+    /// clamp is a guard, not a distortion.
+    #[inline]
+    pub fn elapsed_unit(&self, t_ref: Timestamp, t: Timestamp) -> f64 {
+        (t_ref.delta(t) * self.inv_span).clamp(0.0, 1.0)
+    }
 }
 
 /// The per-position temporal coefficients `1/S_v` of one walk (Eq. 3's
@@ -84,6 +93,16 @@ mod tests {
         // Out-of-range values clamp instead of exploding.
         assert!(n.unit(Timestamp(1_000)) <= 1.0);
         assert!(n.unit(Timestamp(-50)) >= TIME_EPS);
+    }
+
+    #[test]
+    fn elapsed_unit_is_normalized_and_clamped() {
+        let n = norm01();
+        assert_eq!(n.elapsed_unit(Timestamp(100), Timestamp(100)), 0.0);
+        assert!((n.elapsed_unit(Timestamp(100), Timestamp(0)) - 1.0).abs() < 1e-9);
+        assert!((n.elapsed_unit(Timestamp(100), Timestamp(75)) - 0.25).abs() < 1e-9);
+        // t after t_ref (shouldn't happen on walks) clamps to zero.
+        assert_eq!(n.elapsed_unit(Timestamp(50), Timestamp(80)), 0.0);
     }
 
     #[test]

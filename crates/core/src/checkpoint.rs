@@ -13,24 +13,30 @@
 //! ```
 //!
 //! Version 2 wraps the payload in an FNV-1a 64 checksum and appends the
-//! trainer-state section:
+//! trainer-state section; version 3 adds two architecture fields —
+//! aggregator kind and head count — right after `walk_style`:
 //!
 //! ```text
-//! magic | version=2 | arch fields | 2 x BN stats | epochs_trained u64
+//! magic | version=3 | arch fields | aggregator u32 | heads u32
+//!   | 2 x BN stats | epochs_trained u64
 //!   | ParamStore | has_state u32
 //!   | [rng state 4 x u64 | Adam blob]   (iff has_state == 1)
 //!   | checksum u64                       (FNV-1a 64 of all prior bytes)
 //! ```
 //!
-//! Loads reject trailing garbage (both versions), verify the checksum
-//! (v2), and cap every length field before allocating, so truncation or
+//! Loads reject trailing garbage (all versions), verify the checksum
+//! (v2+), and cap every length field before allocating, so truncation or
 //! byte corruption at any position yields `InvalidData` — never a panic
-//! or a silently-wrong model. A v1 file (or a v2 file saved without
+//! or a silently-wrong model. A v1 file (or a v2+ file saved without
 //! trainer state) still loads, but the resulting resume is
 //! optimizer-cold; [`LoadedCheckpoint::resume_warning`] describes the
-//! caveat for surfacing through the CLI.
+//! caveat for surfacing through the CLI. Pre-v3 files predate the
+//! aggregator field: they always hold LSTM parameters, so they load as
+//! the `lstm` aggregator with a [`LoadedCheckpoint::warnings`] entry —
+//! and loading one under an `attn` config is an aggregator mismatch,
+//! rejected like any other architecture difference.
 
-use crate::config::{EhnaConfig, WalkStyle};
+use crate::config::{AggregatorKind, EhnaConfig, WalkStyle};
 use crate::model::EhnaModel;
 use ehna_nn::ioutil::{self, ChecksumReader, ChecksumWriter};
 use ehna_nn::optim::Adam;
@@ -42,7 +48,15 @@ use std::path::Path;
 /// Magic bytes ("EHNC").
 const MAGIC: u32 = 0x45484E43;
 const VERSION_V1: u32 = 1;
-const VERSION: u32 = 2;
+const VERSION_V2: u32 = 2;
+const VERSION: u32 = 3;
+
+fn aggregator_code(kind: AggregatorKind) -> u32 {
+    match kind {
+        AggregatorKind::Lstm => 0,
+        AggregatorKind::Attn => 1,
+    }
+}
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
@@ -108,10 +122,14 @@ pub struct LoadedCheckpoint {
     /// The restored model (parameters, BN statistics, `epochs_trained`).
     pub model: EhnaModel,
     /// Trainer state for bit-faithful resume; `None` for v1 files and
-    /// model-only v2 saves.
+    /// model-only v2+ saves.
     pub state: Option<TrainerState>,
-    /// The on-disk format version (1 or 2).
+    /// The on-disk format version (1–3).
     pub version: u32,
+    /// Non-fatal caveats encountered while loading (e.g. a pre-v3 file
+    /// defaulting to the `lstm` aggregator), for surfacing through the
+    /// CLI.
+    pub warnings: Vec<String>,
 }
 
 impl LoadedCheckpoint {
@@ -155,6 +173,8 @@ pub(crate) fn write_checkpoint<W: Write>(
             WalkStyle::Static => 1,
         },
     )?;
+    write_u32(&mut w, aggregator_code(model.config.aggregator))?;
+    write_u32(&mut w, ioutil::checked_u32(model.config.heads, "heads")?)?;
     // Batch-norm running statistics.
     for bn in [&model.bn_node, &model.bn_walk] {
         let (mean, var, init) = bn.running_stats();
@@ -199,7 +219,7 @@ pub fn load_checkpoint_full<R: Read>(
         return Err(bad("bad magic"));
     }
     let version = read_u32(&mut r)?;
-    if version != VERSION_V1 && version != VERSION {
+    if !(VERSION_V1..=VERSION).contains(&version) {
         return Err(bad("unsupported version"));
     }
     let nodes = read_u32(&mut r)? as usize;
@@ -218,6 +238,38 @@ pub fn load_checkpoint_full<R: Read>(
         1 => WalkStyle::Static,
         _ => return Err(bad("unknown walk style")),
     };
+    let mut warnings = Vec::new();
+    let (aggregator, heads) = if version >= VERSION {
+        let kind = match read_u32(&mut r)? {
+            0 => AggregatorKind::Lstm,
+            1 => AggregatorKind::Attn,
+            _ => return Err(bad("unknown aggregator kind")),
+        };
+        (kind, read_u32(&mut r)? as usize)
+    } else {
+        // Pre-v3 files predate the aggregator field; they always hold
+        // the paper's LSTM parameter set.
+        warnings.push(format!(
+            "checkpoint (EHNC v{version}) predates the aggregator field: \
+             loading as the '{}' aggregator",
+            AggregatorKind::Lstm.name()
+        ));
+        (AggregatorKind::Lstm, config.heads)
+    };
+    if aggregator != config.aggregator {
+        return Err(bad(&format!(
+            "aggregator mismatch: checkpoint holds '{}' parameters but the \
+             supplied config selects '{}'",
+            aggregator.name(),
+            config.aggregator.name()
+        )));
+    }
+    if aggregator == AggregatorKind::Attn && heads != config.heads {
+        return Err(bad(&format!(
+            "attention head count mismatch: checkpoint {heads}, config {}",
+            config.heads
+        )));
+    }
     if dim != config.dim
         || layers != config.lstm_layers
         || two_level != config.two_level
@@ -236,12 +288,12 @@ pub fn load_checkpoint_full<R: Read>(
         }
         bn.set_running_stats(&mean, &var, init);
     }
-    if version >= VERSION {
+    if version >= VERSION_V2 {
         model.epochs_trained = read_u64(&mut r)?;
     }
     let loaded = ParamStore::load(&mut r)?;
     model.store.load_values_from(&loaded).map_err(|e| bad(&e))?;
-    let state = if version >= VERSION {
+    let state = if version >= VERSION_V2 {
         match read_u32(&mut r)? {
             0 => None,
             1 => {
@@ -262,7 +314,7 @@ pub fn load_checkpoint_full<R: Read>(
     } else {
         None
     };
-    if version >= VERSION {
+    if version >= VERSION_V2 {
         let computed = r.digest();
         let mut inner = r.into_inner();
         let stored = read_u64(&mut inner)?;
@@ -273,7 +325,7 @@ pub fn load_checkpoint_full<R: Read>(
     } else {
         expect_eof(&mut r)?;
     }
-    Ok(LoadedCheckpoint { model, state, version })
+    Ok(LoadedCheckpoint { model, state, version, warnings })
 }
 
 /// Load a checkpoint from `path`, falling back to the `.bak` sibling
@@ -360,6 +412,41 @@ pub fn write_checkpoint_v1_for_tests<W: Write>(model: &EhnaModel, mut w: W) -> i
         write_f32s(&mut w, var)?;
     }
     model.store.save(&mut w)
+}
+
+/// Write a checkpoint in the v2 layout (checksummed, no aggregator
+/// fields). Exists so compatibility tests can produce genuine v2 bytes;
+/// production code always writes v3.
+#[doc(hidden)]
+pub fn write_checkpoint_v2_for_tests<W: Write>(model: &EhnaModel, w: W) -> io::Result<()> {
+    let mut w = ChecksumWriter::new(w);
+    write_u32(&mut w, MAGIC)?;
+    write_u32(&mut w, VERSION_V2)?;
+    write_u32(&mut w, model.num_nodes() as u32)?;
+    write_u32(&mut w, model.config.dim as u32)?;
+    write_u32(&mut w, model.config.lstm_layers as u32)?;
+    write_u32(&mut w, u32::from(model.config.two_level))?;
+    write_u32(&mut w, u32::from(model.config.attention))?;
+    write_u32(
+        &mut w,
+        match model.config.walk_style {
+            WalkStyle::Temporal => 0,
+            WalkStyle::Static => 1,
+        },
+    )?;
+    for bn in [&model.bn_node, &model.bn_walk] {
+        let (mean, var, init) = bn.running_stats();
+        write_u32(&mut w, u32::from(init))?;
+        write_f32s(&mut w, mean)?;
+        write_f32s(&mut w, var)?;
+    }
+    write_u64(&mut w, model.epochs_trained)?;
+    model.store.save(&mut w)?;
+    write_u32(&mut w, 0)?;
+    let digest = w.digest();
+    let mut w = w.into_inner();
+    write_u64(&mut w, digest)?;
+    w.flush()
 }
 
 #[cfg(test)]
@@ -460,6 +547,63 @@ mod tests {
         assert!(EhnaModel::load_checkpoint(&buf[..], &g, wrong_dim).is_err());
         let wrong_variant = EhnaConfig { attention: false, ..cfg() };
         assert!(EhnaModel::load_checkpoint(&buf[..], &g, wrong_variant).is_err());
+        // LSTM checkpoint under an attn config: the parameter sets are
+        // disjoint, so the mismatch must be a typed, descriptive error.
+        let wrong_agg = EhnaConfig { aggregator: AggregatorKind::Attn, ..cfg() };
+        let err = EhnaModel::load_checkpoint(&buf[..], &g, wrong_agg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("aggregator"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn attn_checkpoint_round_trips_and_rejects_mismatches() {
+        let g = toy();
+        let attn_cfg = EhnaConfig { aggregator: AggregatorKind::Attn, ..cfg() };
+        let mut trainer = Trainer::new(&g, attn_cfg.clone()).unwrap();
+        trainer.train();
+        let emb_before = trainer.embeddings();
+        let mut buf = Vec::new();
+        trainer.save_checkpoint(&mut buf).unwrap();
+
+        let ckpt = load_checkpoint_full(&buf[..], &g, attn_cfg.clone()).unwrap();
+        assert!(ckpt.warnings.is_empty(), "unexpected warnings: {:?}", ckpt.warnings);
+        let mut restored = Trainer::from_model(&g, ckpt.model).unwrap();
+        assert_eq!(emb_before, restored.embeddings(), "restored attn model diverges");
+
+        // Attn checkpoint under the default lstm config.
+        let err = EhnaModel::load_checkpoint(&buf[..], &g, cfg()).unwrap_err();
+        assert!(err.to_string().contains("aggregator"), "wrong error: {err}");
+        // Same aggregator, different head count: attention semantics
+        // change even though parameter shapes agree.
+        let wrong_heads = EhnaConfig { heads: 2, ..attn_cfg };
+        let err = EhnaModel::load_checkpoint(&buf[..], &g, wrong_heads).unwrap_err();
+        assert!(err.to_string().contains("head count"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn v2_checkpoint_loads_as_lstm_with_warning() {
+        let g = toy();
+        let mut trainer = Trainer::new(&g, cfg()).unwrap();
+        trainer.train();
+        let emb_before = trainer.embeddings();
+        let mut buf = Vec::new();
+        write_checkpoint_v2_for_tests(trainer.model(), &mut buf).unwrap();
+
+        let ckpt = load_checkpoint_full(&buf[..], &g, cfg()).unwrap();
+        assert_eq!(ckpt.version, VERSION_V2);
+        assert_eq!(ckpt.model.config.aggregator, AggregatorKind::Lstm);
+        assert!(
+            ckpt.warnings.iter().any(|w| w.contains("aggregator")),
+            "missing aggregator warning: {:?}",
+            ckpt.warnings
+        );
+        let mut restored = Trainer::from_model(&g, ckpt.model).unwrap();
+        assert_eq!(emb_before, restored.embeddings(), "v2 model diverges");
+
+        // A v2 file can never satisfy an attn config.
+        let attn_cfg = EhnaConfig { aggregator: AggregatorKind::Attn, ..cfg() };
+        let err = load_checkpoint_full(&buf[..], &g, attn_cfg).unwrap_err();
+        assert!(err.to_string().contains("aggregator"), "wrong error: {err}");
     }
 
     #[test]

@@ -12,6 +12,48 @@ pub enum WalkStyle {
     Static,
 }
 
+/// Which network aggregates the node-level stage of a historical
+/// neighborhood (the walk-level stage is shared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregatorKind {
+    /// The paper's Algorithm 1: per-walk stacked LSTM over the node
+    /// sequence (sequential in walk length).
+    #[default]
+    Lstm,
+    /// Time2Vec temporal encoding + multi-head scaled-dot-product
+    /// attention over all walk nodes at once (batched GEMMs, no
+    /// sequential dependency in walk length).
+    Attn,
+}
+
+impl AggregatorKind {
+    /// Stable lowercase name (CLI flag values, bench rows, checkpoints).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregatorKind::Lstm => "lstm",
+            AggregatorKind::Attn => "attn",
+        }
+    }
+}
+
+impl std::str::FromStr for AggregatorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lstm" => Ok(AggregatorKind::Lstm),
+            "attn" => Ok(AggregatorKind::Attn),
+            other => Err(format!("unknown aggregator '{other}' (expected lstm|attn)")),
+        }
+    }
+}
+
+impl std::fmt::Display for AggregatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Hyperparameters of the EHNA model (paper §V-C defaults where given).
 #[derive(Debug, Clone)]
 pub struct EhnaConfig {
@@ -56,6 +98,11 @@ pub struct EhnaConfig {
     /// Two-level aggregation (off = EHNA-SL: one single-layer LSTM over
     /// the flattened walk sequence).
     pub two_level: bool,
+    /// Node-level aggregation network (see [`AggregatorKind`]).
+    pub aggregator: AggregatorKind,
+    /// Attention heads of the [`AggregatorKind::Attn`] node stage; must
+    /// divide `dim`. Ignored by the LSTM aggregator.
+    pub heads: usize,
     /// GraphSAGE-style fallback fan-out for nodes without history.
     pub fallback_samples: usize,
     /// Embedding-table init: coordinates drawn from `U(-s, s)`; `None`
@@ -106,6 +153,8 @@ impl Default for EhnaConfig {
             attention: true,
             walk_style: WalkStyle::Temporal,
             two_level: true,
+            aggregator: AggregatorKind::Lstm,
+            heads: 4,
             fallback_samples: 8,
             emb_init_scale: None,
             seed: 42,
@@ -158,6 +207,20 @@ impl EhnaConfig {
         }
         if self.fallback_samples == 0 {
             return Err("fallback_samples must be positive".into());
+        }
+        if self.heads == 0 {
+            return Err("heads must be positive".into());
+        }
+        if self.aggregator == AggregatorKind::Attn {
+            if self.dim % self.heads != 0 {
+                return Err(format!(
+                    "attn aggregator: heads ({}) must divide dim ({})",
+                    self.heads, self.dim
+                ));
+            }
+            if self.dim % 2 != 0 {
+                return Err("attn aggregator: dim must be even (Time2Vec sin/cos pairs)".into());
+            }
         }
         if let Some(s) = self.emb_init_scale {
             if s <= 0.0 || !s.is_finite() {
@@ -222,10 +285,34 @@ mod tests {
             |c: &mut EhnaConfig| c.fallback_samples = 0,
             |c: &mut EhnaConfig| c.emb_init_scale = Some(-1.0),
             |c: &mut EhnaConfig| c.pipeline_depth = MAX_PIPELINE_DEPTH + 1,
+            |c: &mut EhnaConfig| c.heads = 0,
+            |c: &mut EhnaConfig| {
+                c.aggregator = AggregatorKind::Attn;
+                c.heads = 5; // does not divide dim = 64
+            },
+            |c: &mut EhnaConfig| {
+                c.aggregator = AggregatorKind::Attn;
+                c.dim = 9; // odd: no sin/cos pairing
+                c.heads = 3;
+            },
         ] {
             let mut c = EhnaConfig::default();
             f(&mut c);
             assert!(c.validate().is_err(), "{c:?} should be invalid");
         }
+    }
+
+    #[test]
+    fn aggregator_kind_round_trips_through_names() {
+        for kind in [AggregatorKind::Lstm, AggregatorKind::Attn] {
+            assert_eq!(kind.name().parse::<AggregatorKind>(), Ok(kind));
+        }
+        assert!("gru".parse::<AggregatorKind>().is_err());
+    }
+
+    #[test]
+    fn attn_config_valid_with_dividing_heads() {
+        let c = EhnaConfig { aggregator: AggregatorKind::Attn, ..EhnaConfig::tiny() };
+        assert!(c.validate().is_ok());
     }
 }

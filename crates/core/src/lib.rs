@@ -41,6 +41,7 @@
 //! ```
 
 mod aggregate;
+mod aggregator;
 pub mod attention;
 mod checkpoint;
 mod config;
@@ -49,12 +50,13 @@ mod negative;
 mod trainer;
 pub mod variants;
 
-#[doc(hidden)]
-pub use checkpoint::write_checkpoint_v1_for_tests;
+pub use aggregator::{Aggregator, AttnAggregator, LstmAggregator};
 pub use checkpoint::{load_checkpoint_full, load_checkpoint_path, LoadedCheckpoint, TrainerState};
-pub use config::{EhnaConfig, WalkStyle, MAX_PIPELINE_DEPTH};
+#[doc(hidden)]
+pub use checkpoint::{write_checkpoint_v1_for_tests, write_checkpoint_v2_for_tests};
+pub use config::{AggregatorKind, EhnaConfig, WalkStyle, MAX_PIPELINE_DEPTH};
 pub use ehna_tgraph::NodeEmbeddings;
-pub use model::EhnaModel;
+pub use model::{AttnStage, EhnaModel, NodeStage};
 pub use negative::NegativeSampler;
 pub use trainer::{CheckpointHook, PhaseTimings, Trainer, TrainingReport};
 pub use variants::EhnaVariant;

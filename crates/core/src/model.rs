@@ -1,13 +1,81 @@
 //! The EHNA parameter set and embedding readout.
 
 use crate::attention::TimeNormalizer;
-use crate::config::{EhnaConfig, WalkStyle};
-use ehna_nn::layers::{BatchNorm1d, Linear, StackedLstm};
+use crate::config::{AggregatorKind, EhnaConfig, WalkStyle};
+use ehna_nn::layers::{BatchNorm1d, Linear, StackedLstm, Time2Vec};
 use ehna_nn::{init, ParamId, ParamStore};
 use ehna_tgraph::{NodeEmbeddings, TemporalGraph};
 use ehna_walks::{DecayKernel, TemporalWalkConfig};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the attention node stage ([`AggregatorKind::Attn`]):
+/// Time2Vec temporal encoding factored into learned key/value
+/// projections, multi-head scaled-dot-product attention, and an output
+/// projection. The query carries no time term — the query's elapsed time
+/// is identically zero, so its encoding is a constant row already
+/// subsumed by the query projection's bias.
+#[derive(Debug)]
+pub struct AttnStage {
+    /// Time2Vec encoder of per-step elapsed times (output width
+    /// [`AttnStage::time_width`], written `tk` below).
+    pub t2v: Time2Vec,
+    /// Query projection of the target embedding (`d → d`).
+    pub wq: Linear,
+    /// Key projection of walk-node embeddings (`[d, d]`, no bias: a key
+    /// bias adds the same constant to every score in a unit, which the
+    /// softmax cancels exactly).
+    pub wk: ParamId,
+    /// Value projection of walk-node embeddings (`[d, d]`, no bias:
+    /// attention weights sum to 1, so a value bias is a constant output
+    /// shift already subsumed by the output projection's bias).
+    pub wv: ParamId,
+    /// Time factor into keys (`[tk, d]`): `K = x·wk + t2v(Δt)·kt` — the
+    /// `W(x ‖ t2v) = W₁x + W₂t2v` factoring, avoiding materialized
+    /// concatenation.
+    pub kt: ParamId,
+    /// Time factor into values (`[tk, d]`, same factoring as
+    /// [`AttnStage::kt`]).
+    pub vt: ParamId,
+    /// Output projection of the concatenated heads (`d → d`).
+    pub wo: Linear,
+}
+
+impl AttnStage {
+    /// Width of the Time2Vec encoding for embedding width `d`. Much
+    /// narrower than `d`: a handful of geometric frequencies covers the
+    /// normalized `[0, 1]` elapsed-time axis at every scale, while the
+    /// encoding's cost (sin/cos per walk slot, plus the `tk`-wide half of
+    /// every attention score) is the single largest ℓ-proportional term
+    /// in the attention path.
+    pub fn time_width(d: usize) -> usize {
+        ((d / 8).max(2)) * 2
+    }
+
+    fn new<R: Rng + ?Sized>(store: &mut ParamStore, d: usize, rng: &mut R) -> Self {
+        let tk = Self::time_width(d);
+        AttnStage {
+            t2v: Time2Vec::new(store, "attn.t2v", tk),
+            wq: Linear::new(store, "attn.wq", d, d, rng),
+            wk: store.add_param("attn.wk", d, d, init::xavier_uniform(d, d, rng)),
+            wv: store.add_param("attn.wv", d, d, init::xavier_uniform(d, d, rng)),
+            kt: store.add_param("attn.kt", tk, d, init::xavier_uniform(tk, d, rng)),
+            vt: store.add_param("attn.vt", tk, d, init::xavier_uniform(tk, d, rng)),
+            wo: Linear::new(store, "attn.wo", d, d, rng),
+        }
+    }
+}
+
+/// The node-level aggregation network — the stage Algorithm 1 line 4
+/// runs per walk. Selected by [`EhnaConfig::aggregator`] at model
+/// construction; the walk-level stage is shared.
+#[derive(Debug)]
+pub enum NodeStage {
+    /// Stacked LSTM over each walk's node sequence (the paper's path).
+    Lstm(StackedLstm),
+    /// Time2Vec + multi-head attention over all walk nodes at once.
+    Attn(AttnStage),
+}
 
 /// All trainable state of an EHNA model, bound to one graph's node count.
 #[derive(Debug)]
@@ -16,8 +84,9 @@ pub struct EhnaModel {
     pub store: ParamStore,
     /// The `|V| × d` embedding table (`e_v` in the paper).
     pub embeddings: ParamId,
-    /// Node-level stacked LSTM (Algorithm 1 line 4).
-    pub node_lstm: StackedLstm,
+    /// Node-level aggregation network (Algorithm 1 line 4, or its
+    /// attention replacement).
+    pub node_stage: NodeStage,
     /// Walk-level stacked LSTM (Algorithm 1 line 6).
     pub walk_lstm: StackedLstm,
     /// Batch norm after the node-level LSTM.
@@ -53,9 +122,21 @@ impl EhnaModel {
         let emb_scale = config.emb_init_scale.unwrap_or(0.5 / d as f32);
         let embeddings =
             store.add_param("embeddings", n, d, init::uniform(n * d, emb_scale, &mut rng));
-        // EHNA-SL collapses to a single-layer LSTM (Table VII).
-        let node_layers = if config.two_level { config.lstm_layers } else { 1 };
-        let node_lstm = StackedLstm::new(&mut store, "node_lstm", d, d, node_layers, &mut rng);
+        let node_stage = match config.aggregator {
+            AggregatorKind::Lstm => {
+                // EHNA-SL collapses to a single-layer LSTM (Table VII).
+                let node_layers = if config.two_level { config.lstm_layers } else { 1 };
+                NodeStage::Lstm(StackedLstm::new(
+                    &mut store,
+                    "node_lstm",
+                    d,
+                    d,
+                    node_layers,
+                    &mut rng,
+                ))
+            }
+            AggregatorKind::Attn => NodeStage::Attn(AttnStage::new(&mut store, d, &mut rng)),
+        };
         let walk_lstm =
             StackedLstm::new(&mut store, "walk_lstm", d, d, config.lstm_layers, &mut rng);
         let bn_node = BatchNorm1d::new(&mut store, "bn_node", d);
@@ -65,7 +146,7 @@ impl EhnaModel {
         Ok(EhnaModel {
             store,
             embeddings,
-            node_lstm,
+            node_stage,
             walk_lstm,
             bn_node,
             bn_walk,
@@ -80,6 +161,15 @@ impl EhnaModel {
     /// Number of nodes the embedding table covers.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
+    }
+
+    /// The node-level stacked LSTM, if this model uses the LSTM
+    /// aggregator.
+    pub fn node_lstm(&self) -> Option<&StackedLstm> {
+        match &self.node_stage {
+            NodeStage::Lstm(lstm) => Some(lstm),
+            NodeStage::Attn(_) => None,
+        }
     }
 
     /// The walk configuration implied by the model config, with the kernel
@@ -132,6 +222,18 @@ mod tests {
     }
 
     #[test]
+    fn attn_model_registers_expected_parameters() {
+        let g = toy_graph();
+        let cfg = EhnaConfig { aggregator: AggregatorKind::Attn, ..EhnaConfig::tiny() };
+        let m = EhnaModel::new(&g, cfg).unwrap();
+        // embeddings + attn stage (t2v à 2 + wq/wo Linears à 2 + raw
+        // wk/wv/kt/vt) + walk LSTM (2 layers à 3) + 2×BN à 2 + readout à 2
+        assert_eq!(m.store.len(), 1 + 10 + 2 * 3 + 2 * 2 + 2);
+        assert!(m.node_lstm().is_none());
+        assert!(matches!(m.node_stage, NodeStage::Attn(_)));
+    }
+
+    #[test]
     fn invalid_config_is_rejected() {
         let g = toy_graph();
         let bad = EhnaConfig { dim: 0, ..EhnaConfig::tiny() };
@@ -143,7 +245,7 @@ mod tests {
         let g = toy_graph();
         let cfg = EhnaConfig { two_level: false, ..EhnaConfig::tiny() };
         let m = EhnaModel::new(&g, cfg).unwrap();
-        assert_eq!(m.node_lstm.num_layers(), 1);
+        assert_eq!(m.node_lstm().expect("lstm aggregator").num_layers(), 1);
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! The ablation variants of Table VII.
+//! The ablation variants of Table VII, plus this reproduction's
+//! attention-aggregator variant.
 
-use crate::config::{EhnaConfig, WalkStyle};
+use crate::config::{AggregatorKind, EhnaConfig, WalkStyle};
 
-/// Which EHNA variant to train (paper §V-F, Table VII).
+/// Which EHNA variant to train (paper §V-F, Table VII; `Attention` is
+/// this reproduction's addition).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EhnaVariant {
     /// The full model: temporal walks, two-level aggregation, attention.
@@ -16,14 +18,19 @@ pub enum EhnaVariant {
     /// EHNA-SL — a single single-layer LSTM over the flattened walk
     /// sequence; no two-level aggregation, no attention.
     SingleLevel,
+    /// EHNA-ATTN — the full model with the node-level LSTM replaced by
+    /// the Time2Vec + multi-head attention aggregator (not in the
+    /// paper; measures what the sequential LSTM stage contributes).
+    Attention,
 }
 
-/// All variants in Table VII order.
-pub const ALL_VARIANTS: [EhnaVariant; 4] = [
+/// All variants: Table VII order, then the attention-aggregator row.
+pub const ALL_VARIANTS: [EhnaVariant; 5] = [
     EhnaVariant::Full,
     EhnaVariant::NoAttention,
     EhnaVariant::StaticWalks,
     EhnaVariant::SingleLevel,
+    EhnaVariant::Attention,
 ];
 
 impl EhnaVariant {
@@ -34,6 +41,7 @@ impl EhnaVariant {
             EhnaVariant::NoAttention => "EHNA-NA",
             EhnaVariant::StaticWalks => "EHNA-RW",
             EhnaVariant::SingleLevel => "EHNA-SL",
+            EhnaVariant::Attention => "EHNA-ATTN",
         }
     }
 
@@ -46,6 +54,7 @@ impl EhnaVariant {
                 EhnaConfig { attention: false, walk_style: WalkStyle::Static, ..base }
             }
             EhnaVariant::SingleLevel => EhnaConfig { attention: false, two_level: false, ..base },
+            EhnaVariant::Attention => EhnaConfig { aggregator: AggregatorKind::Attn, ..base },
         }
     }
 }
@@ -75,14 +84,18 @@ mod tests {
         assert!(!rw.attention);
         assert_eq!(rw.walk_style, WalkStyle::Static);
 
-        let sl = EhnaVariant::SingleLevel.configure(base);
+        let sl = EhnaVariant::SingleLevel.configure(base.clone());
         assert!(!sl.attention && !sl.two_level);
+
+        let at = EhnaVariant::Attention.configure(base);
+        assert_eq!(at.aggregator, AggregatorKind::Attn);
+        assert!(at.attention && at.two_level, "EHNA-ATTN keeps the walk-level attention");
     }
 
     #[test]
     fn names_match_paper() {
         let names: Vec<&str> = ALL_VARIANTS.iter().map(|v| v.name()).collect();
-        assert_eq!(names, vec!["EHNA", "EHNA-NA", "EHNA-RW", "EHNA-SL"]);
+        assert_eq!(names, vec!["EHNA", "EHNA-NA", "EHNA-RW", "EHNA-SL", "EHNA-ATTN"]);
     }
 
     #[test]

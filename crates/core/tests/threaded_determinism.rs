@@ -5,7 +5,7 @@
 //! gates the property end-to-end through sampling, forward, backward, and
 //! optimizer updates.
 
-use ehna_core::{EhnaConfig, Trainer};
+use ehna_core::{AggregatorKind, EhnaConfig, Trainer};
 use ehna_nn::kernels::set_threads;
 use ehna_tgraph::{GraphBuilder, TemporalGraph};
 use std::sync::Mutex;
@@ -48,8 +48,12 @@ fn cfg(pipeline_depth: usize) -> EhnaConfig {
 /// host-core clamp the trainer applies, so the multi-threaded code paths
 /// run even on a single-core CI host) and return loss bits + embeddings.
 fn run(threads: usize, pipeline_depth: usize) -> (Vec<u64>, Vec<u32>) {
+    run_with(threads, cfg(pipeline_depth))
+}
+
+fn run_with(threads: usize, config: EhnaConfig) -> (Vec<u64>, Vec<u32>) {
     let g = graph();
-    let mut t = Trainer::new(&g, cfg(pipeline_depth)).unwrap();
+    let mut t = Trainer::new(&g, config).unwrap();
     set_threads(threads);
     let report = t.train();
     set_threads(1);
@@ -75,4 +79,26 @@ fn thread_invariance_holds_under_pipelining() {
     let (loss4, emb4) = run(4, 3);
     assert_eq!(loss1, loss4, "pipelined losses changed with kernel thread count");
     assert_eq!(emb1, emb4, "pipelined embeddings changed with kernel thread count");
+}
+
+fn attn_cfg(pipeline_depth: usize) -> EhnaConfig {
+    EhnaConfig { aggregator: AggregatorKind::Attn, heads: 2, ..cfg(pipeline_depth) }
+}
+
+#[test]
+fn attn_aggregator_bit_identical_at_1_and_4_threads() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let (loss1, emb1) = run_with(1, attn_cfg(0));
+    let (loss4, emb4) = run_with(4, attn_cfg(0));
+    assert_eq!(loss1, loss4, "attn epoch losses changed with kernel thread count");
+    assert_eq!(emb1, emb4, "attn embeddings changed with kernel thread count");
+}
+
+#[test]
+fn attn_thread_invariance_holds_under_pipelining() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let (loss1, emb1) = run_with(1, attn_cfg(3));
+    let (loss4, emb4) = run_with(4, attn_cfg(3));
+    assert_eq!(loss1, loss4, "pipelined attn losses changed with kernel thread count");
+    assert_eq!(emb1, emb4, "pipelined attn embeddings changed with kernel thread count");
 }

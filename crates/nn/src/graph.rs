@@ -101,6 +101,40 @@ enum Op {
     MeanRows(u32),
     MeanCols(u32),
     SoftmaxRows(u32),
+    /// Fused Time2Vec encoding: value is `[sin(pre) | cos(pre)] / √(1/k)`.
+    Time2Vec(u32),
+    /// Masked row softmax over ragged prefixes: row `r` softmaxes over its
+    /// first `lens[r]` columns, the rest are exactly 0.
+    SoftmaxRowsMasked {
+        x: u32,
+        lens: Vec<u32>,
+    },
+    /// Fused multi-head masked attention over per-unit key/value prefixes;
+    /// aux carries the attention weights for the backward pass.
+    MaskedAttention {
+        q: u32,
+        k: u32,
+        v: u32,
+        heads: usize,
+        lmax: usize,
+        lens: Vec<u32>,
+    },
+    /// Fused factored temporal attention: keys/values are implicit blends
+    /// `K = x·wk + tv·kt`, `V = x·wv + tv·vt` that are never materialized;
+    /// aux carries attention weights plus factored query/summary vectors
+    /// for the backward pass.
+    TemporalAttention {
+        q: u32,
+        x: u32,
+        tv: u32,
+        wk: u32,
+        kt: u32,
+        wv: u32,
+        vt: u32,
+        heads: usize,
+        lmax: usize,
+        lens: Vec<u32>,
+    },
     ConcatCols(u32, u32),
     ConcatRows(Vec<u32>),
     SliceCols {
@@ -154,10 +188,24 @@ impl Pool {
 
     /// Return a buffer with `capacity >= len` when a suitably sized one is
     /// pooled; otherwise a fresh allocation of exactly `len`.
+    ///
+    /// The request's own class `class_of(len)` is scanned first with an
+    /// explicit capacity check: buffers allocated fresh for a
+    /// non-power-of-two `len` land exactly there (`capacity == len`), and
+    /// skipping to the next class up would strand them forever — every
+    /// take of that same `len` would miss, allocate fresh, and recycle
+    /// yet another stranded buffer, growing the pool without bound.
     fn take(&mut self, len: usize) -> Vec<f32> {
-        let first = Self::class_of(len.max(1).next_power_of_two());
-        let last = (first + Self::SLACK).min(self.classes.len().saturating_sub(1));
-        for c in first..=last {
+        let lo = Self::class_of(len.max(1));
+        let last = (lo + 1 + Self::SLACK).min(self.classes.len().saturating_sub(1));
+        if let Some(bucket) = self.classes.get_mut(lo) {
+            // Within-class capacities vary; only some fit `len`.
+            if let Some(pos) = bucket.iter().rposition(|b| b.capacity() >= len) {
+                return bucket.swap_remove(pos);
+            }
+        }
+        for c in (lo + 1)..=last {
+            // Every buffer in class c > lo has capacity >= 2^c > len.
             if let Some(bucket) = self.classes.get_mut(c) {
                 if let Some(buf) = bucket.pop() {
                     return buf;
@@ -718,6 +766,159 @@ impl Graph {
         self.push(Op::SoftmaxRows(a.idx), m, n, value)
     }
 
+    /// Fused Time2Vec / TimeKernel encoding `[m,k] -> [m,2k]`: from the
+    /// frequency preactivation `pre = t·w + b` produce
+    /// `[sin(pre) | cos(pre)] / √(1/k)` (the TGAT normalizer). See
+    /// [`kernels::time2vec_forward`].
+    pub fn time2vec(&mut self, pre: Var) -> Var {
+        let (m, k) = (pre.rows(), pre.cols());
+        let mut value = self.alloc_scratch(m * 2 * k);
+        kernels::time2vec_forward(m, k, self.val(pre), &mut value);
+        self.push(Op::Time2Vec(pre.idx), m, 2 * k, value)
+    }
+
+    /// Masked softmax along each row's first `lens[r]` columns; the
+    /// remaining columns are **exactly 0**, so padding positions carry no
+    /// attention weight and (through the product rule) route no gradient.
+    /// Degenerate and NaN behavior per
+    /// [`kernels::masked_softmax_rows_forward`].
+    ///
+    /// # Panics
+    /// Panics if `lens.len() != rows` or any `lens[r] > cols`.
+    pub fn softmax_rows_masked(&mut self, x: Var, lens: &[u32]) -> Var {
+        let (m, n) = (x.rows(), x.cols());
+        assert_eq!(lens.len(), m, "one prefix length per row");
+        let mut value = self.alloc_scratch(m * n);
+        kernels::masked_softmax_rows_forward(m, n, lens, self.val(x), &mut value);
+        self.push(Op::SoftmaxRowsMasked { x: x.idx, lens: lens.to_vec() }, m, n, value)
+    }
+
+    /// Fused multi-head scaled-dot-product attention over per-unit
+    /// key/value prefixes: `q` is `[units, d]`, `k`/`v` are
+    /// `[units·lmax, d]` unit-major (unit `u`'s step `t` in row
+    /// `u·lmax + t`), and `lens[u] ∈ [1, lmax]` is each unit's live
+    /// prefix — steps at or past the prefix get exactly zero attention
+    /// weight and zero gradient. Returns the concatenated head outputs
+    /// `[units, d]`. See [`kernels::masked_attention_forward`].
+    ///
+    /// # Panics
+    /// Panics on shape mismatches, `heads` not dividing `d`, a prefix
+    /// outside `[1, lmax]`, or aliased inputs (`q`, `k`, `v` must be
+    /// distinct tape nodes).
+    pub fn masked_attention(&mut self, q: Var, k: Var, v: Var, heads: usize, lens: &[u32]) -> Var {
+        let (units, d) = (q.rows(), q.cols());
+        assert_eq!(k.cols(), d, "key width must match query width");
+        assert_eq!(v.cols(), d, "value width must match query width");
+        assert_eq!(k.rows(), v.rows(), "key/value row mismatch");
+        assert_eq!(lens.len(), units, "one prefix length per unit");
+        assert!(k.rows() % units == 0, "key rows must be units · lmax");
+        assert!(
+            q.idx != k.idx && k.idx != v.idx && q.idx != v.idx,
+            "masked_attention inputs must be distinct nodes"
+        );
+        let lmax = k.rows() / units;
+        assert!(heads > 0 && d % heads == 0, "head count must divide width");
+        let mut value = self.alloc_scratch(units * d);
+        let mut aux = self.alloc_scratch(units * heads * lmax);
+        kernels::masked_attention_forward(
+            units,
+            lmax,
+            d,
+            heads,
+            lens,
+            self.val(q),
+            self.val(k),
+            self.val(v),
+            &mut value,
+            &mut aux,
+        );
+        let op =
+            Op::MaskedAttention { q: q.idx, k: k.idx, v: v.idx, heads, lmax, lens: lens.to_vec() };
+        self.push_aux(op, units, d, value, aux)
+    }
+
+    /// Fused factored temporal attention — numerically equivalent to
+    /// blending keys/values as `K = x·wk + tv·kt`, `V = x·wv + tv·vt` and
+    /// running [`Graph::masked_attention`] `(q, K, V)`, but the
+    /// `[units·lmax, d]` key/value matrices are never materialized: the
+    /// projections factor through the per-unit query and the
+    /// attention-weighted input sums, so every GEMM-shaped step stays at
+    /// `[units, ·]` scale. `q` is `[units, d]`; `x` (`[units·lmax, d]`)
+    /// and `tv` (`[units·lmax, tk]`) are unit-major; `wk`/`wv` are
+    /// `[d, d]`, `kt`/`vt` are `[tk, d]`; `lens[u] ∈ [1, lmax]`. Returns
+    /// the concatenated head outputs `[units, d]`. See
+    /// [`kernels::temporal_attention_forward`].
+    ///
+    /// # Panics
+    /// Panics on shape mismatches, `heads` not dividing `d`, a prefix
+    /// outside `[1, lmax]`, or aliased inputs (all seven must be distinct
+    /// tape nodes).
+    #[allow(clippy::too_many_arguments)]
+    pub fn temporal_attention(
+        &mut self,
+        q: Var,
+        x: Var,
+        tv: Var,
+        wk: Var,
+        kt: Var,
+        wv: Var,
+        vt: Var,
+        heads: usize,
+        lens: &[u32],
+    ) -> Var {
+        let (units, d) = (q.rows(), q.cols());
+        let tk = tv.cols();
+        assert_eq!(x.cols(), d, "input width must match query width");
+        assert_eq!(lens.len(), units, "one prefix length per unit");
+        assert!(x.rows() % units == 0, "input rows must be units · lmax");
+        let lmax = x.rows() / units;
+        assert_eq!(tv.rows(), x.rows(), "time-encoding rows must match input rows");
+        assert_eq!((wk.rows(), wk.cols()), (d, d), "wk must be [d, d]");
+        assert_eq!((wv.rows(), wv.cols()), (d, d), "wv must be [d, d]");
+        assert_eq!((kt.rows(), kt.cols()), (tk, d), "kt must be [tk, d]");
+        assert_eq!((vt.rows(), vt.cols()), (tk, d), "vt must be [tk, d]");
+        assert!(heads > 0 && d % heads == 0, "head count must divide width");
+        let idxs = [q.idx, x.idx, tv.idx, wk.idx, kt.idx, wv.idx, vt.idx];
+        for a in 0..idxs.len() {
+            for b in (a + 1)..idxs.len() {
+                assert!(idxs[a] != idxs[b], "temporal_attention inputs must be distinct nodes");
+            }
+        }
+        let aux_w = kernels::temporal_attention_aux(lmax, d, tk, heads);
+        let mut value = self.alloc_scratch(units * d);
+        let mut aux = self.alloc_scratch(units * aux_w);
+        kernels::temporal_attention_forward(
+            units,
+            lmax,
+            d,
+            tk,
+            heads,
+            lens,
+            self.val(q),
+            self.val(x),
+            self.val(tv),
+            self.val(wk),
+            self.val(kt),
+            self.val(wv),
+            self.val(vt),
+            &mut value,
+            &mut aux,
+        );
+        let op = Op::TemporalAttention {
+            q: q.idx,
+            x: x.idx,
+            tv: tv.idx,
+            wk: wk.idx,
+            kt: kt.idx,
+            wv: wv.idx,
+            vt: vt.idx,
+            heads,
+            lmax,
+            lens: lens.to_vec(),
+        };
+        self.push_aux(op, units, d, value, aux)
+    }
+
     // ------------------------------------------------------- shape operations
 
     /// Horizontal concatenation `[m,p] || [m,q] -> [m,p+q]`.
@@ -1179,6 +1380,92 @@ impl Graph {
                         &mut self.grads[a as usize],
                     );
                 }
+                &Op::Time2Vec(pre) => {
+                    let pre = pre as usize;
+                    let k = cols / 2;
+                    let pv = std::mem::take(&mut self.nodes[pre].value);
+                    kernels::time2vec_backward(rows, k, &pv, &g, &mut self.grads[pre]);
+                    self.nodes[pre].value = pv;
+                }
+                Op::SoftmaxRowsMasked { x, lens } => {
+                    let out = &self.nodes[i].value;
+                    kernels::masked_softmax_rows_backward(
+                        rows,
+                        cols,
+                        lens,
+                        out,
+                        &g,
+                        &mut self.grads[*x as usize],
+                    );
+                }
+                Op::MaskedAttention { q, k, v, heads, lmax, lens } => {
+                    let (qi, ki, vi) = (*q as usize, *k as usize, *v as usize);
+                    let (dq, dk, dv) = three_muts(&mut self.grads, qi, ki, vi);
+                    kernels::masked_attention_backward(
+                        rows,
+                        *lmax,
+                        cols,
+                        *heads,
+                        lens,
+                        &self.nodes[qi].value,
+                        &self.nodes[ki].value,
+                        &self.nodes[vi].value,
+                        &self.nodes[i].aux,
+                        &g,
+                        dq,
+                        dk,
+                        dv,
+                    );
+                }
+                Op::TemporalAttention { q, x, tv, wk, kt, wv, vt, heads, lmax, lens } => {
+                    let (qi, xi, tvi) = (*q as usize, *x as usize, *tv as usize);
+                    let (wki, kti, wvi, vti) =
+                        (*wk as usize, *kt as usize, *wv as usize, *vt as usize);
+                    let tk = self.nodes[tvi].cols;
+                    let mut scratch = self.alloc_scratch(rows * *heads * (cols + tk));
+                    // Seven distinct parents: move their gradient buffers
+                    // out instead of splitting seven simultaneous borrows.
+                    let mut dq = std::mem::take(&mut self.grads[qi]);
+                    let mut dx = std::mem::take(&mut self.grads[xi]);
+                    let mut dtv = std::mem::take(&mut self.grads[tvi]);
+                    let mut dwk = std::mem::take(&mut self.grads[wki]);
+                    let mut dkt = std::mem::take(&mut self.grads[kti]);
+                    let mut dwv = std::mem::take(&mut self.grads[wvi]);
+                    let mut dvt = std::mem::take(&mut self.grads[vti]);
+                    kernels::temporal_attention_backward(
+                        rows,
+                        *lmax,
+                        cols,
+                        tk,
+                        *heads,
+                        lens,
+                        &self.nodes[qi].value,
+                        &self.nodes[xi].value,
+                        &self.nodes[tvi].value,
+                        &self.nodes[wki].value,
+                        &self.nodes[kti].value,
+                        &self.nodes[wvi].value,
+                        &self.nodes[vti].value,
+                        &self.nodes[i].aux,
+                        &g,
+                        &mut scratch,
+                        &mut dq,
+                        &mut dx,
+                        &mut dtv,
+                        &mut dwk,
+                        &mut dkt,
+                        &mut dwv,
+                        &mut dvt,
+                    );
+                    self.grads[qi] = dq;
+                    self.grads[xi] = dx;
+                    self.grads[tvi] = dtv;
+                    self.grads[wki] = dwk;
+                    self.grads[kti] = dkt;
+                    self.grads[wvi] = dwv;
+                    self.grads[vti] = dvt;
+                    self.pool.put(scratch);
+                }
                 &Op::ConcatCols(a, b) => {
                     let (a, b) = (a as usize, b as usize);
                     let p = self.nodes[a].cols;
@@ -1536,6 +1823,25 @@ mod tests {
         let v2 = run(&mut g, &mut store);
         assert_eq!(v1, v2, "recycled tape must recompute identical values");
         assert_eq!(grads1, store.grad(p), "recycled tape must recompute identical grads");
+    }
+
+    #[test]
+    fn pool_reuses_exact_nonpow2_sizes_without_growing() {
+        // Regression: a fresh buffer for a non-power-of-two `len` has
+        // `capacity == len` and recycles into `class_of(len)`; `take`
+        // must find it there, or every request of that size allocates
+        // fresh and the pool grows one stranded buffer per round.
+        let mut pool = Pool::default();
+        let len = 320 * 10 * 32; // 102400: the attn-path unit tensor size
+        let buf = pool.take(len);
+        assert_eq!(buf.capacity(), len, "miss on empty pool allocates exactly len");
+        pool.put(buf);
+        let reused = pool.take(len);
+        assert!(reused.capacity() >= len);
+        assert_eq!(reused.capacity(), len, "the recycled buffer itself must be reused");
+        pool.put(reused);
+        let pooled: usize = pool.classes.iter().map(Vec::len).sum();
+        assert_eq!(pooled, 1, "steady-state per-size working set is one buffer, not a leak");
     }
 
     #[test]

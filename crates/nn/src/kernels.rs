@@ -404,43 +404,55 @@ pub fn gemm_tn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
     }
 }
 
-/// One reduction chunk of [`gemm_tn_acc`]: `c += aᵀ·b` by `p`-ascending
-/// outer products (rows of `b` scaled into rows of `c`), vectorizing over
-/// `n`. `p` advances four rows at a time (`c[i][j] +=
-/// ((a₀b₀ + a₁b₁) + a₂b₂) + a₃b₃`, then a single-row tail) so each `c`
-/// row is loaded and stored once per four reduction rows; the blocking is
-/// keyed on `k` alone, never on threads. No data-dependent skips:
+/// One reduction chunk of [`gemm_tn_acc`]: `c += aᵀ·b`, register-tiled
+/// `MR × NR` over `(i, j)`. Each tile loads its `c` block into
+/// accumulators once, runs the full `p`-ascending reduction (`a[p][i]`
+/// broadcast against the `b[p]` row slice, one `mul_add` per term), and
+/// stores once — so the chunk's partial never streams through memory per
+/// reduction row. Every element's value is the serial `p`-ascending FMA
+/// chain seeded from the incoming `c` value; that chain is independent of
+/// the tile shape (an f32 round-trips storage exactly), so the result is
+/// bit-identical to any row-swept formulation. No data-dependent skips:
 /// `0 · NaN` must stay NaN.
 fn tn_chunk(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    let body = k - k % 4;
-    let mut p = 0;
-    while p < body {
-        let a0 = &a[p * m..(p + 1) * m];
-        let a1 = &a[(p + 1) * m..(p + 2) * m];
-        let a2 = &a[(p + 2) * m..(p + 3) * m];
-        let a3 = &a[(p + 3) * m..(p + 4) * m];
-        let b0 = &b[p * n..(p + 1) * n];
-        let b1 = &b[(p + 1) * n..(p + 2) * n];
-        let b2 = &b[(p + 2) * n..(p + 3) * n];
-        let b3 = &b[(p + 3) * n..(p + 4) * n];
-        for i in 0..m {
-            let (v0, v1, v2, v3) = (a0[i], a1[i], a2[i], a3[i]);
-            let crow = &mut c[i * n..(i + 1) * n];
-            for ((((cv, &w0), &w1), &w2), &w3) in crow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
-                *cv = v3.mul_add(w3, v2.mul_add(w2, v1.mul_add(w1, v0.mul_add(w0, *cv))));
+    let mut i = 0;
+    while i < m {
+        let tm = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let tn = NR.min(n - j);
+            if tm == MR && tn == NR {
+                let mut acc = [[0.0f32; NR]; MR];
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    accr.copy_from_slice(&c[(i + r) * n + j..(i + r) * n + j + NR]);
+                }
+                for p in 0..k {
+                    let arow = &a[p * m + i..p * m + i + MR];
+                    let brow = &b[p * n + j..p * n + j + NR];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = arow[r];
+                        for (cv, &bv) in accr.iter_mut().zip(brow) {
+                            *cv = av.mul_add(bv, *cv);
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    c[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+                }
+            } else {
+                for r in 0..tm {
+                    for jj in j..j + tn {
+                        let mut cv = c[(i + r) * n + jj];
+                        for p in 0..k {
+                            cv = a[p * m + i + r].mul_add(b[p * n + jj], cv);
+                        }
+                        c[(i + r) * n + jj] = cv;
+                    }
+                }
             }
+            j += tn;
         }
-        p += 4;
-    }
-    for p in body..k {
-        let arow = &a[p * m..(p + 1) * m];
-        let brow = &b[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv = av.mul_add(bv, *cv);
-            }
-        }
+        i += tm;
     }
 }
 
@@ -833,6 +845,931 @@ pub fn batchnorm_eval_backward(
             dxr[j] += gr[j] * gamma[j] * inv_std[j];
             dgamma[j] += gr[j] * xh;
             dbeta[j] += gr[j];
+        }
+    }
+}
+
+// ------------------------------------------------ fused temporal attention
+
+/// Time2Vec / TimeKernel forward (TGAT-style functional time encoding):
+/// from the frequency preactivation `pre = t·w + b` (`m × k`) produce
+/// `out = [sin(pre) | cos(pre)] / √(1/k)` (`m × 2k`). The `√(1/k)`
+/// normalizer follows the TGAT reference so the encoding's scale is
+/// independent of the frequency count. Element-wise, so thread count and
+/// partitioning cannot affect results; NaN propagates through `sin`/`cos`.
+pub fn time2vec_forward(m: usize, k: usize, pre: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(pre.len(), m * k);
+    debug_assert_eq!(out.len(), m * 2 * k);
+    let scale = (k as f32).sqrt(); // 1 / sqrt(1/k)
+    for r in 0..m {
+        let pr = &pre[r * k..(r + 1) * k];
+        let or = &mut out[r * 2 * k..(r + 1) * 2 * k];
+        let (s, c) = or.split_at_mut(k);
+        for j in 0..k {
+            let (sn, cs) = pr[j].sin_cos();
+            s[j] = sn * scale;
+            c[j] = cs * scale;
+        }
+    }
+}
+
+/// Time2Vec backward: with `g` the upstream gradient of the `[sin|cos]`
+/// output, `d_pre[r][j] += (g_sin·cos(pre) − g_cos·sin(pre)) / √(1/k)`.
+pub fn time2vec_backward(m: usize, k: usize, pre: &[f32], g: &[f32], d_pre: &mut [f32]) {
+    debug_assert_eq!(pre.len(), m * k);
+    debug_assert_eq!(g.len(), m * 2 * k);
+    debug_assert_eq!(d_pre.len(), m * k);
+    let scale = (k as f32).sqrt();
+    for r in 0..m {
+        let pr = &pre[r * k..(r + 1) * k];
+        let gr = &g[r * 2 * k..(r + 1) * 2 * k];
+        let dr = &mut d_pre[r * k..(r + 1) * k];
+        let (gs, gc) = gr.split_at(k);
+        for j in 0..k {
+            let (sn, cs) = pr[j].sin_cos();
+            dr[j] += (gs[j] * cs - gc[j] * sn) * scale;
+        }
+    }
+}
+
+/// Row softmax over ragged prefixes: row `r` softmaxes over its first
+/// `lens[r]` columns and writes **exactly 0** to the rest, so padded
+/// positions carry zero attention weight and (through the product rule)
+/// route zero gradient into whatever fills the padding. Degenerate
+/// all-`-inf` prefixes get the uniform distribution `1/len` like
+/// [`softmax_rows_forward`]; NaN inside the prefix propagates. A zero
+/// `len` yields an all-zero row (no distribution over nothing).
+///
+/// # Panics
+/// Panics if any `lens[r] > n`.
+pub fn masked_softmax_rows_forward(m: usize, n: usize, lens: &[u32], x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(lens.len(), m);
+    debug_assert_eq!(x.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    for r in 0..m {
+        let len = lens[r] as usize;
+        assert!(len <= n, "masked softmax prefix {len} exceeds row width {n}");
+        let row = &x[r * n..r * n + len];
+        let orow = &mut out[r * n..(r + 1) * n];
+        orow[len..].iter_mut().for_each(|o| *o = 0.0);
+        if len == 0 {
+            continue;
+        }
+        let prefix = &mut orow[..len];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let has_nan = row.iter().any(|v| v.is_nan());
+        if max == f32::NEG_INFINITY && !has_nan {
+            let u = 1.0 / len as f32;
+            prefix.iter_mut().for_each(|o| *o = u);
+            continue;
+        }
+        let mut total = 0.0f32;
+        for (o, &v) in prefix.iter_mut().zip(row) {
+            let e = fast_exp(v - max);
+            *o = e;
+            total += e;
+        }
+        let inv = 1.0 / total;
+        prefix.iter_mut().for_each(|o| *o *= inv);
+    }
+}
+
+/// Masked softmax backward: the usual row Jacobian
+/// `gx[r][j] += y[r][j]·(g[r][j] − Σ_{j<len} y·g)` restricted to each
+/// row's prefix. Padded columns have `y = 0`, contribute nothing to the
+/// dot product, and receive no gradient.
+pub fn masked_softmax_rows_backward(
+    m: usize,
+    n: usize,
+    lens: &[u32],
+    y: &[f32],
+    g: &[f32],
+    gx: &mut [f32],
+) {
+    debug_assert_eq!(lens.len(), m);
+    debug_assert_eq!(y.len(), m * n);
+    debug_assert_eq!(g.len(), m * n);
+    debug_assert_eq!(gx.len(), m * n);
+    for r in 0..m {
+        let len = lens[r] as usize;
+        let yr = &y[r * n..r * n + len];
+        let gr = &g[r * n..r * n + len];
+        let dot: f32 = yr.iter().zip(gr).map(|(&s, &gv)| s * gv).sum();
+        let gxr = &mut gx[r * n..r * n + len];
+        for ((gxv, &s), &gv) in gxr.iter_mut().zip(yr).zip(gr) {
+            *gxv += s * (gv - dot);
+        }
+    }
+}
+
+/// Minimum `units · lmax · d` before the attention kernels fan out to
+/// worker threads (each unit is tiny; only batches of them pay for a
+/// thread spawn).
+const ATTN_PAR_FLOOR: usize = 1 << 14;
+
+/// How many contiguous units each attention worker gets at minimum.
+const ATTN_MIN_UNITS: usize = 8;
+
+/// Fused multi-head scaled-dot-product attention over per-unit key/value
+/// prefixes.
+///
+/// Layout: `q` is `units × d` (one query row per unit); `k` and `v` are
+/// `(units·lmax) × d` **unit-major** (unit `u`'s step `t` lives in row
+/// `u·lmax + t`); `lens[u] ∈ [1, lmax]` is unit `u`'s live prefix. With
+/// `dh = d / heads`, head `h` of unit `u` scores
+/// `s_t = (q_h · k_{t,h}) / √dh` for `t < len`, softmaxes over the
+/// prefix (same degenerate/NaN contract as
+/// [`masked_softmax_rows_forward`]), and emits `out_h = Σ_t α_t·v_{t,h}`;
+/// heads are concatenated into `out` (`units × d`). `alpha`
+/// (`units × heads·lmax`, unit-major, head-major within a unit) receives
+/// the attention weights for the backward pass, zero past each prefix.
+///
+/// Units are independent (disjoint output rows, no cross-unit
+/// reductions), so the worker partition over units cannot change
+/// results: bit-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn masked_attention_forward(
+    units: usize,
+    lmax: usize,
+    d: usize,
+    heads: usize,
+    lens: &[u32],
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    out: &mut [f32],
+    alpha: &mut [f32],
+) {
+    debug_assert_eq!(lens.len(), units);
+    debug_assert_eq!(q.len(), units * d);
+    debug_assert_eq!(k.len(), units * lmax * d);
+    debug_assert_eq!(v.len(), units * lmax * d);
+    debug_assert_eq!(out.len(), units * d);
+    debug_assert_eq!(alpha.len(), units * heads * lmax);
+    assert!(heads > 0 && d % heads == 0, "head count must divide width");
+    let run = |u0: usize, nu: usize, out_part: &mut [f32], alpha_part: &mut [f32]| {
+        for i in 0..nu {
+            let u = u0 + i;
+            attn_unit_forward(
+                u,
+                lmax,
+                d,
+                heads,
+                lens[u] as usize,
+                q,
+                k,
+                v,
+                &mut out_part[i * d..(i + 1) * d],
+                &mut alpha_part[i * heads * lmax..(i + 1) * heads * lmax],
+            );
+        }
+    };
+    let t = threads();
+    let parts = if t <= 1 || units * lmax * d < ATTN_PAR_FLOOR {
+        1
+    } else {
+        t.min(units / ATTN_MIN_UNITS).max(1)
+    };
+    if parts <= 1 {
+        run(0, units, out, alpha);
+        return;
+    }
+    let base = units / parts;
+    let extra = units % parts;
+    std::thread::scope(|s| {
+        let mut out_rest = out;
+        let mut alpha_rest = alpha;
+        let mut u0 = 0usize;
+        let mut handles = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let nu = base + usize::from(p < extra);
+            let (op, otail) = out_rest.split_at_mut(nu * d);
+            out_rest = otail;
+            let (ap, atail) = alpha_rest.split_at_mut(nu * heads * lmax);
+            alpha_rest = atail;
+            let start = u0;
+            u0 += nu;
+            let fr = &run;
+            handles.push(s.spawn(move || fr(start, nu, op, ap)));
+        }
+        for h in handles {
+            h.join().expect("kernel worker panicked");
+        }
+    });
+}
+
+/// One unit of [`masked_attention_forward`]: scores, masked softmax, and
+/// value mixdown for every head.
+#[allow(clippy::too_many_arguments)]
+fn attn_unit_forward(
+    u: usize,
+    lmax: usize,
+    d: usize,
+    heads: usize,
+    len: usize,
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    out_row: &mut [f32],
+    alpha_row: &mut [f32],
+) {
+    assert!(len >= 1 && len <= lmax, "unit prefix {len} outside [1, {lmax}]");
+    let dh = d / heads;
+    let inv_sqrt = 1.0 / (dh as f32).sqrt();
+    let qr = &q[u * d..(u + 1) * d];
+    for h in 0..heads {
+        let qh = &qr[h * dh..(h + 1) * dh];
+        let ar = &mut alpha_row[h * lmax..(h + 1) * lmax];
+        ar[len..].iter_mut().for_each(|a| *a = 0.0);
+        for (t, a) in ar[..len].iter_mut().enumerate() {
+            let kh = &k[(u * lmax + t) * d + h * dh..(u * lmax + t) * d + (h + 1) * dh];
+            let mut s = 0.0f32;
+            for (&qv, &kv) in qh.iter().zip(kh) {
+                s = qv.mul_add(kv, s);
+            }
+            *a = s * inv_sqrt;
+        }
+        // Stable softmax over the prefix, in place (same contract as
+        // `masked_softmax_rows_forward`).
+        let max = ar[..len].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let has_nan = ar[..len].iter().any(|a| a.is_nan());
+        if max == f32::NEG_INFINITY && !has_nan {
+            let uw = 1.0 / len as f32;
+            ar[..len].iter_mut().for_each(|a| *a = uw);
+        } else {
+            let mut total = 0.0f32;
+            for a in ar[..len].iter_mut() {
+                let e = fast_exp(*a - max);
+                *a = e;
+                total += e;
+            }
+            let inv = 1.0 / total;
+            ar[..len].iter_mut().for_each(|a| *a *= inv);
+        }
+        let oh = &mut out_row[h * dh..(h + 1) * dh];
+        oh.iter_mut().for_each(|o| *o = 0.0);
+        for (t, &a) in ar[..len].iter().enumerate() {
+            let vh = &v[(u * lmax + t) * d + h * dh..(u * lmax + t) * d + (h + 1) * dh];
+            for (o, &vv) in oh.iter_mut().zip(vh) {
+                *o = a.mul_add(vv, *o);
+            }
+        }
+    }
+}
+
+/// Backward of [`masked_attention_forward`]. `alpha` is the forward's
+/// saved attention weights; `g_out` the upstream gradient of the
+/// concatenated head outputs. Accumulates (`+=`) into `dq`
+/// (`units × d`), `dk` and `dv` (`units·lmax × d`). Per unit and head:
+/// `dα_t = g_h·v_{t,h}`, softmax Jacobian over the prefix, then the
+/// score gradient fans into `dq_h += Σ_t ds_t·k_{t,h}`,
+/// `dk_{t,h} += ds_t·q_h`, and `dv_{t,h} += α_t·g_h`. Every gradient a
+/// unit writes lands in that unit's own rows, so the worker partition
+/// over units is race-free and bit-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn masked_attention_backward(
+    units: usize,
+    lmax: usize,
+    d: usize,
+    heads: usize,
+    lens: &[u32],
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    alpha: &[f32],
+    g_out: &[f32],
+    dq: &mut [f32],
+    dk: &mut [f32],
+    dv: &mut [f32],
+) {
+    debug_assert_eq!(lens.len(), units);
+    debug_assert_eq!(alpha.len(), units * heads * lmax);
+    debug_assert_eq!(g_out.len(), units * d);
+    debug_assert_eq!(dq.len(), units * d);
+    debug_assert_eq!(dk.len(), units * lmax * d);
+    debug_assert_eq!(dv.len(), units * lmax * d);
+    let dh = d / heads;
+    let inv_sqrt = 1.0 / (dh as f32).sqrt();
+    let run =
+        |u0: usize, nu: usize, dq_part: &mut [f32], dk_part: &mut [f32], dv_part: &mut [f32]| {
+            let mut ds = vec![0.0f32; lmax];
+            for i in 0..nu {
+                let u = u0 + i;
+                let len = lens[u] as usize;
+                let qr = &q[u * d..(u + 1) * d];
+                let gr = &g_out[u * d..(u + 1) * d];
+                let dqr = &mut dq_part[i * d..(i + 1) * d];
+                for h in 0..heads {
+                    let qh = &qr[h * dh..(h + 1) * dh];
+                    let gh = &gr[h * dh..(h + 1) * dh];
+                    let ar = &alpha[(u * heads + h) * lmax..(u * heads + h) * lmax + len];
+                    // dα_t = g_h · v_{t,h}; dv_{t,h} += α_t · g_h.
+                    for t in 0..len {
+                        let row = (u * lmax + t) * d + h * dh;
+                        let vh = &v[row..row + dh];
+                        let dvh = &mut dv_part
+                            [(i * lmax + t) * d + h * dh..(i * lmax + t) * d + (h + 1) * dh];
+                        let mut da = 0.0f32;
+                        for j in 0..dh {
+                            da = gh[j].mul_add(vh[j], da);
+                            dvh[j] = ar[t].mul_add(gh[j], dvh[j]);
+                        }
+                        ds[t] = da;
+                    }
+                    // Softmax Jacobian over the prefix, then the 1/√dh score scale.
+                    let dot: f32 = ar.iter().zip(&ds[..len]).map(|(&a, &da)| a * da).sum();
+                    for t in 0..len {
+                        ds[t] = ar[t] * (ds[t] - dot) * inv_sqrt;
+                    }
+                    // dq_h += Σ_t ds_t·k_{t,h}; dk_{t,h} += ds_t·q_h.
+                    let dqh = &mut dqr[h * dh..(h + 1) * dh];
+                    for t in 0..len {
+                        let row = (u * lmax + t) * d + h * dh;
+                        let kh = &k[row..row + dh];
+                        let dkh = &mut dk_part
+                            [(i * lmax + t) * d + h * dh..(i * lmax + t) * d + (h + 1) * dh];
+                        for j in 0..dh {
+                            dqh[j] = ds[t].mul_add(kh[j], dqh[j]);
+                            dkh[j] = ds[t].mul_add(qh[j], dkh[j]);
+                        }
+                    }
+                }
+            }
+        };
+    let t = threads();
+    let parts = if t <= 1 || units * lmax * d < ATTN_PAR_FLOOR {
+        1
+    } else {
+        t.min(units / ATTN_MIN_UNITS).max(1)
+    };
+    if parts <= 1 {
+        run(0, units, dq, dk, dv);
+        return;
+    }
+    let base = units / parts;
+    let extra = units % parts;
+    std::thread::scope(|s| {
+        let mut dq_rest = dq;
+        let mut dk_rest = dk;
+        let mut dv_rest = dv;
+        let mut u0 = 0usize;
+        let mut handles = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let nu = base + usize::from(p < extra);
+            let (qp, qtail) = dq_rest.split_at_mut(nu * d);
+            dq_rest = qtail;
+            let (kp, ktail) = dk_rest.split_at_mut(nu * lmax * d);
+            dk_rest = ktail;
+            let (vp, vtail) = dv_rest.split_at_mut(nu * lmax * d);
+            dv_rest = vtail;
+            let start = u0;
+            u0 += nu;
+            let fr = &run;
+            handles.push(s.spawn(move || fr(start, nu, qp, kp, vp)));
+        }
+        for h in handles {
+            h.join().expect("kernel worker panicked");
+        }
+    });
+}
+
+/// Aux row width per unit saved by [`temporal_attention_forward`]:
+/// attention weights `α [H·L]`, factored queries `q̃ [H·d]` / `q̂ [H·tk]`,
+/// and attention-weighted input sums `x̄ [H·d]` / `t̄ [H·tk]`. The slab's
+/// internal arrangement (which pieces are unit-major vs head-major) is
+/// private to the forward/backward kernel pair.
+#[inline]
+pub fn temporal_attention_aux(lmax: usize, d: usize, tk: usize, heads: usize) -> usize {
+    heads * (lmax + 2 * (d + tk))
+}
+
+/// Fused factored temporal attention: multi-head attention whose keys and
+/// values are **implicit** linear blends `K = x·wk + tv·kt`,
+/// `V = x·wv + tv·vt` that are never materialized per slot. The score of
+/// head `h` against slot `s` factors through the query instead:
+///
+/// ```text
+/// s_{h,s} = (q_h·Wk_hᵀ)·x_s + (q_h·Kt_hᵀ)·tv_s    (· 1/√dh)
+/// out_h   = x̄_h·Wv_h + t̄_h·Vt_h,   x̄_h = Σ_s α_s·x_s, t̄_h = Σ_s α_s·tv_s
+/// ```
+///
+/// where `Wk_h = wk[:, h·dh..(h+1)·dh]` etc. This keeps every projection
+/// at `[units, ·]` scale: the `[units·lmax, ·]` inputs are only read in
+/// streaming dot-product/weighted-sum passes, never pushed through a
+/// GEMM, which is what makes attention cheaper than the recurrent
+/// aggregator at long walk lengths.
+///
+/// The kernel is a hybrid: the dense per-head projections (factored
+/// queries in, output mix out) run as `[units, ·]` GEMMs through
+/// [`gemm_acc`], and only the ragged part — scores over each unit's live
+/// prefix, masked softmax, weighted input sums — runs per unit. Both
+/// halves are bit-identical at any thread count: the GEMMs by their
+/// fixed per-element reduction chains, the ragged loop because units own
+/// disjoint rows.
+///
+/// Layout: `q` is `units × d`; `x` (`units·lmax × d`) and `tv`
+/// (`units·lmax × tk`) are unit-major; `wk`/`wv` are `d × d` and
+/// `kt`/`vt` are `tk × d` (row-major, as in `K = x·wk + tv·kt`);
+/// `lens[u] ∈ [1, lmax]` is each unit's live prefix — slots at or past it
+/// get exactly zero attention weight and zero gradient. Softmax
+/// degenerate/NaN contract matches [`masked_softmax_rows_forward`]. `aux`
+/// is `units × temporal_attention_aux(..)`, unit-major.
+///
+/// Units are independent (disjoint output/aux rows, shared inputs only
+/// read), so the worker partition over units cannot change results:
+/// bit-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn temporal_attention_forward(
+    units: usize,
+    lmax: usize,
+    d: usize,
+    tk: usize,
+    heads: usize,
+    lens: &[u32],
+    q: &[f32],
+    x: &[f32],
+    tv: &[f32],
+    wk: &[f32],
+    kt: &[f32],
+    wv: &[f32],
+    vt: &[f32],
+    out: &mut [f32],
+    aux: &mut [f32],
+) {
+    let aux_w = temporal_attention_aux(lmax, d, tk, heads);
+    debug_assert_eq!(lens.len(), units);
+    debug_assert_eq!(q.len(), units * d);
+    debug_assert_eq!(x.len(), units * lmax * d);
+    debug_assert_eq!(tv.len(), units * lmax * tk);
+    debug_assert_eq!(wk.len(), d * d);
+    debug_assert_eq!(kt.len(), tk * d);
+    debug_assert_eq!(wv.len(), d * d);
+    debug_assert_eq!(vt.len(), tk * d);
+    debug_assert_eq!(out.len(), units * d);
+    debug_assert_eq!(aux.len(), units * aux_w);
+    assert!(heads > 0 && d % heads == 0, "head count must divide width");
+    let dh = d / heads;
+    let inv_sqrt = 1.0 / (dh as f32).sqrt();
+    // Head-packed queries `[H][units, dh]`: the shared A operand of every
+    // per-head projection GEMM.
+    let mut q_hm = vec![0.0f32; units * d];
+    for h in 0..heads {
+        let dst = &mut q_hm[h * units * dh..(h + 1) * units * dh];
+        for u in 0..units {
+            dst[u * dh..(u + 1) * dh].copy_from_slice(&q[u * d + h * dh..u * d + (h + 1) * dh]);
+        }
+    }
+    // Transposed key projections: rows `h·dh..(h+1)·dh` are head `h`'s
+    // contiguous B operand.
+    let wk_t = transpose(wk, d, d);
+    let kt_t = transpose(kt, tk, d);
+    // Aux arenas: α and the weighted sums are unit-major (ragged-loop
+    // workers own contiguous row ranges), the factored queries head-major
+    // (written directly by the GEMMs below).
+    let (alpha_all, rest) = aux.split_at_mut(units * heads * lmax);
+    let (qt_arena, rest) = rest.split_at_mut(heads * units * d);
+    let (qh_arena, rest) = rest.split_at_mut(heads * units * tk);
+    let (xb_all, tb_all) = rest.split_at_mut(units * heads * d);
+    qt_arena.fill(0.0);
+    qh_arena.fill(0.0);
+    for h in 0..heads {
+        let qa = &q_hm[h * units * dh..(h + 1) * units * dh];
+        gemm_acc(
+            units,
+            dh,
+            d,
+            qa,
+            &wk_t[h * dh * d..(h + 1) * dh * d],
+            &mut qt_arena[h * units * d..(h + 1) * units * d],
+        );
+        gemm_acc(
+            units,
+            dh,
+            tk,
+            qa,
+            &kt_t[h * dh * tk..(h + 1) * dh * tk],
+            &mut qh_arena[h * units * tk..(h + 1) * units * tk],
+        );
+    }
+    let (qt_arena, qh_arena): (&[f32], &[f32]) = (qt_arena, qh_arena);
+    // Ragged half: per-unit scores over the live prefix, masked softmax,
+    // weighted input sums.
+    let run =
+        |u0: usize, nu: usize, alpha_part: &mut [f32], xb_part: &mut [f32], tb_part: &mut [f32]| {
+            for i in 0..nu {
+                let u = u0 + i;
+                let len = lens[u] as usize;
+                assert!(len >= 1 && len <= lmax, "unit prefix {len} outside [1, {lmax}]");
+                for h in 0..heads {
+                    let qt = &qt_arena[h * units * d + u * d..h * units * d + (u + 1) * d];
+                    let qhat = &qh_arena[h * units * tk + u * tk..h * units * tk + (u + 1) * tk];
+                    let ar = &mut alpha_part[(i * heads + h) * lmax..(i * heads + h + 1) * lmax];
+                    ar[len..].iter_mut().for_each(|a| *a = 0.0);
+                    for (t, a) in ar[..len].iter_mut().enumerate() {
+                        let xr = &x[(u * lmax + t) * d..(u * lmax + t + 1) * d];
+                        let tr = &tv[(u * lmax + t) * tk..(u * lmax + t + 1) * tk];
+                        *a = (dot8(qt, xr) + dot8(qhat, tr)) * inv_sqrt;
+                    }
+                    // Stable softmax over the prefix, in place (same
+                    // contract as `masked_softmax_rows_forward`).
+                    let max = ar[..len].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let has_nan = ar[..len].iter().any(|a| a.is_nan());
+                    if max == f32::NEG_INFINITY && !has_nan {
+                        let uw = 1.0 / len as f32;
+                        ar[..len].iter_mut().for_each(|a| *a = uw);
+                    } else {
+                        let mut total = 0.0f32;
+                        for a in ar[..len].iter_mut() {
+                            let e = fast_exp(*a - max);
+                            *a = e;
+                            total += e;
+                        }
+                        let inv = 1.0 / total;
+                        ar[..len].iter_mut().for_each(|a| *a *= inv);
+                    }
+                    let xb = &mut xb_part[(i * heads + h) * d..(i * heads + h + 1) * d];
+                    xb.iter_mut().for_each(|o| *o = 0.0);
+                    let tb = &mut tb_part[(i * heads + h) * tk..(i * heads + h + 1) * tk];
+                    tb.iter_mut().for_each(|o| *o = 0.0);
+                    for (t, &a) in ar[..len].iter().enumerate() {
+                        let xr = &x[(u * lmax + t) * d..(u * lmax + t + 1) * d];
+                        for (o, &xv) in xb.iter_mut().zip(xr) {
+                            *o = a.mul_add(xv, *o);
+                        }
+                        let tr = &tv[(u * lmax + t) * tk..(u * lmax + t + 1) * tk];
+                        for (o, &tvv) in tb.iter_mut().zip(tr) {
+                            *o = a.mul_add(tvv, *o);
+                        }
+                    }
+                }
+            }
+        };
+    let t = threads();
+    let parts = if t <= 1 || units * lmax * (d + tk) < ATTN_PAR_FLOOR {
+        1
+    } else {
+        t.min(units / ATTN_MIN_UNITS).max(1)
+    };
+    if parts <= 1 {
+        run(0, units, &mut *alpha_all, &mut *xb_all, &mut *tb_all);
+    } else {
+        let base = units / parts;
+        let extra = units % parts;
+        std::thread::scope(|s| {
+            let mut alpha_rest = &mut *alpha_all;
+            let mut xb_rest = &mut *xb_all;
+            let mut tb_rest = &mut *tb_all;
+            let mut u0 = 0usize;
+            let mut handles = Vec::with_capacity(parts);
+            for p in 0..parts {
+                let nu = base + usize::from(p < extra);
+                let (ap, atail) = alpha_rest.split_at_mut(nu * heads * lmax);
+                alpha_rest = atail;
+                let (xp, xtail) = xb_rest.split_at_mut(nu * heads * d);
+                xb_rest = xtail;
+                let (tp, ttail) = tb_rest.split_at_mut(nu * heads * tk);
+                tb_rest = ttail;
+                let start = u0;
+                u0 += nu;
+                let fr = &run;
+                handles.push(s.spawn(move || fr(start, nu, ap, xp, tp)));
+            }
+            for h in handles {
+                h.join().expect("kernel worker panicked");
+            }
+        });
+    }
+    // Dense half, output side: `out[:, blk_h] = x̄_h·Wv_h + t̄_h·Vt_h` as
+    // two GEMMs per head into a `[units, dh]` strip.
+    let mut xb_pack = vec![0.0f32; units * d];
+    let mut tb_pack = vec![0.0f32; units * tk];
+    let mut w_blk = vec![0.0f32; d * dh];
+    let mut v_blk = vec![0.0f32; tk * dh];
+    let mut strip = vec![0.0f32; units * dh];
+    for h in 0..heads {
+        for u in 0..units {
+            xb_pack[u * d..(u + 1) * d]
+                .copy_from_slice(&xb_all[(u * heads + h) * d..(u * heads + h + 1) * d]);
+            tb_pack[u * tk..(u + 1) * tk]
+                .copy_from_slice(&tb_all[(u * heads + h) * tk..(u * heads + h + 1) * tk]);
+        }
+        for i2 in 0..d {
+            w_blk[i2 * dh..(i2 + 1) * dh]
+                .copy_from_slice(&wv[i2 * d + h * dh..i2 * d + (h + 1) * dh]);
+        }
+        for b in 0..tk {
+            v_blk[b * dh..(b + 1) * dh].copy_from_slice(&vt[b * d + h * dh..b * d + (h + 1) * dh]);
+        }
+        strip.fill(0.0);
+        gemm_acc(units, d, dh, &xb_pack, &w_blk, &mut strip);
+        gemm_acc(units, tk, dh, &tb_pack, &v_blk, &mut strip);
+        for u in 0..units {
+            out[u * d + h * dh..u * d + (h + 1) * dh].copy_from_slice(&strip[u * dh..(u + 1) * dh]);
+        }
+    }
+}
+
+/// Fixed-order 8-lane dot product: lane `l` accumulates elements
+/// `l, l+8, l+16, …`, lanes reduce in a fixed pairwise tree, then the
+/// scalar tail. The order never depends on thread count or call site, so
+/// results are deterministic — while the 8 independent accumulator
+/// chains let the compiler vectorize what a plain `fold` (one serial FMA
+/// chain) cannot.
+#[inline]
+fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let ca = a.chunks_exact(8);
+    let cb = b.chunks_exact(8);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        for l in 0..8 {
+            acc[l] = xa[l].mul_add(xb[l], acc[l]);
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&xa, &xb) in ra.iter().zip(rb) {
+        tail = xa.mul_add(xb, tail);
+    }
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+}
+
+/// Row-major transpose: `a` is `[r, c]`, returns `[c, r]`.
+fn transpose(a: &[f32], r: usize, c: usize) -> Vec<f32> {
+    let mut t = vec![0.0f32; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            t[j * r + i] = a[i * c + j];
+        }
+    }
+    t
+}
+
+/// Backward of [`temporal_attention_forward`]. `aux` is the forward's
+/// saved per-unit state; `g_out` the upstream gradient of the
+/// concatenated head outputs; `scratch` must hold
+/// `units · heads·(d + tk)` elements (overwritten). Accumulates (`+=`)
+/// into `dq` (`units × d`), `dx`/`dtv` (`units·lmax × ·`), and the four
+/// weight gradients.
+///
+/// Hybrid like the forward, in three stages that each keep the
+/// thread-count bit-identity contract: (1) the value-path pullback
+/// `d̃/d̂ = g·Wv_hᵀ / g·Vt_hᵀ` as per-head [`gemm_acc`] GEMMs; (2) the
+/// ragged per-unit phase (parallel, unit-local writes only) — softmax
+/// Jacobian, `dq̃`/`dq̂` factors into `scratch`, and the `dx`/`dtv` rows;
+/// (3) `dq` and the four shared weight gradients as per-head
+/// [`gemm_acc`]/[`gemm_tn_acc`] GEMMs over the unit axis, whose fixed
+/// chunked reduction orders never depend on the worker partition.
+#[allow(clippy::too_many_arguments)]
+pub fn temporal_attention_backward(
+    units: usize,
+    lmax: usize,
+    d: usize,
+    tk: usize,
+    heads: usize,
+    lens: &[u32],
+    q: &[f32],
+    x: &[f32],
+    tv: &[f32],
+    wk: &[f32],
+    kt: &[f32],
+    wv: &[f32],
+    vt: &[f32],
+    aux: &[f32],
+    g_out: &[f32],
+    scratch: &mut [f32],
+    dq: &mut [f32],
+    dx: &mut [f32],
+    dtv: &mut [f32],
+    dwk: &mut [f32],
+    dkt: &mut [f32],
+    dwv: &mut [f32],
+    dvt: &mut [f32],
+) {
+    let aux_w = temporal_attention_aux(lmax, d, tk, heads);
+    let sw = heads * (d + tk);
+    debug_assert_eq!(aux.len(), units * aux_w);
+    debug_assert_eq!(g_out.len(), units * d);
+    debug_assert_eq!(scratch.len(), units * sw);
+    debug_assert_eq!(dq.len(), units * d);
+    debug_assert_eq!(dx.len(), units * lmax * d);
+    debug_assert_eq!(dtv.len(), units * lmax * tk);
+    let dh = d / heads;
+    let inv_sqrt = 1.0 / (dh as f32).sqrt();
+    // Aux arenas, mirroring the forward's layout.
+    let (alpha_all, rest) = aux.split_at(units * heads * lmax);
+    let (qt_arena, rest) = rest.split_at(heads * units * d);
+    let (qh_arena, rest) = rest.split_at(heads * units * tk);
+    let (xb_all, tb_all) = rest.split_at(units * heads * d);
+    // Head-packed q and g_out: A operands of the dense stages.
+    let mut q_hm = vec![0.0f32; units * d];
+    let mut g_hm = vec![0.0f32; units * d];
+    for h in 0..heads {
+        let dst = &mut q_hm[h * units * dh..(h + 1) * units * dh];
+        for u in 0..units {
+            dst[u * dh..(u + 1) * dh].copy_from_slice(&q[u * d + h * dh..u * d + (h + 1) * dh]);
+        }
+        let dst = &mut g_hm[h * units * dh..(h + 1) * units * dh];
+        for u in 0..units {
+            dst[u * dh..(u + 1) * dh].copy_from_slice(&g_out[u * d + h * dh..u * d + (h + 1) * dh]);
+        }
+    }
+    // Stage 1 — value-path pullback per head as GEMMs:
+    // d̃ = g_h·Wv_hᵀ (units × d), d̂ = g_h·Vt_hᵀ (units × tk).
+    let wv_t = transpose(wv, d, d);
+    let vt_t = transpose(vt, tk, d);
+    let mut dtil_arena = vec![0.0f32; heads * units * d];
+    let mut dhat_arena = vec![0.0f32; heads * units * tk];
+    for h in 0..heads {
+        let ga = &g_hm[h * units * dh..(h + 1) * units * dh];
+        gemm_acc(
+            units,
+            dh,
+            d,
+            ga,
+            &wv_t[h * dh * d..(h + 1) * dh * d],
+            &mut dtil_arena[h * units * d..(h + 1) * units * d],
+        );
+        gemm_acc(
+            units,
+            dh,
+            tk,
+            ga,
+            &vt_t[h * dh * tk..(h + 1) * dh * tk],
+            &mut dhat_arena[h * units * tk..(h + 1) * units * tk],
+        );
+    }
+    let (dtil_arena, dhat_arena): (&[f32], &[f32]) = (&dtil_arena, &dhat_arena);
+    // Stage 2 — ragged per-unit phase: softmax Jacobian, dq̃/dq̂ factors
+    // into `scratch`, and the unit-local dx/dtv rows. A single pass over
+    // each prefix reads every input row once for both the accumulation
+    // and the input-gradient write.
+    let run =
+        |u0: usize, nu: usize, dx_part: &mut [f32], dtv_part: &mut [f32], scr_part: &mut [f32]| {
+            let mut ds = vec![0.0f32; lmax];
+            for i in 0..nu {
+                let u = u0 + i;
+                let len = lens[u] as usize;
+                let (dqt_all, dqh_all) = scr_part[i * sw..(i + 1) * sw].split_at_mut(heads * d);
+                for h in 0..heads {
+                    let ar = &alpha_all[(u * heads + h) * lmax..(u * heads + h) * lmax + len];
+                    let dtil = &dtil_arena[h * units * d + u * d..][..d];
+                    let dhat = &dhat_arena[h * units * tk + u * tk..][..tk];
+                    // dα_t = d̃·x_t + d̂·tv_t, then the softmax Jacobian and
+                    // the 1/√dh score scale.
+                    for (t, o) in ds[..len].iter_mut().enumerate() {
+                        let xr = &x[(u * lmax + t) * d..(u * lmax + t + 1) * d];
+                        let tr = &tv[(u * lmax + t) * tk..(u * lmax + t + 1) * tk];
+                        *o = dot8(dtil, xr) + dot8(dhat, tr);
+                    }
+                    let dot: f32 = ar.iter().zip(&ds[..len]).map(|(&a, &da)| a * da).sum();
+                    for t in 0..len {
+                        ds[t] = ar[t] * (ds[t] - dot) * inv_sqrt;
+                    }
+                    let qt = &qt_arena[h * units * d + u * d..][..d];
+                    let qhat = &qh_arena[h * units * tk + u * tk..][..tk];
+                    let dqt = &mut dqt_all[h * d..(h + 1) * d];
+                    dqt.iter_mut().for_each(|o| *o = 0.0);
+                    let dqh = &mut dqh_all[h * tk..(h + 1) * tk];
+                    dqh.iter_mut().for_each(|o| *o = 0.0);
+                    // dq̃ += ds_t·x_t and dx_t += ds_t·q̃ + α_t·d̃ fused (tv
+                    // likewise): one streaming read per input row.
+                    for t in 0..len {
+                        let (dst, at) = (ds[t], ar[t]);
+                        let xr = &x[(u * lmax + t) * d..(u * lmax + t + 1) * d];
+                        let dxr = &mut dx_part[(i * lmax + t) * d..(i * lmax + t + 1) * d];
+                        for i2 in 0..d {
+                            dqt[i2] = dst.mul_add(xr[i2], dqt[i2]);
+                            dxr[i2] = dst.mul_add(qt[i2], at.mul_add(dtil[i2], dxr[i2]));
+                        }
+                        let tr = &tv[(u * lmax + t) * tk..(u * lmax + t + 1) * tk];
+                        let dtr = &mut dtv_part[(i * lmax + t) * tk..(i * lmax + t + 1) * tk];
+                        for b in 0..tk {
+                            dqh[b] = dst.mul_add(tr[b], dqh[b]);
+                            dtr[b] = dst.mul_add(qhat[b], at.mul_add(dhat[b], dtr[b]));
+                        }
+                    }
+                }
+            }
+        };
+    let t = threads();
+    let parts = if t <= 1 || units * lmax * (d + tk) < ATTN_PAR_FLOOR {
+        1
+    } else {
+        t.min(units / ATTN_MIN_UNITS).max(1)
+    };
+    if parts <= 1 {
+        run(0, units, &mut *dx, &mut *dtv, &mut *scratch);
+    } else {
+        let base = units / parts;
+        let extra = units % parts;
+        std::thread::scope(|s| {
+            let mut dx_rest = &mut *dx;
+            let mut dtv_rest = &mut *dtv;
+            let mut scr_rest = &mut *scratch;
+            let mut u0 = 0usize;
+            let mut handles = Vec::with_capacity(parts);
+            for p in 0..parts {
+                let nu = base + usize::from(p < extra);
+                let (xp, xtail) = dx_rest.split_at_mut(nu * lmax * d);
+                dx_rest = xtail;
+                let (tp, ttail) = dtv_rest.split_at_mut(nu * lmax * tk);
+                dtv_rest = ttail;
+                let (sp, stail) = scr_rest.split_at_mut(nu * sw);
+                scr_rest = stail;
+                let start = u0;
+                u0 += nu;
+                let fr = &run;
+                handles.push(s.spawn(move || fr(start, nu, xp, tp, sp)));
+            }
+            for h in handles {
+                h.join().expect("kernel worker panicked");
+            }
+        });
+    }
+    // Stage 3 — dense pullbacks per head. dq[:, blk] = dq̃·Wk_h + dq̂·Kt_h;
+    // the four weight-gradient column blocks are TN GEMMs over the unit
+    // axis (their fixed chunked reduction keeps the sum independent of
+    // the stage-2 worker partition).
+    let mut dqt_pack = vec![0.0f32; units * d];
+    let mut dqh_pack = vec![0.0f32; units * tk];
+    let mut xb_pack = vec![0.0f32; units * d];
+    let mut tb_pack = vec![0.0f32; units * tk];
+    let mut wk_blk = vec![0.0f32; d * dh];
+    let mut kt_blk = vec![0.0f32; tk * dh];
+    let mut strip = vec![0.0f32; units * dh];
+    let mut blk_d = vec![0.0f32; d * dh];
+    let mut blk_t = vec![0.0f32; tk * dh];
+    for h in 0..heads {
+        for u in 0..units {
+            let r = &scratch[u * sw..(u + 1) * sw];
+            dqt_pack[u * d..(u + 1) * d].copy_from_slice(&r[h * d..(h + 1) * d]);
+            dqh_pack[u * tk..(u + 1) * tk]
+                .copy_from_slice(&r[heads * d + h * tk..heads * d + (h + 1) * tk]);
+            xb_pack[u * d..(u + 1) * d]
+                .copy_from_slice(&xb_all[(u * heads + h) * d..(u * heads + h + 1) * d]);
+            tb_pack[u * tk..(u + 1) * tk]
+                .copy_from_slice(&tb_all[(u * heads + h) * tk..(u * heads + h + 1) * tk]);
+        }
+        for i2 in 0..d {
+            wk_blk[i2 * dh..(i2 + 1) * dh]
+                .copy_from_slice(&wk[i2 * d + h * dh..i2 * d + (h + 1) * dh]);
+        }
+        for b in 0..tk {
+            kt_blk[b * dh..(b + 1) * dh].copy_from_slice(&kt[b * d + h * dh..b * d + (h + 1) * dh]);
+        }
+        strip.fill(0.0);
+        gemm_acc(units, d, dh, &dqt_pack, &wk_blk, &mut strip);
+        gemm_acc(units, tk, dh, &dqh_pack, &kt_blk, &mut strip);
+        for u in 0..units {
+            for (o, &sv) in dq[u * d + h * dh..u * d + (h + 1) * dh]
+                .iter_mut()
+                .zip(&strip[u * dh..(u + 1) * dh])
+            {
+                *o += sv;
+            }
+        }
+        let qa = &q_hm[h * units * dh..(h + 1) * units * dh];
+        let ga = &g_hm[h * units * dh..(h + 1) * units * dh];
+        blk_d.fill(0.0);
+        gemm_tn_acc(d, units, dh, &dqt_pack, qa, &mut blk_d);
+        for i2 in 0..d {
+            for (o, &sv) in dwk[i2 * d + h * dh..i2 * d + (h + 1) * dh]
+                .iter_mut()
+                .zip(&blk_d[i2 * dh..(i2 + 1) * dh])
+            {
+                *o += sv;
+            }
+        }
+        blk_d.fill(0.0);
+        gemm_tn_acc(d, units, dh, &xb_pack, ga, &mut blk_d);
+        for i2 in 0..d {
+            for (o, &sv) in dwv[i2 * d + h * dh..i2 * d + (h + 1) * dh]
+                .iter_mut()
+                .zip(&blk_d[i2 * dh..(i2 + 1) * dh])
+            {
+                *o += sv;
+            }
+        }
+        blk_t.fill(0.0);
+        gemm_tn_acc(tk, units, dh, &dqh_pack, qa, &mut blk_t);
+        for b in 0..tk {
+            for (o, &sv) in dkt[b * d + h * dh..b * d + (h + 1) * dh]
+                .iter_mut()
+                .zip(&blk_t[b * dh..(b + 1) * dh])
+            {
+                *o += sv;
+            }
+        }
+        blk_t.fill(0.0);
+        gemm_tn_acc(tk, units, dh, &tb_pack, ga, &mut blk_t);
+        for b in 0..tk {
+            for (o, &sv) in dvt[b * d + h * dh..b * d + (h + 1) * dh]
+                .iter_mut()
+                .zip(&blk_t[b * dh..(b + 1) * dh])
+            {
+                *o += sv;
+            }
         }
     }
 }

@@ -281,6 +281,54 @@ impl BatchNorm1d {
     }
 }
 
+/// TGAT-style functional time encoding (Time2Vec / TimeKernel): a column
+/// of (normalized) time deltas maps through learned frequencies to
+/// `[sin(t·w + b) | cos(t·w + b)] / √(1/k)` with `k = out_dim / 2`.
+///
+/// Frequencies are initialized geometrically between one cycle over the
+/// unit range and a fast `MAX_FREQ_CYCLES`-cycle band, giving the encoder
+/// multi-resolution coverage of the normalized `(0, 1]` delta range from
+/// the start (the TGAT `1/10^linspace` idea, rescaled for unit inputs);
+/// training then adapts them.
+#[derive(Debug, Clone)]
+pub struct Time2Vec {
+    w: ParamId,
+    b: ParamId,
+    /// Output width (2 · frequency count).
+    pub out_dim: usize,
+}
+
+impl Time2Vec {
+    /// Fastest initial frequency, in cycles per unit of input range.
+    const MAX_FREQ_CYCLES: f32 = 64.0;
+
+    /// Register a Time2Vec encoder. `out_dim` must be even and ≥ 2.
+    pub fn new(store: &mut ParamStore, name: &str, out_dim: usize) -> Self {
+        assert!(out_dim >= 2 && out_dim % 2 == 0, "Time2Vec output width must be even");
+        let k = out_dim / 2;
+        let tau = std::f32::consts::TAU;
+        let freqs: Vec<f32> = (0..k)
+            .map(|j| {
+                let frac = if k > 1 { j as f32 / (k - 1) as f32 } else { 0.0 };
+                tau * Self::MAX_FREQ_CYCLES.powf(frac)
+            })
+            .collect();
+        let w = store.add_param(format!("{name}.w"), 1, k, freqs);
+        let b = store.add_param(format!("{name}.b"), 1, k, init::zeros(k));
+        Time2Vec { w, b, out_dim }
+    }
+
+    /// Forward `t [m,1] -> [m, out_dim]`: frequency preactivation
+    /// `t·w + b`, then the fused `[sin | cos]` encoding.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, t: Var) -> Var {
+        assert_eq!(t.cols(), 1, "Time2Vec input must be a single column of deltas");
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let pre = g.affine(t, w, b);
+        g.time2vec(pre)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,480 @@
+//! Gradient and invariant coverage for the temporal-attention op family:
+//! Time2Vec, masked row softmax over ragged prefixes, and fused
+//! multi-head masked attention. Every op gets a finite-difference
+//! gradcheck; the fused attention additionally gets a naive-composition
+//! oracle and a thread-count bit-identity gate (matching the GEMM
+//! kernel gates).
+
+use ehna_nn::gradcheck::check_grads;
+use ehna_nn::kernels::set_threads;
+use ehna_nn::layers::Time2Vec;
+use ehna_nn::{Graph, ParamStore};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// Serializes tests that toggle the process-global kernel thread budget.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+fn rand_vec(n: usize, seed: u64, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+// ------------------------------------------------------------- Time2Vec
+
+#[test]
+fn time2vec_rows_have_fixed_energy() {
+    // sin² + cos² = 1 per frequency, so every output row has squared
+    // norm k · scale² = k · k regardless of the input time.
+    let mut g = Graph::new();
+    let k = 4usize;
+    let pre = g.constant(3, k, rand_vec(3 * k, 7, -20.0, 20.0));
+    let enc = g.time2vec(pre);
+    assert_eq!((enc.rows(), enc.cols()), (3, 2 * k));
+    for row in g.value(enc).chunks(2 * k) {
+        let sq: f32 = row.iter().map(|v| v * v).sum();
+        assert!((sq - (k * k) as f32).abs() < 1e-3, "row energy {sq}");
+    }
+}
+
+#[test]
+fn time2vec_gradcheck_through_layer() {
+    // End to end through the layer: deltas → affine(w, b) → [sin|cos],
+    // summed against random weights so every output coordinate matters.
+    let mut store = ParamStore::new();
+    let t2v = Time2Vec::new(&mut store, "t2v", 8);
+    let deltas: Vec<f32> = rand_vec(5, 11, 0.01, 1.0);
+    let mix = rand_vec(5 * 8, 12, -1.0, 1.0);
+    let result = check_grads(
+        &mut store,
+        |g, store| {
+            let t = g.constant(5, 1, deltas.clone());
+            let enc = t2v.forward(g, store, t);
+            let w = g.constant(5, 8, mix.clone());
+            let prod = g.mul(enc, w);
+            g.sum_all(prod)
+        },
+        1e-3,
+        3e-2,
+    );
+    assert!(result.is_ok(), "{result:?}");
+}
+
+// ------------------------------------------------------- masked softmax
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn masked_softmax_prefix_sums_to_one_suffix_exactly_zero(
+        m in 1usize..6, n in 1usize..8, seed in 0u64..1000
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa5a5);
+        let lens: Vec<u32> = (0..m).map(|_| rng.gen_range(1..=n as u32)).collect();
+        let mut g = Graph::new();
+        let x = g.constant(m, n, rand_vec(m * n, seed, -30.0, 30.0));
+        let s = g.softmax_rows_masked(x, &lens);
+        for (r, row) in g.value(s).chunks(n).enumerate() {
+            let len = lens[r] as usize;
+            let total: f32 = row[..len].iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4, "prefix sums to {total}");
+            prop_assert!(row[len..].iter().all(|&p| p == 0.0), "padding not exactly zero");
+        }
+    }
+
+    #[test]
+    fn masked_softmax_matches_full_softmax_on_full_rows(
+        m in 1usize..5, n in 1usize..7, seed in 0u64..1000
+    ) {
+        // lens[r] == n for every row ⇒ bit-identical to the unmasked op.
+        let lens = vec![n as u32; m];
+        let data = rand_vec(m * n, seed, -5.0, 5.0);
+        let mut g = Graph::new();
+        let x = g.constant(m, n, data.clone());
+        let masked = g.softmax_rows_masked(x, &lens);
+        let full = g.softmax_rows(x);
+        prop_assert_eq!(g.value(masked), g.value(full));
+    }
+}
+
+#[test]
+fn masked_softmax_gradcheck_and_zero_grad_past_prefix() {
+    let mut store = ParamStore::new();
+    let x = store.add_param("x", 3, 5, rand_vec(15, 21, -2.0, 2.0));
+    let lens = vec![2u32, 5, 3];
+    let mix = rand_vec(15, 22, -1.0, 1.0);
+    let result = check_grads(
+        &mut store,
+        |g, store| {
+            let xv = g.param(store, x);
+            let s = g.softmax_rows_masked(xv, &lens);
+            let w = g.constant(3, 5, mix.clone());
+            let prod = g.mul(s, w);
+            g.sum_all(prod)
+        },
+        1e-3,
+        3e-2,
+    );
+    assert!(result.is_ok(), "{result:?}");
+
+    // The padded logits must receive *exactly* zero gradient.
+    store.zero_grads();
+    let mut g = Graph::new();
+    let xv = g.param(&store, x);
+    let s = g.softmax_rows_masked(xv, &lens);
+    let w = g.constant(3, 5, mix);
+    let prod = g.mul(s, w);
+    let loss = g.sum_all(prod);
+    g.backward(loss);
+    g.write_grads(&mut store);
+    let grad = store.grad(x);
+    for (r, &len) in lens.iter().enumerate() {
+        for j in len as usize..5 {
+            assert_eq!(grad[r * 5 + j], 0.0, "padded logit ({r},{j}) got gradient");
+        }
+    }
+}
+
+// ------------------------------------------------- masked attention core
+
+/// Naive per-unit oracle composed from scalar ops: scores, stable
+/// softmax over the prefix, weighted value sum.
+#[allow(clippy::too_many_arguments)]
+fn naive_attention(
+    units: usize,
+    lmax: usize,
+    d: usize,
+    heads: usize,
+    lens: &[u32],
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+) -> Vec<f32> {
+    let dh = d / heads;
+    let mut out = vec![0.0f32; units * d];
+    for u in 0..units {
+        let len = lens[u] as usize;
+        for h in 0..heads {
+            let qh = &q[u * d + h * dh..u * d + (h + 1) * dh];
+            let mut scores: Vec<f64> = (0..len)
+                .map(|t| {
+                    let kh = &k[(u * lmax + t) * d + h * dh..(u * lmax + t) * d + (h + 1) * dh];
+                    let dot: f64 = qh.iter().zip(kh).map(|(&a, &b)| a as f64 * b as f64).sum();
+                    dot / (dh as f64).sqrt()
+                })
+                .collect();
+            let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut total = 0.0f64;
+            for s in scores.iter_mut() {
+                *s = (*s - max).exp();
+                total += *s;
+            }
+            for t in 0..len {
+                let a = scores[t] / total;
+                let vh = &v[(u * lmax + t) * d + h * dh..(u * lmax + t) * d + (h + 1) * dh];
+                for j in 0..dh {
+                    out[u * d + h * dh + j] += (a * vh[j] as f64) as f32;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn masked_attention_matches_naive_oracle() {
+    let (units, lmax, d, heads) = (5usize, 4usize, 8usize, 2usize);
+    let mut rng = StdRng::seed_from_u64(31);
+    let lens: Vec<u32> = (0..units).map(|_| rng.gen_range(1..=lmax as u32)).collect();
+    let qd = rand_vec(units * d, 32, -1.0, 1.0);
+    let kd = rand_vec(units * lmax * d, 33, -1.0, 1.0);
+    let vd = rand_vec(units * lmax * d, 34, -1.0, 1.0);
+    let mut g = Graph::new();
+    let q = g.constant(units, d, qd.clone());
+    let k = g.constant(units * lmax, d, kd.clone());
+    let v = g.constant(units * lmax, d, vd.clone());
+    let out = g.masked_attention(q, k, v, heads, &lens);
+    let oracle = naive_attention(units, lmax, d, heads, &lens, &qd, &kd, &vd);
+    for (i, (&a, &b)) in g.value(out).iter().zip(&oracle).enumerate() {
+        assert!((a - b).abs() < 1e-3, "element {i}: fused {a} vs naive {b}");
+    }
+}
+
+#[test]
+fn masked_attention_gradcheck() {
+    let (units, lmax, d, heads) = (3usize, 3usize, 4usize, 2usize);
+    let lens = vec![1u32, 3, 2];
+    let mut store = ParamStore::new();
+    let q = store.add_param("q", units, d, rand_vec(units * d, 41, -1.0, 1.0));
+    let k = store.add_param("k", units * lmax, d, rand_vec(units * lmax * d, 42, -1.0, 1.0));
+    let v = store.add_param("v", units * lmax, d, rand_vec(units * lmax * d, 43, -1.0, 1.0));
+    let mix = rand_vec(units * d, 44, -1.0, 1.0);
+    let result = check_grads(
+        &mut store,
+        |g, store| {
+            let qv = g.param(store, q);
+            let kv = g.param(store, k);
+            let vv = g.param(store, v);
+            let out = g.masked_attention(qv, kv, vv, heads, &lens);
+            let w = g.constant(units, d, mix.clone());
+            let prod = g.mul(out, w);
+            g.sum_all(prod)
+        },
+        1e-2,
+        3e-2,
+    );
+    assert!(result.is_ok(), "{result:?}");
+}
+
+#[test]
+fn masked_attention_padding_gets_zero_gradient() {
+    // Keys/values past each unit's prefix must receive exactly zero
+    // gradient: that is what makes node-0 padding in the aggregator safe.
+    let (units, lmax, d, heads) = (2usize, 3usize, 4usize, 2usize);
+    let lens = vec![1u32, 2];
+    let mut store = ParamStore::new();
+    let k = store.add_param("k", units * lmax, d, rand_vec(units * lmax * d, 51, -1.0, 1.0));
+    let v = store.add_param("v", units * lmax, d, rand_vec(units * lmax * d, 52, -1.0, 1.0));
+    let mut g = Graph::new();
+    let qv = g.constant(units, d, rand_vec(units * d, 53, -1.0, 1.0));
+    let kv = g.param(&store, k);
+    let vv = g.param(&store, v);
+    let out = g.masked_attention(qv, kv, vv, heads, &lens);
+    let loss = g.sum_all(out);
+    g.backward(loss);
+    g.write_grads(&mut store);
+    for (name, grad) in [("k", store.grad(k)), ("v", store.grad(v))] {
+        for u in 0..units {
+            for t in lens[u] as usize..lmax {
+                let row = &grad[(u * lmax + t) * d..(u * lmax + t + 1) * d];
+                assert!(
+                    row.iter().all(|&gv| gv == 0.0),
+                    "{name} unit {u} padded step {t} got gradient {row:?}"
+                );
+            }
+        }
+    }
+}
+
+// -------------------------------------------- fused temporal attention
+
+/// The seven inputs of the fused op, as fresh constants on `g`.
+struct TaInputs {
+    q: ehna_nn::Var,
+    x: ehna_nn::Var,
+    tv: ehna_nn::Var,
+    wk: ehna_nn::Var,
+    kt: ehna_nn::Var,
+    wv: ehna_nn::Var,
+    vt: ehna_nn::Var,
+}
+
+fn ta_inputs(g: &mut Graph, units: usize, lmax: usize, d: usize, tk: usize) -> TaInputs {
+    TaInputs {
+        q: g.constant(units, d, rand_vec(units * d, 71, -1.0, 1.0)),
+        x: g.constant(units * lmax, d, rand_vec(units * lmax * d, 72, -1.0, 1.0)),
+        tv: g.constant(units * lmax, tk, rand_vec(units * lmax * tk, 73, -1.0, 1.0)),
+        wk: g.constant(d, d, rand_vec(d * d, 74, -0.5, 0.5)),
+        kt: g.constant(tk, d, rand_vec(tk * d, 75, -0.5, 0.5)),
+        wv: g.constant(d, d, rand_vec(d * d, 76, -0.5, 0.5)),
+        vt: g.constant(tk, d, rand_vec(tk * d, 77, -0.5, 0.5)),
+    }
+}
+
+#[test]
+fn temporal_attention_matches_composed_projection_path() {
+    // The fused op must agree (to rounding) with what it factors away:
+    // materialize K = x·wk + tv·kt and V = x·wv + tv·vt, then run the
+    // already-oracle-checked masked_attention over them.
+    let (units, lmax, d, tk, heads) = (6usize, 4usize, 8usize, 6usize, 2usize);
+    let mut rng = StdRng::seed_from_u64(79);
+    let lens: Vec<u32> = (0..units).map(|_| rng.gen_range(1..=lmax as u32)).collect();
+    let mut g = Graph::new();
+    let i = ta_inputs(&mut g, units, lmax, d, tk);
+    let fused = g.temporal_attention(i.q, i.x, i.tv, i.wk, i.kt, i.wv, i.vt, heads, &lens);
+    let kx = g.matmul(i.x, i.wk);
+    let ktv = g.matmul(i.tv, i.kt);
+    let k = g.add(kx, ktv);
+    let vx = g.matmul(i.x, i.wv);
+    let vtv = g.matmul(i.tv, i.vt);
+    let v = g.add(vx, vtv);
+    let composed = g.masked_attention(i.q, k, v, heads, &lens);
+    for (idx, (&a, &b)) in g.value(fused).iter().zip(g.value(composed)).enumerate() {
+        assert!((a - b).abs() < 1e-4, "element {idx}: fused {a} vs composed {b}");
+    }
+}
+
+#[test]
+fn temporal_attention_backward_matches_composed_projection_path() {
+    // Same pair of formulations, gradients this time: two tapes, one loss
+    // each, every input's gradient must agree to rounding.
+    let (units, lmax, d, tk, heads) = (5usize, 3usize, 8usize, 4usize, 2usize);
+    let mut rng = StdRng::seed_from_u64(83);
+    let lens: Vec<u32> = (0..units).map(|_| rng.gen_range(1..=lmax as u32)).collect();
+    let mix = rand_vec(units * d, 84, -1.0, 1.0);
+
+    let mut gf = Graph::new();
+    let fi = ta_inputs(&mut gf, units, lmax, d, tk);
+    let fused = gf.temporal_attention(fi.q, fi.x, fi.tv, fi.wk, fi.kt, fi.wv, fi.vt, heads, &lens);
+    let w = gf.constant(units, d, mix.clone());
+    let prod = gf.mul(fused, w);
+    let loss = gf.sum_all(prod);
+    gf.backward(loss);
+
+    let mut gc = Graph::new();
+    let ci = ta_inputs(&mut gc, units, lmax, d, tk);
+    let kx = gc.matmul(ci.x, ci.wk);
+    let ktv = gc.matmul(ci.tv, ci.kt);
+    let k = gc.add(kx, ktv);
+    let vx = gc.matmul(ci.x, ci.wv);
+    let vtv = gc.matmul(ci.tv, ci.vt);
+    let v = gc.add(vx, vtv);
+    let composed = gc.masked_attention(ci.q, k, v, heads, &lens);
+    let w = gc.constant(units, d, mix);
+    let prod = gc.mul(composed, w);
+    let loss = gc.sum_all(prod);
+    gc.backward(loss);
+
+    let pairs = [
+        ("q", fi.q, ci.q),
+        ("x", fi.x, ci.x),
+        ("tv", fi.tv, ci.tv),
+        ("wk", fi.wk, ci.wk),
+        ("kt", fi.kt, ci.kt),
+        ("wv", fi.wv, ci.wv),
+        ("vt", fi.vt, ci.vt),
+    ];
+    for (name, fv, cv) in pairs {
+        for (idx, (&a, &b)) in gf.grad(fv).iter().zip(gc.grad(cv)).enumerate() {
+            assert!((a - b).abs() < 1e-3, "d{name}[{idx}]: fused {a} vs composed {b}");
+        }
+    }
+}
+
+#[test]
+fn temporal_attention_gradcheck() {
+    let (units, lmax, d, tk, heads) = (3usize, 3usize, 4usize, 4usize, 2usize);
+    let lens = vec![1u32, 3, 2];
+    let mut store = ParamStore::new();
+    let q = store.add_param("q", units, d, rand_vec(units * d, 91, -1.0, 1.0));
+    let x = store.add_param("x", units * lmax, d, rand_vec(units * lmax * d, 92, -1.0, 1.0));
+    let tv = store.add_param("tv", units * lmax, tk, rand_vec(units * lmax * tk, 93, -1.0, 1.0));
+    let wk = store.add_param("wk", d, d, rand_vec(d * d, 94, -0.5, 0.5));
+    let kt = store.add_param("kt", tk, d, rand_vec(tk * d, 95, -0.5, 0.5));
+    let wv = store.add_param("wv", d, d, rand_vec(d * d, 96, -0.5, 0.5));
+    let vt = store.add_param("vt", tk, d, rand_vec(tk * d, 97, -0.5, 0.5));
+    let mix = rand_vec(units * d, 98, -1.0, 1.0);
+    let result = check_grads(
+        &mut store,
+        |g, store| {
+            let inputs = [q, x, tv, wk, kt, wv, vt].map(|p| g.param(store, p));
+            let [qv, xv, tvv, wkv, ktv, wvv, vtv] = inputs;
+            let out = g.temporal_attention(qv, xv, tvv, wkv, ktv, wvv, vtv, heads, &lens);
+            let w = g.constant(units, d, mix.clone());
+            let prod = g.mul(out, w);
+            g.sum_all(prod)
+        },
+        1e-2,
+        3e-2,
+    );
+    assert!(result.is_ok(), "{result:?}");
+}
+
+#[test]
+fn temporal_attention_padding_gets_zero_gradient() {
+    // Inputs and time encodings past each unit's prefix must receive
+    // exactly zero gradient — the node-0 padding guarantee, again.
+    let (units, lmax, d, tk, heads) = (2usize, 3usize, 4usize, 4usize, 2usize);
+    let lens = vec![1u32, 2];
+    let mut store = ParamStore::new();
+    let x = store.add_param("x", units * lmax, d, rand_vec(units * lmax * d, 101, -1.0, 1.0));
+    let tv = store.add_param("tv", units * lmax, tk, rand_vec(units * lmax * tk, 102, -1.0, 1.0));
+    let mut g = Graph::new();
+    let qv = g.constant(units, d, rand_vec(units * d, 103, -1.0, 1.0));
+    let xv = g.param(&store, x);
+    let tvv = g.param(&store, tv);
+    let wkv = g.constant(d, d, rand_vec(d * d, 104, -0.5, 0.5));
+    let ktv = g.constant(tk, d, rand_vec(tk * d, 105, -0.5, 0.5));
+    let wvv = g.constant(d, d, rand_vec(d * d, 106, -0.5, 0.5));
+    let vtv = g.constant(tk, d, rand_vec(tk * d, 107, -0.5, 0.5));
+    let out = g.temporal_attention(qv, xv, tvv, wkv, ktv, wvv, vtv, heads, &lens);
+    let loss = g.sum_all(out);
+    g.backward(loss);
+    g.write_grads(&mut store);
+    for (name, width, grad) in [("x", d, store.grad(x)), ("tv", tk, store.grad(tv))] {
+        for u in 0..units {
+            for t in lens[u] as usize..lmax {
+                let row = &grad[(u * lmax + t) * width..(u * lmax + t + 1) * width];
+                assert!(
+                    row.iter().all(|&gv| gv == 0.0),
+                    "{name} unit {u} padded step {t} got gradient {row:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn temporal_attention_bit_identical_across_thread_counts() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let (units, lmax, d, tk, heads) = (64usize, 6usize, 16usize, 8usize, 4usize);
+    let mut rng = StdRng::seed_from_u64(111);
+    let lens: Vec<u32> = (0..units).map(|_| rng.gen_range(1..=lmax as u32)).collect();
+    let mut runs: Vec<Vec<Vec<u32>>> = Vec::new();
+    for &t in &[1usize, 4] {
+        set_threads(t);
+        let mut g = Graph::new();
+        let i = ta_inputs(&mut g, units, lmax, d, tk);
+        let out = g.temporal_attention(i.q, i.x, i.tv, i.wk, i.kt, i.wv, i.vt, heads, &lens);
+        let loss = g.sum_all(out);
+        g.backward(loss);
+        let bits = |s: &[f32]| s.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        runs.push(
+            [
+                g.value(out),
+                g.grad(i.q),
+                g.grad(i.x),
+                g.grad(i.tv),
+                g.grad(i.wk),
+                g.grad(i.kt),
+                g.grad(i.wv),
+                g.grad(i.vt),
+            ]
+            .map(bits)
+            .to_vec(),
+        );
+        set_threads(1);
+    }
+    assert_eq!(runs[0], runs[1], "temporal attention results changed with thread count");
+}
+
+#[test]
+fn masked_attention_bit_identical_across_thread_counts() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    // Large enough to clear the parallelism floor so the threaded path
+    // actually runs.
+    let (units, lmax, d, heads) = (64usize, 6usize, 16usize, 4usize);
+    let mut rng = StdRng::seed_from_u64(61);
+    let lens: Vec<u32> = (0..units).map(|_| rng.gen_range(1..=lmax as u32)).collect();
+    let qd = rand_vec(units * d, 62, -1.0, 1.0);
+    let kd = rand_vec(units * lmax * d, 63, -1.0, 1.0);
+    let vd = rand_vec(units * lmax * d, 64, -1.0, 1.0);
+    type RunBits = (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>);
+    let mut runs: Vec<RunBits> = Vec::new();
+    for &t in &[1usize, 4] {
+        set_threads(t);
+        let mut g = Graph::new();
+        let q = g.constant(units, d, qd.clone());
+        let k = g.constant(units * lmax, d, kd.clone());
+        let v = g.constant(units * lmax, d, vd.clone());
+        let out = g.masked_attention(q, k, v, heads, &lens);
+        let loss = g.sum_all(out);
+        g.backward(loss);
+        let bits = |s: &[f32]| s.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        runs.push((bits(g.value(out)), bits(g.grad(q)), bits(g.grad(k)), bits(g.grad(v))));
+        set_threads(1);
+    }
+    assert_eq!(runs[0], runs[1], "attention results changed with thread count");
+}

@@ -12,7 +12,7 @@
 //! * `full_rebuild_every` re-baselines all rows and restores near-exact
 //!   agreement at the rebuild batches.
 
-use ehna_core::{EhnaConfig, EhnaModel, Trainer};
+use ehna_core::{AggregatorKind, EhnaConfig, EhnaModel, Trainer};
 use ehna_stream::{StreamOptions, StreamProcessor};
 use ehna_tgraph::{GraphBuilder, NodeEmbeddings, NodeId, TemporalEdge, TemporalGraph, Timestamp};
 use ehna_walks::DecayKernel;
@@ -67,7 +67,11 @@ fn cfg() -> EhnaConfig {
 /// twice yields bit-identical models — the incremental run and the
 /// comparator start from the same parameters.
 fn trained_model(g: &TemporalGraph) -> EhnaModel {
-    let mut t = Trainer::new(g, cfg()).unwrap();
+    trained_model_with(g, cfg())
+}
+
+fn trained_model_with(g: &TemporalGraph, config: EhnaConfig) -> EhnaModel {
+    let mut t = Trainer::new(g, config).unwrap();
     t.train();
     t.into_model()
 }
@@ -116,6 +120,41 @@ fn frozen_model_refresh_matches_full_rebuild() {
     assert_eq!(inc.graph().num_edges(), full_graph.num_edges());
     let dist = max_row_dist(inc.embeddings(), full.embeddings());
     assert!(dist < 1e-4, "frozen-model incremental drifted from rebuild: max row dist {dist}");
+}
+
+#[test]
+fn frozen_attn_model_refresh_matches_full_rebuild() {
+    // The same contract under the attention aggregator: dirty-set
+    // re-aggregation with a frozen model must track the full rebuild
+    // regardless of which node-level stage the model carries.
+    let attn_cfg = EhnaConfig { aggregator: AggregatorKind::Attn, heads: 2, ..cfg() };
+    let (prefix, suffix) = split();
+    let opts = StreamOptions { finetune_steps: 0, ..StreamOptions::default() };
+
+    let mut inc = StreamProcessor::new(
+        graph_of(&prefix),
+        trained_model_with(&graph_of(&prefix), attn_cfg.clone()),
+        opts,
+    )
+    .unwrap();
+    let mut any_partial = false;
+    for batch in &suffix {
+        let out = inc.apply_batch(batch).unwrap();
+        any_partial |= out.refreshed < NUM_NODES;
+    }
+    assert!(any_partial, "dirty sets never smaller than the graph; test has no power");
+
+    let full_graph = graph_of(&all_edges());
+    let full = StreamProcessor::new(
+        full_graph.clone(),
+        trained_model_with(&graph_of(&prefix), attn_cfg),
+        opts,
+    )
+    .unwrap();
+
+    assert_eq!(inc.graph().num_edges(), full_graph.num_edges());
+    let dist = max_row_dist(inc.embeddings(), full.embeddings());
+    assert!(dist < 1e-4, "frozen attn incremental drifted from rebuild: max row dist {dist}");
 }
 
 #[test]

@@ -88,6 +88,15 @@ impl TemporalWalk {
     pub fn is_empty(&self) -> bool {
         self.nodes.len() <= 1
     }
+
+    /// Iterate `(node, arrival time)` pairs: the per-position interaction
+    /// timestamps consumed by time-encoding aggregators, which need each
+    /// step's own time rather than the per-node sums of
+    /// [`neighborhood::time_sums`](crate::neighborhood::time_sums).
+    /// Position 0 pairs the start node with its arrival (reference) time.
+    pub fn steps(&self) -> impl ExactSizeIterator<Item = (NodeId, Timestamp)> + '_ {
+        self.nodes.iter().copied().zip(self.times.iter().copied())
+    }
 }
 
 /// Sampler of temporal random walks over one graph.

@@ -119,6 +119,25 @@ timeout --kill-after=10 120 \
 timeout --kill-after=10 180 \
     cargo test -p ehna-core --test threaded_determinism -q
 
+echo "== aggregator gates (wall-clock bounded)"
+# The pluggable node-stage subsystem's contracts: the LSTM aggregator is
+# pinned bit-for-bit to the pre-trait loss trace (aggregator_golden), the
+# fused temporal-attention op matches its composed-graph oracle forward
+# and backward and passes gradcheck with padding rows provably at zero
+# gradient (attention_ops), and an attn train -> export -> serve -> query
+# journey runs the real CLI end to end. Hard timeouts so a wedged kernel
+# thread-scope fails fast. (threaded_determinism above already covers
+# both aggregators' 1-vs-4-thread bit-identity.)
+cargo test -p ehna-core --test aggregator_golden --no-run -q
+cargo test -p ehna-nn --test attention_ops --no-run -q
+cargo test -p ehna-cli --test serve_end_to_end --no-run -q
+timeout --kill-after=10 180 \
+    cargo test -p ehna-core --test aggregator_golden -q
+timeout --kill-after=10 120 \
+    cargo test -p ehna-nn --test attention_ops -q
+timeout --kill-after=10 180 \
+    cargo test -p ehna-cli --test serve_end_to_end train_attn_aggregator_round_trip -q
+
 echo "== cargo test (workspace, pipelined: EHNA_PIPELINE_DEPTH=3)"
 # Re-run the suite with a non-default prefetch depth so the pipelined
 # training path is exercised suite-wide; results must be identical to
